@@ -1,0 +1,64 @@
+// Command experiments regenerates the evaluation artifacts of Narayan &
+// Gajski (DAC'94): Fig. 2 (channel merging), Fig. 7 (FLC performance vs
+// bus width, with an optional simulator cross-check) and Fig. 8 (three
+// constrained bus designs).
+//
+// Usage:
+//
+//	experiments -fig 2        print Fig. 2
+//	experiments -fig 7        print Fig. 7 (estimator sweep)
+//	experiments -fig 7 -sim   additionally run the simulator cross-check
+//	experiments -fig 8        print Fig. 8
+//	experiments -all          print everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 2, 7 or 8")
+	all := flag.Bool("all", false, "regenerate every figure")
+	simCheck := flag.Bool("sim", false, "with -fig 7: run the cycle-counting simulator cross-check")
+	flag.Parse()
+
+	if !*all && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	want := func(f string) bool { return *all || *fig == f }
+
+	if want("2") {
+		fmt.Println(experiments.Fig2())
+	}
+	if want("7") {
+		fmt.Println(experiments.Fig7())
+		if *simCheck || *all {
+			points, err := experiments.Fig7SimCheck([]int{1, 2, 4, 8, 16, 23, 24})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simulator cross-check failed:", err)
+				os.Exit(1)
+			}
+			var b strings.Builder
+			b.WriteString("Fig. 7 cross-check — simulated FLC completion time (cost model on)\n\n")
+			fmt.Fprintf(&b, "  %5s  %12s\n", "width", "clocks")
+			for _, p := range points {
+				fmt.Fprintf(&b, "  %5d  %12d\n", p.Width, p.Clocks)
+			}
+			fmt.Println(b.String())
+		}
+	}
+	if want("8") {
+		r, err := experiments.Fig8()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig 8 failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,258 @@
+// Command ifsyn runs the complete interface-synthesis flow on a textual
+// specification: parse, derive channels, group them into a bus, select
+// the bus width (bus generation), generate the transfer protocol
+// (protocol generation) and emit the refined specification as VHDL-
+// flavored text. With -run the refined system is also simulated and the
+// final memory state printed.
+//
+// Usage:
+//
+//	ifsyn [flags] spec.sys
+//
+//	-autopartition N  re-partition the system into N modules by closeness
+//	                before synthesis (discards the spec's module split)
+//	-width N        force the bus width instead of running bus generation
+//	-protocol P     full | half | fixed (default full handshake)
+//	-grouping G     single | pairs | feasible (channel grouping policy)
+//	-constraint C   designer constraint, repeatable; forms:
+//	                  minwidth:VALUE:WEIGHT
+//	                  maxwidth:VALUE:WEIGHT
+//	                  minpeak:CHANNEL:VALUE:WEIGHT
+//	                  maxpeak:CHANNEL:VALUE:WEIGHT
+//	                  minave:CHANNEL:VALUE:WEIGHT
+//	                  maxave:CHANNEL:VALUE:WEIGHT
+//	-o FILE         write the refined VHDL to FILE (default stdout)
+//	-summary        print the synthesis summary (buses, IDs, wires)
+//	-trace          print the bus-generation width trace
+//	-arbitrate      add REQ/GRANT bus arbitration
+//	-area           print gate-equivalent area estimates per module
+//	-run            simulate the refined system and print final values
+//	-vcd FILE       with -run: dump signal waveforms as a VCD file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/busgen"
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/hdl"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/vcd"
+	"repro/internal/vhdlgen"
+)
+
+type constraintFlags []busgen.Constraint
+
+func (c *constraintFlags) String() string { return fmt.Sprintf("%v", []busgen.Constraint(*c)) }
+
+func (c *constraintFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	kindName := strings.ToLower(parts[0])
+	var kind busgen.ConstraintKind
+	hasChannel := false
+	switch kindName {
+	case "minwidth":
+		kind = busgen.MinBusWidth
+	case "maxwidth":
+		kind = busgen.MaxBusWidth
+	case "minpeak":
+		kind, hasChannel = busgen.MinPeakRate, true
+	case "maxpeak":
+		kind, hasChannel = busgen.MaxPeakRate, true
+	case "minave":
+		kind, hasChannel = busgen.MinAveRate, true
+	case "maxave":
+		kind, hasChannel = busgen.MaxAveRate, true
+	default:
+		return fmt.Errorf("unknown constraint kind %q", parts[0])
+	}
+	want := 3
+	if hasChannel {
+		want = 4
+	}
+	if len(parts) != want {
+		return fmt.Errorf("constraint %q: want %d fields", s, want)
+	}
+	i := 1
+	channel := ""
+	if hasChannel {
+		channel = parts[i]
+		i++
+	}
+	value, err := strconv.ParseFloat(parts[i], 64)
+	if err != nil {
+		return fmt.Errorf("constraint %q: bad value: %v", s, err)
+	}
+	weight, err := strconv.ParseFloat(parts[i+1], 64)
+	if err != nil {
+		return fmt.Errorf("constraint %q: bad weight: %v", s, err)
+	}
+	*c = append(*c, busgen.Constraint{Kind: kind, Channel: channel, Value: value, Weight: weight})
+	return nil
+}
+
+func main() {
+	autopart := flag.Int("autopartition", 0, "re-partition into N modules by closeness (0 = keep the spec's modules)")
+	width := flag.Int("width", 0, "force bus width (0 = run bus generation)")
+	protoName := flag.String("protocol", "full", "protocol: full | half | fixed")
+	groupName := flag.String("grouping", "single", "channel grouping: single | pairs | feasible")
+	out := flag.String("o", "", "output file for refined VHDL (default stdout)")
+	summary := flag.Bool("summary", false, "print synthesis summary")
+	trace := flag.Bool("trace", false, "print bus-generation width trace")
+	arbitrate := flag.Bool("arbitrate", false, "add REQ/GRANT bus arbitration")
+	area := flag.Bool("area", false, "print per-module area estimates")
+	run := flag.Bool("run", false, "simulate the refined system")
+	vcdPath := flag.String("vcd", "", "with -run: write waveforms to this VCD file")
+	var constraints constraintFlags
+	flag.Var(&constraints, "constraint", "designer constraint (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ifsyn [flags] spec.sys")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sys, err := hdl.ParseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *autopart > 0 {
+		if err := partition.Repartition(sys, *autopart, partition.Config{Balanced: true}); err != nil {
+			fatal(err)
+		}
+		for _, m := range sys.Modules {
+			names := make([]string, 0, len(m.Behaviors)+len(m.Variables))
+			for _, b := range m.Behaviors {
+				names = append(names, b.Name)
+			}
+			for _, v := range m.Variables {
+				names = append(names, v.Name)
+			}
+			fmt.Fprintf(os.Stderr, "partition %s: %s\n", m.Name, strings.Join(names, ", "))
+		}
+	}
+
+	cfg := busgen.DefaultConfig()
+	cfg.Constraints = constraints
+	switch *protoName {
+	case "full":
+		cfg.Protocol = spec.FullHandshake
+	case "half":
+		cfg.Protocol = spec.HalfHandshake
+	case "fixed":
+		cfg.Protocol = spec.FixedDelay
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protoName))
+	}
+	var grouping partition.GroupingPolicy
+	switch *groupName {
+	case "single":
+		grouping = partition.SingleBus
+	case "pairs":
+		grouping = partition.ByModulePair
+	case "feasible":
+		grouping = partition.RateFeasible
+	default:
+		fatal(fmt.Errorf("unknown grouping %q", *groupName))
+	}
+
+	rep, err := core.Synthesize(sys, core.Options{
+		Grouping:   grouping,
+		Bus:        cfg,
+		ForceWidth: *width,
+		Arbitrate:  *arbitrate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *summary {
+		fmt.Fprint(os.Stderr, vhdlgen.Summary(sys))
+	}
+	if *trace {
+		for _, br := range rep.Buses {
+			if br.Gen != nil {
+				fmt.Fprintf(os.Stderr, "bus %s width trace:\n%s", br.Bus.Name, busgen.FormatTrace(br.Gen))
+			}
+		}
+	}
+
+	if *area {
+		model := estimate.DefaultAreaModel()
+		reports, total := model.SystemArea(sys)
+		names := make([]string, 0, len(reports))
+		for n := range reports {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(os.Stderr, "area estimates (gate equivalents):")
+		for _, n := range names {
+			r := reports[n]
+			fmt.Fprintf(os.Stderr, "  %-12s reg %8.0f  mem %8.0f  fu %8.0f  mux %8.0f  ctrl %8.0f  busif %8.0f  total %9.0f\n",
+				n, r.Registers, r.Memory, r.FUs, r.Mux, r.Control, r.BusIf, r.Total())
+		}
+		fmt.Fprintf(os.Stderr, "  system total (with bus drivers): %.0f\n", total)
+	}
+
+	text := vhdlgen.Emit(sys)
+	if *out == "" {
+		fmt.Print(text)
+	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *run {
+		simCfg := sim.Config{}
+		var vcdWriter *vcd.Writer
+		if *vcdPath != "" {
+			f, err := os.Create(*vcdPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			vcdWriter, err = vcd.NewWriter(f, sys)
+			if err != nil {
+				fatal(err)
+			}
+			simCfg.OnEvent = vcdWriter.OnEvent
+		}
+		s, err := sim.New(sys, simCfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if vcdWriter != nil {
+			if err := vcdWriter.Close(res.Clocks); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "waveforms written to %s\n", *vcdPath)
+		}
+		fmt.Fprintf(os.Stderr, "\nsimulated %d clocks, %d deltas, %d statements\n",
+			res.Clocks, res.Deltas, res.Steps)
+		keys := make([]string, 0, len(res.Finals))
+		for k := range res.Finals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "  %-24s = %s\n", k, res.Finals[k])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ifsyn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Package repro is a reproduction of S. Narayan and D. D. Gajski,
+// "Protocol Generation for Communication Channels" (DAC 1994): an
+// interface-synthesis flow that implements the abstract communication
+// channels produced by system-level partitioning as shared buses, by
+// selecting a minimum-cost bus width (bus generation) and synthesizing
+// the wire-level data-transfer mechanism plus a simulatable refined
+// specification (protocol generation).
+//
+// The library layout:
+//
+//	internal/spec        specification IR (behaviors, variables, channels)
+//	internal/hdl         textual front end (lexer, parser, elaborator)
+//	internal/bits        bit-vector values
+//	internal/estimate    performance and channel-rate estimation
+//	internal/busgen      bus generation (Section 3)
+//	internal/protogen    protocol generation (Section 4, the contribution)
+//	internal/partition   SpecSyn-style partitioning and channel grouping
+//	internal/core        one-call Synthesize facade
+//	internal/sim         discrete-event simulator for (refined) specs
+//	internal/vhdlgen     VHDL-flavored emitter
+//	internal/flc         the paper's fuzzy-logic-controller case study
+//	internal/workloads   answering machine, Ethernet coprocessor, Fig. 3
+//	internal/experiments regeneration of Figs. 2, 7 and 8
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation.
+package repro

@@ -1,0 +1,318 @@
+// Package busgen implements bus generation (Section 3 of Narayan &
+// Gajski, DAC'94; algorithm from their EDAC'92 paper): given a group of
+// channels to be implemented as a single bus and a set of designer
+// constraints, determine the minimum-cost bus width whose transfer rate
+// satisfies the data-transfer requirements of every channel.
+//
+// The algorithm examines every candidate width in [1, largest message].
+// A width is *feasible* when the bus rate at that width is at least the
+// sum of the channels' average rates (Eq. 1) — otherwise the processes
+// communicating over the bus would be progressively delayed. Among
+// feasible widths, the one minimizing the weighted sum of squared
+// constraint violations is selected.
+package busgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// ConstraintKind enumerates the constraint types the designer may attach
+// to a channel group (Section 3, step 4).
+type ConstraintKind int
+
+// Constraint kinds. Width constraints apply to the bus; rate constraints
+// apply to a named channel.
+const (
+	MinBusWidth ConstraintKind = iota
+	MaxBusWidth
+	MinAveRate
+	MaxAveRate
+	MinPeakRate
+	MaxPeakRate
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case MinBusWidth:
+		return "min buswidth"
+	case MaxBusWidth:
+		return "max buswidth"
+	case MinAveRate:
+		return "min averate"
+	case MaxAveRate:
+		return "max averate"
+	case MinPeakRate:
+		return "min peakrate"
+	case MaxPeakRate:
+		return "max peakrate"
+	}
+	return "constraint"
+}
+
+// Constraint is one designer constraint with its relative weight.
+type Constraint struct {
+	Kind ConstraintKind
+	// Channel names the channel a rate constraint applies to; empty for
+	// bus-width constraints.
+	Channel string
+	// Value is the bound, in pins for width constraints and bits/clock
+	// for rate constraints.
+	Value float64
+	// Weight is the designer's relative weight for this constraint.
+	Weight float64
+}
+
+func (c Constraint) String() string {
+	if c.Channel != "" {
+		return fmt.Sprintf("%s(%s) = %g (weight %g)", c.Kind, c.Channel, c.Value, c.Weight)
+	}
+	return fmt.Sprintf("%s = %g (weight %g)", c.Kind, c.Value, c.Weight)
+}
+
+// Penalty maps a constraint violation magnitude to a cost contribution.
+type Penalty int
+
+// Penalty functions. The paper uses the square of the violation; the
+// linear form is provided for the cost-function ablation.
+const (
+	SquaredPenalty Penalty = iota
+	LinearPenalty
+)
+
+// Config parameterizes bus generation.
+type Config struct {
+	// Protocol selects the transfer protocol used for the rate model;
+	// the default (zero value) is the paper's full handshake.
+	Protocol spec.Protocol
+	// Constraints are the designer constraints and weights.
+	Constraints []Constraint
+	// MinWidth/MaxWidth optionally narrow the examined range; zero
+	// means the paper's default (1 .. largest message).
+	MinWidth, MaxWidth int
+	// Penalty selects the violation penalty shape (default squared).
+	Penalty Penalty
+	// QuantizeRates, when true, evaluates rate constraints on whole
+	// bits/clock (floor of the fractional rate), matching the paper's
+	// integer rate tables (Fig. 8 reports 10/9/8 bits/clock). Set by
+	// DefaultConfig.
+	QuantizeRates bool
+}
+
+// DefaultConfig returns the configuration used for the paper's
+// experiments: full handshake, squared penalties, quantized rates.
+func DefaultConfig() Config {
+	return Config{Protocol: spec.FullHandshake, Penalty: SquaredPenalty, QuantizeRates: true}
+}
+
+// WidthEval records the evaluation of one candidate width — one row of
+// the algorithm's search trace.
+type WidthEval struct {
+	Width       int
+	BusRate     float64 // bits/clock at this width (Eq. 2)
+	SumAveRates float64 // Σ AveRate(C) at this width
+	Feasible    bool    // BusRate >= SumAveRates (Eq. 1)
+	Cost        float64 // weighted sum of penalized violations
+}
+
+// Result is the outcome of bus generation.
+type Result struct {
+	// Width is the selected bus width in data lines (pins).
+	Width int
+	// BusRate is the bus transfer rate at the selected width.
+	BusRate float64
+	// Cost is the cost of the selected width.
+	Cost float64
+	// SeparateLines is the number of data lines the channels would need
+	// if each were implemented separately (Σ message bits).
+	SeparateLines int
+	// InterconnectReduction is the fractional reduction in data lines
+	// versus separate implementation: (separate - width) / separate.
+	InterconnectReduction float64
+	// Trace holds the per-width evaluations, in width order.
+	Trace []WidthEval
+}
+
+// ErrInfeasible reports that no width in the examined range satisfies
+// Eq. 1. The paper's remedy is to split the channel group across more
+// than one bus (see Split).
+var ErrInfeasible = errors.New("busgen: no feasible bus width for channel group")
+
+// Generate runs the bus-generation algorithm for the channel group.
+func Generate(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Result, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("busgen: empty channel group")
+	}
+	lo, hi := widthRange(channels, cfg)
+
+	res := &Result{SeparateLines: SeparateLines(channels)}
+	bestIdx := -1
+	for w := lo; w <= hi; w++ {
+		ev := WidthEval{
+			Width:       w,
+			BusRate:     estimate.BusRate(w, cfg.Protocol),
+			SumAveRates: est.SumAveRates(channels, w, cfg.Protocol),
+		}
+		ev.Feasible = ev.BusRate >= ev.SumAveRates
+		ev.Cost = cost(channels, est, cfg, w)
+		res.Trace = append(res.Trace, ev)
+		if ev.Feasible && (bestIdx < 0 || ev.Cost < res.Trace[bestIdx].Cost) {
+			bestIdx = len(res.Trace) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return res, ErrInfeasible
+	}
+	best := res.Trace[bestIdx]
+	res.Width = best.Width
+	res.BusRate = best.BusRate
+	res.Cost = best.Cost
+	res.InterconnectReduction = 1 - float64(best.Width)/float64(res.SeparateLines)
+	return res, nil
+}
+
+// widthRange determines the candidate range: 1 to the largest message
+// sent by any channel (Section 3, step 1), clipped by the config.
+func widthRange(channels []*spec.Channel, cfg Config) (lo, hi int) {
+	lo, hi = 1, 1
+	for _, c := range channels {
+		if m := c.MessageBits(); m > hi {
+			hi = m
+		}
+	}
+	if cfg.MinWidth > 0 {
+		lo = cfg.MinWidth
+	}
+	if cfg.MaxWidth > 0 {
+		hi = cfg.MaxWidth
+	}
+	return lo, hi
+}
+
+// SeparateLines reports the data lines needed to implement every channel
+// with its own dedicated wires — the baseline against which interconnect
+// reduction is measured (46 pins for the FLC's two 23-bit channels).
+func SeparateLines(channels []*spec.Channel) int {
+	total := 0
+	for _, c := range channels {
+		total += c.MessageBits()
+	}
+	return total
+}
+
+// cost computes the weighted penalty of width w against the constraints
+// (Section 3, step 4).
+func cost(channels []*spec.Channel, est *estimate.Estimator, cfg Config, w int) float64 {
+	quant := func(r float64) float64 {
+		if cfg.QuantizeRates {
+			return math.Floor(r)
+		}
+		return r
+	}
+	var total float64
+	for _, con := range cfg.Constraints {
+		var violation float64
+		switch con.Kind {
+		case MinBusWidth:
+			violation = math.Max(0, con.Value-float64(w))
+		case MaxBusWidth:
+			violation = math.Max(0, float64(w)-con.Value)
+		case MinPeakRate:
+			violation = math.Max(0, con.Value-quant(estimate.PeakRate(w, cfg.Protocol)))
+		case MaxPeakRate:
+			violation = math.Max(0, quant(estimate.PeakRate(w, cfg.Protocol))-con.Value)
+		case MinAveRate:
+			if c := findChannel(channels, con.Channel); c != nil {
+				violation = math.Max(0, con.Value-quant(est.AveRate(c, w, cfg.Protocol)))
+			}
+		case MaxAveRate:
+			if c := findChannel(channels, con.Channel); c != nil {
+				violation = math.Max(0, quant(est.AveRate(c, w, cfg.Protocol))-con.Value)
+			}
+		}
+		switch cfg.Penalty {
+		case LinearPenalty:
+			total += con.Weight * violation
+		default:
+			total += con.Weight * violation * violation
+		}
+	}
+	return total
+}
+
+func findChannel(channels []*spec.Channel, name string) *spec.Channel {
+	for _, c := range channels {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Split partitions an infeasible channel group into the smallest number
+// of subgroups that each admit a feasible bus, the remedy the paper
+// suggests when no single bus can sustain the channels' rates. Channels
+// are considered in decreasing average-rate order and placed first-fit
+// into an existing feasible group. Channels that are infeasible even
+// alone are returned as singleton groups with ok=false.
+func Split(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (groups [][]*spec.Channel, ok bool) {
+	sorted := make([]*spec.Channel, len(channels))
+	copy(sorted, channels)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		wi := widestMsg(sorted[i])
+		wj := widestMsg(sorted[j])
+		return est.AveRate(sorted[i], wi, cfg.Protocol) > est.AveRate(sorted[j], wj, cfg.Protocol)
+	})
+	ok = true
+	for _, c := range sorted {
+		placed := false
+		for gi, g := range groups {
+			candidate := append(append([]*spec.Channel{}, g...), c)
+			if _, err := Generate(candidate, est, cfg); err == nil {
+				groups[gi] = candidate
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if _, err := Generate([]*spec.Channel{c}, est, cfg); err != nil {
+				ok = false
+			}
+			groups = append(groups, []*spec.Channel{c})
+		}
+	}
+	return groups, ok
+}
+
+func widestMsg(c *spec.Channel) int {
+	if m := c.MessageBits(); m > 0 {
+		return m
+	}
+	return 1
+}
+
+// FormatTrace renders the search trace as an aligned table for reports.
+func FormatTrace(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s  %10s  %12s  %8s  %10s\n", "width", "bus rate", "sum averate", "feasible", "cost")
+	for _, ev := range res.Trace {
+		fmt.Fprintf(&b, "%5d  %10.3f  %12.3f  %8t  %10.3f\n",
+			ev.Width, ev.BusRate, ev.SumAveRates, ev.Feasible, ev.Cost)
+	}
+	return b.String()
+}
+
+// Utilization reports the fraction of the bus's transfer capacity the
+// channel group would consume at the given width: Σ AveRate / BusRate.
+// The paper's stated goal is a bus that is never idle (utilization 1.0);
+// values above 1.0 mean Eq. 1 is violated and the processes would be
+// progressively delayed.
+func Utilization(channels []*spec.Channel, est *estimate.Estimator, width int, p spec.Protocol) float64 {
+	return est.SumAveRates(channels, width, p) / estimate.BusRate(width, p)
+}

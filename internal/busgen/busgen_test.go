@@ -1,0 +1,300 @@
+package busgen
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// flcChannels builds two channels shaped like the FLC's ch1/ch2: 23-bit
+// messages (16-bit data + 7-bit address into a 128-entry array), with
+// explicit access counts and lifetimes so rate arithmetic is exact.
+func flcChannels(accesses int, lifetime int64) (*spec.Channel, *spec.Channel, *estimate.Estimator) {
+	sys := spec.NewSystem("flc")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+	eval := chip1.AddBehavior(spec.NewBehavior("EVAL_R3"))
+	conv := chip1.AddBehavior(spec.NewBehavior("CONV_R2"))
+	trru0 := chip2.AddVariable(spec.NewVar("trru0", spec.Array(128, spec.BitVector(16))))
+	trru2 := chip2.AddVariable(spec.NewVar("trru2", spec.Array(128, spec.BitVector(16))))
+	ch1 := &spec.Channel{Name: "ch1", Accessor: eval, Var: trru0, Dir: spec.Write,
+		Accesses: accesses, LifetimeClocks: lifetime}
+	ch2 := &spec.Channel{Name: "ch2", Accessor: conv, Var: trru2, Dir: spec.Read,
+		Accesses: accesses, LifetimeClocks: lifetime}
+	sys.AddChannel(ch1)
+	sys.AddChannel(ch2)
+	return ch1, ch2, estimate.New([]*spec.Channel{ch1, ch2})
+}
+
+func TestWidthRangeDefault(t *testing.T) {
+	ch1, ch2, est := flcChannels(128, 4000)
+	res, err := Generate([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 23 {
+		t.Fatalf("examined %d widths, want 23 (1..largest message)", len(res.Trace))
+	}
+	if res.Trace[0].Width != 1 || res.Trace[22].Width != 23 {
+		t.Fatalf("range = [%d..%d]", res.Trace[0].Width, res.Trace[22].Width)
+	}
+}
+
+func TestNoConstraintsPicksNarrowestFeasible(t *testing.T) {
+	// With no constraints every feasible width costs zero and the
+	// first (narrowest) feasible width wins.
+	ch1, ch2, est := flcChannels(128, 4000)
+	res, err := Generate([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum of ave rates = 2 * 128*23/4000 = 1.472 b/clk; narrowest
+	// feasible width under the full handshake: w/2 >= 1.472 -> w = 3.
+	if res.Width != 3 {
+		t.Fatalf("selected %d, want 3\n%s", res.Width, FormatTrace(res))
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %f", res.Cost)
+	}
+}
+
+func TestEq1FeasibilityBoundary(t *testing.T) {
+	// Lifetime chosen so the sum of ave rates is exactly 2.0 b/clk:
+	// width 4 (rate 2.0) is feasible, width 3 (1.5) is not.
+	ch1, ch2, est := flcChannels(100, 2300) // each rate = 2300/2300 = 1.0
+	res, err := Generate([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != 4 {
+		t.Fatalf("selected %d, want 4\n%s", res.Width, FormatTrace(res))
+	}
+	if res.Trace[2].Feasible { // width 3
+		t.Fatal("width 3 should be infeasible (1.5 < 2.0)")
+	}
+	if !res.Trace[3].Feasible {
+		t.Fatal("width 4 should be feasible (2.0 >= 2.0)")
+	}
+}
+
+// fig8Config returns the constraint set of one of the paper's three
+// designs (Fig. 8).
+func fig8Config(design string) Config {
+	cfg := DefaultConfig()
+	switch design {
+	case "A":
+		cfg.Constraints = []Constraint{
+			{Kind: MinPeakRate, Channel: "ch2", Value: 10, Weight: 10},
+		}
+	case "B":
+		cfg.Constraints = []Constraint{
+			{Kind: MinPeakRate, Channel: "ch2", Value: 10, Weight: 2},
+			{Kind: MinBusWidth, Value: 14, Weight: 1},
+			{Kind: MaxBusWidth, Value: 18, Weight: 1},
+		}
+	case "C":
+		cfg.Constraints = []Constraint{
+			{Kind: MinPeakRate, Channel: "ch2", Value: 10, Weight: 1},
+			{Kind: MinBusWidth, Value: 16, Weight: 5},
+			{Kind: MaxBusWidth, Value: 16, Weight: 5},
+		}
+	}
+	return cfg
+}
+
+func TestFig8Designs(t *testing.T) {
+	// The headline bus-generation result: three constraint sets over
+	// the same two FLC channels select widths 20, 18 and 16, with bus
+	// rates 10, 9 and 8 bits/clock.
+	cases := []struct {
+		design    string
+		wantWidth int
+		wantRate  float64
+	}{
+		{"A", 20, 10},
+		{"B", 18, 9},
+		{"C", 16, 8},
+	}
+	for _, c := range cases {
+		ch1, ch2, est := flcChannels(128, 4000)
+		res, err := Generate([]*spec.Channel{ch1, ch2}, est, fig8Config(c.design))
+		if err != nil {
+			t.Fatalf("design %s: %v", c.design, err)
+		}
+		if res.Width != c.wantWidth {
+			t.Errorf("design %s: width %d, want %d\n%s", c.design, res.Width, c.wantWidth, FormatTrace(res))
+		}
+		if res.BusRate != c.wantRate {
+			t.Errorf("design %s: rate %v, want %v", c.design, res.BusRate, c.wantRate)
+		}
+		if res.SeparateLines != 46 {
+			t.Errorf("design %s: separate lines %d, want 46", c.design, res.SeparateLines)
+		}
+		wantRed := 1 - float64(c.wantWidth)/46
+		if math.Abs(res.InterconnectReduction-wantRed) > 1e-9 {
+			t.Errorf("design %s: reduction %f, want %f", c.design, res.InterconnectReduction, wantRed)
+		}
+	}
+}
+
+func TestInterconnectReductionMatchesPaperBand(t *testing.T) {
+	// Paper reports 56/61/66 %; our exact fractions are 56.5/60.9/65.2.
+	for _, c := range []struct {
+		width  int
+		lo, hi float64
+	}{{20, 55, 58}, {18, 60, 62}, {16, 64, 67}} {
+		red := (1 - float64(c.width)/46) * 100
+		if red < c.lo || red > c.hi {
+			t.Errorf("width %d: reduction %.1f%% outside paper band [%v,%v]", c.width, red, c.lo, c.hi)
+		}
+	}
+}
+
+func TestInfeasibleGroupReturnsError(t *testing.T) {
+	// Rates so high no width can satisfy Eq. 1: each channel wants
+	// 20 b/clk, bus max rate is 23/2 = 11.5.
+	ch1, ch2, est := flcChannels(1000, 1150)
+	_, err := Generate([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSplitRecoversInfeasibleGroup(t *testing.T) {
+	// Each channel alone needs 2.56 b/clk (feasible: max 11.5), but
+	// together they need 5.12 > what a shared 23-bit bus can do only
+	// if > 11.5... craft rates so pair infeasible but singles fine.
+	ch1, ch2, est := flcChannels(1000, 2300) // each 10 b/clk; sum 20 > 11.5
+	groups, ok := Split([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if !ok {
+		t.Fatal("Split reported failure")
+	}
+	if len(groups) != 2 {
+		t.Fatalf("Split produced %d groups, want 2", len(groups))
+	}
+}
+
+func TestSplitKeepsFeasiblePairTogether(t *testing.T) {
+	ch1, ch2, est := flcChannels(128, 4000)
+	groups, ok := Split([]*spec.Channel{ch1, ch2}, est, DefaultConfig())
+	if !ok || len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("Split broke up a feasible pair: %d groups", len(groups))
+	}
+}
+
+func TestSplitFlagsHopelessChannel(t *testing.T) {
+	ch1, _, est := flcChannels(10000, 2300) // 100 b/clk alone: hopeless
+	_, ok := Split([]*spec.Channel{ch1}, est, DefaultConfig())
+	if ok {
+		t.Fatal("Split accepted an individually infeasible channel")
+	}
+}
+
+func TestPenaltyAblationShiftsSelection(t *testing.T) {
+	// Squared penalties punish large violations disproportionately;
+	// under design B the linear penalty moves the optimum.
+	ch1, ch2, est := flcChannels(128, 4000)
+	sq := fig8Config("B")
+	lin := fig8Config("B")
+	lin.Penalty = LinearPenalty
+	rSq, err1 := Generate([]*spec.Channel{ch1, ch2}, est, sq)
+	rLin, err2 := Generate([]*spec.Channel{ch1, ch2}, est, lin)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Under the linear penalty, w=14 costs 2*3+0+0=6 while w=18 costs
+	// 2*1=2 and w=20 costs 1*2=2 -> first minimum at 18 still; verify
+	// the cost landscape differs even if the argmin coincides.
+	same := true
+	for i := range rSq.Trace {
+		if rSq.Trace[i].Cost != rLin.Trace[i].Cost {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("penalty ablation produced identical cost landscapes")
+	}
+	if rSq.Width != 18 {
+		t.Fatalf("squared design B width = %d", rSq.Width)
+	}
+}
+
+func TestQuantizeRatesOffChangesDesignB(t *testing.T) {
+	// With fractional rates, width 19 (peak 9.5) beats width 18 under
+	// design B: 2*0.25 + 1 = 1.5 < 2. The quantized (paper) table
+	// keeps 18.
+	ch1, ch2, est := flcChannels(128, 4000)
+	cfg := fig8Config("B")
+	cfg.QuantizeRates = false
+	res, err := Generate([]*spec.Channel{ch1, ch2}, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != 19 {
+		t.Fatalf("unquantized design B width = %d, want 19\n%s", res.Width, FormatTrace(res))
+	}
+}
+
+func TestExplicitWidthRange(t *testing.T) {
+	ch1, ch2, est := flcChannels(128, 4000)
+	cfg := DefaultConfig()
+	cfg.MinWidth, cfg.MaxWidth = 8, 16
+	res, err := Generate([]*spec.Channel{ch1, ch2}, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 9 || res.Trace[0].Width != 8 {
+		t.Fatalf("range trace wrong: %d entries from %d", len(res.Trace), res.Trace[0].Width)
+	}
+}
+
+func TestEmptyGroupRejected(t *testing.T) {
+	_, _, est := flcChannels(1, 100)
+	if _, err := Generate(nil, est, DefaultConfig()); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Kind: MinPeakRate, Channel: "ch2", Value: 10, Weight: 2}
+	if !strings.Contains(c.String(), "ch2") || !strings.Contains(c.String(), "10") {
+		t.Errorf("Constraint.String = %q", c.String())
+	}
+	w := Constraint{Kind: MaxBusWidth, Value: 18, Weight: 1}
+	if strings.Contains(w.String(), "()") {
+		t.Errorf("bus constraint rendered channel: %q", w.String())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	ch1, ch2, est := flcChannels(100, 2300) // each 1.0 b/clk
+	group := []*spec.Channel{ch1, ch2}
+	// At width 4 (rate 2.0) the two 1.0 b/clk channels use the bus
+	// fully: utilization exactly 1.0 — the paper's ideal.
+	if got := Utilization(group, est, 4, spec.FullHandshake); got != 1.0 {
+		t.Errorf("utilization at width 4 = %v, want 1.0", got)
+	}
+	// Narrower: overloaded (> 1). Wider: idle capacity (< 1).
+	if got := Utilization(group, est, 2, spec.FullHandshake); got <= 1.0 {
+		t.Errorf("utilization at width 2 = %v, want > 1", got)
+	}
+	if got := Utilization(group, est, 8, spec.FullHandshake); got >= 1.0 {
+		t.Errorf("utilization at width 8 = %v, want < 1", got)
+	}
+	// Feasibility and utilization agree: feasible iff utilization <= 1.
+	res, err := Generate(group, est, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Trace {
+		u := Utilization(group, est, ev.Width, spec.FullHandshake)
+		if ev.Feasible != (u <= 1.0) {
+			t.Errorf("width %d: feasible=%t but utilization=%v", ev.Width, ev.Feasible, u)
+		}
+	}
+}

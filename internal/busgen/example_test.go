@@ -1,0 +1,42 @@
+package busgen_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/busgen"
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// ExampleGenerate reproduces design A of the paper's Fig. 8: two FLC
+// channels (16-bit data + 7-bit address, 128 accesses each) under a
+// minimum peak-rate constraint of 10 bits/clock on ch2.
+func ExampleGenerate() {
+	sys := spec.NewSystem("flc")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+	eval := chip1.AddBehavior(spec.NewBehavior("EVAL_R3"))
+	conv := chip1.AddBehavior(spec.NewBehavior("CONV_R2"))
+	trru0 := chip2.AddVariable(spec.NewVar("trru0", spec.Array(128, spec.BitVector(16))))
+	trru2 := chip2.AddVariable(spec.NewVar("trru2", spec.Array(128, spec.BitVector(16))))
+	ch1 := &spec.Channel{Name: "ch1", Accessor: eval, Var: trru0, Dir: spec.Write,
+		Accesses: 128, LifetimeClocks: 4000}
+	ch2 := &spec.Channel{Name: "ch2", Accessor: conv, Var: trru2, Dir: spec.Read,
+		Accesses: 128, LifetimeClocks: 4000}
+	sys.AddChannel(ch1)
+	sys.AddChannel(ch2)
+
+	cfg := busgen.DefaultConfig()
+	cfg.Constraints = []busgen.Constraint{
+		{Kind: busgen.MinPeakRate, Channel: "ch2", Value: 10, Weight: 10},
+	}
+	res, err := busgen.Generate([]*spec.Channel{ch1, ch2}, estimate.New([]*spec.Channel{ch1, ch2}), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("width %d pins, rate %g bits/clock, reduction %.0f%%\n",
+		res.Width, res.BusRate, res.InterconnectReduction*100)
+	// Output:
+	// width 20 pins, rate 10 bits/clock, reduction 57%
+}

@@ -1,0 +1,144 @@
+package busgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fig2Transfers reproduces the transfer pattern of Fig. 2: channel A
+// sends two 8-bit items at t=0 and t=2; channel B sends three 16-bit
+// items at t=0, 1 and 3, over a 4-second window.
+func fig2Transfers() []Transfer {
+	return []Transfer{
+		{Channel: "A", Label: "A1", Time: 0, Bits: 8},
+		{Channel: "A", Label: "A2", Time: 2, Bits: 8},
+		{Channel: "B", Label: "B1", Time: 0, Bits: 16},
+		{Channel: "B", Label: "B2", Time: 1, Bits: 16},
+		{Channel: "B", Label: "B3", Time: 3, Bits: 16},
+	}
+}
+
+func TestFig2ChannelRates(t *testing.T) {
+	rates := ChannelRates(fig2Transfers(), 4)
+	if rates["A"] != 4 {
+		t.Errorf("AveRate(A) = %v, want 4 b/s", rates["A"])
+	}
+	if rates["B"] != 12 {
+		t.Errorf("AveRate(B) = %v, want 12 b/s", rates["B"])
+	}
+	if got := RequiredBusRate(fig2Transfers(), 4); got != 16 {
+		t.Errorf("RequiredBusRate = %v, want 16 b/s", got)
+	}
+}
+
+func TestFig2MergeSchedule(t *testing.T) {
+	sched := MergeSchedule(fig2Transfers(), 16)
+	if len(sched) != 5 {
+		t.Fatalf("schedule has %d entries", len(sched))
+	}
+	// Items serialize deterministically: A1, B1, B2, A2, B3. B2 is
+	// delayed from t=1 to t=1.5 by the bus conflict, exactly as the
+	// figure shows.
+	wantOrder := []string{"A1", "B1", "B2", "A2", "B3"}
+	for i, want := range wantOrder {
+		if sched[i].Label != want {
+			t.Fatalf("position %d = %s, want %s", i, sched[i].Label, want)
+		}
+	}
+	b2 := sched[2]
+	if b2.Start != 1.5 {
+		t.Errorf("B2 start = %v, want 1.5 (delayed by bus conflict)", b2.Start)
+	}
+	if !MakespanPreserved(sched, 4) {
+		t.Error("merged schedule exceeded the 4-second window")
+	}
+	last := sched[len(sched)-1]
+	if last.End != 4 {
+		t.Errorf("schedule ends at %v, want exactly 4 (100%% utilization)", last.End)
+	}
+}
+
+func TestMergeScheduleUndercapacityOverrunsWindow(t *testing.T) {
+	// Below the Eq. 1 rate the transfers cannot fit the window.
+	sched := MergeSchedule(fig2Transfers(), 15)
+	if MakespanPreserved(sched, 4) {
+		t.Error("15 b/s bus should not preserve the 4-second makespan")
+	}
+}
+
+func TestMergeScheduleNoOverlap(t *testing.T) {
+	sched := MergeSchedule(fig2Transfers(), 16)
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Start < sched[i-1].End-1e-9 {
+			t.Fatalf("transfers %d and %d overlap on the bus", i-1, i)
+		}
+	}
+}
+
+func TestMergeScheduleRespectsReleaseTimes(t *testing.T) {
+	sched := MergeSchedule(fig2Transfers(), 1000) // effectively infinite rate
+	for _, s := range sched {
+		if s.Start < s.Time {
+			t.Fatalf("%s started at %v before its release %v", s.Label, s.Start, s.Time)
+		}
+	}
+}
+
+func TestMergeScheduleInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MergeSchedule(fig2Transfers(), 0)
+}
+
+// Property: at any rate satisfying Eq. 1 for a random transfer set whose
+// releases leave enough slack, the bus conserves bits: total scheduled
+// bits equals total offered bits, and the schedule is serialized.
+func TestQuickMergeConservesBitsAndSerializes(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 12 {
+			seeds = seeds[:12]
+		}
+		var transfers []Transfer
+		total := 0
+		for i, s := range seeds {
+			bits := int(s)%32 + 1
+			total += bits
+			transfers = append(transfers, Transfer{
+				Channel: string(rune('A' + i%3)),
+				Label:   string(rune('a' + i)),
+				Time:    float64(int(s) % 5),
+				Bits:    bits,
+			})
+		}
+		sched := MergeSchedule(transfers, 8)
+		got := 0
+		for i, s := range sched {
+			got += s.Bits
+			if i > 0 && s.Start < sched[i-1].End-1e-9 {
+				return false
+			}
+			wantDur := float64(s.Bits) / 8
+			if math.Abs((s.End-s.Start)-wantDur) > 1e-9 {
+				return false
+			}
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatScheduleSmoke(t *testing.T) {
+	out := FormatSchedule(MergeSchedule(fig2Transfers(), 16))
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+}

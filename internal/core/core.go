@@ -1,0 +1,133 @@
+// Package core is the top-level interface-synthesis API, composing the
+// stages of Narayan & Gajski's DAC'94 flow:
+//
+//  1. channel derivation — cross-module variable accesses become
+//     abstract channels (internal/partition);
+//  2. channel grouping — channels are grouped for bus implementation;
+//  3. bus generation — each group gets a minimum-cost width satisfying
+//     the channels' rate requirements (internal/busgen);
+//  4. protocol generation — each bus gets wires, IDs, send/receive
+//     procedures and variable processes, yielding a simulatable refined
+//     specification (internal/protogen).
+//
+// The refined system can be executed with internal/sim and printed with
+// internal/vhdlgen.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/busgen"
+	"repro/internal/estimate"
+	"repro/internal/partition"
+	"repro/internal/protogen"
+	"repro/internal/spec"
+)
+
+// Options parameterizes Synthesize.
+type Options struct {
+	// Grouping selects the channel-grouping policy (default SingleBus,
+	// as in the paper's experiments).
+	Grouping partition.GroupingPolicy
+	// Bus parameterizes bus generation: protocol, constraints,
+	// penalties. The zero value is upgraded to busgen.DefaultConfig().
+	Bus busgen.Config
+	// ForceWidth, when positive, skips bus generation and implements
+	// every bus at this width (used for width sweeps like Fig. 7).
+	ForceWidth int
+	// Arbitrate adds REQ/GRANT bus arbitration to every generated bus,
+	// allowing accessors to open transactions concurrently.
+	Arbitrate bool
+	// BusSignalPrefix optionally prefixes generated bus signal names.
+	BusSignalPrefix string
+}
+
+// BusReport describes the synthesis of one bus.
+type BusReport struct {
+	Bus *spec.Bus
+	// Gen is the bus-generation result (nil when ForceWidth was used).
+	Gen *busgen.Result
+	// Ref is the protocol-generation refinement report.
+	Ref *protogen.Refinement
+}
+
+// Report summarizes a complete interface synthesis.
+type Report struct {
+	// ChannelsDerived lists channels created by step 1 (empty when the
+	// system already declared its channels).
+	ChannelsDerived []*spec.Channel
+	// Buses holds one report per synthesized bus.
+	Buses []BusReport
+	// Estimator is the estimator used, for follow-up queries.
+	Estimator *estimate.Estimator
+}
+
+// Synthesize runs the full interface-synthesis flow on the system,
+// mutating it into its refined form.
+func Synthesize(sys *spec.System, opts Options) (*Report, error) {
+	if errs := sys.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("core: invalid input system: %w", errs[0])
+	}
+	if !opts.Bus.QuantizeRates && opts.Bus.Constraints == nil && opts.Bus.MaxWidth == 0 {
+		// Zero value: upgrade to the paper's defaults.
+		def := busgen.DefaultConfig()
+		def.Protocol = opts.Bus.Protocol
+		opts.Bus = def
+	}
+
+	rep := &Report{}
+
+	// Step 1: derive channels if the specification declared none.
+	if len(sys.Channels) == 0 {
+		created, err := partition.DeriveChannels(sys)
+		if err != nil {
+			return nil, err
+		}
+		rep.ChannelsDerived = created
+	}
+	if len(sys.Channels) == 0 {
+		return nil, fmt.Errorf("core: system %s has no inter-module communication", sys.Name)
+	}
+	rep.Estimator = estimate.New(sys.Channels)
+
+	// Step 2: group channels into buses (unless the caller pre-built
+	// the buses).
+	buses := sys.Buses
+	if len(buses) == 0 {
+		var err error
+		buses, err = partition.GroupBuses(sys, rep.Estimator, opts.Grouping, opts.Bus)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Steps 3 + 4 per bus.
+	for _, bus := range buses {
+		br := BusReport{Bus: bus}
+		if opts.ForceWidth > 0 {
+			bus.Width = opts.ForceWidth
+		} else if bus.Width == 0 {
+			gen, err := busgen.Generate(bus.Channels, rep.Estimator, opts.Bus)
+			if err != nil {
+				return nil, fmt.Errorf("core: bus %s: %w", bus.Name, err)
+			}
+			bus.Width = gen.Width
+			br.Gen = gen
+		}
+		ref, err := protogen.Generate(sys, bus, protogen.Config{
+			Protocol:      opts.Bus.Protocol,
+			BusSignalName: opts.BusSignalPrefix + bus.Name,
+			Arbitrate:     opts.Arbitrate,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: bus %s: %w", bus.Name, err)
+		}
+		br.Ref = ref
+		rep.Buses = append(rep.Buses, br)
+	}
+
+	if errs := sys.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("core: refined system invalid: %w", errs[0])
+	}
+	return rep, nil
+}

@@ -1,0 +1,130 @@
+// Package difftest provides randomized differential testing of the
+// interface-synthesis flow: it generates random partitioned systems,
+// runs the full flow (channel derivation, bus generation, protocol
+// generation with arbitration), simulates both the abstract and the
+// refined system, and demands identical final memory state.
+//
+// The generator constrains systems so the abstract and refined runs are
+// deterministic and comparable: every remote variable is touched by
+// exactly one behavior (so no cross-behavior write races exist), but
+// several behaviors run concurrently over the same arbitrated bus,
+// which exercises the grant handoff, the ID decoding and the word
+// slicing across random geometries.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/spec"
+)
+
+// GenConfig bounds the random system generator.
+type GenConfig struct {
+	MaxBehaviors int // per system (>= 1)
+	MaxVarsPer   int // remote variables per behavior (>= 1)
+	MaxStmts     int // top-level operations per behavior
+}
+
+// DefaultGenConfig returns the bounds used by the differential tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MaxBehaviors: 3, MaxVarsPer: 2, MaxStmts: 5}
+}
+
+// Generate builds a random partitioned system from the seed. The
+// returned system validates and has no declared channels (the flow
+// derives them).
+func Generate(seed int64, cfg GenConfig) *spec.System {
+	rng := rand.New(rand.NewSource(seed))
+	sys := spec.NewSystem(fmt.Sprintf("rand%d", seed))
+	procs := sys.AddModule("procs")
+	mem := sys.AddModule("mem")
+
+	nBeh := 1 + rng.Intn(cfg.MaxBehaviors)
+	for bi := 0; bi < nBeh; bi++ {
+		b := procs.AddBehavior(spec.NewBehavior(fmt.Sprintf("P%d", bi)))
+		acc := b.AddVar("acc", spec.Integer)
+
+		// Each behavior owns its remote variables: some data vars plus
+		// a scratch result register the behavior writes its checksum
+		// to (so read paths are observable in the final state).
+		nVars := 1 + rng.Intn(cfg.MaxVarsPer)
+		var vars []*spec.Variable
+		for vi := 0; vi < nVars; vi++ {
+			name := fmt.Sprintf("v%d_%d", bi, vi)
+			var t spec.Type
+			if rng.Intn(2) == 0 {
+				t = spec.BitVector(4 + rng.Intn(20)) // 4..23 bits
+			} else {
+				length := 4 + rng.Intn(12) // 4..15 entries
+				width := 4 + rng.Intn(12)  // 4..15 bits
+				t = spec.Array(length, spec.BitVector(width))
+			}
+			vars = append(vars, mem.AddVariable(spec.NewVar(name, t)))
+		}
+		result := mem.AddVariable(spec.NewVar(fmt.Sprintf("result%d", bi), spec.BitVector(24)))
+
+		var body []spec.Stmt
+		nStmts := 1 + rng.Intn(cfg.MaxStmts)
+		for si := 0; si < nStmts; si++ {
+			v := vars[rng.Intn(len(vars))]
+			body = append(body, randOp(rng, b, v, acc)...)
+		}
+		// Publish the checksum.
+		body = append(body, spec.AssignVar(spec.Ref(result), spec.ToVec(spec.Ref(acc), 24)))
+		b.Body = body
+	}
+	return sys
+}
+
+// randOp emits one random remote operation on v, folding any read data
+// into acc.
+func randOp(rng *rand.Rand, b *spec.Behavior, v *spec.Variable, acc *spec.Variable) []spec.Stmt {
+	if at, ok := spec.IsArray(v.Type); ok {
+		switch rng.Intn(4) {
+		case 0: // single-element write
+			idx := rng.Intn(at.Length)
+			val := rng.Int63n(1 << min(at.Elem.BitWidth(), 30))
+			return []spec.Stmt{
+				spec.AssignVar(spec.At(spec.Ref(v), spec.Int(int64(idx))),
+					spec.ToVec(spec.Int(val), at.Elem.BitWidth())),
+			}
+		case 1: // loop write
+			i := b.AddVar(fmt.Sprintf("i%d", len(b.Variables)), spec.Integer)
+			k := 1 + rng.Int63n(7)
+			return []spec.Stmt{
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(int64(at.Length - 1)), Body: []spec.Stmt{
+					spec.AssignVar(spec.At(spec.Ref(v), spec.Ref(i)),
+						spec.ToVec(spec.Mul(spec.Ref(i), spec.Int(k)), at.Elem.BitWidth())),
+				}},
+			}
+		case 2: // read element into acc
+			idx := rng.Intn(at.Length)
+			return []spec.Stmt{
+				spec.AssignVar(spec.Ref(acc),
+					spec.Add(spec.Ref(acc), spec.ToInt(spec.At(spec.Ref(v), spec.Int(int64(idx)))))),
+			}
+		default: // remote read inside a condition (exercises hoisting)
+			idx := rng.Intn(at.Length)
+			thr := rng.Int63n(64)
+			return []spec.Stmt{
+				&spec.If{
+					Cond: spec.Gt(spec.ToInt(spec.At(spec.Ref(v), spec.Int(int64(idx)))), spec.Int(thr)),
+					Then: []spec.Stmt{spec.AssignVar(spec.Ref(acc), spec.Add(spec.Ref(acc), spec.Int(1)))},
+					Else: []spec.Stmt{spec.AssignVar(spec.Ref(acc), spec.Add(spec.Ref(acc), spec.Int(2)))},
+				},
+			}
+		}
+	}
+	w := v.Type.BitWidth()
+	if rng.Intn(2) == 0 { // scalar write
+		val := rng.Int63n(1 << min(w, 30))
+		return []spec.Stmt{
+			spec.AssignVar(spec.Ref(v), spec.ToVec(spec.Int(val), w)),
+		}
+	}
+	// scalar read-modify: acc += v (reads the remote scalar)
+	return []spec.Stmt{
+		spec.AssignVar(spec.Ref(acc), spec.Add(spec.Ref(acc), spec.ToInt(spec.Ref(v)))),
+	}
+}

@@ -1,0 +1,231 @@
+package estimate
+
+import (
+	"repro/internal/spec"
+)
+
+// Area estimation from system-level specifications — the other half of
+// the paper's reference [10] (Narayan & Gajski, UC Irvine TR 92-).
+// Areas are reported in gate equivalents using a datapath/control/
+// storage decomposition typical of behavioral estimators of the era:
+//
+//   - storage: registers for scalar variables, denser RAM for arrays;
+//   - functional units: one unit per operation class, sized by the
+//     widest operand it serves (operations of one class share a unit,
+//     the sharing optimism early estimators used);
+//   - interconnect: a mux input per textual operand reference;
+//   - control: a state per statement, with state register and decode;
+//   - bus interface: drivers per bus line plus the handshake FSM of
+//     each generated send/receive procedure.
+//
+// The absolute gate counts are calibration constants; the estimator's
+// value for interface synthesis is relative: it quantifies how the bus
+// interface area grows with bus width while performance improves — the
+// pins/performance/area trade-off bus generation navigates.
+
+// AreaModel gives per-element gate costs.
+type AreaModel struct {
+	// RegBitGates is the cost of one register bit.
+	RegBitGates float64
+	// MemBitGates is the cost of one RAM bit.
+	MemBitGates float64
+	// AddBitGates is the per-bit cost of an adder/subtractor.
+	AddBitGates float64
+	// MulBitGates is the per-bit² cost of a multiplier.
+	MulBitGates float64
+	// LogicBitGates is the per-bit cost of a logic/compare unit.
+	LogicBitGates float64
+	// MuxInputGates is the cost of one mux input bit.
+	MuxInputGates float64
+	// StateGates is the control cost per state (decode + next-state).
+	StateGates float64
+	// DriverGates is the cost of one bus line driver.
+	DriverGates float64
+}
+
+// DefaultAreaModel returns the calibration used by the reproduction.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		RegBitGates:   8,
+		MemBitGates:   1.5,
+		AddBitGates:   12,
+		MulBitGates:   6,
+		LogicBitGates: 4,
+		MuxInputGates: 3,
+		StateGates:    20,
+		DriverGates:   4,
+	}
+}
+
+// AreaReport decomposes an area estimate.
+type AreaReport struct {
+	Registers float64 // scalar storage
+	Memory    float64 // array storage
+	FUs       float64 // functional units
+	Mux       float64 // interconnect muxing
+	Control   float64 // controller
+	BusIf     float64 // bus drivers + transfer FSMs
+}
+
+// Total sums the report.
+func (r AreaReport) Total() float64 {
+	return r.Registers + r.Memory + r.FUs + r.Mux + r.Control + r.BusIf
+}
+
+func (r *AreaReport) add(o AreaReport) {
+	r.Registers += o.Registers
+	r.Memory += o.Memory
+	r.FUs += o.FUs
+	r.Mux += o.Mux
+	r.Control += o.Control
+	r.BusIf += o.BusIf
+}
+
+// opClass buckets operators onto shared functional units.
+type opClass int
+
+const (
+	opClassAdd opClass = iota
+	opClassMul
+	opClassLogic
+	opClassCmp
+)
+
+func classOf(op spec.Op) (opClass, bool) {
+	switch op {
+	case spec.OpAdd, spec.OpSub:
+		return opClassAdd, true
+	case spec.OpMul, spec.OpDiv, spec.OpMod:
+		return opClassMul, true
+	case spec.OpAnd, spec.OpOr, spec.OpXor, spec.OpNot, spec.OpShl, spec.OpShr, spec.OpConcat:
+		return opClassLogic, true
+	case spec.OpEq, spec.OpNeq, spec.OpLt, spec.OpLe, spec.OpGt, spec.OpGe:
+		return opClassCmp, true
+	}
+	return 0, false
+}
+
+// VariableArea estimates the storage area of one variable.
+func (m AreaModel) VariableArea(v *spec.Variable) AreaReport {
+	bits := float64(v.Type.BitWidth())
+	if _, isArr := spec.IsArray(v.Type); isArr {
+		return AreaReport{Memory: bits * m.MemBitGates}
+	}
+	return AreaReport{Registers: bits * m.RegBitGates}
+}
+
+// BehaviorArea estimates the datapath + control area of one behavior,
+// including its procedures. Storage for behavior-local variables is
+// included; module variables are counted by ModuleArea.
+func (m AreaModel) BehaviorArea(b *spec.Behavior) AreaReport {
+	var r AreaReport
+	for _, v := range b.Variables {
+		r.add(m.VariableArea(v))
+	}
+	stmts := append([]spec.Stmt{}, b.Body...)
+	for _, p := range b.Procedures {
+		stmts = append(stmts, p.Body...)
+		for _, l := range p.Locals {
+			r.add(m.VariableArea(l))
+		}
+		for _, prm := range p.Params {
+			r.add(m.VariableArea(prm.Var))
+		}
+	}
+
+	// Functional units: widest operand per class.
+	fuWidth := map[opClass]int{}
+	var states int
+	var muxInputs float64
+	spec.WalkStmts(stmts, func(s spec.Stmt) bool {
+		states++
+		return true
+	})
+	spec.WalkStmtExprs(stmts, func(e spec.Expr) bool {
+		switch e := e.(type) {
+		case *spec.Binary:
+			if cl, ok := classOf(e.Op); ok {
+				w := max(e.X.Type().BitWidth(), e.Y.Type().BitWidth())
+				if w > fuWidth[cl] {
+					fuWidth[cl] = w
+				}
+			}
+		case *spec.Unary:
+			if cl, ok := classOf(e.Op); ok {
+				if w := e.X.Type().BitWidth(); w > fuWidth[cl] {
+					fuWidth[cl] = w
+				}
+			}
+		case *spec.VarRef:
+			muxInputs += float64(e.Var.Type.BitWidth())
+		}
+		return true
+	})
+	for cl, w := range fuWidth {
+		fw := float64(w)
+		switch cl {
+		case opClassAdd:
+			r.FUs += fw * m.AddBitGates
+		case opClassMul:
+			r.FUs += fw * fw * m.MulBitGates
+		case opClassLogic:
+			r.FUs += fw * m.LogicBitGates
+		case opClassCmp:
+			r.FUs += fw * m.LogicBitGates
+		}
+	}
+	r.Mux = muxInputs * m.MuxInputGates
+	r.Control = float64(states) * m.StateGates
+	// Generated transfer procedures are bus-interface logic: count
+	// their control as BusIf rather than behavior control.
+	var busIfStates int
+	for _, p := range b.Procedures {
+		if p.Channel == nil {
+			continue
+		}
+		spec.WalkStmts(p.Body, func(spec.Stmt) bool { busIfStates++; return true })
+	}
+	shift := float64(busIfStates) * m.StateGates
+	r.Control -= shift
+	r.BusIf += shift
+	return r
+}
+
+// ModuleArea estimates a module: its variables plus its behaviors.
+func (m AreaModel) ModuleArea(mod *spec.Module) AreaReport {
+	var r AreaReport
+	for _, v := range mod.Variables {
+		r.add(m.VariableArea(v))
+	}
+	for _, b := range mod.Behaviors {
+		r.add(m.BehaviorArea(b))
+	}
+	return r
+}
+
+// BusArea estimates the wire-driver area of an implemented bus: every
+// module touching the bus drives/receives all its lines.
+func (m AreaModel) BusArea(bus *spec.Bus) float64 {
+	modules := map[*spec.Module]bool{}
+	for _, c := range bus.Channels {
+		modules[c.Accessor.Owner] = true
+		modules[c.Var.Owner] = true
+	}
+	return float64(bus.TotalLines()) * m.DriverGates * float64(len(modules))
+}
+
+// SystemArea estimates every module of a system plus its buses,
+// returning per-module reports and the grand total.
+func (m AreaModel) SystemArea(sys *spec.System) (map[string]AreaReport, float64) {
+	out := make(map[string]AreaReport, len(sys.Modules))
+	var total float64
+	for _, mod := range sys.Modules {
+		r := m.ModuleArea(mod)
+		out[mod.Name] = r
+		total += r.Total()
+	}
+	for _, bus := range sys.Buses {
+		total += m.BusArea(bus)
+	}
+	return out, total
+}

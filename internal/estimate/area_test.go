@@ -1,0 +1,147 @@
+package estimate
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestVariableAreaScalarVsArray(t *testing.T) {
+	m := DefaultAreaModel()
+	reg := m.VariableArea(spec.NewVar("r", spec.BitVector(16)))
+	if reg.Registers != 16*m.RegBitGates || reg.Memory != 0 {
+		t.Fatalf("register area = %+v", reg)
+	}
+	mem := m.VariableArea(spec.NewVar("m", spec.Array(128, spec.BitVector(16))))
+	if mem.Memory != 128*16*m.MemBitGates || mem.Registers != 0 {
+		t.Fatalf("memory area = %+v", mem)
+	}
+	// RAM bits are denser than register bits.
+	if mem.Memory/float64(128*16) >= reg.Registers/16 {
+		t.Error("RAM bit not denser than register bit")
+	}
+}
+
+func TestBehaviorAreaFunctionalUnitSharing(t *testing.T) {
+	m := DefaultAreaModel()
+	b := spec.NewBehavior("B")
+	x := b.AddVar("x", spec.Integer)
+	y := b.AddVar("y", spec.Integer)
+	// Two adds share one adder; the report must charge one 32-bit
+	// adder, not two.
+	b.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(x), spec.Add(spec.Ref(x), spec.Ref(y))),
+		spec.AssignVar(spec.Ref(y), spec.Add(spec.Ref(y), spec.Ref(x))),
+	}
+	r := m.BehaviorArea(b)
+	if r.FUs != 32*m.AddBitGates {
+		t.Fatalf("FU area = %g, want one 32-bit adder (%g)", r.FUs, 32*m.AddBitGates)
+	}
+	if r.Control != 2*m.StateGates {
+		t.Fatalf("control area = %g, want 2 states", r.Control)
+	}
+}
+
+func TestBehaviorAreaMultiplierQuadratic(t *testing.T) {
+	m := DefaultAreaModel()
+	mk := func(width int) float64 {
+		b := spec.NewBehavior("B")
+		x := b.AddVar("x", spec.BitVector(width))
+		b.Body = []spec.Stmt{
+			spec.AssignVar(spec.Ref(x), spec.Mul(spec.Ref(x), spec.Ref(x))),
+		}
+		return m.BehaviorArea(b).FUs
+	}
+	if mk(16) <= 3*mk(8) {
+		t.Errorf("multiplier area not superlinear: 8-bit %g vs 16-bit %g", mk(8), mk(16))
+	}
+}
+
+func TestModuleAndSystemArea(t *testing.T) {
+	m := DefaultAreaModel()
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	l := b.AddVar("l", spec.BitVector(8))
+	v := m2.AddVariable(spec.NewVar("V", spec.BitVector(8)))
+	b.Body = []spec.Stmt{spec.AssignVar(spec.Ref(v), spec.Ref(l))}
+	reports, total := m.SystemArea(sys)
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if total != reports["m1"].Total()+reports["m2"].Total() {
+		t.Error("total does not sum module reports (no buses)")
+	}
+	if reports["m2"].Registers != 8*m.RegBitGates {
+		t.Errorf("m2 storage = %+v", reports["m2"])
+	}
+}
+
+func TestBusAreaGrowsWithWidthAndModules(t *testing.T) {
+	m := DefaultAreaModel()
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	v := m2.AddVariable(spec.NewVar("V", spec.BitVector(16)))
+	ch := &spec.Channel{Name: "c", Accessor: b, Var: v, Dir: spec.Write}
+	sys.AddChannel(ch)
+	narrow := &spec.Bus{Name: "N", Channels: []*spec.Channel{ch}, Width: 4, Protocol: spec.FullHandshake}
+	wide := &spec.Bus{Name: "W", Channels: []*spec.Channel{ch}, Width: 16, Protocol: spec.FullHandshake}
+	if m.BusArea(wide) <= m.BusArea(narrow) {
+		t.Error("bus area not increasing in width")
+	}
+}
+
+func TestGeneratedProcedureAreaCountedAsBusIf(t *testing.T) {
+	m := DefaultAreaModel()
+	b := spec.NewBehavior("B")
+	ch := &spec.Channel{Name: "c"}
+	send := &spec.Procedure{Name: "SendC", Channel: ch, Body: []spec.Stmt{
+		&spec.Null{}, &spec.Null{}, &spec.Null{},
+	}}
+	b.AddProc(send)
+	b.Body = []spec.Stmt{&spec.Null{}}
+	r := m.BehaviorArea(b)
+	if r.BusIf != 3*m.StateGates {
+		t.Fatalf("BusIf = %g, want 3 states", r.BusIf)
+	}
+	if r.Control != 1*m.StateGates {
+		t.Fatalf("Control = %g, want 1 state (behavior body only)", r.Control)
+	}
+}
+
+// The interface-synthesis trade-off the estimator exposes: a hand-built
+// transfer procedure with more word states (narrow bus) costs more
+// interface FSM area, while more bus lines (wide bus) cost more driver
+// area.
+func TestAreaPerformanceTradeoffVisible(t *testing.T) {
+	m := DefaultAreaModel()
+	mkXfer := func(words int) float64 {
+		b := spec.NewBehavior("B")
+		ch := &spec.Channel{Name: "c"}
+		body := make([]spec.Stmt, words)
+		for i := range body {
+			body[i] = &spec.Null{}
+		}
+		b.AddProc(&spec.Procedure{Name: "SendC", Channel: ch, Body: body})
+		b.Body = []spec.Stmt{&spec.Null{}}
+		return m.BehaviorArea(b).BusIf
+	}
+	if mkXfer(11) <= mkXfer(1) {
+		t.Error("narrow-bus transfer FSM not larger")
+	}
+
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	beh := m1.AddBehavior(spec.NewBehavior("B"))
+	v := m2.AddVariable(spec.NewVar("V", spec.BitVector(16)))
+	ch := &spec.Channel{Name: "c", Accessor: beh, Var: v, Dir: spec.Write}
+	wide := &spec.Bus{Name: "W", Channels: []*spec.Channel{ch}, Width: 22, Protocol: spec.FullHandshake}
+	narrow := &spec.Bus{Name: "N", Channels: []*spec.Channel{ch}, Width: 2, Protocol: spec.FullHandshake}
+	if m.BusArea(wide) <= m.BusArea(narrow) {
+		t.Error("wide-bus driver area not larger")
+	}
+}

@@ -1,0 +1,413 @@
+// Package estimate implements the specification-level performance and
+// communication-rate estimators the interface-synthesis flow relies on
+// (Narayan & Gajski, "Area and performance estimation from system-level
+// specifications", and "Synthesis of system-level bus interfaces").
+//
+// Given a behavior and a candidate bus width, the estimator derives:
+//
+//   - the behavior's computation time in clocks (statement-level model);
+//   - the per-channel traffic: how many messages the behavior transfers
+//     and how many bits each message carries;
+//   - the behavior's total execution time at that width, computation plus
+//     communication (Fig. 7 of the DAC'94 paper);
+//   - each channel's *average rate* (bits transferred divided by the
+//     accessor's lifetime) and *peak rate* (rate while a transfer is in
+//     progress), the quantities bus generation trades off (Eq. 1).
+package estimate
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// CostModel gives per-construct execution costs in clocks. The absolute
+// values are calibrated against datapath schedules typical of the paper's
+// era (one register-transfer per clock); the interface-synthesis results
+// depend only on their relative magnitudes.
+type CostModel struct {
+	// AssignClocks is the cost of one assignment (register transfer).
+	AssignClocks int64
+	// OpClocks is the cost of one arithmetic/logic operation.
+	OpClocks int64
+	// MulClocks is the cost of multiplication and division, typically
+	// multi-cycle.
+	MulClocks int64
+	// IndexClocks is the address-calculation cost of one array index.
+	IndexClocks int64
+	// BranchClocks is the cost of evaluating a branch.
+	BranchClocks int64
+	// LoopClocks is the per-iteration loop overhead (increment, test,
+	// jump).
+	LoopClocks int64
+	// CallClocks is the call/return overhead of a procedure call.
+	CallClocks int64
+	// WaitClocks is the assumed stall of a wait statement with no
+	// derivable bound.
+	WaitClocks int64
+	// DefaultTrips is the assumed trip count for loops whose bounds are
+	// not static.
+	DefaultTrips int64
+}
+
+// DefaultModel returns the cost model used throughout the reproduction.
+func DefaultModel() CostModel {
+	return CostModel{
+		AssignClocks: 1,
+		OpClocks:     1,
+		MulClocks:    4,
+		IndexClocks:  1,
+		BranchClocks: 1,
+		LoopClocks:   1,
+		CallClocks:   2,
+		WaitClocks:   2,
+		DefaultTrips: 16,
+	}
+}
+
+// Estimator estimates execution times and channel rates for the behaviors
+// of a system. Remote variables (those reached over channels) must be
+// registered so their accesses are costed as transfers, not as local
+// references.
+type Estimator struct {
+	Model CostModel
+	// remote maps a variable to the channels that carry its accesses,
+	// one per direction.
+	remote map[*spec.Variable]map[spec.Direction]*spec.Channel
+	// byAccessor groups channels by accessing behavior.
+	byAccessor map[*spec.Behavior][]*spec.Channel
+}
+
+// New returns an estimator for the given channels using the default cost
+// model.
+func New(channels []*spec.Channel) *Estimator {
+	e := &Estimator{
+		Model:      DefaultModel(),
+		remote:     make(map[*spec.Variable]map[spec.Direction]*spec.Channel),
+		byAccessor: make(map[*spec.Behavior][]*spec.Channel),
+	}
+	for _, c := range channels {
+		dirs := e.remote[c.Var]
+		if dirs == nil {
+			dirs = make(map[spec.Direction]*spec.Channel)
+			e.remote[c.Var] = dirs
+		}
+		dirs[c.Dir] = c
+		e.byAccessor[c.Accessor] = append(e.byAccessor[c.Accessor], c)
+	}
+	return e
+}
+
+// TransferClocks reports the clocks needed to move one message of msgBits
+// over a bus of the given width under the given protocol:
+// ceil(msgBits/width) bus words at ClocksPerWord each. This is the word
+// slicing performed by the generated send/receive procedures.
+func TransferClocks(msgBits, width int, p spec.Protocol) int64 {
+	if msgBits <= 0 {
+		return 0
+	}
+	if width <= 0 {
+		panic(fmt.Sprintf("estimate: invalid bus width %d", width))
+	}
+	words := int64((msgBits + width - 1) / width)
+	return int64(float64(words)*p.ClocksPerWord() + 0.5)
+}
+
+// BusRate reports the bus's sustained transfer rate in bits per clock at
+// the given width (paper Eq. 2: width / (2 · clock) for a full
+// handshake).
+func BusRate(width int, p spec.Protocol) float64 {
+	return float64(width) / p.ClocksPerWord()
+}
+
+// PeakRate reports a channel's peak transfer rate on a bus of the given
+// width: while a transfer is in progress the channel owns the whole bus,
+// so the peak rate equals the bus rate.
+func PeakRate(width int, p spec.Protocol) float64 {
+	return BusRate(width, p)
+}
+
+// CompTime reports the behavior's computation time in clocks, excluding
+// time spent transferring channel messages. Statements that access remote
+// variables still pay their local costs (index arithmetic, assignment);
+// the transfer cost is added separately by ExecTime.
+func (e *Estimator) CompTime(b *spec.Behavior) int64 {
+	return e.stmtsCost(b.Body, nil)
+}
+
+// Accesses reports the statically estimated number of messages the
+// behavior pushes through the given channel: each textual access to the
+// remote variable in the right direction, multiplied by the trip counts
+// of every enclosing loop. An explicit Channel.Accesses overrides the
+// estimate.
+func (e *Estimator) Accesses(c *spec.Channel) int64 {
+	if c.Accesses > 0 {
+		return int64(c.Accesses)
+	}
+	return e.countAccesses(c.Accessor.Body, c)
+}
+
+func (e *Estimator) countAccesses(stmts []spec.Stmt, c *spec.Channel) int64 {
+	var total int64
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *spec.Assign:
+			total += e.stmtAccessCount(s, c)
+		case *spec.If:
+			// assume the densest branch, like the time estimator
+			best := e.countAccesses(s.Then, c)
+			for _, arm := range s.Elifs {
+				best = max(best, e.countAccesses(arm.Body, c))
+			}
+			best = max(best, e.countAccesses(s.Else, c))
+			total += best + exprAccessCount(s.Cond, c)
+		case *spec.For:
+			total += e.tripCount(s.From, s.To) * e.countAccesses(s.Body, c)
+		case *spec.While:
+			total += e.Model.DefaultTrips * e.countAccesses(s.Body, c)
+		case *spec.Loop:
+			total += e.Model.DefaultTrips * e.countAccesses(s.Body, c)
+		case *spec.Call:
+			for _, a := range s.Args {
+				total += exprAccessCount(a, c)
+			}
+			if s.Proc != nil && s.Proc.Channel == nil {
+				total += e.countAccesses(s.Proc.Body, c)
+			}
+		}
+	}
+	return total
+}
+
+func (e *Estimator) stmtAccessCount(s *spec.Assign, c *spec.Channel) int64 {
+	var n int64
+	if c.Dir == spec.Write && spec.BaseVar(s.LHS) == c.Var {
+		n++
+	}
+	if c.Dir == spec.Read {
+		n += exprAccessCount(s.RHS, c)
+	}
+	// index expressions of the LHS may read the remote variable too
+	if idx, ok := s.LHS.(*spec.Index); ok && c.Dir == spec.Read {
+		n += exprAccessCount(idx.Index, c)
+	}
+	return n
+}
+
+func exprAccessCount(x spec.Expr, c *spec.Channel) int64 {
+	if c.Dir != spec.Read {
+		return 0
+	}
+	var n int64
+	spec.WalkExpr(x, func(sub spec.Expr) bool {
+		if r, ok := sub.(*spec.VarRef); ok && r.Var == c.Var {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// ExecTime reports the behavior's total execution time in clocks when its
+// channels are implemented on a bus of the given width and protocol:
+// computation time plus, for every channel it accesses, the per-message
+// transfer time times the message count. This is the quantity plotted
+// against bus width in Fig. 7.
+func (e *Estimator) ExecTime(b *spec.Behavior, width int, p spec.Protocol) int64 {
+	t := e.CompTime(b)
+	for _, c := range e.byAccessor[b] {
+		t += e.Accesses(c) * TransferClocks(c.MessageBits(), width, p)
+	}
+	return t
+}
+
+// TotalBits reports the total number of bits the channel transfers over
+// the accessor's lifetime.
+func (e *Estimator) TotalBits(c *spec.Channel) int64 {
+	return e.Accesses(c) * int64(c.MessageBits())
+}
+
+// AveRate reports the channel's average transfer rate in bits per clock
+// at the given bus width: total bits divided by the accessor's lifetime
+// at that width. An explicit Channel.LifetimeClocks overrides the
+// estimated lifetime. Wider buses shorten the lifetime and therefore
+// *raise* the average rate the bus must sustain, which is why feasibility
+// (Eq. 1) must be re-checked at every candidate width.
+func (e *Estimator) AveRate(c *spec.Channel, width int, p spec.Protocol) float64 {
+	life := c.LifetimeClocks
+	if life <= 0 {
+		life = e.ExecTime(c.Accessor, width, p)
+	}
+	if life <= 0 {
+		return 0
+	}
+	return float64(e.TotalBits(c)) / float64(life)
+}
+
+// SumAveRates reports the sum of the average rates of the given channels
+// at the given width — the right-hand side of Eq. 1.
+func (e *Estimator) SumAveRates(channels []*spec.Channel, width int, p spec.Protocol) float64 {
+	var sum float64
+	for _, c := range channels {
+		sum += e.AveRate(c, width, p)
+	}
+	return sum
+}
+
+// ---- statement cost walk ----
+
+// stmtsCost sums statement costs. visiting guards against recursive
+// procedure calls.
+func (e *Estimator) stmtsCost(stmts []spec.Stmt, visiting map[*spec.Procedure]bool) int64 {
+	var total int64
+	for _, s := range stmts {
+		total += e.stmtCost(s, visiting)
+	}
+	return total
+}
+
+func (e *Estimator) stmtCost(s spec.Stmt, visiting map[*spec.Procedure]bool) int64 {
+	m := e.Model
+	switch s := s.(type) {
+	case *spec.Assign:
+		return m.AssignClocks + e.exprCost(s.RHS) + e.lvalueCost(s.LHS)
+	case *spec.If:
+		cost := m.BranchClocks + e.exprCost(s.Cond)
+		best := e.stmtsCost(s.Then, visiting)
+		for _, arm := range s.Elifs {
+			cost += m.BranchClocks + e.exprCost(arm.Cond)
+			best = max(best, e.stmtsCost(arm.Body, visiting))
+		}
+		best = max(best, e.stmtsCost(s.Else, visiting))
+		return cost + best
+	case *spec.For:
+		trips := e.tripCount(s.From, s.To)
+		return trips * (m.LoopClocks + e.stmtsCost(s.Body, visiting))
+	case *spec.While:
+		return m.DefaultTrips * (m.LoopClocks + e.exprCost(s.Cond) + e.stmtsCost(s.Body, visiting))
+	case *spec.Loop:
+		return m.DefaultTrips * (m.LoopClocks + e.stmtsCost(s.Body, visiting))
+	case *spec.Wait:
+		if s.HasFor {
+			return s.For
+		}
+		return m.WaitClocks
+	case *spec.Call:
+		cost := m.CallClocks
+		for _, a := range s.Args {
+			cost += e.exprCost(a)
+		}
+		if s.Proc != nil && s.Proc.Channel == nil {
+			if visiting == nil {
+				visiting = make(map[*spec.Procedure]bool)
+			}
+			if !visiting[s.Proc] {
+				visiting[s.Proc] = true
+				cost += e.stmtsCost(s.Proc.Body, visiting)
+				delete(visiting, s.Proc)
+			}
+		}
+		return cost
+	default: // Exit, Return, Null
+		return 0
+	}
+}
+
+func (e *Estimator) exprCost(x spec.Expr) int64 { return e.Model.ExprCost(x) }
+
+func (e *Estimator) lvalueCost(x spec.Expr) int64 { return e.Model.LValueCost(x) }
+
+// ExprCost reports the clocks charged for evaluating an expression:
+// operator and address-calculation costs summed over the tree.
+func (m CostModel) ExprCost(x spec.Expr) int64 {
+	if x == nil {
+		return 0
+	}
+	var cost int64
+	spec.WalkExpr(x, func(sub spec.Expr) bool {
+		switch sub := sub.(type) {
+		case *spec.Binary:
+			switch sub.Op {
+			case spec.OpMul, spec.OpDiv, spec.OpMod:
+				cost += m.MulClocks
+			default:
+				cost += m.OpClocks
+			}
+		case *spec.Unary:
+			cost += m.OpClocks
+		case *spec.Index:
+			cost += m.IndexClocks
+		}
+		return true
+	})
+	return cost
+}
+
+// LValueCost reports the address-calculation clocks for writing through
+// an lvalue (index and slice arithmetic; the store itself is charged as
+// AssignClocks).
+func (m CostModel) LValueCost(x spec.Expr) int64 {
+	var cost int64
+	switch x := x.(type) {
+	case *spec.Index:
+		cost += m.IndexClocks + m.ExprCost(x.Index) + m.LValueCost(x.Arr)
+	case *spec.SliceExpr:
+		cost += m.ExprCost(x.Hi) + m.ExprCost(x.Lo) + m.LValueCost(x.X)
+	case *spec.FieldRef:
+		cost += m.LValueCost(x.X)
+	}
+	return cost
+}
+
+// tripCount statically evaluates loop bounds; loops with non-constant
+// bounds are assumed to run DefaultTrips iterations.
+func (e *Estimator) tripCount(from, to spec.Expr) int64 {
+	lo, ok1 := ConstInt(from)
+	hi, ok2 := ConstInt(to)
+	if !ok1 || !ok2 || hi < lo {
+		return e.Model.DefaultTrips
+	}
+	return hi - lo + 1
+}
+
+// ConstInt statically evaluates an integer expression built from literals
+// and arithmetic, reporting whether it is constant.
+func ConstInt(x spec.Expr) (int64, bool) {
+	switch x := x.(type) {
+	case *spec.IntLit:
+		return x.Value, true
+	case *spec.Binary:
+		a, ok1 := ConstInt(x.X)
+		b, ok2 := ConstInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case spec.OpAdd:
+			return a + b, true
+		case spec.OpSub:
+			return a - b, true
+		case spec.OpMul:
+			return a * b, true
+		case spec.OpDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case spec.OpMod:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}
+	case *spec.Unary:
+		if x.Op == spec.OpNeg {
+			if v, ok := ConstInt(x.X); ok {
+				return -v, true
+			}
+		}
+	case *spec.Conv:
+		return ConstInt(x.X)
+	}
+	return 0, false
+}

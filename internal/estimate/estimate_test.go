@@ -1,0 +1,365 @@
+package estimate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func TestTransferClocks(t *testing.T) {
+	cases := []struct {
+		msg, width int
+		p          spec.Protocol
+		want       int64
+	}{
+		// Paper Fig. 4: a 16-bit message over an 8-bit bus takes two
+		// transfers; at 2 clocks each under the full handshake = 4.
+		{16, 8, spec.FullHandshake, 4},
+		// FLC message of 23 bits (16 data + 7 addr):
+		{23, 23, spec.FullHandshake, 2},
+		{23, 24, spec.FullHandshake, 2}, // widths past 23 cannot help
+		{23, 1, spec.FullHandshake, 46},
+		{23, 8, spec.FullHandshake, 6},
+		{23, 8, spec.FixedDelay, 3},
+		{23, 8, spec.HalfHandshake, 5}, // 3 words * 1.5 rounded
+		{0, 8, spec.FullHandshake, 0},
+	}
+	for _, c := range cases {
+		if got := TransferClocks(c.msg, c.width, c.p); got != c.want {
+			t.Errorf("TransferClocks(%d,%d,%s) = %d, want %d", c.msg, c.width, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTransferClocksInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for width 0")
+		}
+	}()
+	TransferClocks(8, 0, spec.FullHandshake)
+}
+
+func TestBusRateEq2(t *testing.T) {
+	// Eq. 2: BusRate = width / 2 clocks for the full handshake.
+	if got := BusRate(20, spec.FullHandshake); got != 10 {
+		t.Errorf("BusRate(20) = %v, want 10 (design A of Fig. 8)", got)
+	}
+	if got := BusRate(16, spec.FullHandshake); got != 8 {
+		t.Errorf("BusRate(16) = %v, want 8 (design C of Fig. 8)", got)
+	}
+	if got := BusRate(8, spec.FixedDelay); got != 8 {
+		t.Errorf("fixed-delay BusRate(8) = %v", got)
+	}
+}
+
+// buildLoopAccessor returns a behavior that accesses a remote 128-entry
+// 16-bit array once per iteration of a 0..127 loop — the shape of the
+// FLC's EVAL_R3/trru0 channel.
+func buildLoopAccessor(dir spec.Direction) (*spec.Behavior, *spec.Channel) {
+	sys := spec.NewSystem("t")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+	b := chip1.AddBehavior(spec.NewBehavior("EVAL"))
+	arr := chip2.AddVariable(spec.NewVar("trru", spec.Array(128, spec.BitVector(16))))
+	i := b.AddVar("i", spec.Integer)
+	acc := b.AddVar("acc", spec.BitVector(16))
+	var body []spec.Stmt
+	if dir == spec.Write {
+		body = []spec.Stmt{spec.AssignVar(spec.At(spec.Ref(arr), spec.Ref(i)), spec.Ref(acc))}
+	} else {
+		body = []spec.Stmt{spec.AssignVar(spec.Ref(acc), spec.At(spec.Ref(arr), spec.Ref(i)))}
+	}
+	b.Body = []spec.Stmt{&spec.For{Var: i, From: spec.Int(0), To: spec.Int(127), Body: body}}
+	c := &spec.Channel{Name: "ch", Accessor: b, Var: arr, Dir: dir}
+	sys.AddChannel(c)
+	return b, c
+}
+
+func TestAccessesCountsLoopTrips(t *testing.T) {
+	for _, dir := range []spec.Direction{spec.Read, spec.Write} {
+		b, c := buildLoopAccessor(dir)
+		e := New([]*spec.Channel{c})
+		if got := e.Accesses(c); got != 128 {
+			t.Errorf("dir=%s Accesses = %d, want 128", dir, got)
+		}
+		_ = b
+	}
+}
+
+func TestAccessesExplicitOverride(t *testing.T) {
+	_, c := buildLoopAccessor(spec.Write)
+	c.Accesses = 5
+	e := New([]*spec.Channel{c})
+	if got := e.Accesses(c); got != 5 {
+		t.Errorf("explicit Accesses = %d", got)
+	}
+}
+
+func TestChannelMessageGeometryFLC(t *testing.T) {
+	_, c := buildLoopAccessor(spec.Write)
+	if c.MessageBits() != 23 {
+		t.Fatalf("FLC-shaped channel message = %d bits, want 23 (16 data + 7 addr)", c.MessageBits())
+	}
+	e := New([]*spec.Channel{c})
+	if got := e.TotalBits(c); got != 128*23 {
+		t.Errorf("TotalBits = %d, want %d", got, 128*23)
+	}
+}
+
+func TestExecTimeDecreasesWithWidthAndPlateaus(t *testing.T) {
+	// The Fig. 7 property: execution time is non-increasing in bus
+	// width and constant past the message size (23 bits).
+	_, c := buildLoopAccessor(spec.Write)
+	e := New([]*spec.Channel{c})
+	prev := e.ExecTime(c.Accessor, 1, spec.FullHandshake)
+	for w := 2; w <= 32; w++ {
+		cur := e.ExecTime(c.Accessor, w, spec.FullHandshake)
+		if cur > prev {
+			t.Fatalf("ExecTime increased from width %d (%d) to %d (%d)", w-1, prev, w, cur)
+		}
+		prev = cur
+	}
+	at23 := e.ExecTime(c.Accessor, 23, spec.FullHandshake)
+	at24 := e.ExecTime(c.Accessor, 24, spec.FullHandshake)
+	at32 := e.ExecTime(c.Accessor, 32, spec.FullHandshake)
+	if at23 != at24 || at24 != at32 {
+		t.Fatalf("no plateau past 23 pins: %d %d %d", at23, at24, at32)
+	}
+}
+
+func TestExecTimeContainsCompAndComm(t *testing.T) {
+	_, c := buildLoopAccessor(spec.Write)
+	e := New([]*spec.Channel{c})
+	comp := e.CompTime(c.Accessor)
+	if comp <= 0 {
+		t.Fatal("CompTime not positive")
+	}
+	w := 8
+	comm := int64(128) * TransferClocks(23, w, spec.FullHandshake)
+	if got := e.ExecTime(c.Accessor, w, spec.FullHandshake); got != comp+comm {
+		t.Errorf("ExecTime = %d, want comp %d + comm %d", got, comp, comm)
+	}
+}
+
+func TestAveRateRisesWithWidth(t *testing.T) {
+	// Wider bus -> shorter lifetime -> higher average rate demanded.
+	_, c := buildLoopAccessor(spec.Write)
+	e := New([]*spec.Channel{c})
+	prev := e.AveRate(c, 1, spec.FullHandshake)
+	for w := 2; w <= 23; w++ {
+		cur := e.AveRate(c, w, spec.FullHandshake)
+		if cur < prev {
+			t.Fatalf("AveRate fell from width %d (%f) to %d (%f)", w-1, prev, w, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestAveRateExplicitLifetime(t *testing.T) {
+	_, c := buildLoopAccessor(spec.Write)
+	c.Accesses = 100
+	c.LifetimeClocks = 4600 // 100 msgs * 23 bits / 4600 clocks = 0.5 b/clk
+	e := New([]*spec.Channel{c})
+	if got := e.AveRate(c, 8, spec.FullHandshake); got != 0.5 {
+		t.Errorf("AveRate with explicit lifetime = %v, want 0.5", got)
+	}
+}
+
+func TestSumAveRates(t *testing.T) {
+	_, c1 := buildLoopAccessor(spec.Write)
+	_, c2 := buildLoopAccessor(spec.Read)
+	c1.Accesses, c1.LifetimeClocks = 10, 230 // 1 b/clk
+	c2.Accesses, c2.LifetimeClocks = 10, 115 // 2 b/clk
+	e := New([]*spec.Channel{c1, c2})
+	if got := e.SumAveRates([]*spec.Channel{c1, c2}, 8, spec.FullHandshake); got != 3 {
+		t.Errorf("SumAveRates = %v, want 3", got)
+	}
+}
+
+func TestIfTakesDensestBranch(t *testing.T) {
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	x := m2.AddVariable(spec.NewVar("x", spec.BitVector(8)))
+	local := b.AddVar("l", spec.BitVector(8))
+	b.Body = []spec.Stmt{
+		&spec.If{
+			Cond: spec.True,
+			Then: []spec.Stmt{spec.AssignVar(spec.Ref(x), spec.Ref(local))},
+			Else: []spec.Stmt{
+				spec.AssignVar(spec.Ref(x), spec.Ref(local)),
+				spec.AssignVar(spec.Ref(x), spec.Ref(local)),
+			},
+		},
+	}
+	c := &spec.Channel{Name: "c", Accessor: b, Var: x, Dir: spec.Write}
+	e := New([]*spec.Channel{c})
+	if got := e.Accesses(c); got != 2 {
+		t.Errorf("Accesses through if = %d, want 2 (densest branch)", got)
+	}
+}
+
+func TestConstInt(t *testing.T) {
+	cases := []struct {
+		x    spec.Expr
+		want int64
+		ok   bool
+	}{
+		{spec.Int(5), 5, true},
+		{spec.Add(spec.Int(2), spec.Int(3)), 5, true},
+		{spec.Mul(spec.Int(8), spec.Sub(spec.Int(3), spec.Int(1))), 16, true},
+		{spec.Neg(spec.Int(4)), -4, true},
+		{spec.Bin(spec.OpDiv, spec.Int(7), spec.Int(2)), 3, true},
+		{spec.Bin(spec.OpDiv, spec.Int(7), spec.Int(0)), 0, false},
+		{spec.Ref(spec.NewVar("v", spec.Integer)), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ConstInt(c.x)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ConstInt(%s) = %d,%t want %d,%t", c.x, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestNonConstantLoopUsesDefaultTrips(t *testing.T) {
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	x := m2.AddVariable(spec.NewVar("x", spec.BitVector(8)))
+	n := b.AddVar("n", spec.Integer)
+	i := b.AddVar("i", spec.Integer)
+	l := b.AddVar("l", spec.BitVector(8))
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(0), To: spec.Ref(n), Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(x), spec.Ref(l)),
+		}},
+	}
+	c := &spec.Channel{Name: "c", Accessor: b, Var: x, Dir: spec.Write}
+	e := New([]*spec.Channel{c})
+	if got := e.Accesses(c); got != e.Model.DefaultTrips {
+		t.Errorf("Accesses = %d, want DefaultTrips %d", got, e.Model.DefaultTrips)
+	}
+}
+
+func TestCallIntoHelperProcedureCounted(t *testing.T) {
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	x := m2.AddVariable(spec.NewVar("x", spec.BitVector(8)))
+	l := b.AddVar("l", spec.BitVector(8))
+	helper := b.AddProc(&spec.Procedure{
+		Name: "helper",
+		Body: []spec.Stmt{spec.AssignVar(spec.Ref(x), spec.Ref(l))},
+	})
+	b.Body = []spec.Stmt{spec.CallProc(helper), spec.CallProc(helper)}
+	c := &spec.Channel{Name: "c", Accessor: b, Var: x, Dir: spec.Write}
+	e := New([]*spec.Channel{c})
+	if got := e.Accesses(c); got != 2 {
+		t.Errorf("Accesses through helper calls = %d, want 2", got)
+	}
+	if e.CompTime(b) <= 2*e.Model.CallClocks {
+		t.Error("CompTime did not include helper body")
+	}
+}
+
+func TestRecursiveProcedureDoesNotHang(t *testing.T) {
+	b := spec.NewBehavior("B")
+	rec := &spec.Procedure{Name: "rec"}
+	rec.Body = []spec.Stmt{spec.CallProc(rec)}
+	b.AddProc(rec)
+	b.Body = []spec.Stmt{spec.CallProc(rec)}
+	e := New(nil)
+	if got := e.CompTime(b); got <= 0 {
+		t.Errorf("recursive CompTime = %d", got)
+	}
+}
+
+// Property: TransferClocks is non-increasing in width and exactly
+// words*2 for the full handshake.
+func TestQuickTransferClocksMonotone(t *testing.T) {
+	f := func(msgSeed, wSeed uint8) bool {
+		msg := int(msgSeed)%100 + 1
+		w := int(wSeed)%40 + 1
+		tc := TransferClocks(msg, w, spec.FullHandshake)
+		words := int64((msg + w - 1) / w)
+		if tc != 2*words {
+			return false
+		}
+		if w > 1 && TransferClocks(msg, w-1, spec.FullHandshake) < tc {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitCosts(t *testing.T) {
+	b := spec.NewBehavior("B")
+	b.Body = []spec.Stmt{spec.WaitFor(17)}
+	e := New(nil)
+	if got := e.CompTime(b); got != 17 {
+		t.Errorf("WaitFor cost = %d, want 17", got)
+	}
+	b.Body = []spec.Stmt{spec.WaitOn(spec.NewSignal("s", spec.Bit))}
+	if got := e.CompTime(b); got != e.Model.WaitClocks {
+		t.Errorf("WaitOn cost = %d", got)
+	}
+}
+
+func TestExprCostModel(t *testing.T) {
+	m := DefaultModel()
+	v := spec.NewVar("v", spec.Integer)
+	cases := []struct {
+		x    spec.Expr
+		want int64
+	}{
+		{spec.Int(1), 0},
+		{spec.Ref(v), 0},
+		{spec.Add(spec.Ref(v), spec.Int(1)), m.OpClocks},
+		{spec.Mul(spec.Ref(v), spec.Ref(v)), m.MulClocks},
+		{spec.Add(spec.Mul(spec.Ref(v), spec.Int(2)), spec.Int(3)), m.OpClocks + m.MulClocks},
+		{spec.Not(spec.True), m.OpClocks},
+		{spec.At(spec.Ref(spec.NewVar("a", spec.Array(4, spec.Integer))), spec.Ref(v)), m.IndexClocks},
+	}
+	for _, c := range cases {
+		if got := m.ExprCost(c.x); got != c.want {
+			t.Errorf("ExprCost(%s) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLValueCostModel(t *testing.T) {
+	m := DefaultModel()
+	arr := spec.NewVar("a", spec.Array(4, spec.BitVector(8)))
+	i := spec.NewVar("i", spec.Integer)
+	// a(i+1): index cost + add cost
+	lv := spec.At(spec.Ref(arr), spec.Add(spec.Ref(i), spec.Int(1)))
+	if got := m.LValueCost(lv); got != m.IndexClocks+m.OpClocks {
+		t.Errorf("LValueCost = %d", got)
+	}
+	// plain variable: free
+	if got := m.LValueCost(spec.Ref(i)); got != 0 {
+		t.Errorf("plain lvalue cost = %d", got)
+	}
+	sl := spec.SliceBits(spec.Ref(spec.NewVar("v", spec.BitVector(8))), 3, 0)
+	if got := m.LValueCost(sl); got != 0 {
+		t.Errorf("constant slice cost = %d", got)
+	}
+}
+
+func TestPeakRateEqualsBusRate(t *testing.T) {
+	for _, p := range []spec.Protocol{spec.FullHandshake, spec.HalfHandshake, spec.FixedDelay} {
+		for _, w := range []int{1, 8, 23} {
+			if PeakRate(w, p) != BusRate(w, p) {
+				t.Fatalf("peak != bus rate at %d/%s", w, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package explore implements the design-space exploration step of the
+// SpecSyn specify-explore-refine paradigm for interface synthesis: it
+// sweeps candidate bus implementations (width × protocol) for a channel
+// group, evaluating each point's pin count, per-process performance,
+// interface area and Eq. 1 feasibility, and extracts the Pareto
+// frontier the designer chooses from — the workflow behind the paper's
+// Fig. 7 discussion ("if any performance constraints exist for these
+// processes, the designer can select an appropriate buswidth").
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// Point is one candidate bus implementation.
+type Point struct {
+	Width    int
+	Protocol spec.Protocol
+	// Pins is the total wire count (data + control + ID).
+	Pins int
+	// Feasible reports Eq. 1 at this width/protocol.
+	Feasible bool
+	// ExecTime maps each accessing behavior to its estimated execution
+	// time in clocks.
+	ExecTime map[*spec.Behavior]int64
+	// WorstExec is the maximum over ExecTime (the bus's slowest
+	// process).
+	WorstExec int64
+	// InterfaceArea estimates the bus drivers plus a transfer FSM per
+	// channel, in gates.
+	InterfaceArea float64
+}
+
+// Space is the evaluated design space.
+type Space struct {
+	Channels []*spec.Channel
+	Points   []Point
+}
+
+// Config bounds the sweep.
+type Config struct {
+	// Protocols to examine; nil means full and half handshake.
+	Protocols []spec.Protocol
+	// MinWidth/MaxWidth bound the width range; zero means the
+	// bus-generation default (1 .. largest message).
+	MinWidth, MaxWidth int
+	// Area is the area model; zero value means the default model.
+	Area estimate.AreaModel
+}
+
+// Sweep evaluates every (width, protocol) candidate for the channel
+// group.
+func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Space, error) {
+	if len(channels) == 0 {
+		return nil, errors.New("explore: empty channel group")
+	}
+	protocols := cfg.Protocols
+	if len(protocols) == 0 {
+		protocols = []spec.Protocol{spec.FullHandshake, spec.HalfHandshake}
+	}
+	lo := cfg.MinWidth
+	if lo <= 0 {
+		lo = 1
+	}
+	hi := cfg.MaxWidth
+	if hi <= 0 {
+		for _, c := range channels {
+			if m := c.MessageBits(); m > hi {
+				hi = m
+			}
+		}
+	}
+	area := cfg.Area
+	if area == (estimate.AreaModel{}) {
+		area = estimate.DefaultAreaModel()
+	}
+
+	accessors := distinctAccessors(channels)
+	sp := &Space{Channels: channels}
+	for _, p := range protocols {
+		for w := lo; w <= hi; w++ {
+			pt := Point{
+				Width:    w,
+				Protocol: p,
+				Pins:     w + p.ControlLines() + idBits(len(channels)),
+				Feasible: estimate.BusRate(w, p) >= est.SumAveRates(channels, w, p),
+				ExecTime: make(map[*spec.Behavior]int64, len(accessors)),
+			}
+			for _, b := range accessors {
+				t := est.ExecTime(b, w, p)
+				pt.ExecTime[b] = t
+				if t > pt.WorstExec {
+					pt.WorstExec = t
+				}
+			}
+			pt.InterfaceArea = interfaceArea(channels, w, p, area)
+			sp.Points = append(sp.Points, pt)
+		}
+	}
+	return sp, nil
+}
+
+func distinctAccessors(channels []*spec.Channel) []*spec.Behavior {
+	seen := make(map[*spec.Behavior]bool)
+	var out []*spec.Behavior
+	for _, c := range channels {
+		if !seen[c.Accessor] {
+			seen[c.Accessor] = true
+			out = append(out, c.Accessor)
+		}
+	}
+	return out
+}
+
+func idBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return spec.AddrBits(n)
+}
+
+// interfaceArea estimates the per-point interface cost without running
+// protocol generation: drivers for every line on both sides, plus one
+// word-handshake FSM state set per bus word of each channel's message.
+func interfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m estimate.AreaModel) float64 {
+	lines := w + p.ControlLines() + idBits(len(channels))
+	area := float64(lines) * m.DriverGates * 2
+	for _, c := range channels {
+		words := (c.MessageBits() + w - 1) / w
+		// ~5 FSM states per word on each side of the transfer.
+		area += float64(words) * 10 * m.StateGates
+	}
+	return area
+}
+
+// Pareto returns the non-dominated points: no other point is at least
+// as good on pins, worst-case execution time and interface area, and
+// strictly better on one. Infeasible points are excluded. The result is
+// sorted by pins.
+func (s *Space) Pareto() []Point {
+	var feas []Point
+	for _, p := range s.Points {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	var out []Point
+	for i, p := range feas {
+		dominated := false
+		for j, q := range feas {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pins != out[j].Pins {
+			return out[i].Pins < out[j].Pins
+		}
+		return out[i].WorstExec < out[j].WorstExec
+	})
+	return out
+}
+
+func dominates(a, b Point) bool {
+	if a.Pins > b.Pins || a.WorstExec > b.WorstExec || a.InterfaceArea > b.InterfaceArea {
+		return false
+	}
+	return a.Pins < b.Pins || a.WorstExec < b.WorstExec || a.InterfaceArea < b.InterfaceArea
+}
+
+// Best returns the cheapest feasible point whose every accessor meets
+// its execution-time constraint (clocks); behaviors without an entry in
+// limits are unconstrained. Cost order: pins, then area, then time.
+func (s *Space) Best(limits map[*spec.Behavior]int64) (Point, error) {
+	var best *Point
+	for i := range s.Points {
+		p := &s.Points[i]
+		if !p.Feasible || !meets(p, limits) {
+			continue
+		}
+		if best == nil || less(p, best) {
+			best = p
+		}
+	}
+	if best == nil {
+		return Point{}, errors.New("explore: no feasible point meets the constraints")
+	}
+	return *best, nil
+}
+
+func meets(p *Point, limits map[*spec.Behavior]int64) bool {
+	for b, lim := range limits {
+		if t, ok := p.ExecTime[b]; ok && t > lim {
+			return false
+		}
+	}
+	return true
+}
+
+func less(a, b *Point) bool {
+	if a.Pins != b.Pins {
+		return a.Pins < b.Pins
+	}
+	if a.InterfaceArea != b.InterfaceArea {
+		return a.InterfaceArea < b.InterfaceArea
+	}
+	return a.WorstExec < b.WorstExec
+}
+
+// Format renders points as an aligned table.
+func Format(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s  %-15s  %5s  %9s  %12s  %9s\n",
+		"width", "protocol", "pins", "feasible", "worst clocks", "if gates")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%5d  %-15s  %5d  %9t  %12d  %9.0f\n",
+			p.Width, p.Protocol, p.Pins, p.Feasible, p.WorstExec, p.InterfaceArea)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/flc"
+	"repro/internal/spec"
+)
+
+func flcSpace(t *testing.T, cfg Config) (*Space, *flc.System) {
+	t.Helper()
+	f := flc.New(flc.DefaultConfig())
+	est := estimate.New([]*spec.Channel{f.Ch1, f.Ch2})
+	sp, err := Sweep([]*spec.Channel{f.Ch1, f.Ch2}, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, f
+}
+
+func TestSweepCoversSpace(t *testing.T) {
+	sp, _ := flcSpace(t, Config{})
+	// 23 widths x 2 protocols.
+	if len(sp.Points) != 46 {
+		t.Fatalf("points = %d, want 46", len(sp.Points))
+	}
+	for _, p := range sp.Points {
+		if p.Pins < p.Width {
+			t.Fatalf("pins %d < width %d", p.Pins, p.Width)
+		}
+		if len(p.ExecTime) != 2 {
+			t.Fatalf("exec times for %d accessors", len(p.ExecTime))
+		}
+		if p.WorstExec <= 0 || p.InterfaceArea <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestWiderIsFasterButBigger(t *testing.T) {
+	sp, _ := flcSpace(t, Config{Protocols: []spec.Protocol{spec.FullHandshake}})
+	pts := sp.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].WorstExec > pts[i-1].WorstExec {
+			t.Fatalf("worst exec increased at width %d", pts[i].Width)
+		}
+		if pts[i].Pins <= pts[i-1].Pins {
+			t.Fatalf("pins not increasing at width %d", pts[i].Width)
+		}
+	}
+}
+
+func TestParetoIsNonDominatedAndFeasible(t *testing.T) {
+	sp, _ := flcSpace(t, Config{})
+	front := sp.Pareto()
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for _, p := range front {
+		if !p.Feasible {
+			t.Fatal("infeasible point on the front")
+		}
+		for _, q := range sp.Points {
+			if q.Feasible && dominates(q, p) {
+				t.Fatalf("front point (w=%d %s) dominated by (w=%d %s)",
+					p.Width, p.Protocol, q.Width, q.Protocol)
+			}
+		}
+	}
+	// The front trades pins for time: sorted by pins, the worst-exec
+	// must not increase then decrease arbitrarily — specifically the
+	// cheapest point is slowest and the most expensive is fastest.
+	first, last := front[0], front[len(front)-1]
+	if first.Pins >= last.Pins {
+		t.Fatal("front not spread over pins")
+	}
+	if first.WorstExec <= last.WorstExec {
+		t.Fatal("cheap point not slower than expensive point")
+	}
+}
+
+func TestBestRespectsConstraints(t *testing.T) {
+	sp, f := flcSpace(t, Config{Protocols: []spec.Protocol{spec.FullHandshake}})
+	// The paper's worked example constrains CONV_R2 under 2000 clocks,
+	// excluding widths <= 4. Exploration additionally enforces Eq. 1
+	// feasibility, which the FLC's rates fail below width 7, so the
+	// cheapest admissible point is width 7 (where CONV_R2 needs 1559
+	// clocks, inside the constraint).
+	best, err := sp.Best(map[*spec.Behavior]int64{f.ConvR2: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Width != 7 {
+		t.Fatalf("best width = %d, want 7 (Eq. 1 + 2000-clock constraint)", best.Width)
+	}
+	if best.ExecTime[f.ConvR2] > 2000 {
+		t.Fatalf("constraint violated: %d", best.ExecTime[f.ConvR2])
+	}
+	// Unsatisfiable constraint.
+	if _, err := sp.Best(map[*spec.Behavior]int64{f.ConvR2: 10}); err == nil {
+		t.Fatal("impossible constraint satisfied")
+	}
+}
+
+func TestBestUnconstrainedPicksCheapestFeasible(t *testing.T) {
+	sp, _ := flcSpace(t, Config{Protocols: []spec.Protocol{spec.FullHandshake}})
+	best, err := sp.Best(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sp.Points {
+		if p.Feasible && p.Pins < best.Pins {
+			t.Fatalf("cheaper feasible point exists: w=%d", p.Width)
+		}
+	}
+}
+
+func TestSweepEmptyGroupRejected(t *testing.T) {
+	est := estimate.New(nil)
+	if _, err := Sweep(nil, est, Config{}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestFormatSmoke(t *testing.T) {
+	sp, _ := flcSpace(t, Config{})
+	out := Format(sp.Pareto())
+	if !strings.Contains(out, "full-handshake") && !strings.Contains(out, "half-handshake") {
+		t.Errorf("format output odd:\n%s", out)
+	}
+}
+
+func TestNarrowWidthsInfeasibleForFLC(t *testing.T) {
+	// Document the Eq. 1 boundary underpinning TestBestRespects-
+	// Constraints: the FLC pair is infeasible below width 7 under the
+	// full handshake.
+	sp, _ := flcSpace(t, Config{Protocols: []spec.Protocol{spec.FullHandshake}})
+	for _, p := range sp.Points {
+		if p.Width < 7 && p.Feasible {
+			t.Fatalf("width %d unexpectedly feasible", p.Width)
+		}
+		if p.Width >= 7 && !p.Feasible {
+			t.Fatalf("width %d unexpectedly infeasible", p.Width)
+		}
+	}
+}

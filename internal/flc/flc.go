@@ -1,0 +1,349 @@
+// Package flc models the Matsushita fuzzy logic controller used in the
+// paper's evaluation (Section 5, Fig. 6). The original source was a
+// private communication; this reconstruction follows every fact the
+// paper publishes:
+//
+//   - two sensed inputs (temperature, humidity) and one control output
+//     driving an air conditioner;
+//   - four rules, evaluated by processes EVAL_R0..EVAL_R3 and convolved
+//     by CONV_R0..CONV_R3, plus INITIALIZE, CONVERT_FACTS, CONVERT_CTRL
+//     and CENTROID (Fig. 6's process list);
+//   - chip 2 holds the memories: InitMemberFunct (1920 integers — 15
+//     membership/calibration tables of 128 points), trru0..trru3 (128 x
+//     16-bit rule truth arrays) and the rule parameter tables rule1,
+//     rule3 (3 integers each);
+//   - channel ch1: EVAL_R3 *writing* trru0, channel ch2: CONV_R2
+//     *reading* trru2; each message carries 16 data + 7 address bits, so
+//     bus widths beyond 23 pins buy nothing (Fig. 7).
+//
+// The behaviors compute a real Mamdani controller: INITIALIZE fills
+// triangular membership functions, CONVERT_FACTS fuzzifies the inputs,
+// EVAL_Rk clips rule k's output membership by the rule activation
+// (min), CONV_Rk accumulates the clipped surface's area and moment, and
+// CENTROID defuzzifies. Phase signals sequence the pipeline so the
+// shared bus carries one transaction at a time (the paper leaves bus
+// arbitration to future work).
+package flc
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Table indices within InitMemberFunct: table t occupies entries
+// [t*128, t*128+127].
+const (
+	tableTempFn0 = 0  // temperature antecedents, rules 0..3
+	tableHumFn0  = 4  // humidity antecedents, rules 0..3
+	tableOutFn0  = 8  // output membership, rules 0..3
+	tableTempCal = 12 // input calibration (temperature)
+	tableHumCal  = 13 // input calibration (humidity)
+	tableCtlCal  = 14 // output calibration
+	numTables    = 15
+	tableLen     = 128
+)
+
+// evalTarget maps EVAL_Rk to the trru array it writes: the paper's
+// Fig. 6 records EVAL_R3 writing trru0, and CONV_Rk reads trruk, so the
+// remaining assignments follow by elimination.
+var evalTarget = [4]int{3, 1, 2, 0}
+
+// System is the constructed FLC with handles the experiments need.
+type System struct {
+	Sys *spec.System
+	// Ch1 is "process EVAL_R3 writing variable trru0" and Ch2 is
+	// "process CONV_R2 reading variable trru2", the channels merged
+	// into bus B in the paper's experiments.
+	Ch1, Ch2 *spec.Channel
+	// EvalR3 and ConvR2 are the processes whose execution times Fig. 7
+	// plots.
+	EvalR3, ConvR2 *spec.Behavior
+}
+
+// Config parameterizes the workload.
+type Config struct {
+	// Temperature and Humidity are the sensed inputs, 0..127.
+	Temperature, Humidity int
+}
+
+// DefaultConfig returns a mid-range operating point.
+func DefaultConfig() Config { return Config{Temperature: 80, Humidity: 40} }
+
+// New constructs the FLC system partitioned as in Fig. 6: all twelve
+// processes on chip1, all memories on chip2.
+func New(cfg Config) *System {
+	if cfg.Temperature < 0 || cfg.Temperature > 127 || cfg.Humidity < 0 || cfg.Humidity > 127 {
+		panic(fmt.Sprintf("flc: inputs out of range: temp=%d hum=%d", cfg.Temperature, cfg.Humidity))
+	}
+	sys := spec.NewSystem("FLC")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+
+	// ---- chip 2: memories (Fig. 6) ----
+	initMemberFunct := chip2.AddVariable(spec.NewVar("InitMemberFunct", spec.Array(numTables*tableLen, spec.Integer)))
+	trru := make([]*spec.Variable, 4)
+	for k := 0; k < 4; k++ {
+		trru[k] = chip2.AddVariable(spec.NewVar(fmt.Sprintf("trru%d", k), spec.Array(tableLen, spec.BitVector(16))))
+	}
+	rule1 := chip2.AddVariable(spec.NewVar("rule1", spec.Array(3, spec.Integer)))
+	rule3 := chip2.AddVariable(spec.NewVar("rule3", spec.Array(3, spec.Integer)))
+
+	// ---- chip 1: working storage shared by the processes ----
+	temp := chip1.AddVariable(spec.NewVar("temperature", spec.Integer))
+	hum := chip1.AddVariable(spec.NewVar("humidity", spec.Integer))
+	temp.Init = spec.Int(int64(cfg.Temperature))
+	hum.Init = spec.Int(int64(cfg.Humidity))
+	actT := chip1.AddVariable(spec.NewVar("actT", spec.Array(4, spec.Integer)))
+	actH := chip1.AddVariable(spec.NewVar("actH", spec.Array(4, spec.Integer)))
+	convSum := chip1.AddVariable(spec.NewVar("convSum", spec.Array(4, spec.Integer)))
+	convMom := chip1.AddVariable(spec.NewVar("convMom", spec.Array(4, spec.Integer)))
+	centroid := chip1.AddVariable(spec.NewVar("centroid", spec.Integer))
+	control := chip1.AddVariable(spec.NewVar("control", spec.Integer))
+
+	// Phase flags: single-writer bit signals sequencing the pipeline.
+	initDone := chip1.AddVariable(spec.NewSignal("init_done", spec.Bit))
+	factsDone := chip1.AddVariable(spec.NewSignal("facts_done", spec.Bit))
+	evalDone := make([]*spec.Variable, 4)
+	convDone := make([]*spec.Variable, 4)
+	for k := 0; k < 4; k++ {
+		evalDone[k] = chip1.AddVariable(spec.NewSignal(fmt.Sprintf("eval_done%d", k), spec.Bit))
+		convDone[k] = chip1.AddVariable(spec.NewSignal(fmt.Sprintf("conv_done%d", k), spec.Bit))
+	}
+	centroidDone := chip1.AddVariable(spec.NewSignal("centroid_done", spec.Bit))
+
+	one := spec.VecString("1")
+	isSet := func(sig *spec.Variable) spec.Expr { return spec.Eq(spec.Ref(sig), one) }
+	setFlag := func(sig *spec.Variable) spec.Stmt { return spec.AssignSig(spec.Ref(sig), one) }
+	allEvalsDone := func() spec.Expr {
+		cond := isSet(evalDone[0])
+		for k := 1; k < 4; k++ {
+			cond = spec.LogicalAnd(cond, isSet(evalDone[k]))
+		}
+		return cond
+	}
+
+	// ---- INITIALIZE: fill the membership/calibration tables ----
+	// Table t holds a triangular function peaked at center(t) =
+	// (t*37+19) mod 128 with unit slope, clipped to [0, 64];
+	// calibration tables hold identity ramps scaled to 0..127.
+	initialize := chip1.AddBehavior(spec.NewBehavior("INITIALIZE"))
+	{
+		tv := initialize.AddVar("t", spec.Integer)
+		iv := initialize.AddVar("i", spec.Integer)
+		center := initialize.AddVar("center", spec.Integer)
+		d := initialize.AddVar("d", spec.Integer)
+		val := initialize.AddVar("val", spec.Integer)
+		initialize.Body = []spec.Stmt{
+			&spec.For{Var: tv, From: spec.Int(0), To: spec.Int(numTables - 1), Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(center),
+					spec.Bin(spec.OpMod, spec.Add(spec.Mul(spec.Ref(tv), spec.Int(37)), spec.Int(19)), spec.Int(tableLen))),
+				&spec.For{Var: iv, From: spec.Int(0), To: spec.Int(tableLen - 1), Body: []spec.Stmt{
+					// d := |i - center|
+					&spec.If{
+						Cond: spec.Ge(spec.Ref(iv), spec.Ref(center)),
+						Then: []spec.Stmt{spec.AssignVar(spec.Ref(d), spec.Sub(spec.Ref(iv), spec.Ref(center)))},
+						Else: []spec.Stmt{spec.AssignVar(spec.Ref(d), spec.Sub(spec.Ref(center), spec.Ref(iv)))},
+					},
+					// val := max(0, 64 - d); calibration tables ramp.
+					&spec.If{
+						Cond: spec.Ge(spec.Ref(tv), spec.Int(tableTempCal)),
+						Then: []spec.Stmt{spec.AssignVar(spec.Ref(val), spec.Ref(iv))},
+						Else: []spec.Stmt{
+							spec.AssignVar(spec.Ref(val), spec.Sub(spec.Int(64), spec.Ref(d))),
+							&spec.If{
+								Cond: spec.Lt(spec.Ref(val), spec.Int(0)),
+								Then: []spec.Stmt{spec.AssignVar(spec.Ref(val), spec.Int(0))},
+							},
+						},
+					},
+					spec.AssignVar(
+						spec.At(spec.Ref(initMemberFunct), spec.Add(spec.Mul(spec.Ref(tv), spec.Int(tableLen)), spec.Ref(iv))),
+						spec.Ref(val)),
+				}},
+			}},
+			// Rule parameter tables: (area weight, moment weight, bias).
+			spec.AssignVar(spec.At(spec.Ref(rule1), spec.Int(0)), spec.Int(2)),
+			spec.AssignVar(spec.At(spec.Ref(rule1), spec.Int(1)), spec.Int(1)),
+			spec.AssignVar(spec.At(spec.Ref(rule1), spec.Int(2)), spec.Int(0)),
+			spec.AssignVar(spec.At(spec.Ref(rule3), spec.Int(0)), spec.Int(1)),
+			spec.AssignVar(spec.At(spec.Ref(rule3), spec.Int(1)), spec.Int(2)),
+			spec.AssignVar(spec.At(spec.Ref(rule3), spec.Int(2)), spec.Int(8)),
+			setFlag(initDone),
+		}
+	}
+
+	// ---- CONVERT_FACTS: fuzzify the inputs ----
+	convertFacts := chip1.AddBehavior(spec.NewBehavior("CONVERT_FACTS"))
+	{
+		k := convertFacts.AddVar("k", spec.Integer)
+		tcal := convertFacts.AddVar("tcal", spec.Integer)
+		hcal := convertFacts.AddVar("hcal", spec.Integer)
+		convertFacts.Body = []spec.Stmt{
+			spec.WaitUntil(isSet(initDone)),
+			spec.AssignVar(spec.Ref(tcal),
+				spec.At(spec.Ref(initMemberFunct), spec.Add(spec.Int(tableTempCal*tableLen), spec.Ref(temp)))),
+			spec.AssignVar(spec.Ref(hcal),
+				spec.At(spec.Ref(initMemberFunct), spec.Add(spec.Int(tableHumCal*tableLen), spec.Ref(hum)))),
+			&spec.For{Var: k, From: spec.Int(0), To: spec.Int(3), Body: []spec.Stmt{
+				spec.AssignVar(spec.At(spec.Ref(actT), spec.Ref(k)),
+					spec.At(spec.Ref(initMemberFunct),
+						spec.Add(spec.Mul(spec.Add(spec.Int(tableTempFn0), spec.Ref(k)), spec.Int(tableLen)), spec.Ref(tcal)))),
+				spec.AssignVar(spec.At(spec.Ref(actH), spec.Ref(k)),
+					spec.At(spec.Ref(initMemberFunct),
+						spec.Add(spec.Mul(spec.Add(spec.Int(tableHumFn0), spec.Ref(k)), spec.Int(tableLen)), spec.Ref(hcal)))),
+			}},
+			setFlag(factsDone),
+		}
+	}
+
+	// ---- EVAL_R0..EVAL_R3: clip rule output membership ----
+	var evalR3 *spec.Behavior
+	for k := 0; k < 4; k++ {
+		b := chip1.AddBehavior(spec.NewBehavior(fmt.Sprintf("EVAL_R%d", k)))
+		if k == 3 {
+			evalR3 = b
+		}
+		target := trru[evalTarget[k]]
+		i := b.AddVar("i", spec.Integer)
+		act := b.AddVar("act", spec.Integer)
+		mv := b.AddVar("mv", spec.Integer)
+		b.Body = []spec.Stmt{
+			spec.WaitUntil(isSet(factsDone)),
+			// act := min(actT(k), actH(k))
+			&spec.If{
+				Cond: spec.Le(spec.At(spec.Ref(actT), spec.Int(int64(k))), spec.At(spec.Ref(actH), spec.Int(int64(k)))),
+				Then: []spec.Stmt{spec.AssignVar(spec.Ref(act), spec.At(spec.Ref(actT), spec.Int(int64(k))))},
+				Else: []spec.Stmt{spec.AssignVar(spec.Ref(act), spec.At(spec.Ref(actH), spec.Int(int64(k))))},
+			},
+			&spec.For{Var: i, From: spec.Int(0), To: spec.Int(tableLen - 1), Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(mv),
+					spec.At(spec.Ref(initMemberFunct),
+						spec.Add(spec.Int(int64((tableOutFn0+k)*tableLen)), spec.Ref(i)))),
+				// mv := min(mv, act): clip
+				&spec.If{
+					Cond: spec.Gt(spec.Ref(mv), spec.Ref(act)),
+					Then: []spec.Stmt{spec.AssignVar(spec.Ref(mv), spec.Ref(act))},
+				},
+				spec.AssignVar(spec.At(spec.Ref(target), spec.Ref(i)), spec.ToVec(spec.Ref(mv), 16)),
+			}},
+			setFlag(evalDone[k]),
+		}
+	}
+
+	// ---- CONV_R0..CONV_R3: integrate the clipped surfaces ----
+	var convR2 *spec.Behavior
+	for k := 0; k < 4; k++ {
+		b := chip1.AddBehavior(spec.NewBehavior(fmt.Sprintf("CONV_R%d", k)))
+		if k == 2 {
+			convR2 = b
+		}
+		src := trru[k]
+		i := b.AddVar("i", spec.Integer)
+		sum := b.AddVar("sum", spec.Integer)
+		wArea := b.AddVar("wArea", spec.Integer)
+		wMom := b.AddVar("wMom", spec.Integer)
+		bias := b.AddVar("bias", spec.Integer)
+		// Rules 1 and 3 read their parameter tables from chip2; rules
+		// 0 and 2 use the default weights.
+		var loadParams []spec.Stmt
+		switch k {
+		case 1:
+			loadParams = []spec.Stmt{
+				spec.AssignVar(spec.Ref(wArea), spec.At(spec.Ref(rule1), spec.Int(0))),
+				spec.AssignVar(spec.Ref(wMom), spec.At(spec.Ref(rule1), spec.Int(1))),
+				spec.AssignVar(spec.Ref(bias), spec.At(spec.Ref(rule1), spec.Int(2))),
+			}
+		case 3:
+			loadParams = []spec.Stmt{
+				spec.AssignVar(spec.Ref(wArea), spec.At(spec.Ref(rule3), spec.Int(0))),
+				spec.AssignVar(spec.Ref(wMom), spec.At(spec.Ref(rule3), spec.Int(1))),
+				spec.AssignVar(spec.Ref(bias), spec.At(spec.Ref(rule3), spec.Int(2))),
+			}
+		default:
+			loadParams = []spec.Stmt{
+				spec.AssignVar(spec.Ref(wArea), spec.Int(1)),
+				spec.AssignVar(spec.Ref(wMom), spec.Int(1)),
+				spec.AssignVar(spec.Ref(bias), spec.Int(0)),
+			}
+		}
+		body := []spec.Stmt{
+			// The convolution phase starts once rule evaluation is
+			// complete, which also serializes the shared bus.
+			spec.WaitUntil(allEvalsDone()),
+		}
+		// Output membership functions are symmetric triangles, so the
+		// clipped surface's moment is its area times the function
+		// center — the center-average defuzzifier. The center of
+		// table t is (t*37 + 19) mod 128, matching INITIALIZE.
+		center := ((tableOutFn0+k)*37 + 19) % tableLen
+		body = append(body, loadParams...)
+		body = append(body,
+			&spec.For{Var: i, From: spec.Int(0), To: spec.Int(tableLen - 1), Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(sum),
+					spec.Add(spec.Ref(sum), spec.ToInt(spec.At(spec.Ref(src), spec.Ref(i))))),
+			}},
+			spec.AssignVar(spec.At(spec.Ref(convSum), spec.Int(int64(k))),
+				spec.Add(spec.Mul(spec.Ref(sum), spec.Ref(wArea)), spec.Ref(bias))),
+			spec.AssignVar(spec.At(spec.Ref(convMom), spec.Int(int64(k))),
+				spec.Mul(spec.Mul(spec.Ref(sum), spec.Int(int64(center))), spec.Ref(wMom))),
+			setFlag(convDone[k]),
+		)
+		b.Body = body
+	}
+
+	// ---- CENTROID: defuzzify ----
+	centroidB := chip1.AddBehavior(spec.NewBehavior("CENTROID"))
+	{
+		k := centroidB.AddVar("k", spec.Integer)
+		num := centroidB.AddVar("num", spec.Integer)
+		den := centroidB.AddVar("den", spec.Integer)
+		cond := isSet(convDone[0])
+		for j := 1; j < 4; j++ {
+			cond = spec.LogicalAnd(cond, isSet(convDone[j]))
+		}
+		centroidB.Body = []spec.Stmt{
+			spec.WaitUntil(cond),
+			&spec.For{Var: k, From: spec.Int(0), To: spec.Int(3), Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(num), spec.Add(spec.Ref(num), spec.At(spec.Ref(convMom), spec.Ref(k)))),
+				spec.AssignVar(spec.Ref(den), spec.Add(spec.Ref(den), spec.At(spec.Ref(convSum), spec.Ref(k)))),
+			}},
+			&spec.If{
+				Cond: spec.Gt(spec.Ref(den), spec.Int(0)),
+				Then: []spec.Stmt{spec.AssignVar(spec.Ref(centroid), spec.Bin(spec.OpDiv, spec.Ref(num), spec.Ref(den)))},
+				Else: []spec.Stmt{spec.AssignVar(spec.Ref(centroid), spec.Int(0))},
+			},
+			setFlag(centroidDone),
+		}
+	}
+
+	// ---- CONVERT_CTRL: scale the centroid to the actuator range ----
+	convertCtrl := chip1.AddBehavior(spec.NewBehavior("CONVERT_CTRL"))
+	{
+		idx := convertCtrl.AddVar("idx", spec.Integer)
+		convertCtrl.Body = []spec.Stmt{
+			spec.WaitUntil(isSet(centroidDone)),
+			spec.AssignVar(spec.Ref(idx), spec.Bin(spec.OpMod, spec.Ref(centroid), spec.Int(tableLen))),
+			spec.AssignVar(spec.Ref(control),
+				spec.At(spec.Ref(initMemberFunct), spec.Add(spec.Int(tableCtlCal*tableLen), spec.Ref(idx)))),
+		}
+	}
+
+	// ---- the paper's channels ch1, ch2 (declared first so they keep
+	// their names; the rest are derived) ----
+	ch1 := sys.AddChannel(&spec.Channel{Name: "ch1", Accessor: evalR3, Var: trru[0], Dir: spec.Write})
+	ch2 := sys.AddChannel(&spec.Channel{Name: "ch2", Accessor: convR2, Var: trru[2], Dir: spec.Read})
+
+	_ = initialize
+	_ = convertFacts
+	return &System{Sys: sys, Ch1: ch1, Ch2: ch2, EvalR3: evalR3, ConvR2: convR2}
+}
+
+// BusB returns a bus over ch1 and ch2 at the given width — the channel
+// group the paper's experiments implement (width 0 leaves selection to
+// bus generation). The bus is attached to the system.
+func (f *System) BusB(width int) *spec.Bus {
+	bus := &spec.Bus{Name: "B", Channels: []*spec.Channel{f.Ch1, f.Ch2}, Width: width}
+	f.Sys.Buses = append(f.Sys.Buses, bus)
+	return bus
+}

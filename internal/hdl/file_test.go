@@ -1,0 +1,48 @@
+package hdl
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testdata(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFilePQ(t *testing.T) {
+	sys, err := ParseFile(testdata(t, "pq.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "PQ" || len(sys.Channels) != 4 {
+		t.Fatalf("parsed shape wrong: %s, %d channels", sys.Name, len(sys.Channels))
+	}
+}
+
+func TestParseFileDMA(t *testing.T) {
+	sys, err := ParseFile(testdata(t, "dma.sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sys.FindBehavior("ENGINE")
+	if eng == nil || eng.FindProc("step") == nil {
+		t.Fatal("ENGINE or its procedure missing")
+	}
+	if len(eng.FindProc("step").Params) != 2 {
+		t.Fatal("procedure params wrong")
+	}
+	if sys.FindVariable("SRC") == nil {
+		t.Fatal("SRC missing")
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile(testdata(t, "nope.sys")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

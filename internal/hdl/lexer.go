@@ -1,0 +1,210 @@
+// Package hdl implements the textual front end of the flow: a lexer,
+// recursive-descent parser and elaborator for a SpecSyn-flavored
+// specification language (a VHDL subset extended with system/module/
+// behavior structure), producing specification IR (internal/spec).
+//
+// A small example:
+//
+//	system PQ is
+//	  module comp1 is
+//	    behavior P is
+//	      variable AD : integer;
+//	    begin
+//	      X <= 32;
+//	      MEM(AD) := X + 7;
+//	    end behavior;
+//	  end module;
+//	  module comp2 is
+//	    variable X : bit_vector(15 downto 0);
+//	    variable MEM : array(0 to 63) of bit_vector(15 downto 0);
+//	  end module;
+//	end system;
+//
+// Module-level variables are visible to every behavior (the paper's
+// processes name remote variables directly); partitioning derives the
+// channels implied by the cross-module references.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokBitLit    // '0' or '1'
+	tokVecLit    // "0101"
+	tokHexVecLit // X"0A"
+	tokSymbol
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokKind
+	text string // keywords lowercased; identifiers preserved
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokVecLit, tokHexVecLit:
+		return fmt.Sprintf("%q", t.text)
+	case tokBitLit:
+		return fmt.Sprintf("'%s'", t.text)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"system": true, "module": true, "behavior": true, "process": true,
+	"variable": true, "signal": true, "procedure": true, "channel": true,
+	"server": true, "is": true, "begin": true, "end": true,
+	"if": true, "then": true, "elsif": true, "else": true,
+	"for": true, "in": true, "to": true, "downto": true, "loop": true,
+	"while": true, "exit": true, "return": true, "null": true,
+	"wait": true, "on": true, "until": true,
+	"and": true, "or": true, "xor": true, "not": true, "mod": true,
+	"bit": true, "bit_vector": true, "integer": true, "boolean": true,
+	"array": true, "of": true, "true": true, "false": true,
+	"out": true, "inout": true, "reads": true, "writes": true,
+	"sll": true, "srl": true,
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...any) *Error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the source. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isLetter(c):
+			start, sl, sc := i, line, col
+			for i < n && (isLetter(src[i]) || isDigit(src[i])) {
+				advance(1)
+			}
+			word := src[start:i]
+			lower := strings.ToLower(word)
+			// X"AB" hex bit-vector literal
+			if lower == "x" && i < n && src[i] == '"' {
+				advance(1)
+				hstart := i
+				for i < n && src[i] != '"' {
+					advance(1)
+				}
+				if i >= n {
+					return nil, &Error{Line: sl, Col: sc, Msg: "unterminated hex literal"}
+				}
+				hex := src[hstart:i]
+				advance(1)
+				toks = append(toks, token{kind: tokHexVecLit, text: hex, line: sl, col: sc})
+				continue
+			}
+			if keywords[lower] {
+				toks = append(toks, token{kind: tokKeyword, text: lower, line: sl, col: sc})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, line: sl, col: sc})
+			}
+		case isDigit(c):
+			start, sl, sc := i, line, col
+			for i < n && (isDigit(src[i]) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokNumber, text: strings.ReplaceAll(src[start:i], "_", ""), line: sl, col: sc})
+		case c == '\'':
+			sl, sc := line, col
+			if i+2 < n && (src[i+1] == '0' || src[i+1] == '1') && src[i+2] == '\'' {
+				toks = append(toks, token{kind: tokBitLit, text: string(src[i+1]), line: sl, col: sc})
+				advance(3)
+			} else {
+				return nil, &Error{Line: sl, Col: sc, Msg: "invalid bit literal (expected '0' or '1')"}
+			}
+		case c == '"':
+			sl, sc := line, col
+			advance(1)
+			start := i
+			for i < n && src[i] != '"' {
+				advance(1)
+			}
+			if i >= n {
+				return nil, &Error{Line: sl, Col: sc, Msg: "unterminated string literal"}
+			}
+			lit := src[start:i]
+			advance(1)
+			for _, ch := range lit {
+				if ch != '0' && ch != '1' && ch != '_' {
+					return nil, &Error{Line: sl, Col: sc, Msg: fmt.Sprintf("invalid bit-vector literal %q", lit)}
+				}
+			}
+			toks = append(toks, token{kind: tokVecLit, text: strings.ReplaceAll(lit, "_", ""), line: sl, col: sc})
+		default:
+			sl, sc := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ":=", "<=", ">=", "/=", "=>", "**":
+				toks = append(toks, token{kind: tokSymbol, text: two, line: sl, col: sc})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', ';', ':', ',', '.', '&', '+', '-', '*', '/', '=', '<', '>':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), line: sl, col: sc})
+				advance(1)
+			default:
+				return nil, &Error{Line: sl, Col: sc, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

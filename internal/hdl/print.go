@@ -1,0 +1,321 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// Print renders a specification system back into the textual input
+// language, such that Parse(Print(sys)) reproduces an equivalent
+// system. Only *abstract* (pre-refinement) systems are printable: the
+// input grammar has no record types or generated bus constructs, so
+// refined systems must be emitted with internal/vhdlgen instead. Print
+// returns an error when it meets a construct the grammar cannot
+// express.
+func Print(sys *spec.System) (string, error) {
+	p := &printer{}
+	p.printf("system %s is", sys.Name)
+	p.push()
+	for _, m := range sys.Modules {
+		p.printf("module %s is", m.Name)
+		p.push()
+		for _, v := range m.Variables {
+			if err := p.varDecl(v); err != nil {
+				return "", err
+			}
+		}
+		for _, b := range m.Behaviors {
+			if err := p.behavior(b); err != nil {
+				return "", err
+			}
+		}
+		p.pop()
+		p.printf("end module;")
+	}
+	for _, c := range sys.Channels {
+		dir := "reads"
+		if c.Dir == spec.Write {
+			dir = "writes"
+		}
+		p.printf("channel %s : %s %s %s;", c.Name, c.Accessor.Name, dir, c.Var.Name)
+	}
+	p.pop()
+	p.printf("end system;")
+	if p.err != nil {
+		return "", p.err
+	}
+	return p.b.String(), nil
+}
+
+type printer struct {
+	b      strings.Builder
+	indent string
+	err    error
+}
+
+func (p *printer) push() { p.indent += "  " }
+func (p *printer) pop()  { p.indent = p.indent[:len(p.indent)-2] }
+
+func (p *printer) printf(format string, args ...any) {
+	p.b.WriteString(p.indent)
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("hdl: unprintable system: "+format, args...)
+	}
+}
+
+func (p *printer) varDecl(v *spec.Variable) error {
+	t, err := typeText(v.Type)
+	if err != nil {
+		return err
+	}
+	kw := "variable"
+	if v.Kind == spec.KindSignal {
+		kw = "signal"
+	}
+	init := ""
+	if v.Init != nil {
+		init = " := " + p.expr(v.Init)
+	}
+	if len(v.InitArray) > 0 {
+		return fmt.Errorf("hdl: unprintable system: array initializer on %s has no textual form", v.Name)
+	}
+	p.printf("%s %s : %s%s;", kw, v.Name, t, init)
+	return nil
+}
+
+func typeText(t spec.Type) (string, error) {
+	switch t := t.(type) {
+	case spec.BitType:
+		return "bit", nil
+	case spec.BoolType:
+		return "boolean", nil
+	case spec.IntegerType:
+		if t.Width != 32 {
+			return "", fmt.Errorf("hdl: unprintable system: integer<%d> has no textual form", t.Width)
+		}
+		return "integer", nil
+	case spec.BitVectorType:
+		return fmt.Sprintf("bit_vector(%d downto 0)", t.Width-1), nil
+	case spec.ArrayType:
+		elem, err := typeText(t.Elem)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("array(%d to %d) of %s", t.Lo, t.Lo+t.Length-1, elem), nil
+	}
+	return "", fmt.Errorf("hdl: unprintable system: type %s has no textual form", t)
+}
+
+func (p *printer) behavior(b *spec.Behavior) error {
+	server := ""
+	if b.Server {
+		server = " server"
+	}
+	p.printf("behavior %s%s is", b.Name, server)
+	p.push()
+	for _, v := range b.Variables {
+		if err := p.varDecl(v); err != nil {
+			return err
+		}
+	}
+	for _, proc := range b.Procedures {
+		if err := p.procedure(proc); err != nil {
+			return err
+		}
+	}
+	p.pop()
+	p.printf("begin")
+	p.push()
+	p.stmts(b.Body)
+	p.pop()
+	p.printf("end behavior;")
+	return p.err
+}
+
+func (p *printer) procedure(proc *spec.Procedure) error {
+	params := make([]string, len(proc.Params))
+	for i, prm := range proc.Params {
+		t, err := typeText(prm.Var.Type)
+		if err != nil {
+			return err
+		}
+		params[i] = fmt.Sprintf("%s : %s %s", prm.Var.Name, prm.Mode, t)
+	}
+	p.printf("procedure %s(%s) is", proc.Name, strings.Join(params, "; "))
+	p.push()
+	for _, l := range proc.Locals {
+		if err := p.varDecl(l); err != nil {
+			return err
+		}
+	}
+	p.pop()
+	p.printf("begin")
+	p.push()
+	p.stmts(proc.Body)
+	p.pop()
+	p.printf("end procedure;")
+	return p.err
+}
+
+func (p *printer) stmts(stmts []spec.Stmt) {
+	if len(stmts) == 0 {
+		p.printf("null;")
+		return
+	}
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s spec.Stmt) {
+	switch s := s.(type) {
+	case *spec.Assign:
+		op := ":="
+		if s.Kind == spec.AssignSignal {
+			op = "<="
+		}
+		p.printf("%s %s %s;", p.expr(s.LHS), op, p.expr(s.RHS))
+	case *spec.If:
+		p.printf("if %s then", p.expr(s.Cond))
+		p.push()
+		p.stmts(s.Then)
+		p.pop()
+		for _, arm := range s.Elifs {
+			p.printf("elsif %s then", p.expr(arm.Cond))
+			p.push()
+			p.stmts(arm.Body)
+			p.pop()
+		}
+		if len(s.Else) > 0 {
+			p.printf("else")
+			p.push()
+			p.stmts(s.Else)
+			p.pop()
+		}
+		p.printf("end if;")
+	case *spec.For:
+		p.printf("for %s in %s to %s loop", s.Var.Name, p.expr(s.From), p.expr(s.To))
+		p.push()
+		p.stmts(s.Body)
+		p.pop()
+		p.printf("end loop;")
+	case *spec.While:
+		p.printf("while %s loop", p.expr(s.Cond))
+		p.push()
+		p.stmts(s.Body)
+		p.pop()
+		p.printf("end loop;")
+	case *spec.Loop:
+		p.printf("loop")
+		p.push()
+		p.stmts(s.Body)
+		p.pop()
+		p.printf("end loop;")
+	case *spec.Exit:
+		p.printf("exit;")
+	case *spec.Return:
+		p.printf("return;")
+	case *spec.Null:
+		p.printf("null;")
+	case *spec.Wait:
+		var parts []string
+		if len(s.On) > 0 {
+			names := make([]string, len(s.On))
+			for i, v := range s.On {
+				names[i] = v.Name
+			}
+			parts = append(parts, "on "+strings.Join(names, ", "))
+		}
+		if s.Until != nil {
+			parts = append(parts, "until "+p.expr(s.Until))
+		}
+		if s.HasFor {
+			parts = append(parts, fmt.Sprintf("for %d", s.For))
+		}
+		if len(parts) == 0 {
+			p.fail("bare wait has no textual form")
+			return
+		}
+		p.printf("wait %s;", strings.Join(parts, " "))
+	case *spec.Call:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = p.expr(a)
+		}
+		p.printf("%s(%s);", s.Proc.Name, strings.Join(args, ", "))
+	default:
+		p.fail("statement %T has no textual form", s)
+	}
+}
+
+var opText = map[spec.Op]string{
+	spec.OpAdd: "+", spec.OpSub: "-", spec.OpMul: "*", spec.OpDiv: "/",
+	spec.OpMod: "mod", spec.OpEq: "=", spec.OpNeq: "/=",
+	spec.OpLt: "<", spec.OpLe: "<=", spec.OpGt: ">", spec.OpGe: ">=",
+	spec.OpAnd: "and", spec.OpOr: "or", spec.OpXor: "xor",
+	spec.OpConcat: "&", spec.OpShl: "sll", spec.OpShr: "srl",
+}
+
+func (p *printer) expr(e spec.Expr) string {
+	switch e := e.(type) {
+	case *spec.IntLit:
+		if e.Value < 0 {
+			return fmt.Sprintf("(-%d)", -e.Value)
+		}
+		return fmt.Sprintf("%d", e.Value)
+	case *spec.VecLit:
+		if e.Value.Width() == 1 {
+			return fmt.Sprintf("'%s'", e.Value)
+		}
+		return fmt.Sprintf("%q", e.Value.String())
+	case *spec.BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *spec.VarRef:
+		return e.Var.Name
+	case *spec.Index:
+		return fmt.Sprintf("%s(%s)", p.expr(e.Arr), p.expr(e.Index))
+	case *spec.SliceExpr:
+		return fmt.Sprintf("%s(%s downto %s)", p.expr(e.X), p.expr(e.Hi), p.expr(e.Lo))
+	case *spec.Binary:
+		op, ok := opText[e.Op]
+		if !ok {
+			p.fail("operator %v has no textual form", e.Op)
+			return "?"
+		}
+		return fmt.Sprintf("(%s %s %s)", p.expr(e.X), op, p.expr(e.Y))
+	case *spec.Unary:
+		if e.Op == spec.OpNot {
+			return fmt.Sprintf("(not %s)", p.expr(e.X))
+		}
+		return fmt.Sprintf("(-%s)", p.expr(e.X))
+	case *spec.Conv:
+		switch t := e.To.(type) {
+		case spec.IntegerType:
+			if e.Signed {
+				return fmt.Sprintf("conv_integer_signed(%s)", p.expr(e.X))
+			}
+			return fmt.Sprintf("conv_integer(%s)", p.expr(e.X))
+		case spec.BitVectorType:
+			return fmt.Sprintf("conv_bit_vector(%s, %d)", p.expr(e.X), t.Width)
+		case spec.BitType:
+			return fmt.Sprintf("conv_bit_vector(%s, 1)", p.expr(e.X))
+		}
+		p.fail("conversion to %s has no textual form", e.To)
+		return "?"
+	case *spec.FieldRef:
+		p.fail("record field access has no textual form (refined system?)")
+		return "?"
+	}
+	p.fail("expression %T has no textual form", e)
+	return "?"
+}

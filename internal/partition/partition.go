@@ -1,0 +1,464 @@
+// Package partition implements SpecSyn-style system partitioning (Vahid
+// & Gajski, "Specification partitioning for system design", DAC'92 — the
+// paper's reference [1]): grouping the behaviors and variables of a
+// specification into modules (chips and memories), deriving the abstract
+// communication channels created by cross-module variable accesses, and
+// grouping channels for bus implementation.
+//
+// Two usage modes:
+//
+//   - Manual: construct the modules yourself with the spec builder API
+//     (as the paper's figures do) and call DeriveChannels to materialize
+//     the channels implied by remote accesses.
+//   - Automatic: hand Cluster the flat lists of behaviors and variables;
+//     it builds a closeness graph (trip-weighted access counts between
+//     behaviors and variables, communication affinity between behaviors)
+//     and agglomerates the closest clusters until the requested module
+//     count is reached.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/busgen"
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// DeriveChannels scans every behavior for accesses to variables owned by
+// other modules and creates one channel per (behavior, variable,
+// direction) triple, attaching them to the system. Channels are named
+// ch1, ch2, ... in deterministic traversal order, following the paper's
+// naming. Existing channels are preserved; duplicates are not created.
+func DeriveChannels(sys *spec.System) ([]*spec.Channel, error) {
+	type key struct {
+		b   *spec.Behavior
+		v   *spec.Variable
+		dir spec.Direction
+	}
+	existing := make(map[key]bool)
+	for _, c := range sys.Channels {
+		existing[key{c.Accessor, c.Var, c.Dir}] = true
+	}
+
+	var created []*spec.Channel
+	seq := len(sys.Channels)
+	for _, m := range sys.Modules {
+		for _, b := range m.Behaviors {
+			stmts := allStmts(b)
+			reads := spec.VarsRead(stmts)
+			writes := spec.VarsWritten(stmts)
+			for _, ref := range orderedVars(reads, writes) {
+				v := ref.v
+				if v.Owner == nil || v.Owner == m {
+					continue // local or behavior-scoped
+				}
+				if ref.reads > 0 && !existing[key{b, v, spec.Read}] {
+					seq++
+					c := &spec.Channel{
+						Name: fmt.Sprintf("ch%d", seq), Accessor: b, Var: v, Dir: spec.Read,
+					}
+					sys.AddChannel(c)
+					created = append(created, c)
+					existing[key{b, v, spec.Read}] = true
+				}
+				if ref.writes > 0 && !existing[key{b, v, spec.Write}] {
+					seq++
+					c := &spec.Channel{
+						Name: fmt.Sprintf("ch%d", seq), Accessor: b, Var: v, Dir: spec.Write,
+					}
+					sys.AddChannel(c)
+					created = append(created, c)
+					existing[key{b, v, spec.Write}] = true
+				}
+			}
+		}
+	}
+	if errs := sys.Validate(); len(errs) > 0 {
+		return created, fmt.Errorf("partition: derived channels leave system invalid: %w", errs[0])
+	}
+	return created, nil
+}
+
+func allStmts(b *spec.Behavior) []spec.Stmt {
+	stmts := append([]spec.Stmt{}, b.Body...)
+	for _, p := range b.Procedures {
+		stmts = append(stmts, p.Body...)
+	}
+	return stmts
+}
+
+type varRefCount struct {
+	v             *spec.Variable
+	reads, writes int
+}
+
+// orderedVars merges read/write counts into a deterministic list (by
+// variable name).
+func orderedVars(reads, writes map[*spec.Variable]int) []varRefCount {
+	merged := make(map[*spec.Variable]*varRefCount)
+	for v, n := range reads {
+		merged[v] = &varRefCount{v: v, reads: n}
+	}
+	for v, n := range writes {
+		if rc, ok := merged[v]; ok {
+			rc.writes = n
+		} else {
+			merged[v] = &varRefCount{v: v, writes: n}
+		}
+	}
+	out := make([]varRefCount, 0, len(merged))
+	for _, rc := range merged {
+		out = append(out, *rc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v.Name < out[j].v.Name })
+	return out
+}
+
+// ---- automatic clustering ----
+
+// Item is one partitionable object: a behavior or a variable.
+type Item struct {
+	Behavior *spec.Behavior
+	Variable *spec.Variable
+}
+
+func (it Item) name() string {
+	if it.Behavior != nil {
+		return "b:" + it.Behavior.Name
+	}
+	return "v:" + it.Variable.Name
+}
+
+// Config parameterizes automatic clustering.
+type Config struct {
+	// Modules is the target module count (>= 1).
+	Modules int
+	// Model is the cost model used to weight accesses by loop trip
+	// counts; zero value means the default model.
+	Model estimate.CostModel
+	// MaxItems softly caps the number of items per module: merges that
+	// would exceed it are deferred while any legal merge exists. Zero
+	// means no cap; Balanced sets it to ceil(items/Modules).
+	MaxItems int
+	// Balanced derives MaxItems from the item count, yielding modules
+	// of roughly equal size (SpecSyn's constraint-driven flavor).
+	Balanced bool
+}
+
+// Clusters is the outcome of automatic partitioning: Groups[i] lists the
+// items of module i.
+type Clusters struct {
+	Groups [][]Item
+}
+
+// Cluster partitions behaviors and variables into cfg.Modules groups by
+// agglomerating the closest clusters. Closeness between a behavior and a
+// variable is the behavior's trip-weighted access count to the variable;
+// closeness between two behaviors is their communication affinity (the
+// smaller of their access counts summed over shared variables). Pairwise
+// cluster closeness is normalized by cluster sizes so merging large
+// clusters is not self-reinforcing.
+func Cluster(behaviors []*spec.Behavior, vars []*spec.Variable, cfg Config) (*Clusters, error) {
+	if cfg.Modules < 1 {
+		return nil, errors.New("partition: Modules must be >= 1")
+	}
+	n := len(behaviors) + len(vars)
+	if n == 0 {
+		return nil, errors.New("partition: nothing to cluster")
+	}
+	if cfg.Modules > n {
+		return nil, fmt.Errorf("partition: %d modules requested for %d items", cfg.Modules, n)
+	}
+	model := cfg.Model
+	if model == (estimate.CostModel{}) {
+		model = estimate.DefaultModel()
+	}
+
+	items := make([]Item, 0, n)
+	for _, b := range behaviors {
+		items = append(items, Item{Behavior: b})
+	}
+	for _, v := range vars {
+		items = append(items, Item{Variable: v})
+	}
+
+	// access[b][v]: trip-weighted access count.
+	access := make(map[*spec.Behavior]map[*spec.Variable]float64)
+	for _, b := range behaviors {
+		access[b] = accessWeights(b, model)
+	}
+
+	// Base closeness between items.
+	base := func(a, c Item) float64 {
+		switch {
+		case a.Behavior != nil && c.Variable != nil:
+			return access[a.Behavior][c.Variable]
+		case a.Variable != nil && c.Behavior != nil:
+			return access[c.Behavior][a.Variable]
+		case a.Behavior != nil && c.Behavior != nil:
+			var sum float64
+			for v, wa := range access[a.Behavior] {
+				if wb, ok := access[c.Behavior][v]; ok {
+					sum += min(wa, wb)
+				}
+			}
+			return sum
+		default:
+			return 0 // variable-variable: no direct affinity
+		}
+	}
+
+	// Agglomerate.
+	clusters := make([][]Item, n)
+	for i, it := range items {
+		clusters[i] = []Item{it}
+	}
+	closeness := func(A, B []Item) float64 {
+		var sum float64
+		for _, a := range A {
+			for _, b := range B {
+				sum += base(a, b)
+			}
+		}
+		return sum / float64(len(A)*len(B))
+	}
+	maxItems := cfg.MaxItems
+	if cfg.Balanced && maxItems == 0 {
+		maxItems = (n + cfg.Modules - 1) / cfg.Modules
+	}
+	for len(clusters) > cfg.Modules {
+		bi, bj, best := -1, -1, -1.0
+		fbI, fbJ, fbBest := -1, -1, -1.0 // fallback ignoring the cap
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				c := closeness(clusters[i], clusters[j])
+				if c > fbBest {
+					fbI, fbJ, fbBest = i, j, c
+				}
+				if maxItems > 0 && len(clusters[i])+len(clusters[j]) > maxItems {
+					continue
+				}
+				if c > best {
+					bi, bj, best = i, j, c
+				}
+			}
+		}
+		if bi < 0 {
+			// No merge fits the cap: relax it rather than fail, so the
+			// requested module count is always reached (soft cap).
+			bi, bj = fbI, fbJ
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	// Deterministic group ordering: by first item name.
+	for _, g := range clusters {
+		sort.Slice(g, func(i, j int) bool { return g[i].name() < g[j].name() })
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0].name() < clusters[j][0].name() })
+	return &Clusters{Groups: clusters}, nil
+}
+
+// accessWeights computes the behavior's trip-weighted reference counts
+// per module-candidate variable (i.e. every variable it references that
+// it does not declare locally).
+func accessWeights(b *spec.Behavior, model estimate.CostModel) map[*spec.Variable]float64 {
+	local := make(map[*spec.Variable]bool)
+	for _, v := range b.Variables {
+		local[v] = true
+	}
+	w := make(map[*spec.Variable]float64)
+	var walk func(stmts []spec.Stmt, scale float64)
+	count := func(e spec.Expr, scale float64) {
+		spec.WalkExpr(e, func(sub spec.Expr) bool {
+			if r, ok := sub.(*spec.VarRef); ok && !local[r.Var] {
+				w[r.Var] += scale
+			}
+			return true
+		})
+	}
+	walk = func(stmts []spec.Stmt, scale float64) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *spec.Assign:
+				count(s.RHS, scale)
+				count(s.LHS, scale)
+			case *spec.If:
+				count(s.Cond, scale)
+				walk(s.Then, scale/2)
+				for _, arm := range s.Elifs {
+					count(arm.Cond, scale)
+					walk(arm.Body, scale/2)
+				}
+				walk(s.Else, scale/2)
+			case *spec.For:
+				trips := float64(model.DefaultTrips)
+				if lo, ok1 := estimate.ConstInt(s.From); ok1 {
+					if hi, ok2 := estimate.ConstInt(s.To); ok2 && hi >= lo {
+						trips = float64(hi - lo + 1)
+					}
+				}
+				walk(s.Body, scale*trips)
+			case *spec.While:
+				count(s.Cond, scale)
+				walk(s.Body, scale*float64(model.DefaultTrips))
+			case *spec.Loop:
+				walk(s.Body, scale*float64(model.DefaultTrips))
+			case *spec.Call:
+				for _, a := range s.Args {
+					count(a, scale)
+				}
+			case *spec.Wait:
+				if s.Until != nil {
+					count(s.Until, scale)
+				}
+			}
+		}
+	}
+	walk(allStmts(b), 1)
+	return w
+}
+
+// BuildSystem materializes a clustering as a system: module m<i> per
+// group, with channels derived. Behaviors and variables must not already
+// be owned.
+func BuildSystem(name string, groups [][]Item) (*spec.System, error) {
+	sys := spec.NewSystem(name)
+	for i, g := range groups {
+		m := sys.AddModule(fmt.Sprintf("m%d", i))
+		for _, it := range g {
+			switch {
+			case it.Behavior != nil:
+				if it.Behavior.Owner != nil {
+					return nil, fmt.Errorf("partition: behavior %s already assigned", it.Behavior.Name)
+				}
+				m.AddBehavior(it.Behavior)
+			case it.Variable != nil:
+				if it.Variable.Owner != nil {
+					return nil, fmt.Errorf("partition: variable %s already assigned", it.Variable.Name)
+				}
+				m.AddVariable(it.Variable)
+			}
+		}
+	}
+	if _, err := DeriveChannels(sys); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// ---- channel grouping ----
+
+// GroupingPolicy selects how channels are grouped into buses.
+type GroupingPolicy int
+
+// Grouping policies.
+const (
+	// SingleBus merges every channel into one bus (maximum interconnect
+	// reduction; the paper's FLC experiment).
+	SingleBus GroupingPolicy = iota
+	// ByModulePair groups channels connecting the same pair of modules.
+	ByModulePair
+	// RateFeasible starts from a single bus and splits only when Eq. 1
+	// cannot be satisfied (busgen.Split).
+	RateFeasible
+)
+
+// GroupBuses partitions the system's channels into buses under the given
+// policy, attaches the buses to the system (named B, B2, B3, ...) and
+// returns them. Widths are left 0 — bus generation assigns them.
+func GroupBuses(sys *spec.System, est *estimate.Estimator, policy GroupingPolicy, cfg busgen.Config) ([]*spec.Bus, error) {
+	if len(sys.Channels) == 0 {
+		return nil, errors.New("partition: no channels to group")
+	}
+	var groups [][]*spec.Channel
+	switch policy {
+	case SingleBus:
+		groups = [][]*spec.Channel{append([]*spec.Channel{}, sys.Channels...)}
+	case ByModulePair:
+		byPair := make(map[string][]*spec.Channel)
+		var order []string
+		for _, c := range sys.Channels {
+			a, b := c.Accessor.Owner.Name, c.Var.Owner.Name
+			if a > b {
+				a, b = b, a
+			}
+			k := a + "|" + b
+			if _, ok := byPair[k]; !ok {
+				order = append(order, k)
+			}
+			byPair[k] = append(byPair[k], c)
+		}
+		for _, k := range order {
+			groups = append(groups, byPair[k])
+		}
+	case RateFeasible:
+		gs, ok := busgen.Split(sys.Channels, est, cfg)
+		if !ok {
+			return nil, errors.New("partition: some channels individually infeasible")
+		}
+		groups = gs
+	default:
+		return nil, fmt.Errorf("partition: unknown grouping policy %d", policy)
+	}
+	var buses []*spec.Bus
+	for i, g := range groups {
+		name := "B"
+		if i > 0 {
+			name = fmt.Sprintf("B%d", i+1)
+		}
+		bus := &spec.Bus{Name: name, Channels: g, Protocol: cfg.Protocol}
+		sys.Buses = append(sys.Buses, bus)
+		buses = append(buses, bus)
+	}
+	return buses, nil
+}
+
+// Repartition re-runs automatic partitioning on an existing system: all
+// behaviors and module-level variables are pooled, clustered into the
+// requested number of modules by closeness, and reassigned; channels are
+// dropped and re-derived against the new module boundaries. Generated
+// refinement artifacts (buses, global signals) must not exist yet —
+// repartitioning is a front-of-flow operation.
+func Repartition(sys *spec.System, modules int, cfg Config) error {
+	if len(sys.Buses) > 0 || len(sys.Globals) > 0 {
+		return errors.New("partition: cannot repartition a refined system")
+	}
+	var behaviors []*spec.Behavior
+	var vars []*spec.Variable
+	for _, m := range sys.Modules {
+		behaviors = append(behaviors, m.Behaviors...)
+		vars = append(vars, m.Variables...)
+	}
+	for _, b := range behaviors {
+		b.Owner = nil
+	}
+	for _, v := range vars {
+		v.Owner = nil
+	}
+	cfg.Modules = modules
+	clusters, err := Cluster(behaviors, vars, cfg)
+	if err != nil {
+		return err
+	}
+	sys.Modules = nil
+	sys.Channels = nil
+	for i, g := range clusters.Groups {
+		m := sys.AddModule(fmt.Sprintf("m%d", i))
+		for _, it := range g {
+			switch {
+			case it.Behavior != nil:
+				m.AddBehavior(it.Behavior)
+			case it.Variable != nil:
+				m.AddVariable(it.Variable)
+			}
+		}
+	}
+	if _, err := DeriveChannels(sys); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/busgen"
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// buildFig1 models Fig. 1 of the paper: process A on module 1 accessing
+// MEM (read+write) and STATUS (write) on module 2.
+func buildFig1() *spec.System {
+	sys := spec.NewSystem("fig1")
+	m1 := sys.AddModule("module1")
+	m2 := sys.AddModule("module2")
+	a := m1.AddBehavior(spec.NewBehavior("A"))
+	mem := m2.AddVariable(spec.NewVar("MEM", spec.Array(256, spec.BitVector(8))))
+	status := m2.AddVariable(spec.NewVar("STATUS", spec.BitVector(8)))
+	ir := a.AddVar("IR", spec.BitVector(8))
+	pc := a.AddVar("PC", spec.Integer)
+	ar := a.AddVar("AR", spec.Integer)
+	accum := a.AddVar("ACCUM", spec.BitVector(8))
+	// IR <= MEM(PC); STATUS <= X"0A"; MEM(AR) <= ACCUM;
+	a.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(ir), spec.At(spec.Ref(mem), spec.Ref(pc))),
+		spec.AssignVar(spec.Ref(status), spec.VecString("00001010")),
+		spec.AssignVar(spec.At(spec.Ref(mem), spec.Ref(ar)), spec.Ref(accum)),
+	}
+	return sys
+}
+
+func TestDeriveChannelsFig1(t *testing.T) {
+	sys := buildFig1()
+	created, err := DeriveChannels(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1: ch1 A < MEM (read), ch2 A > MEM (write), ch3 A > STATUS.
+	if len(created) != 3 {
+		t.Fatalf("created %d channels, want 3: %v", len(created), created)
+	}
+	var haveMemR, haveMemW, haveStatusW bool
+	for _, c := range created {
+		switch {
+		case c.Var.Name == "MEM" && c.Dir == spec.Read:
+			haveMemR = true
+		case c.Var.Name == "MEM" && c.Dir == spec.Write:
+			haveMemW = true
+		case c.Var.Name == "STATUS" && c.Dir == spec.Write:
+			haveStatusW = true
+		}
+		if c.Accessor.Name != "A" {
+			t.Errorf("channel %s accessor = %s", c.Name, c.Accessor.Name)
+		}
+	}
+	if !haveMemR || !haveMemW || !haveStatusW {
+		t.Fatalf("channel directions wrong: %v", created)
+	}
+	// Names are sequential.
+	if created[0].Name != "ch1" {
+		t.Errorf("first channel named %s", created[0].Name)
+	}
+}
+
+func TestDeriveChannelsIdempotent(t *testing.T) {
+	sys := buildFig1()
+	if _, err := DeriveChannels(sys); err != nil {
+		t.Fatal(err)
+	}
+	again, err := DeriveChannels(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second derivation created %d channels", len(again))
+	}
+	if len(sys.Channels) != 3 {
+		t.Fatalf("system has %d channels", len(sys.Channels))
+	}
+}
+
+func TestDeriveChannelsIgnoresLocalAccess(t *testing.T) {
+	sys := spec.NewSystem("local")
+	m := sys.AddModule("m")
+	sys.AddModule("m2")
+	b := m.AddBehavior(spec.NewBehavior("B"))
+	v := m.AddVariable(spec.NewVar("V", spec.Bit)) // same module
+	b.Body = []spec.Stmt{spec.AssignVar(spec.Ref(v), spec.VecString("1"))}
+	created, err := DeriveChannels(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 0 {
+		t.Fatalf("intra-module access created channels: %v", created)
+	}
+}
+
+func TestClusterPullsAccessorsToTheirData(t *testing.T) {
+	// Two independent producer/consumer pairs; clustering into two
+	// modules must keep each behavior with its heavily-accessed array.
+	b1 := spec.NewBehavior("B1")
+	b2 := spec.NewBehavior("B2")
+	v1 := spec.NewVar("V1", spec.Array(64, spec.BitVector(8)))
+	v2 := spec.NewVar("V2", spec.Array(64, spec.BitVector(8)))
+	i1 := b1.AddVar("i", spec.Integer)
+	i2 := b2.AddVar("i", spec.Integer)
+	b1.Body = []spec.Stmt{&spec.For{Var: i1, From: spec.Int(0), To: spec.Int(63), Body: []spec.Stmt{
+		spec.AssignVar(spec.At(spec.Ref(v1), spec.Ref(i1)), spec.ToVec(spec.Ref(i1), 8)),
+	}}}
+	b2.Body = []spec.Stmt{&spec.For{Var: i2, From: spec.Int(0), To: spec.Int(63), Body: []spec.Stmt{
+		spec.AssignVar(spec.At(spec.Ref(v2), spec.Ref(i2)), spec.ToVec(spec.Ref(i2), 8)),
+	}}}
+	res, err := Cluster([]*spec.Behavior{b1, b2}, []*spec.Variable{v1, v2}, Config{Modules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	find := func(name string) int {
+		for gi, g := range res.Groups {
+			for _, it := range g {
+				if it.name() == name {
+					return gi
+				}
+			}
+		}
+		return -1
+	}
+	if find("b:B1") != find("v:V1") {
+		t.Error("B1 separated from V1")
+	}
+	if find("b:B2") != find("v:V2") {
+		t.Error("B2 separated from V2")
+	}
+	if find("b:B1") == find("b:B2") {
+		t.Error("independent pairs merged")
+	}
+}
+
+func TestClusterCommunicatingBehaviorsMerge(t *testing.T) {
+	// Three behaviors; A and B share a variable heavily, C is isolated
+	// with its own. Two modules: {A, B, shared} vs {C, own}.
+	a := spec.NewBehavior("A")
+	b := spec.NewBehavior("B")
+	c := spec.NewBehavior("C")
+	shared := spec.NewVar("SHARED", spec.BitVector(8))
+	own := spec.NewVar("OWN", spec.BitVector(8))
+	ia := a.AddVar("i", spec.Integer)
+	ib := b.AddVar("i", spec.Integer)
+	for _, pair := range []struct {
+		beh *spec.Behavior
+		i   *spec.Variable
+	}{{a, ia}, {b, ib}} {
+		pair.beh.Body = []spec.Stmt{&spec.For{Var: pair.i, From: spec.Int(0), To: spec.Int(31), Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(shared), spec.ToVec(spec.Ref(pair.i), 8)),
+		}}}
+	}
+	c.Body = []spec.Stmt{spec.AssignVar(spec.Ref(own), spec.VecString("00000001"))}
+	res, err := Cluster([]*spec.Behavior{a, b, c}, []*spec.Variable{shared, own}, Config{Modules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) int {
+		for gi, g := range res.Groups {
+			for _, it := range g {
+				if it.name() == name {
+					return gi
+				}
+			}
+		}
+		return -1
+	}
+	if find("b:A") != find("b:B") || find("b:A") != find("v:SHARED") {
+		t.Errorf("communicating cluster split: %v", res.Groups)
+	}
+	if find("b:C") != find("v:OWN") {
+		t.Errorf("C separated from OWN: %v", res.Groups)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, nil, Config{Modules: 1}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	b := spec.NewBehavior("B")
+	if _, err := Cluster([]*spec.Behavior{b}, nil, Config{Modules: 0}); err == nil {
+		t.Error("zero modules accepted")
+	}
+	if _, err := Cluster([]*spec.Behavior{b}, nil, Config{Modules: 5}); err == nil {
+		t.Error("more modules than items accepted")
+	}
+}
+
+func TestBuildSystemFromClusters(t *testing.T) {
+	b1 := spec.NewBehavior("B1")
+	v1 := spec.NewVar("V1", spec.BitVector(8))
+	b1.Body = []spec.Stmt{spec.AssignVar(spec.Ref(v1), spec.VecString("00000001"))}
+	sys, err := BuildSystem("auto", [][]Item{
+		{{Behavior: b1}},
+		{{Variable: v1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Modules) != 2 {
+		t.Fatalf("modules = %d", len(sys.Modules))
+	}
+	if len(sys.Channels) != 1 || sys.Channels[0].Dir != spec.Write {
+		t.Fatalf("channels = %v", sys.Channels)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+}
+
+func TestGroupBusesSingle(t *testing.T) {
+	sys := buildFig1()
+	if _, err := DeriveChannels(sys); err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(sys.Channels)
+	buses, err := GroupBuses(sys, est, SingleBus, busgen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buses) != 1 || len(buses[0].Channels) != 3 {
+		t.Fatalf("buses = %v", buses)
+	}
+	if buses[0].Name != "B" {
+		t.Errorf("bus name = %s", buses[0].Name)
+	}
+}
+
+func TestGroupBusesByModulePair(t *testing.T) {
+	// Three modules: A on m1 accesses X on m2 and Y on m3 -> two buses.
+	sys := spec.NewSystem("pairs")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	m3 := sys.AddModule("m3")
+	a := m1.AddBehavior(spec.NewBehavior("A"))
+	x := m2.AddVariable(spec.NewVar("X", spec.BitVector(8)))
+	y := m3.AddVariable(spec.NewVar("Y", spec.BitVector(8)))
+	l := a.AddVar("l", spec.BitVector(8))
+	a.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(x), spec.Ref(l)),
+		spec.AssignVar(spec.Ref(y), spec.Ref(l)),
+	}
+	if _, err := DeriveChannels(sys); err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(sys.Channels)
+	buses, err := GroupBuses(sys, est, ByModulePair, busgen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buses) != 2 {
+		t.Fatalf("buses = %d, want 2", len(buses))
+	}
+	if buses[1].Name != "B2" {
+		t.Errorf("second bus name = %s", buses[1].Name)
+	}
+}
+
+func TestGroupBusesRateFeasibleSplits(t *testing.T) {
+	sys := buildFig1()
+	if _, err := DeriveChannels(sys); err != nil {
+		t.Fatal(err)
+	}
+	// Force infeasibility of the merged group.
+	for _, c := range sys.Channels {
+		c.Accesses = 1000
+		c.LifetimeClocks = 2000 // ~8-12.5 b/clk each
+	}
+	est := estimate.New(sys.Channels)
+	buses, err := GroupBuses(sys, est, RateFeasible, busgen.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buses) < 2 {
+		t.Fatalf("rate-feasible grouping kept %d bus(es) for overloaded channels", len(buses))
+	}
+}
+
+func TestGroupBusesEmpty(t *testing.T) {
+	sys := spec.NewSystem("empty")
+	est := estimate.New(nil)
+	if _, err := GroupBuses(sys, est, SingleBus, busgen.DefaultConfig()); err == nil {
+		t.Error("empty channel list accepted")
+	}
+}
+
+func TestDeriveChannelNamesSequential(t *testing.T) {
+	sys := buildFig1()
+	created, _ := DeriveChannels(sys)
+	names := make([]string, len(created))
+	for i, c := range created {
+		names[i] = c.Name
+	}
+	joined := strings.Join(names, ",")
+	if joined != "ch1,ch2,ch3" {
+		t.Errorf("names = %s", joined)
+	}
+}
+
+func TestRepartitionSingleModuleSystem(t *testing.T) {
+	// One flat module holding two independent producer/memory pairs;
+	// repartitioning into two modules must separate the pairs and
+	// derive fresh channels at the new boundaries.
+	sys := spec.NewSystem("flat")
+	m := sys.AddModule("all")
+	b1 := m.AddBehavior(spec.NewBehavior("B1"))
+	b2 := m.AddBehavior(spec.NewBehavior("B2"))
+	v1 := m.AddVariable(spec.NewVar("V1", spec.Array(64, spec.BitVector(8))))
+	v2 := m.AddVariable(spec.NewVar("V2", spec.Array(64, spec.BitVector(8))))
+	for _, pair := range []struct {
+		b *spec.Behavior
+		v *spec.Variable
+	}{{b1, v1}, {b2, v2}} {
+		i := pair.b.AddVar("i", spec.Integer)
+		pair.b.Body = []spec.Stmt{
+			&spec.For{Var: i, From: spec.Int(0), To: spec.Int(63), Body: []spec.Stmt{
+				spec.AssignVar(spec.At(spec.Ref(pair.v), spec.Ref(i)), spec.ToVec(spec.Ref(i), 8)),
+			}},
+		}
+	}
+	if err := Repartition(sys, 2, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Modules) != 2 {
+		t.Fatalf("modules = %d", len(sys.Modules))
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+	// The clustering keeps each behavior with its array, so the only
+	// channels are those crossing the new boundary — ideally none
+	// (each pair is self-contained) or symmetric if split that way.
+	for _, c := range sys.Channels {
+		if c.Accessor.Owner == c.Var.Owner {
+			t.Fatalf("intra-module channel derived: %s", c)
+		}
+	}
+	// Each behavior must be co-located with its own array.
+	if b1.Owner != v1.Owner || b2.Owner != v2.Owner {
+		t.Error("behavior separated from its data")
+	}
+	if b1.Owner == b2.Owner {
+		t.Error("independent pairs not separated")
+	}
+}
+
+func TestRepartitionIntoMoreModulesCreatesChannels(t *testing.T) {
+	// One behavior with its memory, split into two modules: the memory
+	// lands apart from the behavior and channels appear.
+	sys := spec.NewSystem("flat")
+	m := sys.AddModule("all")
+	b := m.AddBehavior(spec.NewBehavior("B"))
+	v := m.AddVariable(spec.NewVar("V", spec.Array(32, spec.BitVector(8))))
+	i := b.AddVar("i", spec.Integer)
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(0), To: spec.Int(31), Body: []spec.Stmt{
+			spec.AssignVar(spec.At(spec.Ref(v), spec.Ref(i)), spec.ToVec(spec.Ref(i), 8)),
+		}},
+	}
+	if err := Repartition(sys, 2, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Channels) != 1 || sys.Channels[0].Dir != spec.Write {
+		t.Fatalf("channels = %v", sys.Channels)
+	}
+}
+
+func TestRepartitionRejectsRefinedSystem(t *testing.T) {
+	sys := buildFig1()
+	sys.AddGlobal(spec.NewSignal("B", spec.Bit))
+	if err := Repartition(sys, 2, Config{}); err == nil {
+		t.Fatal("refined system accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package protogen
+
+import (
+	"repro/internal/bits"
+	"repro/internal/spec"
+)
+
+// Bus arbitration — the paper's Section 6 names "the effect of bus
+// arbitration delays on the performance of processes" as future work;
+// this file implements it. Without arbitration, two accessors opening
+// transactions concurrently corrupt the shared ID/DATA/START lines, so
+// the DAC'94 flow relies on the processes never overlapping their
+// transfers. With Config.Arbitrate set, protocol generation adds:
+//
+//   - REQ    : bit_vector(numAccessors-1 downto 0) — request lines, one
+//     per accessing behavior;
+//   - GRANT  : bit_vector(ceil(log2(numAccessors))-1 downto 0) — the
+//     granted accessor's index;
+//   - GVALID : bit — grant strobe;
+//
+// plus a generated ARBITER process (fixed-priority, lowest index wins)
+// on the bus's home module. Every accessor transaction is wrapped in an
+// acquire/release pair:
+//
+//	B.REQ(i) <= '1';
+//	wait until B.GVALID = '1' and B.GRANT = i;
+//	  ... transaction words ...
+//	B.REQ(i) <= '0';
+//	wait until B.GVALID = '0' or B.GRANT /= i;
+//
+// The arbiter costs two clocks per transaction (grant setup and bus
+// turnaround), which is the "arbitration delay" the ablation benchmark
+// measures.
+//
+// Single-accessor buses never get arbitration hardware: there is
+// nothing to arbitrate.
+
+// accessors returns the distinct accessing behaviors of the bus, in
+// first-channel order.
+func (g *generator) accessors() []*spec.Behavior {
+	var out []*spec.Behavior
+	seen := make(map[*spec.Behavior]bool)
+	for _, c := range g.bus.Channels {
+		if !seen[c.Accessor] {
+			seen[c.Accessor] = true
+			out = append(out, c.Accessor)
+		}
+	}
+	return out
+}
+
+// arbitrated reports whether this generation run adds arbitration.
+func (g *generator) arbitrated() bool {
+	return g.cfg.Arbitrate && len(g.accessors()) > 1
+}
+
+// arbiterFields returns the record fields arbitration adds.
+func (g *generator) arbiterFields() []spec.Field {
+	n := len(g.accessors())
+	return []spec.Field{
+		{Name: "REQ", Type: spec.BitVector(n)},
+		{Name: "GRANT", Type: spec.BitVector(spec.AddrBits(n))},
+		{Name: "GVALID", Type: spec.Bit},
+	}
+}
+
+// accessorIndex returns the behavior's request-line index.
+func (g *generator) accessorIndex(b *spec.Behavior) int {
+	for i, a := range g.accessors() {
+		if a == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// acquireStmts opens a transaction for accessor index i.
+func (g *generator) acquireStmts(i int) []spec.Stmt {
+	one := spec.VecString("1")
+	grantW := spec.AddrBits(len(g.accessors()))
+	myGrant := spec.Vec(bits.FromUint(uint64(i), grantW))
+	return []spec.Stmt{
+		spec.AssignSig(spec.SliceBits(g.busField("REQ"), i, i), one),
+		spec.WaitUntil(spec.LogicalAnd(
+			spec.Eq(g.busField("GVALID"), one),
+			spec.Eq(g.busField("GRANT"), myGrant),
+		)),
+	}
+}
+
+// releaseStmts closes a transaction for accessor index i.
+func (g *generator) releaseStmts(i int) []spec.Stmt {
+	zero := spec.VecString("0")
+	grantW := spec.AddrBits(len(g.accessors()))
+	myGrant := spec.Vec(bits.FromUint(uint64(i), grantW))
+	return []spec.Stmt{
+		spec.AssignSig(spec.SliceBits(g.busField("REQ"), i, i), zero),
+		spec.WaitUntil(spec.LogicalOr(
+			spec.Eq(g.busField("GVALID"), zero),
+			spec.Neq(g.busField("GRANT"), myGrant),
+		)),
+	}
+}
+
+// wrapArbitration wraps a generated accessor procedure body in the
+// acquire/release pair for its behavior.
+func (g *generator) wrapArbitration(b *spec.Behavior, body []spec.Stmt) []spec.Stmt {
+	if !g.arbitrated() {
+		return body
+	}
+	i := g.accessorIndex(b)
+	out := g.acquireStmts(i)
+	out = append(out, body...)
+	return append(out, g.releaseStmts(i)...)
+}
+
+// buildArbiter generates the ARBITER process under the configured grant
+// policy. It is attached to the module owning the first channel's
+// variable (the bus's home module) and marked Server.
+func (g *generator) buildArbiter() *spec.Behavior {
+	if g.cfg.ArbiterPolicy == RoundRobinArbiter {
+		return g.buildRoundRobinArbiter()
+	}
+	return g.buildPriorityArbiter()
+}
+
+// buildPriorityArbiter generates a fixed-priority grant loop: the
+// lowest-index requester wins every scan.
+func (g *generator) buildPriorityArbiter() *spec.Behavior {
+	accs := g.accessors()
+	n := len(accs)
+	grantW := spec.AddrBits(n)
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+
+	arb := spec.NewBehavior(g.bus.Name + "arbiter")
+	arb.Server = true
+
+	anyReq := spec.Neq(g.busField("REQ"), spec.Vec(bits.New(n)))
+
+	// Priority chain: lowest request index wins.
+	arm := func(i int) []spec.Stmt {
+		return []spec.Stmt{
+			spec.AssignSig(g.busField("GRANT"), spec.Vec(bits.FromUint(uint64(i), grantW))),
+			spec.WaitFor(1), // grant setup clock
+			spec.AssignSig(g.busField("GVALID"), one),
+			spec.WaitUntil(spec.Eq(spec.SliceBits(g.busField("REQ"), i, i), zero)),
+			spec.AssignSig(g.busField("GVALID"), zero),
+			spec.WaitFor(1), // bus turnaround clock
+		}
+	}
+	dispatch := &spec.If{
+		Cond: spec.Eq(spec.SliceBits(g.busField("REQ"), 0, 0), one),
+		Then: arm(0),
+	}
+	for i := 1; i < n; i++ {
+		dispatch.Elifs = append(dispatch.Elifs, spec.ElseIf{
+			Cond: spec.Eq(spec.SliceBits(g.busField("REQ"), i, i), one),
+			Body: arm(i),
+		})
+	}
+	arb.Body = []spec.Stmt{&spec.Loop{Body: []spec.Stmt{
+		spec.WaitUntil(anyReq),
+		dispatch,
+	}}}
+	return arb
+}
+
+// buildRoundRobinArbiter generates a rotating-priority grant loop: each
+// scan starts just after the last granted index, so every persistent
+// requester is served within one rotation:
+//
+//	loop
+//	  wait until B.REQ /= 0;
+//	  k := 1;
+//	  while k <= N loop
+//	    idx := (last + k) mod N;
+//	    if B.REQ(idx downto idx) = "1" then
+//	      B.GRANT <= idx; wait for 1; B.GVALID <= '1';
+//	      wait until B.REQ(idx downto idx) = "0";
+//	      B.GVALID <= '0'; last := idx; wait for 1;
+//	      exit;
+//	    end if;
+//	    k := k + 1;
+//	  end loop;
+//	end loop
+//
+// The dynamic single-bit select uses the IR's expression-valued slice
+// bounds (static width 1).
+func (g *generator) buildRoundRobinArbiter() *spec.Behavior {
+	accs := g.accessors()
+	n := len(accs)
+	grantW := spec.AddrBits(n)
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+
+	arb := spec.NewBehavior(g.bus.Name + "arbiter")
+	arb.Server = true
+	last := arb.AddVar("last", spec.Integer)
+	k := arb.AddVar("k", spec.Integer)
+	idx := arb.AddVar("idx", spec.Integer)
+
+	reqBit := &spec.SliceExpr{X: g.busField("REQ"), Hi: spec.Ref(idx), Lo: spec.Ref(idx), Width: 1}
+	anyReq := spec.Neq(g.busField("REQ"), spec.Vec(bits.New(n)))
+
+	scan := &spec.While{
+		Cond: spec.Le(spec.Ref(k), spec.Int(int64(n))),
+		Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(idx),
+				spec.Bin(spec.OpMod, spec.Add(spec.Ref(last), spec.Ref(k)), spec.Int(int64(n)))),
+			&spec.If{
+				Cond: spec.Eq(reqBit, one),
+				Then: []spec.Stmt{
+					spec.AssignSig(g.busField("GRANT"), spec.ToVec(spec.Ref(idx), grantW)),
+					spec.WaitFor(1),
+					spec.AssignSig(g.busField("GVALID"), one),
+					spec.WaitUntil(spec.Eq(reqBit, zero)),
+					spec.AssignSig(g.busField("GVALID"), zero),
+					spec.AssignVar(spec.Ref(last), spec.Ref(idx)),
+					spec.WaitFor(1),
+					&spec.Exit{},
+				},
+			},
+			spec.AssignVar(spec.Ref(k), spec.Add(spec.Ref(k), spec.Int(1))),
+		},
+	}
+	arb.Body = []spec.Stmt{&spec.Loop{Body: []spec.Stmt{
+		spec.WaitUntil(anyReq),
+		spec.AssignVar(spec.Ref(k), spec.Int(1)),
+		scan,
+	}}}
+	return arb
+}
+
+// attachArbiter creates and registers the arbiter process.
+func (g *generator) attachArbiter() {
+	if !g.arbitrated() {
+		return
+	}
+	arb := g.buildArbiter()
+	home := g.bus.Channels[0].Var.Owner
+	home.AddBehavior(arb)
+	g.ref.Arbiter = arb
+	g.bus.Arbitrated = true
+}
+
+// ArbitrationLines reports the extra wires arbitration adds to a bus
+// with the given number of accessors.
+func ArbitrationLines(accessors int) int {
+	if accessors <= 1 {
+		return 0
+	}
+	return accessors + spec.AddrBits(accessors) + 1
+}

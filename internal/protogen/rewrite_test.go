@@ -1,0 +1,170 @@
+package protogen
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// oneChannelSystem builds a behavior on m1 and a remote 8-bit scalar on
+// m2 with read and write channels, plus a bus over both.
+func oneChannelSystem() (*spec.System, *spec.Behavior, *spec.Variable, *spec.Bus) {
+	sys := spec.NewSystem("t")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	v := m2.AddVariable(spec.NewVar("V", spec.BitVector(8)))
+	cr := sys.AddChannel(&spec.Channel{Name: "cr", Accessor: b, Var: v, Dir: spec.Read})
+	cw := sys.AddChannel(&spec.Channel{Name: "cw", Accessor: b, Var: v, Dir: spec.Write})
+	bus := &spec.Bus{Name: "TB", Channels: []*spec.Channel{cr, cw}, Width: 8}
+	sys.Buses = append(sys.Buses, bus)
+	return sys, b, v, bus
+}
+
+func TestRewriteCallOutArgRemote(t *testing.T) {
+	// A user procedure writes its out parameter; the call site passes
+	// the remote variable. The rewrite must route through a temporary
+	// followed by a send.
+	sys, b, v, bus := oneChannelSystem()
+	out := spec.NewVar("o", spec.BitVector(8))
+	producer := b.AddProc(&spec.Procedure{
+		Name:   "produce",
+		Params: []spec.Param{{Var: out, Mode: spec.ModeOut}},
+		Body:   []spec.Stmt{spec.AssignVar(spec.Ref(out), spec.VecString("10101010"))},
+	})
+	b.Body = []spec.Stmt{spec.CallProc(producer, spec.Ref(v))}
+	ref, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.References(b.Body, v) {
+		t.Fatalf("call arg still references remote var:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+	// Body: produce(Vtemp); SendCw(Vtemp).
+	if len(b.Body) != 2 {
+		t.Fatalf("body = %d stmts:\n%s", len(b.Body), spec.FormatStmts(b.Body, ""))
+	}
+	send, ok := b.Body[1].(*spec.Call)
+	if !ok || send.Proc != ref.AccessorProcs[bus.Channels[1]] {
+		t.Fatalf("second stmt is not the send:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+}
+
+func TestRewriteCallInOutArgRemote(t *testing.T) {
+	sys, b, v, bus := oneChannelSystem()
+	x := spec.NewVar("x", spec.BitVector(8))
+	bump := b.AddProc(&spec.Procedure{
+		Name:   "bump",
+		Params: []spec.Param{{Var: x, Mode: spec.ModeInOut}},
+		Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(x), spec.Add(spec.Ref(x), spec.VecString("00000001"))),
+		},
+	})
+	b.Body = []spec.Stmt{spec.CallProc(bump, spec.Ref(v))}
+	if _, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.References(b.Body, v) {
+		t.Fatalf("inout arg still references remote var:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+	// Body: ReceiveCr(Vtemp); bump(Vtemp); SendCw(Vtemp).
+	if len(b.Body) != 3 {
+		t.Fatalf("body = %d stmts:\n%s", len(b.Body), spec.FormatStmts(b.Body, ""))
+	}
+}
+
+func TestRewriteRemoteReadInLocalIndex(t *testing.T) {
+	// local(conv_integer(V)) := 1 — the remote read sits in the index
+	// of a local array write.
+	sys, b, v, bus := oneChannelSystem()
+	local := b.AddVar("local", spec.Array(256, spec.BitVector(4)))
+	b.Body = []spec.Stmt{
+		spec.AssignVar(
+			spec.At(spec.Ref(local), spec.ToInt(spec.Ref(v))),
+			spec.VecString("1111")),
+	}
+	if _, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.References(b.Body, v) {
+		t.Fatalf("index still references remote var:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+	if len(b.Body) != 2 {
+		t.Fatalf("want hoisted receive + assign, got:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+}
+
+func TestRewriteRemoteReadInForBounds(t *testing.T) {
+	// for i in 0 to conv_integer(V) loop — bounds are evaluated once,
+	// so a single hoisted receive before the loop is correct.
+	sys, b, v, bus := oneChannelSystem()
+	i := b.AddVar("i", spec.Integer)
+	n := b.AddVar("n", spec.Integer)
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(0), To: spec.ToInt(spec.Ref(v)), Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(n), spec.Add(spec.Ref(n), spec.Int(1))),
+		}},
+	}
+	if _, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.References(b.Body, v) {
+		t.Fatalf("bounds still reference remote var:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+	if _, ok := b.Body[0].(*spec.Call); !ok {
+		t.Fatalf("no hoisted receive before the loop:\n%s", spec.FormatStmts(b.Body, ""))
+	}
+}
+
+func TestArbitrationLines(t *testing.T) {
+	cases := []struct{ accs, want int }{
+		{0, 0}, {1, 0}, {2, 2 + 1 + 1}, {3, 3 + 2 + 1}, {4, 4 + 2 + 1}, {5, 5 + 3 + 1},
+	}
+	for _, c := range cases {
+		if got := ArbitrationLines(c.accs); got != c.want {
+			t.Errorf("ArbitrationLines(%d) = %d, want %d", c.accs, got, c.want)
+		}
+	}
+}
+
+func TestArbiterGeneratedShape(t *testing.T) {
+	// Direct protogen-side check of the arbiter artifacts (the
+	// functional tests live with the simulator).
+	sys, bus := buildPQ()
+	ref, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake, Arbitrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Arbiter == nil || ref.Arbiter.Name != "Barbiter" {
+		t.Fatalf("arbiter = %v", ref.Arbiter)
+	}
+	if !ref.Arbiter.Server {
+		t.Error("arbiter not a server")
+	}
+	if ref.Arbiter.Owner == nil || ref.Arbiter.Owner.Name != "comp2" {
+		t.Error("arbiter not on the bus home module")
+	}
+	if bus.Record.FieldType("REQ").BitWidth() != 2 {
+		t.Error("REQ width wrong for two accessors")
+	}
+	if bus.Record.FieldType("GRANT").BitWidth() != 1 {
+		t.Error("GRANT width wrong")
+	}
+	// Round-robin variant has scan-loop locals.
+	sys2, bus2 := buildPQ()
+	ref2, err := Generate(sys2, bus2, Config{
+		Protocol: spec.FullHandshake, Arbitrate: true, ArbiterPolicy: RoundRobinArbiter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref2.Arbiter.Variables) != 3 { // last, k, idx
+		t.Errorf("round-robin arbiter locals = %d", len(ref2.Arbiter.Variables))
+	}
+}
+
+func TestArbiterPolicyString(t *testing.T) {
+	if PriorityArbiter.String() != "priority" || RoundRobinArbiter.String() != "round-robin" {
+		t.Error("policy strings wrong")
+	}
+}

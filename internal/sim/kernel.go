@@ -1,0 +1,582 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// MaxClocks aborts the run when simulated time exceeds it; zero
+	// means the default of 10 million clocks.
+	MaxClocks int64
+	// MaxStepsPerSlice aborts a process that executes this many
+	// statements without yielding (a runaway zero-delay loop); zero
+	// means the default of 5 million.
+	MaxStepsPerSlice int64
+	// Cost, when non-nil, charges every executed statement its
+	// cost-model clocks, so measured process times include computation
+	// as the estimator models it. When nil, computation is
+	// instantaneous and only explicit waits advance time.
+	Cost *estimate.CostModel
+	// OnEvent, when non-nil, is called for every signal value change,
+	// after the change takes effect.
+	OnEvent func(now int64, sig *spec.Variable, val Value)
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	// Clocks is the simulated time at which the last foreground
+	// (non-server) process finished.
+	Clocks int64
+	// Deltas counts executed delta cycles.
+	Deltas int64
+	// Steps counts executed statements across all processes.
+	Steps int64
+	// ProcessEnd maps each foreground behavior to its finish time.
+	ProcessEnd map[string]int64
+	// Finals holds the final values of all module-level variables,
+	// keyed "module.variable".
+	Finals map[string]Value
+	// SignalEvents counts value-change events per signal name.
+	SignalEvents map[string]int64
+}
+
+// Final returns the final value of a module variable, or nil.
+func (r *Result) Final(module, variable string) Value {
+	return r.Finals[module+"."+variable]
+}
+
+// DeadlockError reports a simulation that can make no further progress
+// while foreground processes are still running.
+type DeadlockError struct {
+	Now     int64
+	Waiting []string // "behavior: wait description"
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at clock %d; waiting: %s", e.Now, strings.Join(e.Waiting, "; "))
+}
+
+// maxDeltas bounds total delta cycles as a livelock backstop.
+const maxDeltas = 50_000_000
+
+// procState is a process's scheduling state.
+type procState int
+
+const (
+	stateReady procState = iota
+	stateWaiting
+	stateFinished
+	stateKilled
+	stateError
+)
+
+// waitSpec describes why a process is suspended.
+type waitSpec struct {
+	sensitivity []*spec.Variable
+	check       func() bool
+	deadline    int64 // -1: none
+	forever     bool
+	desc        string
+	condStr     string
+}
+
+// process is one executing behavior.
+type process struct {
+	id     int
+	beh    *spec.Behavior
+	k      *kernel
+	resume chan bool // true = continue, false = abort
+	frames []frame
+	state  procState
+	wait   waitSpec
+	err    error
+	endAt  int64
+	steps  int64
+	// lag accumulates cost-model clocks not yet converted into a timed
+	// yield (flushed at the next wait).
+	lag int64
+}
+
+// signalState is the kernel-side storage of one signal.
+type signalState struct {
+	v       *spec.Variable
+	current Value
+	pending Value // nil if no update scheduled this delta
+	events  int64
+}
+
+// effective is the value a reader in the *same* delta as a writer
+// observes for scheduling follow-up field updates: pending if scheduled,
+// else current. (Reads via eval always see current.)
+func (s *signalState) effective() Value {
+	if s.pending != nil {
+		return s.pending
+	}
+	return s.current
+}
+
+// kernel owns simulation state and runs the delta-cycle loop.
+type kernel struct {
+	sys     *spec.System
+	cfg     Config
+	procs   []*process
+	signals map[*spec.Variable]*signalState
+	shared  map[*spec.Variable]Value // module-level variables
+	now     int64
+	deltas  int64
+	steps   int64
+	yieldCh chan *process
+	dirty   []*signalState // signals with pending updates this delta
+	// graceEnd is the clock at which the post-completion grace window
+	// closes; -1 until every foreground process has finished.
+	graceEnd int64
+}
+
+// graceClocks is the settle window granted to server processes after the
+// last foreground process finishes.
+const graceClocks = 8
+
+// Simulator executes a specification system.
+type Simulator struct {
+	k *kernel
+}
+
+// New builds a simulator for the system. The system must validate.
+func New(sys *spec.System, cfg Config) (*Simulator, error) {
+	if errs := sys.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("sim: invalid system: %w", errs[0])
+	}
+	if cfg.MaxClocks <= 0 {
+		cfg.MaxClocks = 10_000_000
+	}
+	if cfg.MaxStepsPerSlice <= 0 {
+		cfg.MaxStepsPerSlice = 5_000_000
+	}
+	k := &kernel{
+		sys:      sys,
+		cfg:      cfg,
+		signals:  make(map[*spec.Variable]*signalState),
+		shared:   make(map[*spec.Variable]Value),
+		yieldCh:  make(chan *process),
+		graceEnd: -1,
+	}
+	// Global signals.
+	for _, g := range sys.Globals {
+		if g.Kind != spec.KindSignal {
+			k.shared[g] = initialValue(g)
+			continue
+		}
+		k.signals[g] = &signalState{v: g, current: initialValue(g)}
+	}
+	// Module variables (shared storage) and processes.
+	for _, m := range sys.Modules {
+		for _, v := range m.Variables {
+			if v.Kind == spec.KindSignal {
+				k.signals[v] = &signalState{v: v, current: initialValue(v)}
+			} else {
+				k.shared[v] = initialValue(v)
+			}
+		}
+	}
+	for _, b := range sys.Behaviors() {
+		p := &process{
+			id:     len(k.procs),
+			beh:    b,
+			k:      k,
+			resume: make(chan bool),
+			state:  stateReady,
+		}
+		base := frame{vars: make(map[*spec.Variable]Value)}
+		for _, v := range b.Variables {
+			base.vars[v] = initialValue(v)
+		}
+		p.frames = []frame{base}
+		k.procs = append(k.procs, p)
+	}
+	return &Simulator{k: k}, nil
+}
+
+// initialValue evaluates a variable's declared initializer, or its zero
+// value. Initializers must be constant.
+func initialValue(v *spec.Variable) Value {
+	zero := ZeroValue(v.Type)
+	if v.Init != nil {
+		if c, ok := estimate.ConstInt(v.Init); ok {
+			return coerceToType(IntVal{V: c}, v.Type)
+		}
+		if vl, ok := v.Init.(*spec.VecLit); ok {
+			return coerceToType(VecVal{V: vl.Value}, v.Type)
+		}
+	}
+	if len(v.InitArray) > 0 {
+		av, ok := zero.(ArrayVal)
+		if !ok {
+			return zero
+		}
+		for i := range av.Elems {
+			if i < len(v.InitArray) {
+				av.Elems[i] = coerceLeafLike(VecVal{V: v.InitArray[i]}, av.Elems[i])
+			}
+		}
+		return av
+	}
+	return zero
+}
+
+// Run executes the system to completion: every non-server process
+// finished, or an error (deadlock, runaway process, time limit, runtime
+// fault).
+func (s *Simulator) Run() (*Result, error) {
+	return s.k.run()
+}
+
+func (k *kernel) run() (*Result, error) {
+	// Launch the process goroutines; each blocks on its resume channel.
+	for _, p := range k.procs {
+		go p.top()
+	}
+	defer k.killAll()
+
+	runnable := append([]*process{}, k.procs...)
+	for {
+		// Delta cycles.
+		for len(runnable) > 0 {
+			k.deltas++
+			if k.deltas > maxDeltas {
+				return nil, fmt.Errorf("sim: exceeded %d delta cycles at clock %d (livelock?)", int64(maxDeltas), k.now)
+			}
+			sort.Slice(runnable, func(i, j int) bool { return runnable[i].id < runnable[j].id })
+			for _, p := range runnable {
+				if err := k.step(p); err != nil {
+					return nil, err
+				}
+			}
+			runnable = runnable[:0]
+			events := k.flush()
+			if len(events) > 0 {
+				runnable = append(runnable, k.wakeOnEvents(events)...)
+			}
+		}
+
+		// When every foreground process has finished, keep simulating
+		// for a short grace window so variable processes can complete
+		// in-flight commits (a server latches the last bus word one
+		// clock after the accessor's handshake completes).
+		if k.foregroundDone() {
+			if k.graceEnd < 0 {
+				k.graceEnd = k.now + graceClocks
+			}
+		}
+
+		// Advance time to the earliest deadline.
+		next := int64(-1)
+		for _, p := range k.procs {
+			if p.state == stateWaiting && !p.wait.forever && p.wait.deadline >= 0 {
+				if next < 0 || p.wait.deadline < next {
+					next = p.wait.deadline
+				}
+			}
+		}
+		if k.graceEnd >= 0 && (next < 0 || next > k.graceEnd) {
+			return k.result(), nil
+		}
+		if next < 0 {
+			return nil, k.deadlock()
+		}
+		if next > k.cfg.MaxClocks {
+			return nil, fmt.Errorf("sim: exceeded MaxClocks=%d at clock %d", k.cfg.MaxClocks, k.now)
+		}
+		k.now = next
+		for _, p := range k.procs {
+			if p.state == stateWaiting && !p.wait.forever && p.wait.deadline == k.now {
+				p.state = stateReady
+				runnable = append(runnable, p)
+			}
+		}
+	}
+}
+
+// step resumes one process and waits for it to yield.
+func (k *kernel) step(p *process) error {
+	p.steps = 0
+	p.resume <- true
+	<-k.yieldCh
+	if p.state == stateError {
+		return fmt.Errorf("sim: process %s failed at clock %d: %w", p.beh.Name, k.now, p.err)
+	}
+	return nil
+}
+
+// flush applies pending signal updates, returning the signals whose
+// values changed (events).
+func (k *kernel) flush() []*signalState {
+	var events []*signalState
+	for _, s := range k.dirty {
+		if s.pending == nil {
+			continue
+		}
+		if !s.pending.Equal(s.current) {
+			s.current = s.pending
+			s.events++
+			events = append(events, s)
+			if k.cfg.OnEvent != nil {
+				k.cfg.OnEvent(k.now, s.v, s.current)
+			}
+		}
+		s.pending = nil
+	}
+	k.dirty = k.dirty[:0]
+	return events
+}
+
+// wakeOnEvents returns the processes to wake: sensitive to one of the
+// events and (for wait-until) whose condition now holds.
+func (k *kernel) wakeOnEvents(events []*signalState) []*process {
+	changed := make(map[*spec.Variable]bool, len(events))
+	for _, e := range events {
+		changed[e.v] = true
+	}
+	var woken []*process
+	for _, p := range k.procs {
+		if p.state != stateWaiting || p.wait.forever {
+			continue
+		}
+		hit := false
+		for _, s := range p.wait.sensitivity {
+			if changed[s] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		if p.wait.check != nil && !p.wait.check() {
+			continue
+		}
+		p.state = stateReady
+		p.wait = waitSpec{deadline: -1}
+		woken = append(woken, p)
+	}
+	return woken
+}
+
+// schedule registers a pending signal update for the current delta.
+func (k *kernel) schedule(v *spec.Variable, val Value) {
+	s := k.signals[v]
+	if s.pending == nil {
+		k.dirty = append(k.dirty, s)
+	}
+	s.pending = val
+}
+
+func (k *kernel) foregroundDone() bool {
+	for _, p := range k.procs {
+		if !p.beh.Server && p.state != stateFinished && p.state != stateError {
+			return false
+		}
+	}
+	return true
+}
+
+func (k *kernel) deadlock() error {
+	var waiting []string
+	for _, p := range k.procs {
+		if p.state != stateWaiting {
+			continue
+		}
+		name := p.beh.Name
+		if p.beh.Server {
+			name += " (server)"
+		}
+		waiting = append(waiting, fmt.Sprintf("%s: %s", name, p.wait.desc))
+	}
+	return &DeadlockError{Now: k.now, Waiting: waiting}
+}
+
+func (k *kernel) result() *Result {
+	res := &Result{
+		Clocks:       k.now,
+		Deltas:       k.deltas,
+		Steps:        k.steps,
+		ProcessEnd:   make(map[string]int64),
+		Finals:       make(map[string]Value),
+		SignalEvents: make(map[string]int64),
+	}
+	for _, p := range k.procs {
+		if !p.beh.Server && p.state == stateFinished {
+			res.ProcessEnd[p.beh.Name] = p.endAt
+		}
+	}
+	for _, m := range k.sys.Modules {
+		for _, v := range m.Variables {
+			if val, ok := k.shared[v]; ok {
+				res.Finals[m.Name+"."+v.Name] = val.Copy()
+			}
+		}
+	}
+	for v, s := range k.signals {
+		res.SignalEvents[v.Name] = s.events
+	}
+	return res
+}
+
+// killAll aborts every unfinished process goroutine.
+func (k *kernel) killAll() {
+	for _, p := range k.procs {
+		if p.state == stateWaiting || p.state == stateReady {
+			p.resume <- false
+			<-k.yieldCh
+		}
+	}
+}
+
+// ---- process side ----
+
+// top is the process goroutine body.
+func (p *process) top() {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case abortSentinel:
+				p.state = stateKilled
+			case simError:
+				p.state = stateError
+				p.err = e.err
+			default:
+				p.state = stateError
+				p.err = fmt.Errorf("internal fault: %v", r)
+			}
+			p.k.yieldCh <- p
+		}
+	}()
+	if !<-p.resume {
+		panic(abortSentinel{})
+	}
+	p.execStmts(p.beh.Body)
+	p.flushLag()
+	p.state = stateFinished
+	p.endAt = p.k.now
+	p.k.yieldCh <- p
+}
+
+// yield suspends the process with the given wait and blocks until the
+// kernel resumes it.
+func (p *process) yield(w waitSpec) {
+	p.flushLagInto(&w)
+	p.state = stateWaiting
+	w.desc = p.describeWait(w)
+	p.wait = w
+	p.k.yieldCh <- p
+	if !<-p.resume {
+		panic(abortSentinel{})
+	}
+}
+
+func (p *process) describeWait(w waitSpec) string {
+	var parts []string
+	if len(w.sensitivity) > 0 {
+		names := make([]string, len(w.sensitivity))
+		for i, s := range w.sensitivity {
+			names[i] = s.Name
+		}
+		parts = append(parts, "on "+strings.Join(names, ","))
+	}
+	if w.check != nil {
+		parts = append(parts, "until "+w.condStr)
+	}
+	if w.deadline >= 0 {
+		parts = append(parts, fmt.Sprintf("for t=%d", w.deadline))
+	}
+	if w.forever {
+		parts = append(parts, "forever")
+	}
+	return strings.Join(parts, " ")
+}
+
+// countStep enforces the runaway-process guard and counts statements.
+func (p *process) countStep() {
+	p.steps++
+	p.k.steps++
+	if p.steps > p.k.cfg.MaxStepsPerSlice {
+		fail("process %s executed %d statements without yielding (runaway zero-delay loop?)",
+			p.beh.Name, p.steps)
+	}
+}
+
+// ---- cost charging ----
+
+// charge accumulates cost-model clocks; they are realized as simulated
+// time at the next wait (flushLag) so computation does not interleave
+// extra delta cycles into handshakes.
+func (p *process) charge(c int64) {
+	if c > 0 {
+		p.lag += c
+	}
+}
+
+// flushLag converts accumulated computation clocks into a timed wait.
+func (p *process) flushLag() {
+	if p.lag == 0 {
+		return
+	}
+	d := p.lag
+	p.lag = 0
+	p.yield(waitSpec{deadline: p.k.now + d})
+}
+
+// flushLagInto folds pending computation clocks into an about-to-happen
+// pure timed wait; event waits have already been flushed by execWait.
+func (p *process) flushLagInto(w *waitSpec) {
+	if p.lag == 0 {
+		return
+	}
+	if w.deadline >= 0 && len(w.sensitivity) == 0 && w.check == nil {
+		w.deadline += p.lag
+		p.lag = 0
+		return
+	}
+	// Defensive: an event wait with unflushed lag (should not happen —
+	// execWait flushes first). Realize it as a timed suspension.
+	d := p.lag
+	p.lag = 0
+	p.yield(waitSpec{deadline: p.k.now + d})
+}
+
+func (p *process) costAssign(s *spec.Assign) int64 {
+	m := p.k.cfg.Cost
+	if m == nil {
+		return 0
+	}
+	return m.AssignClocks + m.ExprCost(s.RHS) + m.LValueCost(s.LHS)
+}
+
+func (p *process) costBranch(cond spec.Expr) int64 {
+	m := p.k.cfg.Cost
+	if m == nil {
+		return 0
+	}
+	return m.BranchClocks + m.ExprCost(cond)
+}
+
+func (p *process) costLoop() int64 {
+	m := p.k.cfg.Cost
+	if m == nil {
+		return 0
+	}
+	return m.LoopClocks
+}
+
+func (p *process) costCall() int64 {
+	m := p.k.cfg.Cost
+	if m == nil {
+		return 0
+	}
+	return m.CallClocks
+}

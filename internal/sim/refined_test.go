@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/protogen"
+	"repro/internal/spec"
+)
+
+// buildPQ constructs the paper's Fig. 3 system. Q is staggered behind P
+// by a timed wait because the DAC'94 flow leaves bus arbitration to
+// future work: two accessors must not open transactions concurrently.
+func buildPQ() (*spec.System, *spec.Bus) {
+	sys := spec.NewSystem("PQ")
+	comp1 := sys.AddModule("comp1")
+	comp2 := sys.AddModule("comp2")
+
+	p := comp1.AddBehavior(spec.NewBehavior("P"))
+	q := comp1.AddBehavior(spec.NewBehavior("Q"))
+	x := comp2.AddVariable(spec.NewVar("X", spec.BitVector(16)))
+	mem := comp2.AddVariable(spec.NewVar("MEM", spec.Array(64, spec.BitVector(16))))
+
+	ad := p.AddVar("AD", spec.Integer)
+	count := q.AddVar("COUNT", spec.BitVector(16))
+
+	// P: AD := 5; X <= 32; MEM(AD) := X + 7;
+	p.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(ad), spec.Int(5)),
+		spec.AssignVar(spec.Ref(x), spec.ToVec(spec.Int(32), 16)),
+		spec.AssignVar(spec.At(spec.Ref(mem), spec.Ref(ad)),
+			spec.Add(spec.Ref(x), spec.ToVec(spec.Int(7), 16))),
+	}
+	// Q: COUNT := 9; MEM(60) := COUNT;
+	q.Body = []spec.Stmt{
+		spec.WaitFor(500),
+		spec.AssignVar(spec.Ref(count), spec.ToVec(spec.Int(9), 16)),
+		spec.AssignVar(spec.At(spec.Ref(mem), spec.Int(60)), spec.Ref(count)),
+	}
+
+	ch0 := sys.AddChannel(&spec.Channel{Name: "CH0", Accessor: p, Var: x, Dir: spec.Write})
+	ch1 := sys.AddChannel(&spec.Channel{Name: "CH1", Accessor: p, Var: x, Dir: spec.Read})
+	ch2 := sys.AddChannel(&spec.Channel{Name: "CH2", Accessor: p, Var: mem, Dir: spec.Write})
+	ch3 := sys.AddChannel(&spec.Channel{Name: "CH3", Accessor: q, Var: mem, Dir: spec.Write})
+
+	bus := &spec.Bus{Name: "B", Channels: []*spec.Channel{ch0, ch1, ch2, ch3}, Width: 8}
+	sys.Buses = append(sys.Buses, bus)
+	return sys, bus
+}
+
+// TestOriginalVsRefinedEquivalence is the reproduction's core functional
+// claim: after protocol generation the refined specification simulates
+// and computes the same final variable values as the original — here,
+// X = 32, MEM(5) = 39, MEM(60) = 9.
+func TestOriginalVsRefinedEquivalence(t *testing.T) {
+	for _, proto := range []spec.Protocol{spec.FullHandshake, spec.HalfHandshake} {
+		t.Run(proto.String(), func(t *testing.T) {
+			orig, _ := buildPQ()
+			origRes := mustRun(t, orig, Config{})
+
+			refined, bus := buildPQ()
+			ref, err := protogen.Generate(refined, bus, protogen.Config{Protocol: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.Servers) != 2 {
+				t.Fatalf("servers = %d", len(ref.Servers))
+			}
+			refRes := mustRun(t, refined, Config{})
+
+			for _, key := range []string{"comp2.X", "comp2.MEM"} {
+				if !origRes.Finals[key].Equal(refRes.Finals[key]) {
+					t.Errorf("%s differs:\n original: %s\n refined:  %s",
+						key, origRes.Finals[key], refRes.Finals[key])
+				}
+			}
+			// Sanity against hand-computed values.
+			x := refRes.Final("comp2", "X").(VecVal)
+			if x.V.Uint64() != 32 {
+				t.Errorf("X = %d, want 32", x.V.Uint64())
+			}
+			mem := refRes.Final("comp2", "MEM").(ArrayVal)
+			if mem.Elems[5].(VecVal).V.Uint64() != 39 {
+				t.Errorf("MEM(5) = %d, want 39", mem.Elems[5].(VecVal).V.Uint64())
+			}
+			if mem.Elems[60].(VecVal).V.Uint64() != 9 {
+				t.Errorf("MEM(60) = %d, want 9", mem.Elems[60].(VecVal).V.Uint64())
+			}
+			if refRes.Clocks == 0 {
+				t.Error("refined simulation consumed no bus time")
+			}
+		})
+	}
+}
+
+// TestRefinedBusWordCount checks the wire-level activity: CH0 moves a
+// 16-bit message over the 8-bit bus in exactly two word handshakes
+// (Fig. 4), observable as START events.
+func TestRefinedBusWordCount(t *testing.T) {
+	refined, bus := buildPQ()
+	_, err := protogen.Generate(refined, bus, protogen.Config{Protocol: spec.FullHandshake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, refined, Config{})
+	// Word handshakes: CH0 send = 2 words; CH1 read = 1 request word
+	// + 2 data words; CH2 = 3 words (22-bit msg); CH3 = 3 words.
+	// Accessor-driven words toggle START twice each; server-driven
+	// data words toggle DONE twice and START twice (ack).
+	// Total START rise+fall events: accessor words (2+1+3+3)=9 words
+	// -> 18 edges, plus CH1's 2 data-word acks -> 4 edges. 22 total.
+	if got := res.SignalEvents["B"]; got < 22 {
+		t.Errorf("bus events = %d, want >= 22 (record-level events)", got)
+	}
+}
+
+// TestRefinedAtWidth16 re-refines with a bus as wide as the messages'
+// data: CH0 needs a single word.
+func TestRefinedAtOtherWidths(t *testing.T) {
+	for _, w := range []int{1, 3, 8, 16, 22} {
+		refined, bus := buildPQ()
+		bus.Width = w
+		if _, err := protogen.Generate(refined, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		res := mustRun(t, refined, Config{})
+		mem := res.Final("comp2", "MEM").(ArrayVal)
+		if mem.Elems[5].(VecVal).V.Uint64() != 39 || mem.Elems[60].(VecVal).V.Uint64() != 9 {
+			t.Errorf("width %d: MEM wrong: mem[5]=%s mem[60]=%s", w, mem.Elems[5], mem.Elems[60])
+		}
+	}
+}
+
+// TestRefinedWithCostModel runs the refined system with computation
+// costs charged; results must be unchanged and time strictly larger.
+func TestRefinedWithCostModel(t *testing.T) {
+	refined, bus := buildPQ()
+	if _, err := protogen.Generate(refined, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	base := mustRun(t, refined, Config{})
+
+	refined2, bus2 := buildPQ()
+	if _, err := protogen.Generate(refined2, bus2, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	model := estimate.DefaultModel()
+	costed := mustRun(t, refined2, Config{Cost: &model})
+	if !base.Final("comp2", "MEM").Equal(costed.Final("comp2", "MEM")) {
+		t.Error("cost model changed functional results")
+	}
+	if costed.Clocks <= base.Clocks {
+		t.Errorf("costed run (%d clocks) not slower than uncosted (%d)", costed.Clocks, base.Clocks)
+	}
+}
+
+// TestRefinedIntegerArray exercises signed integer data through the
+// bus: negative values must round-trip via two's complement.
+func TestRefinedIntegerArray(t *testing.T) {
+	sys := spec.NewSystem("ints")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("W"))
+	arr := m2.AddVariable(spec.NewVar("arr", spec.Array(16, spec.Integer)))
+	i := b.AddVar("i", spec.Integer)
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(0), To: spec.Int(15), Body: []spec.Stmt{
+			spec.AssignVar(spec.At(spec.Ref(arr), spec.Ref(i)),
+				spec.Sub(spec.Int(0), spec.Ref(i))),
+		}},
+	}
+	ch := sys.AddChannel(&spec.Channel{Name: "c0", Accessor: b, Var: arr, Dir: spec.Write})
+	bus := &spec.Bus{Name: "IB", Channels: []*spec.Channel{ch}, Width: 9}
+	sys.Buses = append(sys.Buses, bus)
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, sys, Config{})
+	got := res.Final("m2", "arr").(ArrayVal)
+	for j := 0; j < 16; j++ {
+		if !got.Elems[j].Equal(IntVal{V: int64(-j)}) {
+			t.Fatalf("arr[%d] = %s, want %d", j, got.Elems[j], -j)
+		}
+	}
+}
+
+// TestRefinedReadModifyWriteLoop drives repeated read+write transactions
+// on the same channel pair — the case that would deadlock a dispatcher
+// waiting on ID events (the paper's Fig. 5 form) and that our
+// START-strobe dispatcher must handle.
+func TestRefinedReadModifyWriteLoop(t *testing.T) {
+	sys := spec.NewSystem("rmw")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("RMW"))
+	acc := m2.AddVariable(spec.NewVar("ACC", spec.BitVector(16)))
+	i := b.AddVar("i", spec.Integer)
+	// for i in 1..10: ACC <= ACC + i  (each iteration = read + write)
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(1), To: spec.Int(10), Body: []spec.Stmt{
+			spec.AssignVar(spec.Ref(acc),
+				spec.Add(spec.Ref(acc), spec.ToVec(spec.Ref(i), 16))),
+		}},
+	}
+	chR := sys.AddChannel(&spec.Channel{Name: "cr", Accessor: b, Var: acc, Dir: spec.Read})
+	chW := sys.AddChannel(&spec.Channel{Name: "cw", Accessor: b, Var: acc, Dir: spec.Write})
+	bus := &spec.Bus{Name: "RB", Channels: []*spec.Channel{chR, chW}, Width: 8}
+	sys.Buses = append(sys.Buses, bus)
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, sys, Config{})
+	got := res.Final("m2", "ACC").(VecVal)
+	if got.V.Uint64() != 55 {
+		t.Fatalf("ACC = %d, want 55", got.V.Uint64())
+	}
+}

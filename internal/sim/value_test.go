@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/spec"
+)
+
+func TestZeroValues(t *testing.T) {
+	cases := []struct {
+		typ  spec.Type
+		want Value
+	}{
+		{spec.Integer, IntVal{}},
+		{spec.Bool, BoolVal{}},
+		{spec.Bit, VecVal{V: bits.New(1)}},
+		{spec.BitVector(8), VecVal{V: bits.New(8)}},
+	}
+	for _, c := range cases {
+		if got := ZeroValue(c.typ); !got.Equal(c.want) {
+			t.Errorf("ZeroValue(%s) = %s", c.typ, got)
+		}
+	}
+	arr := ZeroValue(spec.Array(3, spec.Integer)).(ArrayVal)
+	if len(arr.Elems) != 3 || !arr.Elems[2].Equal(IntVal{}) {
+		t.Errorf("array zero = %s", arr)
+	}
+	rec := ZeroValue(spec.RecordType{Name: "R", Fields: []spec.Field{
+		{Name: "A", Type: spec.Bit}, {Name: "D", Type: spec.BitVector(4)},
+	}}).(RecordVal)
+	if len(rec.Fields) != 2 || rec.FieldIndex("D") != 1 {
+		t.Errorf("record zero = %s", rec)
+	}
+	if rec.FieldIndex("NOPE") != -1 {
+		t.Error("FieldIndex ghost")
+	}
+}
+
+func TestValueCopyIndependence(t *testing.T) {
+	arr := ZeroValue(spec.Array(4, spec.BitVector(4))).(ArrayVal)
+	cp := arr.Copy().(ArrayVal)
+	cp.Elems[0] = VecVal{V: bits.MustParse("1111")}
+	if arr.Elems[0].Equal(cp.Elems[0]) {
+		t.Fatal("Copy aliases array elements")
+	}
+	rec := ZeroValue(spec.RecordType{Name: "R", Fields: []spec.Field{
+		{Name: "D", Type: spec.BitVector(4)},
+	}}).(RecordVal)
+	rc := rec.Copy().(RecordVal)
+	rc.Fields[0] = VecVal{V: bits.MustParse("1010")}
+	if rec.Fields[0].Equal(rc.Fields[0]) {
+		t.Fatal("Copy aliases record fields")
+	}
+}
+
+func TestValueEqualityAcrossKinds(t *testing.T) {
+	if (IntVal{V: 1}).Equal(BoolVal{V: true}) {
+		t.Error("int == bool")
+	}
+	if (VecVal{V: bits.New(4)}).Equal(VecVal{V: bits.New(5)}) {
+		t.Error("different widths equal")
+	}
+	a := ArrayVal{Elems: []Value{IntVal{V: 1}}}
+	b := ArrayVal{Elems: []Value{IntVal{V: 2}}}
+	if a.Equal(b) {
+		t.Error("different arrays equal")
+	}
+	if a.Equal(ArrayVal{Lo: 1, Elems: []Value{IntVal{V: 1}}}) {
+		t.Error("different Lo equal")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if s := (VecVal{V: bits.MustParse("1010")}).String(); s != `"1010"` {
+		t.Errorf("vec string = %s", s)
+	}
+	if s := (IntVal{V: -3}).String(); s != "-3" {
+		t.Errorf("int string = %s", s)
+	}
+	big := ZeroValue(spec.Array(64, spec.Integer)).(ArrayVal)
+	if s := big.String(); !strings.Contains(s, "64 elems") {
+		t.Errorf("large array not truncated: %s", s)
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if v := asVec(IntVal{V: -1}, 4); v.String() != "1111" {
+		t.Errorf("asVec(-1,4) = %s", v)
+	}
+	if v := asVec(VecVal{V: bits.MustParse("101")}, 5); v.String() != "00101" {
+		t.Errorf("asVec widen = %s", v)
+	}
+	if v := asVec(BoolVal{V: true}, 2); v.String() != "01" {
+		t.Errorf("asVec(bool) = %s", v)
+	}
+	if asInt(VecVal{V: bits.MustParse("1111111")}) != 127 {
+		t.Error("asInt treats address vectors as signed")
+	}
+	if asInt(BoolVal{V: true}) != 1 || asInt(IntVal{V: 9}) != 9 {
+		t.Error("asInt basics")
+	}
+	if !asBool(VecVal{V: bits.MustParse("10")}) || asBool(VecVal{V: bits.New(3)}) {
+		t.Error("asBool vec")
+	}
+	if !asBool(IntVal{V: 2}) || asBool(IntVal{}) {
+		t.Error("asBool int")
+	}
+}
+
+func TestCoercePanicsOnComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	asInt(ArrayVal{})
+}
+
+func TestCoerceToTypeLeaves(t *testing.T) {
+	if v := coerceToType(VecVal{V: bits.MustParse("11111111")}, spec.Integer); v.(IntVal).V != 255 {
+		t.Errorf("vec->int = %s", v)
+	}
+	if v := coerceToType(IntVal{V: 300}, spec.BitVector(8)); v.(VecVal).V.Uint64() != 44 {
+		t.Errorf("int->vec trunc = %s", v)
+	}
+	if v := coerceToType(IntVal{V: 0}, spec.Bool); v.(BoolVal).V {
+		t.Error("int->bool")
+	}
+}

@@ -1,0 +1,442 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// VarKind distinguishes sequential variables from signals. Signals have
+// VHDL signal semantics in the simulator (assignments take effect at the
+// next delta cycle and generate events); variables update immediately.
+type VarKind int
+
+// Variable kinds.
+const (
+	KindVariable VarKind = iota
+	KindSignal
+)
+
+func (k VarKind) String() string {
+	if k == KindSignal {
+		return "signal"
+	}
+	return "variable"
+}
+
+// Variable declares a named storage object: a behavior-local variable, a
+// module-level variable (memory), a global signal (bus wires), or a
+// procedure parameter.
+type Variable struct {
+	Name string
+	Type Type
+	Kind VarKind
+	// Init optionally gives the initial value for scalar variables.
+	Init Expr
+	// InitArray optionally gives per-element initial values for arrays.
+	InitArray []bits.Vector
+	// Owner is the module the variable was assigned to by partitioning;
+	// nil for behavior-local variables, parameters and global signals.
+	Owner *Module
+}
+
+// NewVar returns a variable of the given name and type.
+func NewVar(name string, t Type) *Variable { return &Variable{Name: name, Type: t} }
+
+// NewSignal returns a signal of the given name and type.
+func NewSignal(name string, t Type) *Variable {
+	return &Variable{Name: name, Type: t, Kind: KindSignal}
+}
+
+func (v *Variable) String() string { return fmt.Sprintf("%s %s : %s", v.Kind, v.Name, v.Type) }
+
+// ParamMode is the direction of a procedure parameter.
+type ParamMode int
+
+// Parameter modes.
+const (
+	ModeIn ParamMode = iota
+	ModeOut
+	ModeInOut
+)
+
+func (m ParamMode) String() string {
+	switch m {
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	}
+	return "in"
+}
+
+// Param is a formal procedure parameter. Param.Var holds the storage used
+// while the procedure executes; out/inout parameters are copied back to
+// the actual argument on return.
+type Param struct {
+	Var  *Variable
+	Mode ParamMode
+}
+
+// Procedure is a named sequence of statements with formal parameters,
+// declared within a behavior. Protocol generation emits one send or
+// receive procedure per channel (SendCH0, ReceiveCH0, ...).
+type Procedure struct {
+	Name   string
+	Params []Param
+	Locals []*Variable
+	Body   []Stmt
+	// Channel, when non-nil, records that the procedure implements the
+	// data transfer of that channel (set by protocol generation).
+	Channel *Channel
+}
+
+func (p *Procedure) String() string { return fmt.Sprintf("procedure %s/%d", p.Name, len(p.Params)) }
+
+// FindParam returns the formal parameter with the given name, or nil.
+func (p *Procedure) FindParam(name string) *Param {
+	for i := range p.Params {
+		if p.Params[i].Var.Name == name {
+			return &p.Params[i]
+		}
+	}
+	return nil
+}
+
+// Behavior is a concurrent process: local declarations plus a sequential
+// statement body. A behavior's body runs once to completion unless Server
+// is set; generated variable processes (Xproc, MEMproc) are servers whose
+// bodies loop forever, and the simulator stops when every non-server
+// behavior has finished.
+type Behavior struct {
+	Name       string
+	Variables  []*Variable
+	Procedures []*Procedure
+	Body       []Stmt
+	// Server marks generated variable processes.
+	Server bool
+	// Owner is the module the behavior was assigned to by partitioning.
+	Owner *Module
+}
+
+// NewBehavior returns an empty behavior with the given name.
+func NewBehavior(name string) *Behavior { return &Behavior{Name: name} }
+
+// AddVar declares and returns a behavior-local variable.
+func (b *Behavior) AddVar(name string, t Type) *Variable {
+	v := NewVar(name, t)
+	b.Variables = append(b.Variables, v)
+	return v
+}
+
+// AddProc attaches a procedure to the behavior.
+func (b *Behavior) AddProc(p *Procedure) *Procedure {
+	b.Procedures = append(b.Procedures, p)
+	return p
+}
+
+// FindProc returns the behavior's procedure with the given name, or nil.
+func (b *Behavior) FindProc(name string) *Procedure {
+	for _, p := range b.Procedures {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func (b *Behavior) String() string { return "behavior " + b.Name }
+
+// Module is a system component produced by partitioning: a chip holding
+// behaviors, or a memory holding variables, or both.
+type Module struct {
+	Name      string
+	Behaviors []*Behavior
+	Variables []*Variable
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// AddBehavior assigns b to the module.
+func (m *Module) AddBehavior(b *Behavior) *Behavior {
+	b.Owner = m
+	m.Behaviors = append(m.Behaviors, b)
+	return b
+}
+
+// AddVariable assigns v to the module.
+func (m *Module) AddVariable(v *Variable) *Variable {
+	v.Owner = m
+	m.Variables = append(m.Variables, v)
+	return v
+}
+
+func (m *Module) String() string { return "module " + m.Name }
+
+// Direction is the data-flow direction of a channel, seen from the
+// accessing behavior.
+type Direction int
+
+// Channel directions.
+const (
+	// Read: the accessor reads the remote variable (data flows from the
+	// variable's module to the accessor; ch1 : A < MEM in Fig. 1).
+	Read Direction = iota
+	// Write: the accessor writes the remote variable (ch2 : A > MEM).
+	Write
+)
+
+func (d Direction) String() string {
+	if d == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Channel is an abstract communication medium created by partitioning:
+// one behavior accessing one remote variable in one direction. A channel
+// is virtual — free of implementation detail — until bus and protocol
+// generation implement it.
+type Channel struct {
+	Name     string
+	Accessor *Behavior
+	Var      *Variable
+	Dir      Direction
+
+	// ID is the channel's address on its bus (assigned by protocol
+	// generation); IDBits is the width of the bus ID field.
+	ID     bits.Vector
+	IDBits int
+
+	// Accesses estimates the number of transfers over the lifetime of
+	// the accessor (e.g. 128 for a loop over a 128-entry array). When
+	// zero, estimators derive it from the accessor's body.
+	Accesses int
+
+	// LifetimeClocks estimates the accessor's total execution time in
+	// clocks over which the transfers are spread (used for average-rate
+	// estimation). When zero, estimators derive it.
+	LifetimeClocks int64
+}
+
+// DataBits reports the number of data bits per message: the element width
+// for arrays, the full width otherwise.
+func (c *Channel) DataBits() int {
+	if a, ok := IsArray(c.Var.Type); ok {
+		return a.Elem.BitWidth()
+	}
+	return c.Var.Type.BitWidth()
+}
+
+// AddrBits reports the number of address bits per message: nonzero only
+// for array accesses.
+func (c *Channel) AddrBits() int {
+	if a, ok := IsArray(c.Var.Type); ok {
+		return a.AddrBits()
+	}
+	return 0
+}
+
+// MessageBits reports the total bits moved per access: data plus address.
+// The paper's FLC channels carry 16 bits of data and 7 bits of address,
+// so MessageBits is 23 and bus widths above 23 cannot help.
+func (c *Channel) MessageBits() int { return c.DataBits() + c.AddrBits() }
+
+func (c *Channel) String() string {
+	arrow := "<"
+	if c.Dir == Write {
+		arrow = ">"
+	}
+	return fmt.Sprintf("%s : %s %s %s", c.Name, c.Accessor.Name, arrow, c.Var.Name)
+}
+
+// Protocol enumerates the communication protocols protocol generation can
+// select (Section 4, step 1).
+type Protocol int
+
+// Supported protocols.
+const (
+	// FullHandshake uses START/DONE with a four-phase handshake:
+	// 2 clocks per bus word (paper Eq. 2).
+	FullHandshake Protocol = iota
+	// HalfHandshake acknowledges implicitly: 1 clock per word plus a
+	// 1-clock turnaround per message.
+	HalfHandshake
+	// FixedDelay transfers one word per clock with no control lines;
+	// both sides must be rate-matched.
+	FixedDelay
+	// HardwiredPort dedicates wires to the channel: one message per
+	// clock, no sharing, no control or ID lines.
+	HardwiredPort
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case HalfHandshake:
+		return "half-handshake"
+	case FixedDelay:
+		return "fixed-delay"
+	case HardwiredPort:
+		return "hardwired"
+	}
+	return "full-handshake"
+}
+
+// ControlLines reports the number of control wires the protocol needs.
+func (p Protocol) ControlLines() int {
+	switch p {
+	case FullHandshake:
+		return 2 // START, DONE
+	case HalfHandshake:
+		return 1 // START
+	default:
+		return 0
+	}
+}
+
+// ClocksPerWord reports the protocol's transfer delay per bus word, in
+// clocks. FullHandshake's 2 clocks/word is Eq. 2 of the paper.
+func (p Protocol) ClocksPerWord() float64 {
+	switch p {
+	case FullHandshake:
+		return 2
+	case HalfHandshake:
+		return 1.5
+	default:
+		return 1
+	}
+}
+
+// Bus is an implemented channel group: a set of wires (data, control, ID)
+// plus a protocol defining behavior over them.
+type Bus struct {
+	Name     string
+	Channels []*Channel
+	Width    int // data lines
+	Protocol Protocol
+
+	// Filled by protocol generation:
+	Record RecordType // bus record type (e.g. HandShakeBus)
+	Signal *Variable  // the global bus signal B
+	// Arbitrated records that protocol generation added REQ/GRANT
+	// arbitration hardware and an arbiter process.
+	Arbitrated bool
+}
+
+// IDBits reports the number of ID lines needed to address the bus's
+// channels: ceil(log2(N)) for N > 1, otherwise 0.
+func (b *Bus) IDBits() int {
+	if len(b.Channels) <= 1 {
+		return 0
+	}
+	return AddrBits(len(b.Channels))
+}
+
+// TotalLines reports all wires of the bus: data + control + ID, plus
+// the REQ/GRANT/GVALID arbitration wires when present.
+func (b *Bus) TotalLines() int {
+	n := b.Width + b.Protocol.ControlLines() + b.IDBits()
+	if b.Arbitrated {
+		accs := make(map[*Behavior]bool)
+		for _, c := range b.Channels {
+			accs[c.Accessor] = true
+		}
+		if len(accs) > 1 {
+			n += len(accs) + AddrBits(len(accs)) + 1
+		}
+	}
+	return n
+}
+
+func (b *Bus) String() string {
+	return fmt.Sprintf("bus %s: %d channels, width %d, %s", b.Name, len(b.Channels), b.Width, b.Protocol)
+}
+
+// System is a complete specification: modules with their behaviors and
+// variables, the channels produced by partitioning, global signals, and
+// the buses implementing channel groups.
+type System struct {
+	Name     string
+	Modules  []*Module
+	Channels []*Channel
+	Buses    []*Bus
+	// Globals are system-wide signals, such as generated bus records.
+	Globals []*Variable
+}
+
+// NewSystem returns an empty system.
+func NewSystem(name string) *System { return &System{Name: name} }
+
+// AddModule creates, attaches and returns a new module.
+func (s *System) AddModule(name string) *Module {
+	m := NewModule(name)
+	s.Modules = append(s.Modules, m)
+	return m
+}
+
+// AddChannel attaches a channel.
+func (s *System) AddChannel(c *Channel) *Channel {
+	s.Channels = append(s.Channels, c)
+	return c
+}
+
+// AddGlobal attaches a global signal.
+func (s *System) AddGlobal(v *Variable) *Variable {
+	s.Globals = append(s.Globals, v)
+	return v
+}
+
+// Behaviors returns every behavior in the system, in module order.
+func (s *System) Behaviors() []*Behavior {
+	var out []*Behavior
+	for _, m := range s.Modules {
+		out = append(out, m.Behaviors...)
+	}
+	return out
+}
+
+// FindBehavior returns the behavior with the given name, or nil.
+func (s *System) FindBehavior(name string) *Behavior {
+	for _, m := range s.Modules {
+		for _, b := range m.Behaviors {
+			if b.Name == name {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// FindModule returns the module with the given name, or nil.
+func (s *System) FindModule(name string) *Module {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindVariable returns the module-level variable with the given name, or
+// nil.
+func (s *System) FindVariable(name string) *Variable {
+	for _, m := range s.Modules {
+		for _, v := range m.Variables {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// FindChannel returns the channel with the given name, or nil.
+func (s *System) FindChannel(name string) *Channel {
+	for _, c := range s.Channels {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	// Type reports the static type of the expression.
+	Type() Type
+	// String renders the expression in VHDL-like syntax.
+	String() string
+	exprNode()
+}
+
+// Op enumerates binary and unary operators.
+type Op int
+
+// Operator kinds.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpConcat
+	OpShl
+	OpShr
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "mod",
+	OpEq: "=", OpNeq: "/=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpNeg: "-",
+	OpConcat: "&", OpShl: "sll", OpShr: "srl",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsComparison reports whether the operator yields a boolean.
+func (o Op) IsComparison() bool {
+	switch o {
+	case OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Typ   Type // IntegerType unless overridden
+}
+
+// Int returns an integer literal of the canonical integer type.
+func Int(v int64) *IntLit { return &IntLit{Value: v, Typ: Integer} }
+
+func (e *IntLit) Type() Type {
+	if e.Typ == nil {
+		return Integer
+	}
+	return e.Typ
+}
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+func (*IntLit) exprNode()        {}
+
+// VecLit is a bit or bit_vector literal.
+type VecLit struct {
+	Value bits.Vector
+}
+
+// Vec returns a bit-vector literal.
+func Vec(v bits.Vector) *VecLit { return &VecLit{Value: v} }
+
+// VecString returns a bit-vector literal parsed from a binary string such
+// as "0101". It panics on malformed input (literals are written by hand or
+// by generators, so errors are programming mistakes).
+func VecString(s string) *VecLit { return &VecLit{Value: bits.MustParse(s)} }
+
+func (e *VecLit) Type() Type {
+	if e.Value.Width() == 1 {
+		return Bit
+	}
+	return BitVector(e.Value.Width())
+}
+func (e *VecLit) String() string {
+	if e.Value.Width() == 1 {
+		return fmt.Sprintf("'%s'", e.Value)
+	}
+	return fmt.Sprintf("%q", e.Value.String())
+}
+func (*VecLit) exprNode() {}
+
+// BoolLit is a boolean literal.
+type BoolLit struct {
+	Value bool
+}
+
+// True and False are the boolean literals.
+var (
+	True  = &BoolLit{Value: true}
+	False = &BoolLit{Value: false}
+)
+
+func (e *BoolLit) Type() Type     { return Bool }
+func (e *BoolLit) String() string { return fmt.Sprintf("%t", e.Value) }
+func (*BoolLit) exprNode()        {}
+
+// VarRef references a variable, signal or procedure parameter.
+type VarRef struct {
+	Var *Variable
+}
+
+// Ref returns a reference to v.
+func Ref(v *Variable) *VarRef { return &VarRef{Var: v} }
+
+func (e *VarRef) Type() Type     { return e.Var.Type }
+func (e *VarRef) String() string { return e.Var.Name }
+func (*VarRef) exprNode()        {}
+
+// Index is an array element access: Array(IndexExpr).
+type Index struct {
+	Arr   Expr
+	Index Expr
+}
+
+// At returns arr(idx).
+func At(arr Expr, idx Expr) *Index { return &Index{Arr: arr, Index: idx} }
+
+func (e *Index) Type() Type {
+	if a, ok := e.Arr.Type().(ArrayType); ok {
+		return a.Elem
+	}
+	return e.Arr.Type()
+}
+func (e *Index) String() string { return fmt.Sprintf("%s(%s)", e.Arr, e.Index) }
+func (*Index) exprNode()        {}
+
+// SliceExpr selects bits Hi downto Lo of a bit-vector expression. The
+// bounds may be expressions (generated send/receive procedures slice with
+// loop-dependent bounds, e.g. txdata(8*J-1 downto 8*(J-1))).
+type SliceExpr struct {
+	X      Expr
+	Hi, Lo Expr
+	// Width is the static width of the slice (Hi-Lo+1), which must be
+	// loop-invariant even when the bounds are not.
+	Width int
+}
+
+// SliceBits returns x(hi downto lo) with constant bounds.
+func SliceBits(x Expr, hi, lo int) *SliceExpr {
+	return &SliceExpr{X: x, Hi: Int(int64(hi)), Lo: Int(int64(lo)), Width: hi - lo + 1}
+}
+
+func (e *SliceExpr) Type() Type { return BitVector(e.Width) }
+func (e *SliceExpr) String() string {
+	return fmt.Sprintf("%s(%s downto %s)", e.X, e.Hi, e.Lo)
+}
+func (*SliceExpr) exprNode() {}
+
+// FieldRef accesses a record field, e.g. B.START.
+type FieldRef struct {
+	X     Expr
+	Field string
+}
+
+// FieldOf returns x.field.
+func FieldOf(x Expr, field string) *FieldRef { return &FieldRef{X: x, Field: field} }
+
+func (e *FieldRef) Type() Type {
+	if r, ok := e.X.Type().(RecordType); ok {
+		if t := r.FieldType(e.Field); t != nil {
+			return t
+		}
+	}
+	return Bit
+}
+func (e *FieldRef) String() string { return fmt.Sprintf("%s.%s", e.X, e.Field) }
+func (*FieldRef) exprNode()        {}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   Op
+	X, Y Expr
+}
+
+// Bin returns the binary expression x op y.
+func Bin(op Op, x, y Expr) *Binary { return &Binary{Op: op, X: x, Y: y} }
+
+// Add returns x + y.
+func Add(x, y Expr) *Binary { return Bin(OpAdd, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y Expr) *Binary { return Bin(OpSub, x, y) }
+
+// Mul returns x * y.
+func Mul(x, y Expr) *Binary { return Bin(OpMul, x, y) }
+
+// Eq returns x = y.
+func Eq(x, y Expr) *Binary { return Bin(OpEq, x, y) }
+
+// Neq returns x /= y.
+func Neq(x, y Expr) *Binary { return Bin(OpNeq, x, y) }
+
+// Lt returns x < y.
+func Lt(x, y Expr) *Binary { return Bin(OpLt, x, y) }
+
+// Le returns x <= y.
+func Le(x, y Expr) *Binary { return Bin(OpLe, x, y) }
+
+// Gt returns x > y.
+func Gt(x, y Expr) *Binary { return Bin(OpGt, x, y) }
+
+// Ge returns x >= y.
+func Ge(x, y Expr) *Binary { return Bin(OpGe, x, y) }
+
+// LogicalAnd returns x and y.
+func LogicalAnd(x, y Expr) *Binary { return Bin(OpAnd, x, y) }
+
+// LogicalOr returns x or y.
+func LogicalOr(x, y Expr) *Binary { return Bin(OpOr, x, y) }
+
+func (e *Binary) Type() Type {
+	if e.Op.IsComparison() {
+		return Bool
+	}
+	if e.Op == OpConcat {
+		return BitVector(e.X.Type().BitWidth() + e.Y.Type().BitWidth())
+	}
+	return e.X.Type()
+}
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+func (*Binary) exprNode() {}
+
+// Unary is a unary operation (not, negate).
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+// Not returns not x.
+func Not(x Expr) *Unary { return &Unary{Op: OpNot, X: x} }
+
+// Neg returns -x.
+func Neg(x Expr) *Unary { return &Unary{Op: OpNeg, X: x} }
+
+func (e *Unary) Type() Type {
+	if e.Op == OpNot {
+		if _, ok := e.X.Type().(BoolType); ok {
+			return Bool
+		}
+	}
+	return e.X.Type()
+}
+func (e *Unary) String() string { return fmt.Sprintf("(%s %s)", e.Op, e.X) }
+func (*Unary) exprNode()        {}
+
+// Conv converts between integer and bit-vector representations (VHDL
+// conv_integer / conv_std_logic_vector analogue). Vector-to-integer
+// conversion is unsigned unless Signed is set (addresses are unsigned;
+// integer-typed channel data is two's complement).
+type Conv struct {
+	X      Expr
+	To     Type
+	Signed bool
+}
+
+// ToInt converts a bit-vector expression to integer, interpreting the
+// vector as unsigned.
+func ToInt(x Expr) *Conv { return &Conv{X: x, To: Integer} }
+
+// ToIntSigned converts a bit-vector expression to integer, interpreting
+// the vector as two's complement.
+func ToIntSigned(x Expr) *Conv { return &Conv{X: x, To: Integer, Signed: true} }
+
+// ToVec converts an integer expression to a bit vector of the given width.
+func ToVec(x Expr, width int) *Conv { return &Conv{X: x, To: BitVector(width)} }
+
+func (e *Conv) Type() Type     { return e.To }
+func (e *Conv) String() string { return fmt.Sprintf("conv<%s>(%s)", e.To, e.X) }
+func (*Conv) exprNode()        {}
+
+// ExprString renders a list of expressions separated by commas.
+func ExprString(exprs []Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,281 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPQ constructs the Fig. 3 system of the paper: behaviors P and Q on
+// one component, variables X and MEM on another, four channels.
+func buildPQ() (*System, *Behavior, *Behavior, *Variable, *Variable) {
+	sys := NewSystem("PQ")
+	comp1 := sys.AddModule("comp1")
+	comp2 := sys.AddModule("comp2")
+
+	p := comp1.AddBehavior(NewBehavior("P"))
+	q := comp1.AddBehavior(NewBehavior("Q"))
+	x := comp2.AddVariable(NewVar("X", BitVector(16)))
+	mem := comp2.AddVariable(NewVar("MEM", Array(64, BitVector(16))))
+
+	ad := p.AddVar("AD", Integer)
+	count := q.AddVar("COUNT", BitVector(16))
+
+	// P: X <= 32; MEM(AD) := X + 7;
+	p.Body = []Stmt{
+		AssignSig(Ref(x), ToVec(Int(32), 16)),
+		AssignVar(At(Ref(mem), Ref(ad)), Add(Ref(x), ToVec(Int(7), 16))),
+	}
+	// Q: MEM(60) := COUNT;
+	q.Body = []Stmt{
+		AssignVar(At(Ref(mem), Int(60)), Ref(count)),
+	}
+
+	sys.AddChannel(&Channel{Name: "CH0", Accessor: p, Var: x, Dir: Write})
+	sys.AddChannel(&Channel{Name: "CH1", Accessor: p, Var: x, Dir: Read})
+	sys.AddChannel(&Channel{Name: "CH2", Accessor: p, Var: mem, Dir: Write})
+	sys.AddChannel(&Channel{Name: "CH3", Accessor: q, Var: mem, Dir: Write})
+	return sys, p, q, x, mem
+}
+
+func TestChannelGeometry(t *testing.T) {
+	sys, _, _, _, _ := buildPQ()
+	ch0 := sys.FindChannel("CH0")
+	if ch0.DataBits() != 16 || ch0.AddrBits() != 0 || ch0.MessageBits() != 16 {
+		t.Errorf("CH0 geometry: data=%d addr=%d msg=%d", ch0.DataBits(), ch0.AddrBits(), ch0.MessageBits())
+	}
+	ch2 := sys.FindChannel("CH2")
+	if ch2.DataBits() != 16 || ch2.AddrBits() != 6 || ch2.MessageBits() != 22 {
+		t.Errorf("CH2 geometry: data=%d addr=%d msg=%d", ch2.DataBits(), ch2.AddrBits(), ch2.MessageBits())
+	}
+}
+
+func TestValidatePQ(t *testing.T) {
+	sys, _, _, _, _ := buildPQ()
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("valid system rejected: %v", errs)
+	}
+}
+
+func TestValidateRejectsIntraModuleChannel(t *testing.T) {
+	sys := NewSystem("bad")
+	m := sys.AddModule("m")
+	b := m.AddBehavior(NewBehavior("B"))
+	v := m.AddVariable(NewVar("V", BitVector(8)))
+	sys.AddChannel(&Channel{Name: "c", Accessor: b, Var: v, Dir: Read})
+	errs := sys.Validate()
+	if len(errs) == 0 {
+		t.Fatal("intra-module channel accepted")
+	}
+	if !strings.Contains(errs[0].Error(), "intra-module") {
+		t.Errorf("unexpected error: %v", errs[0])
+	}
+}
+
+func TestValidateRejectsDuplicateNames(t *testing.T) {
+	sys := NewSystem("dup")
+	m1 := sys.AddModule("m")
+	sys.AddModule("m")
+	m1.AddBehavior(NewBehavior("B"))
+	found := false
+	for _, err := range sys.Validate() {
+		if strings.Contains(err.Error(), "duplicate module") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duplicate module name not reported")
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	sys := NewSystem("arity")
+	m := sys.AddModule("m")
+	b := m.AddBehavior(NewBehavior("B"))
+	proc := &Procedure{Name: "p", Params: []Param{{Var: NewVar("a", Integer), Mode: ModeIn}}}
+	b.AddProc(proc)
+	b.Body = []Stmt{CallProc(proc)} // no args
+	errs := sys.Validate()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "args") {
+		t.Fatalf("arity mismatch not reported: %v", errs)
+	}
+}
+
+func TestValidateRejectsNonLValueOutArg(t *testing.T) {
+	sys := NewSystem("lvalue")
+	m := sys.AddModule("m")
+	b := m.AddBehavior(NewBehavior("B"))
+	proc := &Procedure{Name: "recv", Params: []Param{{Var: NewVar("rx", BitVector(8)), Mode: ModeOut}}}
+	b.AddProc(proc)
+	b.Body = []Stmt{CallProc(proc, ToVec(Int(1), 8))} // constant for an out param
+	errs := sys.Validate()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "lvalue") {
+		t.Fatalf("out-mode non-lvalue not reported: %v", errs)
+	}
+}
+
+func TestVarsReadWritten(t *testing.T) {
+	sys, p, _, x, mem := buildPQ()
+	_ = sys
+	reads := VarsRead(p.Body)
+	if reads[x] != 1 {
+		t.Errorf("X read count = %d, want 1", reads[x])
+	}
+	writes := VarsWritten(p.Body)
+	if writes[x] != 1 || writes[mem] != 1 {
+		t.Errorf("writes: X=%d MEM=%d", writes[x], writes[mem])
+	}
+	// AD is read as the index of the MEM write
+	var ad *Variable
+	for _, v := range p.Variables {
+		if v.Name == "AD" {
+			ad = v
+		}
+	}
+	if reads[ad] != 1 {
+		t.Errorf("AD read count = %d, want 1 (index of LHS)", reads[ad])
+	}
+}
+
+func TestBaseVar(t *testing.T) {
+	v := NewVar("MEM", Array(8, BitVector(4)))
+	e := At(Ref(v), Int(3))
+	if BaseVar(e) != v {
+		t.Error("BaseVar through Index failed")
+	}
+	s := SliceBits(Ref(NewVar("D", BitVector(16))), 7, 0)
+	if BaseVar(s) == nil {
+		t.Error("BaseVar through Slice failed")
+	}
+	if BaseVar(Int(3)) != nil {
+		t.Error("BaseVar of literal should be nil")
+	}
+}
+
+func TestSignalsRead(t *testing.T) {
+	b := NewSignal("B", Bit)
+	v := NewVar("x", Bit)
+	cond := LogicalAnd(Eq(Ref(b), VecString("1")), Eq(Ref(v), VecString("1")))
+	sigs := SignalsRead(cond)
+	if len(sigs) != 1 || sigs[0] != b {
+		t.Fatalf("SignalsRead = %v", sigs)
+	}
+}
+
+func TestRewriteStmtsReplaces(t *testing.T) {
+	v := NewVar("v", Integer)
+	w := NewVar("w", Integer)
+	body := []Stmt{
+		&Loop{Body: []Stmt{
+			AssignVar(Ref(v), Int(1)),
+			&If{Cond: True, Then: []Stmt{AssignVar(Ref(v), Int(2))}},
+		}},
+	}
+	out := RewriteStmts(body, func(s Stmt) []Stmt {
+		if a, ok := s.(*Assign); ok && BaseVar(a.LHS) == v {
+			return []Stmt{AssignVar(Ref(w), a.RHS)}
+		}
+		return Keep(s)
+	})
+	// all assignments now target w
+	if References(out, v) {
+		t.Fatal("rewrite left references to v")
+	}
+	if !References(out, w) {
+		t.Fatal("rewrite dropped replacement")
+	}
+	// original untouched
+	if !References(body, v) {
+		t.Fatal("rewrite mutated input")
+	}
+}
+
+func TestRewriteStmtsDeletesAndExpands(t *testing.T) {
+	v := NewVar("v", Integer)
+	body := []Stmt{
+		AssignVar(Ref(v), Int(1)),
+		&Null{},
+		AssignVar(Ref(v), Int(2)),
+	}
+	out := RewriteStmts(body, func(s Stmt) []Stmt {
+		switch s.(type) {
+		case *Null:
+			return nil // delete
+		case *Assign:
+			return []Stmt{s, &Null{}} // expand
+		}
+		return Keep(s)
+	})
+	if len(out) != 4 {
+		t.Fatalf("rewrite produced %d stmts, want 4", len(out))
+	}
+}
+
+func TestBusLineAccounting(t *testing.T) {
+	sys, _, _, _, _ := buildPQ()
+	bus := &Bus{Name: "B", Channels: sys.Channels, Width: 8, Protocol: FullHandshake}
+	if bus.IDBits() != 2 {
+		t.Errorf("IDBits = %d, want 2 for 4 channels", bus.IDBits())
+	}
+	if bus.TotalLines() != 8+2+2 {
+		t.Errorf("TotalLines = %d, want 12", bus.TotalLines())
+	}
+	single := &Bus{Name: "S", Channels: sys.Channels[:1], Width: 8, Protocol: HalfHandshake}
+	if single.IDBits() != 0 {
+		t.Errorf("single-channel bus IDBits = %d, want 0", single.IDBits())
+	}
+	if single.TotalLines() != 9 {
+		t.Errorf("single TotalLines = %d", single.TotalLines())
+	}
+}
+
+func TestProtocolModels(t *testing.T) {
+	if FullHandshake.ControlLines() != 2 || FullHandshake.ClocksPerWord() != 2 {
+		t.Error("full handshake model wrong (paper: START/DONE, 2 clocks)")
+	}
+	if HalfHandshake.ControlLines() != 1 {
+		t.Error("half handshake control lines")
+	}
+	if FixedDelay.ControlLines() != 0 || FixedDelay.ClocksPerWord() != 1 {
+		t.Error("fixed delay model wrong")
+	}
+}
+
+func TestFormatStmtsSmoke(t *testing.T) {
+	sys, p, _, _, _ := buildPQ()
+	_ = sys
+	out := FormatStmts(p.Body, "")
+	if !strings.Contains(out, "X <= ") || !strings.Contains(out, "MEM(AD) := ") {
+		t.Errorf("FormatStmts output unexpected:\n%s", out)
+	}
+}
+
+func TestSystemLookups(t *testing.T) {
+	sys, p, _, _, _ := buildPQ()
+	if sys.FindBehavior("P") != p {
+		t.Error("FindBehavior failed")
+	}
+	if sys.FindBehavior("missing") != nil {
+		t.Error("FindBehavior ghost")
+	}
+	if sys.FindVariable("MEM") == nil || sys.FindVariable("nope") != nil {
+		t.Error("FindVariable wrong")
+	}
+	if sys.FindModule("comp2") == nil {
+		t.Error("FindModule failed")
+	}
+	if len(sys.Behaviors()) != 2 {
+		t.Errorf("Behaviors() = %d", len(sys.Behaviors()))
+	}
+}
+
+func TestWaitString(t *testing.T) {
+	b := NewSignal("B", Bit)
+	w := WaitOn(b)
+	if w.String() != "wait on B" {
+		t.Errorf("WaitOn string = %q", w.String())
+	}
+	u := WaitUntil(Eq(Ref(b), VecString("1")))
+	if !strings.Contains(u.String(), "until") {
+		t.Errorf("WaitUntil string = %q", u.String())
+	}
+}

@@ -1,0 +1,213 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	String() string
+	stmtNode()
+}
+
+// AssignKind distinguishes VHDL variable assignment (":=") from signal
+// assignment ("<="). Signal assignments take effect at the next delta
+// cycle of the simulator; variable assignments are immediate.
+type AssignKind int
+
+// Assignment kinds.
+const (
+	AssignVariable AssignKind = iota // :=
+	AssignSignal                     // <=
+)
+
+func (k AssignKind) String() string {
+	if k == AssignSignal {
+		return "<="
+	}
+	return ":="
+}
+
+// Assign assigns RHS to the lvalue LHS (a VarRef, Index, SliceExpr or
+// FieldRef).
+type Assign struct {
+	Kind AssignKind
+	LHS  Expr
+	RHS  Expr
+}
+
+// AssignVar returns the statement "lhs := rhs".
+func AssignVar(lhs, rhs Expr) *Assign { return &Assign{Kind: AssignVariable, LHS: lhs, RHS: rhs} }
+
+// AssignSig returns the statement "lhs <= rhs".
+func AssignSig(lhs, rhs Expr) *Assign { return &Assign{Kind: AssignSignal, LHS: lhs, RHS: rhs} }
+
+func (s *Assign) String() string { return fmt.Sprintf("%s %s %s", s.LHS, s.Kind, s.RHS) }
+func (*Assign) stmtNode()        {}
+
+// If is a conditional with optional elsif arms and else body.
+type If struct {
+	Cond  Expr
+	Then  []Stmt
+	Elifs []ElseIf
+	Else  []Stmt
+}
+
+// ElseIf is one elsif arm of an If.
+type ElseIf struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (s *If) String() string { return fmt.Sprintf("if %s then ... end if", s.Cond) }
+func (*If) stmtNode()        {}
+
+// For is a counted loop: for Var in From to To loop Body end loop. The
+// loop variable is a behavior-local integer variable.
+type For struct {
+	Var      *Variable
+	From, To Expr
+	Body     []Stmt
+}
+
+func (s *For) String() string {
+	return fmt.Sprintf("for %s in %s to %s loop ... end loop", s.Var.Name, s.From, s.To)
+}
+func (*For) stmtNode() {}
+
+// While loops while Cond holds.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (s *While) String() string { return fmt.Sprintf("while %s loop ... end loop", s.Cond) }
+func (*While) stmtNode()        {}
+
+// Loop is an unconditional loop ("loop ... end loop"), exited only by an
+// Exit statement or by simulation shutdown. Generated variable-server
+// processes use it.
+type Loop struct {
+	Body []Stmt
+}
+
+func (s *Loop) String() string { return "loop ... end loop" }
+func (*Loop) stmtNode()        {}
+
+// Exit exits the innermost enclosing loop.
+type Exit struct{}
+
+func (s *Exit) String() string { return "exit" }
+func (*Exit) stmtNode()        {}
+
+// Wait suspends the process. Forms (combinable, as in VHDL):
+//
+//	wait on a, b;          — resume on any event on the listed signals
+//	wait until cond;       — resume when an event makes cond true
+//	wait for n;            — resume after n clocks
+//
+// A Wait with no clauses suspends forever.
+type Wait struct {
+	On     []*Variable // signals to be sensitive to
+	Until  Expr        // optional condition, re-evaluated on events
+	For    int64       // optional clock count; <= 0 means none
+	HasFor bool
+}
+
+// WaitOn returns "wait on sigs...".
+func WaitOn(sigs ...*Variable) *Wait { return &Wait{On: sigs} }
+
+// WaitUntil returns "wait until cond". The simulator derives the
+// sensitivity list from the signals read by cond.
+func WaitUntil(cond Expr) *Wait { return &Wait{Until: cond} }
+
+// WaitFor returns "wait for n" (n clocks of simulated time).
+func WaitFor(n int64) *Wait { return &Wait{For: n, HasFor: true} }
+
+func (s *Wait) String() string {
+	var parts []string
+	if len(s.On) > 0 {
+		names := make([]string, len(s.On))
+		for i, v := range s.On {
+			names[i] = v.Name
+		}
+		parts = append(parts, "on "+strings.Join(names, ", "))
+	}
+	if s.Until != nil {
+		parts = append(parts, "until "+s.Until.String())
+	}
+	if s.HasFor {
+		parts = append(parts, fmt.Sprintf("for %d", s.For))
+	}
+	return "wait " + strings.Join(parts, " ")
+}
+func (*Wait) stmtNode() {}
+
+// Call invokes a procedure. Arguments bind positionally to the
+// procedure's parameters; arguments for out/inout parameters must be
+// lvalues.
+type Call struct {
+	Proc *Procedure
+	Args []Expr
+}
+
+// CallProc returns the statement "proc(args...)".
+func CallProc(p *Procedure, args ...Expr) *Call { return &Call{Proc: p, Args: args} }
+
+func (s *Call) String() string { return fmt.Sprintf("%s(%s)", s.Proc.Name, ExprString(s.Args)) }
+func (*Call) stmtNode()        {}
+
+// Return returns from the enclosing procedure.
+type Return struct{}
+
+func (s *Return) String() string { return "return" }
+func (*Return) stmtNode()        {}
+
+// Null is the VHDL null statement.
+type Null struct{}
+
+func (s *Null) String() string { return "null" }
+func (*Null) stmtNode()        {}
+
+// FormatStmts renders statements one per line with the given indent, for
+// debugging. The VHDL back end (internal/vhdlgen) produces the full
+// listing form.
+func FormatStmts(stmts []Stmt, indent string) string {
+	var b strings.Builder
+	writeStmts(&b, stmts, indent)
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *If:
+			fmt.Fprintf(b, "%sif %s then\n", indent, s.Cond)
+			writeStmts(b, s.Then, indent+"  ")
+			for _, e := range s.Elifs {
+				fmt.Fprintf(b, "%selsif %s then\n", indent, e.Cond)
+				writeStmts(b, e.Body, indent+"  ")
+			}
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%selse\n", indent)
+				writeStmts(b, s.Else, indent+"  ")
+			}
+			fmt.Fprintf(b, "%send if;\n", indent)
+		case *For:
+			fmt.Fprintf(b, "%sfor %s in %s to %s loop\n", indent, s.Var.Name, s.From, s.To)
+			writeStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%send loop;\n", indent)
+		case *While:
+			fmt.Fprintf(b, "%swhile %s loop\n", indent, s.Cond)
+			writeStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%send loop;\n", indent)
+		case *Loop:
+			fmt.Fprintf(b, "%sloop\n", indent)
+			writeStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%send loop;\n", indent)
+		default:
+			fmt.Fprintf(b, "%s%s;\n", indent, s)
+		}
+	}
+}

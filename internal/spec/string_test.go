@@ -1,0 +1,198 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// TestExprStringsAndTypes pins the rendering and static type of every
+// expression node.
+func TestExprStringsAndTypes(t *testing.T) {
+	v := NewVar("v", BitVector(8))
+	n := NewVar("n", Integer)
+	arr := NewVar("arr", Array(4, BitVector(8)))
+	rec := NewSignal("B", RecordType{Name: "R", Fields: []Field{{Name: "D", Type: BitVector(8)}}})
+
+	cases := []struct {
+		e        Expr
+		wantStr  string
+		wantType Type
+	}{
+		{Int(5), "5", Integer},
+		{Vec(bits.MustParse("1010")), `"1010"`, BitVector(4)},
+		{VecString("1"), "'1'", Bit},
+		{True, "true", Bool},
+		{False, "false", Bool},
+		{Ref(v), "v", BitVector(8)},
+		{At(Ref(arr), Int(2)), "arr(2)", BitVector(8)},
+		{SliceBits(Ref(v), 7, 4), "v(7 downto 4)", BitVector(4)},
+		{FieldOf(Ref(rec), "D"), "B.D", BitVector(8)},
+		{Add(Ref(n), Int(1)), "(n + 1)", Integer},
+		{Sub(Ref(n), Int(1)), "(n - 1)", Integer},
+		{Mul(Ref(n), Int(2)), "(n * 2)", Integer},
+		{Eq(Ref(n), Int(0)), "(n = 0)", Bool},
+		{Neq(Ref(n), Int(0)), "(n /= 0)", Bool},
+		{Lt(Ref(n), Int(0)), "(n < 0)", Bool},
+		{Le(Ref(n), Int(0)), "(n <= 0)", Bool},
+		{Gt(Ref(n), Int(0)), "(n > 0)", Bool},
+		{Ge(Ref(n), Int(0)), "(n >= 0)", Bool},
+		{LogicalAnd(True, False), "(true and false)", Bool},
+		{LogicalOr(True, False), "(true or false)", Bool},
+		{Not(True), "(not true)", Bool},
+		{Neg(Ref(n)), "(- n)", Integer},
+		{Bin(OpConcat, Ref(v), Ref(v)), "(v & v)", BitVector(16)},
+		{ToInt(Ref(v)), "conv<integer>(v)", Integer},
+		{ToIntSigned(Ref(v)), "conv<integer>(v)", Integer},
+		{ToVec(Ref(n), 8), "conv<bit_vector(7 downto 0)>(n)", BitVector(8)},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.wantStr {
+			t.Errorf("String = %q, want %q", got, c.wantStr)
+		}
+		if got := c.e.Type(); !got.Equal(c.wantType) {
+			t.Errorf("%s: Type = %v, want %v", c.wantStr, got, c.wantType)
+		}
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	v := NewVar("v", Integer)
+	proc := &Procedure{Name: "p"}
+	cases := []struct {
+		s    Stmt
+		want string
+	}{
+		{AssignVar(Ref(v), Int(1)), "v := 1"},
+		{AssignSig(Ref(v), Int(1)), "v <= 1"},
+		{&If{Cond: True}, "if true then ... end if"},
+		{&For{Var: v, From: Int(0), To: Int(3)}, "for v in 0 to 3 loop ... end loop"},
+		{&While{Cond: True}, "while true loop ... end loop"},
+		{&Loop{}, "loop ... end loop"},
+		{&Exit{}, "exit"},
+		{&Return{}, "return"},
+		{&Null{}, "null"},
+		{CallProc(proc, Int(1), Int(2)), "p(1, 2)"},
+		{WaitFor(7), "wait for 7"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDeclStrings(t *testing.T) {
+	v := NewVar("v", BitVector(4))
+	if got := v.String(); got != "variable v : bit_vector(3 downto 0)" {
+		t.Errorf("var String = %q", got)
+	}
+	s := NewSignal("s", Bit)
+	if !strings.HasPrefix(s.String(), "signal s") {
+		t.Errorf("signal String = %q", s.String())
+	}
+	b := NewBehavior("B")
+	if b.String() != "behavior B" {
+		t.Errorf("behavior String = %q", b.String())
+	}
+	m := NewModule("M")
+	if m.String() != "module M" {
+		t.Errorf("module String = %q", m.String())
+	}
+	p := &Procedure{Name: "p", Params: []Param{{Var: v, Mode: ModeOut}}}
+	if p.String() != "procedure p/1" {
+		t.Errorf("proc String = %q", p.String())
+	}
+	if p.FindParam("v") == nil || p.FindParam("ghost") != nil {
+		t.Error("FindParam wrong")
+	}
+	if ModeIn.String() != "in" || ModeOut.String() != "out" || ModeInOut.String() != "inout" {
+		t.Error("mode strings")
+	}
+	if KindVariable.String() != "variable" || KindSignal.String() != "signal" {
+		t.Error("kind strings")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("direction strings")
+	}
+}
+
+func TestChannelAndBusStrings(t *testing.T) {
+	sys := NewSystem("s")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(NewBehavior("A"))
+	v := m2.AddVariable(NewVar("MEM", Array(4, Bit)))
+	cr := &Channel{Name: "ch1", Accessor: b, Var: v, Dir: Read}
+	cw := &Channel{Name: "ch2", Accessor: b, Var: v, Dir: Write}
+	if cr.String() != "ch1 : A < MEM" {
+		t.Errorf("read channel String = %q", cr.String())
+	}
+	if cw.String() != "ch2 : A > MEM" {
+		t.Errorf("write channel String = %q", cw.String())
+	}
+	bus := &Bus{Name: "B", Channels: []*Channel{cr, cw}, Width: 8}
+	if !strings.Contains(bus.String(), "bus B") || !strings.Contains(bus.String(), "width 8") {
+		t.Errorf("bus String = %q", bus.String())
+	}
+	if !strings.Contains(FullHandshake.String(), "handshake") {
+		t.Error("protocol string")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if !OpEq.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+	if Op(999).String() == "" {
+		t.Error("unknown op String empty")
+	}
+	if OpMod.String() != "mod" || OpShl.String() != "sll" {
+		t.Error("op names")
+	}
+}
+
+func TestExprStringList(t *testing.T) {
+	if got := ExprString([]Expr{Int(1), Int(2)}); got != "1, 2" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestIntLitDefaultType(t *testing.T) {
+	lit := &IntLit{Value: 3} // no explicit type
+	if !lit.Type().Equal(Integer) {
+		t.Error("IntLit default type not integer")
+	}
+}
+
+func TestVecHelper(t *testing.T) {
+	e := Vec(bits.FromUint(5, 4))
+	if e.Value.Uint64() != 5 {
+		t.Error("Vec helper wrong")
+	}
+}
+
+func TestAddGlobalAndTotalLinesArbitrated(t *testing.T) {
+	sys := NewSystem("s")
+	g := sys.AddGlobal(NewSignal("G", Bit))
+	if len(sys.Globals) != 1 || sys.Globals[0] != g {
+		t.Error("AddGlobal wrong")
+	}
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	a := m1.AddBehavior(NewBehavior("A"))
+	b := m1.AddBehavior(NewBehavior("Bb"))
+	v := m2.AddVariable(NewVar("V", BitVector(8)))
+	bus := &Bus{
+		Name: "B", Width: 8, Protocol: FullHandshake, Arbitrated: true,
+		Channels: []*Channel{
+			{Name: "c1", Accessor: a, Var: v, Dir: Write},
+			{Name: "c2", Accessor: b, Var: v, Dir: Write},
+		},
+	}
+	// 8 data + 2 ctrl + 1 id + (2 REQ + 1 GRANT + 1 GVALID) = 15.
+	if got := bus.TotalLines(); got != 15 {
+		t.Errorf("arbitrated TotalLines = %d, want 15", got)
+	}
+}

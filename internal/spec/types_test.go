@@ -1,0 +1,101 @@
+package spec
+
+import "testing"
+
+func TestTypeBitWidths(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want int
+	}{
+		{Bit, 1},
+		{Bool, 1},
+		{Integer, 32},
+		{IntegerType{Width: 16}, 16},
+		{BitVector(16), 16},
+		{Array(128, BitVector(16)), 128 * 16},
+		{Array(1920, Integer), 1920 * 32},
+		{RecordType{Name: "R", Fields: []Field{{"START", Bit}, {"DATA", BitVector(8)}}}, 9},
+	}
+	for _, c := range cases {
+		if got := c.typ.BitWidth(); got != c.want {
+			t.Errorf("%s.BitWidth() = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestAddrBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{64, 6}, {127, 7}, {128, 7}, {129, 8}, {1920, 11},
+	}
+	for _, c := range cases {
+		if got := AddrBits(c.n); got != c.want {
+			t.Errorf("AddrBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestArrayAddrBitsMatchPaper(t *testing.T) {
+	// The FLC trru arrays: 128 entries of 16-bit data need a 7-bit
+	// address, so a channel message is 23 bits (Section 5).
+	trru := Array(128, BitVector(16))
+	if trru.AddrBits() != 7 {
+		t.Fatalf("trru AddrBits = %d, want 7", trru.AddrBits())
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	if !BitVector(8).Equal(BitVector(8)) {
+		t.Error("BitVector(8) != BitVector(8)")
+	}
+	if BitVector(8).Equal(BitVector(9)) {
+		t.Error("BitVector(8) == BitVector(9)")
+	}
+	if Bit.Equal(Bool) {
+		t.Error("bit == boolean")
+	}
+	a := Array(4, BitVector(8))
+	if !a.Equal(Array(4, BitVector(8))) || a.Equal(Array(5, BitVector(8))) || a.Equal(Array(4, BitVector(9))) {
+		t.Error("array equality wrong")
+	}
+	r1 := RecordType{Name: "X", Fields: []Field{{"A", Bit}}}
+	r2 := RecordType{Name: "Y", Fields: []Field{{"A", Bit}}}
+	if !r1.Equal(r2) { // structural: name does not matter
+		t.Error("structural record equality should ignore the record name")
+	}
+	r3 := RecordType{Fields: []Field{{"B", Bit}}}
+	if r1.Equal(r3) {
+		t.Error("records with different field names compared equal")
+	}
+}
+
+func TestRecordFieldType(t *testing.T) {
+	r := RecordType{Name: "HandShakeBus", Fields: []Field{
+		{"START", Bit}, {"DONE", Bit}, {"ID", BitVector(2)}, {"DATA", BitVector(8)},
+	}}
+	if ft := r.FieldType("DATA"); !ft.Equal(BitVector(8)) {
+		t.Errorf("DATA type = %v", ft)
+	}
+	if r.FieldType("MISSING") != nil {
+		t.Error("missing field returned a type")
+	}
+	if r.BitWidth() != 12 {
+		t.Errorf("record width = %d", r.BitWidth())
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{BitVector(16), "bit_vector(15 downto 0)"},
+		{Integer, "integer"},
+		{Array(128, BitVector(16)), "array(0 to 127) of bit_vector(15 downto 0)"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// Validate checks the structural consistency of a system and returns every
+// problem found. A valid system is safe to estimate, synthesize and
+// simulate. The checks mirror the assumptions the rest of the flow makes:
+//
+//   - names of modules, behaviors and module variables are unique;
+//   - channels connect an existing behavior to a module variable on a
+//     *different* module (a channel is inter-module by definition);
+//   - every channel of a bus exists in the system;
+//   - procedure calls match the callee's arity, and out/inout arguments
+//     are lvalues;
+//   - assignment targets are lvalues.
+func (s *System) Validate() []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	modNames := make(map[string]bool)
+	behNames := make(map[string]*Behavior)
+	varNames := make(map[string]*Variable)
+	for _, m := range s.Modules {
+		if modNames[m.Name] {
+			report("duplicate module name %q", m.Name)
+		}
+		modNames[m.Name] = true
+		for _, b := range m.Behaviors {
+			if behNames[b.Name] != nil {
+				report("duplicate behavior name %q", b.Name)
+			}
+			behNames[b.Name] = b
+			if b.Owner != m {
+				report("behavior %q owner pointer does not match module %q", b.Name, m.Name)
+			}
+			errs = append(errs, validateBody(b)...)
+		}
+		for _, v := range m.Variables {
+			if varNames[v.Name] != nil {
+				report("duplicate module variable name %q", v.Name)
+			}
+			varNames[v.Name] = v
+			if v.Owner != m {
+				report("variable %q owner pointer does not match module %q", v.Name, m.Name)
+			}
+		}
+	}
+
+	chanNames := make(map[string]bool)
+	for _, c := range s.Channels {
+		if chanNames[c.Name] {
+			report("duplicate channel name %q", c.Name)
+		}
+		chanNames[c.Name] = true
+		if c.Accessor == nil || c.Var == nil {
+			report("channel %q missing accessor or variable", c.Name)
+			continue
+		}
+		if behNames[c.Accessor.Name] != c.Accessor {
+			report("channel %q accessor %q not in system", c.Name, c.Accessor.Name)
+		}
+		if c.Var.Owner == nil {
+			report("channel %q variable %q not assigned to a module", c.Name, c.Var.Name)
+		} else if c.Accessor.Owner == c.Var.Owner {
+			report("channel %q is intra-module (%q): channels must cross module boundaries",
+				c.Name, c.Var.Owner.Name)
+		}
+	}
+
+	inSystem := make(map[*Channel]bool)
+	for _, c := range s.Channels {
+		inSystem[c] = true
+	}
+	for _, bus := range s.Buses {
+		if len(bus.Channels) == 0 {
+			report("bus %q has no channels", bus.Name)
+		}
+		for _, c := range bus.Channels {
+			if !inSystem[c] {
+				report("bus %q references channel %q not in system", bus.Name, c.Name)
+			}
+		}
+		if bus.Width < 0 {
+			report("bus %q has negative width %d", bus.Name, bus.Width)
+		}
+	}
+	return errs
+}
+
+func validateBody(b *Behavior) []error {
+	var errs []error
+	check := func(stmts []Stmt, where string) {
+		WalkStmts(stmts, func(s Stmt) bool {
+			switch s := s.(type) {
+			case *Assign:
+				if BaseVar(s.LHS) == nil {
+					errs = append(errs, fmt.Errorf("%s: assignment target %s is not an lvalue", where, s.LHS))
+				}
+				if s.RHS == nil {
+					errs = append(errs, fmt.Errorf("%s: assignment with nil RHS", where))
+				}
+			case *Call:
+				if s.Proc == nil {
+					errs = append(errs, fmt.Errorf("%s: call with nil procedure", where))
+					return true
+				}
+				if len(s.Args) != len(s.Proc.Params) {
+					errs = append(errs, fmt.Errorf("%s: call %s has %d args, procedure takes %d",
+						where, s.Proc.Name, len(s.Args), len(s.Proc.Params)))
+					return true
+				}
+				for i, p := range s.Proc.Params {
+					if p.Mode != ModeIn && BaseVar(s.Args[i]) == nil {
+						errs = append(errs, fmt.Errorf("%s: call %s arg %d for %s param %q is not an lvalue",
+							where, s.Proc.Name, i, p.Mode, p.Var.Name))
+					}
+				}
+			case *For:
+				if s.Var == nil {
+					errs = append(errs, fmt.Errorf("%s: for loop with nil loop variable", where))
+				}
+			}
+			return true
+		})
+	}
+	check(b.Body, "behavior "+b.Name)
+	for _, p := range b.Procedures {
+		check(p.Body, fmt.Sprintf("behavior %s procedure %s", b.Name, p.Name))
+	}
+	return errs
+}
+
+// MustValidate panics if the system is invalid. Intended for construction
+// of known-good workloads in tests and examples.
+func (s *System) MustValidate() *System {
+	if errs := s.Validate(); len(errs) > 0 {
+		panic(fmt.Sprintf("spec: invalid system %s: %v", s.Name, errs[0]))
+	}
+	return s
+}

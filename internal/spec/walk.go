@@ -1,0 +1,237 @@
+package spec
+
+// WalkExpr calls fn for e and every sub-expression of e, parents first.
+// If fn returns false the walk does not descend into the expression.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *Index:
+		WalkExpr(e.Arr, fn)
+		WalkExpr(e.Index, fn)
+	case *SliceExpr:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Hi, fn)
+		WalkExpr(e.Lo, fn)
+	case *FieldRef:
+		WalkExpr(e.X, fn)
+	case *Binary:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Y, fn)
+	case *Unary:
+		WalkExpr(e.X, fn)
+	case *Conv:
+		WalkExpr(e.X, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in stmts, recursively, parents
+// first. If fn returns false the walk does not descend into the
+// statement's bodies.
+func WalkStmts(stmts []Stmt, fn func(Stmt) bool) {
+	for _, s := range stmts {
+		if !fn(s) {
+			continue
+		}
+		switch s := s.(type) {
+		case *If:
+			WalkStmts(s.Then, fn)
+			for _, e := range s.Elifs {
+				WalkStmts(e.Body, fn)
+			}
+			WalkStmts(s.Else, fn)
+		case *For:
+			WalkStmts(s.Body, fn)
+		case *While:
+			WalkStmts(s.Body, fn)
+		case *Loop:
+			WalkStmts(s.Body, fn)
+		}
+	}
+}
+
+// WalkStmtExprs calls fn for every expression appearing in the statement
+// list (conditions, bounds, assignment sides, call arguments), including
+// sub-expressions.
+func WalkStmtExprs(stmts []Stmt, fn func(Expr) bool) {
+	WalkStmts(stmts, func(s Stmt) bool {
+		for _, e := range stmtExprs(s) {
+			WalkExpr(e, fn)
+		}
+		return true
+	})
+}
+
+func stmtExprs(s Stmt) []Expr {
+	switch s := s.(type) {
+	case *Assign:
+		return []Expr{s.LHS, s.RHS}
+	case *If:
+		exprs := []Expr{s.Cond}
+		for _, e := range s.Elifs {
+			exprs = append(exprs, e.Cond)
+		}
+		return exprs
+	case *For:
+		return []Expr{s.From, s.To}
+	case *While:
+		return []Expr{s.Cond}
+	case *Wait:
+		if s.Until != nil {
+			return []Expr{s.Until}
+		}
+	case *Call:
+		return s.Args
+	}
+	return nil
+}
+
+// RewriteStmts returns a new statement list in which every statement s has
+// been replaced by fn(s). fn may return the statement unchanged (wrapped
+// in a one-element slice), a replacement sequence, or nil to delete the
+// statement. Bodies of compound statements are rewritten first (bottom
+// up); the compound statement handed to fn already carries the rewritten
+// bodies. Compound statements are copied, so the input list is not
+// mutated.
+func RewriteStmts(stmts []Stmt, fn func(Stmt) []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *If:
+			cp := &If{Cond: s.Cond, Then: RewriteStmts(s.Then, fn), Else: RewriteStmts(s.Else, fn)}
+			for _, e := range s.Elifs {
+				cp.Elifs = append(cp.Elifs, ElseIf{Cond: e.Cond, Body: RewriteStmts(e.Body, fn)})
+			}
+			out = append(out, fn(cp)...)
+		case *For:
+			cp := &For{Var: s.Var, From: s.From, To: s.To, Body: RewriteStmts(s.Body, fn)}
+			out = append(out, fn(cp)...)
+		case *While:
+			cp := &While{Cond: s.Cond, Body: RewriteStmts(s.Body, fn)}
+			out = append(out, fn(cp)...)
+		case *Loop:
+			cp := &Loop{Body: RewriteStmts(s.Body, fn)}
+			out = append(out, fn(cp)...)
+		default:
+			out = append(out, fn(s)...)
+		}
+	}
+	return out
+}
+
+// Keep wraps a statement as the identity result for RewriteStmts.
+func Keep(s Stmt) []Stmt { return []Stmt{s} }
+
+// VarsRead returns every variable read anywhere in the statement list
+// (including array bases that are indexed for reading). Writes to a plain
+// variable do not count as reads, but an indexed or sliced write reads the
+// index expression.
+func VarsRead(stmts []Stmt) map[*Variable]int {
+	counts := make(map[*Variable]int)
+	WalkStmts(stmts, func(s Stmt) bool {
+		switch s := s.(type) {
+		case *Assign:
+			countReads(s.RHS, counts)
+			// index/slice/field components of the LHS are reads
+			countLValueIndexReads(s.LHS, counts)
+		default:
+			for _, e := range stmtExprs(s) {
+				countReads(e, counts)
+			}
+		}
+		return true
+	})
+	return counts
+}
+
+// VarsWritten returns every variable assigned anywhere in the statement
+// list, with assignment counts. For indexed, sliced or field lvalues the
+// base variable is reported.
+func VarsWritten(stmts []Stmt) map[*Variable]int {
+	counts := make(map[*Variable]int)
+	WalkStmts(stmts, func(s Stmt) bool {
+		if a, ok := s.(*Assign); ok {
+			if v := BaseVar(a.LHS); v != nil {
+				counts[v]++
+			}
+		}
+		if f, ok := s.(*For); ok {
+			counts[f.Var]++
+		}
+		return true
+	})
+	return counts
+}
+
+func countReads(e Expr, counts map[*Variable]int) {
+	WalkExpr(e, func(e Expr) bool {
+		if r, ok := e.(*VarRef); ok {
+			counts[r.Var]++
+		}
+		return true
+	})
+}
+
+func countLValueIndexReads(lhs Expr, counts map[*Variable]int) {
+	switch lhs := lhs.(type) {
+	case *Index:
+		countReads(lhs.Index, counts)
+		countLValueIndexReads(lhs.Arr, counts)
+	case *SliceExpr:
+		countReads(lhs.Hi, counts)
+		countReads(lhs.Lo, counts)
+		countLValueIndexReads(lhs.X, counts)
+	case *FieldRef:
+		countLValueIndexReads(lhs.X, counts)
+	}
+}
+
+// BaseVar returns the variable at the root of an lvalue expression
+// (unwrapping Index, SliceExpr and FieldRef), or nil if the expression is
+// not rooted at a variable.
+func BaseVar(e Expr) *Variable {
+	for {
+		switch x := e.(type) {
+		case *VarRef:
+			return x.Var
+		case *Index:
+			e = x.Arr
+		case *SliceExpr:
+			e = x.X
+		case *FieldRef:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// SignalsRead returns the signals referenced by the expression, used to
+// build the implicit sensitivity list of "wait until".
+func SignalsRead(e Expr) []*Variable {
+	var out []*Variable
+	seen := make(map[*Variable]bool)
+	WalkExpr(e, func(e Expr) bool {
+		if r, ok := e.(*VarRef); ok && r.Var.Kind == KindSignal && !seen[r.Var] {
+			seen[r.Var] = true
+			out = append(out, r.Var)
+		}
+		return true
+	})
+	return out
+}
+
+// References reports whether the statement list references (reads or
+// writes) the given variable anywhere.
+func References(stmts []Stmt, v *Variable) bool {
+	found := false
+	WalkStmtExprs(stmts, func(e Expr) bool {
+		if r, ok := e.(*VarRef); ok && r.Var == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

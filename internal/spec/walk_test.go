@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randStmts builds a random statement tree over the given variables.
+func randStmts(rng *rand.Rand, vars []*Variable, depth int) []Stmt {
+	n := 1 + rng.Intn(4)
+	out := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		v := vars[rng.Intn(len(vars))]
+		w := vars[rng.Intn(len(vars))]
+		switch k := rng.Intn(7); {
+		case k == 0 && depth > 0:
+			out = append(out, &If{
+				Cond: Gt(Ref(v), Int(int64(rng.Intn(10)))),
+				Then: randStmts(rng, vars, depth-1),
+				Else: randStmts(rng, vars, depth-1),
+			})
+		case k == 1 && depth > 0:
+			lv := NewVar("i", Integer)
+			out = append(out, &For{Var: lv, From: Int(0), To: Int(int64(rng.Intn(5))),
+				Body: randStmts(rng, vars, depth-1)})
+		case k == 2 && depth > 0:
+			out = append(out, &Loop{Body: append(randStmts(rng, vars, depth-1), &Exit{})})
+		case k == 3:
+			out = append(out, WaitFor(int64(rng.Intn(5)+1)))
+		case k == 4:
+			out = append(out, &Null{})
+		default:
+			out = append(out, AssignVar(Ref(v), Add(Ref(w), Int(int64(rng.Intn(100))))))
+		}
+	}
+	return out
+}
+
+func countStmts(stmts []Stmt) int {
+	n := 0
+	WalkStmts(stmts, func(Stmt) bool { n++; return true })
+	return n
+}
+
+// Property: RewriteStmts with Keep preserves the statement count and
+// leaves reference sets intact, over random trees.
+func TestQuickRewriteKeepIsIdentityShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vars := []*Variable{NewVar("a", Integer), NewVar("b", Integer), NewVar("c", Integer)}
+	for trial := 0; trial < 200; trial++ {
+		body := randStmts(rng, vars, 3)
+		before := countStmts(body)
+		reads := VarsRead(body)
+		out := RewriteStmts(body, Keep)
+		if got := countStmts(out); got != before {
+			t.Fatalf("trial %d: stmt count %d -> %d", trial, before, got)
+		}
+		after := VarsRead(out)
+		for v, n := range reads {
+			if after[v] != n {
+				t.Fatalf("trial %d: reads of %s changed %d -> %d", trial, v.Name, n, after[v])
+			}
+		}
+	}
+}
+
+// Property: deleting every Null strictly reduces (or keeps) the count
+// and leaves no Null behind.
+func TestQuickRewriteDeleteNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []*Variable{NewVar("a", Integer), NewVar("b", Integer)}
+	for trial := 0; trial < 200; trial++ {
+		body := randStmts(rng, vars, 3)
+		out := RewriteStmts(body, func(s Stmt) []Stmt {
+			if _, ok := s.(*Null); ok {
+				return nil
+			}
+			return Keep(s)
+		})
+		WalkStmts(out, func(s Stmt) bool {
+			if _, ok := s.(*Null); ok {
+				t.Fatalf("trial %d: Null survived", trial)
+			}
+			return true
+		})
+		if countStmts(out) > countStmts(body) {
+			t.Fatalf("trial %d: deletion grew the tree", trial)
+		}
+	}
+}
+
+// Property: rewriting never mutates the input tree.
+func TestQuickRewriteDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vars := []*Variable{NewVar("a", Integer), NewVar("b", Integer)}
+	for trial := 0; trial < 100; trial++ {
+		body := randStmts(rng, vars, 3)
+		before := FormatStmts(body, "")
+		RewriteStmts(body, func(s Stmt) []Stmt {
+			if a, ok := s.(*Assign); ok {
+				return []Stmt{AssignVar(a.LHS, Int(0))}
+			}
+			return nil // delete everything else
+		})
+		if FormatStmts(body, "") != before {
+			t.Fatalf("trial %d: input mutated", trial)
+		}
+	}
+}

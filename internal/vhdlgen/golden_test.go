@@ -1,0 +1,29 @@
+package vhdlgen
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/protogen"
+	"repro/internal/spec"
+	"repro/internal/workloads"
+)
+
+// TestGoldenRefinedPQ pins the full emitted listing of the refined
+// Fig. 3 system against testdata/pq_refined.vhdl.golden. Regenerate the
+// golden with: go run ./tools/gengolden
+func TestGoldenRefinedPQ(t *testing.T) {
+	sys, bus := workloads.PQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	got := Emit(sys)
+	want, err := os.ReadFile("../../testdata/pq_refined.vhdl.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("emitted VHDL drifted from golden (run `go run ./tools/gengolden` if intentional)\n"+
+			"got %d bytes, want %d", len(got), len(want))
+	}
+}

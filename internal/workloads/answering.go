@@ -1,0 +1,144 @@
+// Package workloads provides the remaining systems of the paper's
+// evaluation (Section 5 applied bus generation to "an answering machine,
+// an Ethernet network coprocessor and a fuzzy logic controller") plus
+// the Fig. 3 walkthrough system. Each builder returns a partitioned,
+// validated system whose cross-module accesses exercise the interface-
+// synthesis flow end to end; the FLC itself lives in internal/flc.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/spec"
+)
+
+// AnsweringMachine models a telephone answering machine partitioned
+// into a controller chip and a voice-memory chip:
+//
+//	chip1: RING_DETECT, CONTROLLER, PLAYBACK, RECORD
+//	chip2: GREETING (256 x 8-bit samples), MSGS (1024 x 8-bit samples),
+//	       MSG_COUNT
+//
+// A run answers `Rings` incoming calls: ring detection raises the
+// answer flag, the controller starts playback of the greeting, then
+// records a caller message into the message memory and bumps the
+// message counter. The control flags are single-writer bit signals.
+func AnsweringMachine(rings int) *spec.System {
+	if rings < 1 || rings > 8 {
+		panic(fmt.Sprintf("workloads: rings out of range: %d", rings))
+	}
+	sys := spec.NewSystem("AnsweringMachine")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+
+	greeting := chip2.AddVariable(spec.NewVar("GREETING", spec.Array(256, spec.BitVector(8))))
+	msgs := chip2.AddVariable(spec.NewVar("MSGS", spec.Array(1024, spec.BitVector(8))))
+	msgCount := chip2.AddVariable(spec.NewVar("MSG_COUNT", spec.Integer))
+
+	line := chip1.AddVariable(spec.NewVar("line_samples", spec.Array(128, spec.BitVector(8))))
+	speaker := chip1.AddVariable(spec.NewVar("speaker_sum", spec.Integer))
+
+	ringSig := chip1.AddVariable(spec.NewSignal("ring", spec.Bit))
+	answered := chip1.AddVariable(spec.NewSignal("answered", spec.Bit))
+	playDone := chip1.AddVariable(spec.NewSignal("play_done", spec.Bit))
+	recDone := chip1.AddVariable(spec.NewSignal("rec_done", spec.Bit))
+	callSeq := chip1.AddVariable(spec.NewSignal("call_seq", spec.IntegerType{Width: 32}))
+
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+
+	// RING_DETECT: pulses ring for each incoming call, waiting for the
+	// previous call to complete.
+	ringDetect := chip1.AddBehavior(spec.NewBehavior("RING_DETECT"))
+	{
+		c := ringDetect.AddVar("c", spec.Integer)
+		ringDetect.Body = []spec.Stmt{
+			&spec.For{Var: c, From: spec.Int(1), To: spec.Int(int64(rings)), Body: []spec.Stmt{
+				spec.AssignSig(spec.Ref(ringSig), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(answered), one)),
+				spec.AssignSig(spec.Ref(ringSig), zero),
+				spec.WaitUntil(spec.Eq(spec.Ref(answered), zero)),
+			}},
+		}
+	}
+
+	// CONTROLLER: sequences answer -> playback -> record per call.
+	controller := chip1.AddBehavior(spec.NewBehavior("CONTROLLER"))
+	{
+		c := controller.AddVar("c", spec.Integer)
+		controller.Body = []spec.Stmt{
+			&spec.For{Var: c, From: spec.Int(1), To: spec.Int(int64(rings)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.Eq(spec.Ref(ringSig), one)),
+				spec.AssignSig(spec.Ref(callSeq), spec.Ref(c)),
+				spec.AssignSig(spec.Ref(answered), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(recDone), one)),
+				spec.AssignSig(spec.Ref(answered), zero),
+				spec.WaitUntil(spec.Eq(spec.Ref(recDone), zero)),
+			}},
+		}
+	}
+
+	// PLAYBACK: plays the greeting from the memory chip (reads
+	// GREETING over a channel) into the speaker accumulator.
+	playback := chip1.AddBehavior(spec.NewBehavior("PLAYBACK"))
+	{
+		c := playback.AddVar("c", spec.Integer)
+		i := playback.AddVar("i", spec.Integer)
+		playback.Body = []spec.Stmt{
+			&spec.For{Var: c, From: spec.Int(1), To: spec.Int(int64(rings)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.Eq(spec.Ref(answered), one)),
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(255), Body: []spec.Stmt{
+					spec.AssignVar(spec.Ref(speaker),
+						spec.Add(spec.Ref(speaker), spec.ToInt(spec.At(spec.Ref(greeting), spec.Ref(i))))),
+				}},
+				spec.AssignSig(spec.Ref(playDone), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(answered), zero)),
+				spec.AssignSig(spec.Ref(playDone), zero),
+			}},
+		}
+	}
+
+	// RECORD: after playback, records 128 line samples into the
+	// message memory (writes MSGS over a channel) and bumps MSG_COUNT.
+	record := chip1.AddBehavior(spec.NewBehavior("RECORD"))
+	{
+		c := record.AddVar("c", spec.Integer)
+		i := record.AddVar("i", spec.Integer)
+		slot := record.AddVar("slot", spec.Integer)
+		record.Body = []spec.Stmt{
+			&spec.For{Var: c, From: spec.Int(1), To: spec.Int(int64(rings)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.Eq(spec.Ref(playDone), one)),
+				spec.AssignVar(spec.Ref(slot), spec.Mul(spec.Sub(spec.Ref(c), spec.Int(1)), spec.Int(128))),
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(127), Body: []spec.Stmt{
+					// synth line audio: sample = (i*3 + call) mod 256
+					spec.AssignVar(spec.At(spec.Ref(line), spec.Ref(i)),
+						spec.ToVec(spec.Bin(spec.OpMod,
+							spec.Add(spec.Mul(spec.Ref(i), spec.Int(3)), spec.Ref(c)), spec.Int(256)), 8)),
+					spec.AssignVar(spec.At(spec.Ref(msgs), spec.Add(spec.Ref(slot), spec.Ref(i))),
+						spec.At(spec.Ref(line), spec.Ref(i))),
+				}},
+				spec.AssignVar(spec.Ref(msgCount), spec.Add(spec.Ref(msgCount), spec.Int(1))),
+				spec.AssignSig(spec.Ref(recDone), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(playDone), zero)),
+				spec.AssignSig(spec.Ref(recDone), zero),
+			}},
+		}
+	}
+
+	// Pre-load the greeting deterministically (as if INSTALL had run).
+	greeting.InitArray = greetingSamples()
+
+	_ = ringDetect
+	_ = controller
+	return sys
+}
+
+// greetingSamples returns the deterministic greeting recording.
+func greetingSamples() []bits.Vector {
+	out := make([]bits.Vector, 256)
+	for i := range out {
+		out[i] = bits.FromUint(uint64((i*7+13)%256), 8)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Ethernet models the Ethernet network coprocessor of the paper's
+// evaluation: a receive/transmit pipeline partitioned into a protocol
+// chip and a buffer-memory chip:
+//
+//	chip1: RX_FRAME (deserializes frames from a synthetic line model),
+//	       CRC_CHECK (verifies the frame checksum),
+//	       ADDR_FILTER (accepts frames addressed to the station),
+//	       TX_FRAME (echoes accepted frames back to the line)
+//	chip2: FRAMEBUF (512 x 8-bit frame buffer), RXLEN, STATION_ADDR,
+//	       STATS (4 counters: frames seen, CRC errors, filtered,
+//	       transmitted)
+//
+// The line model is deterministic: `frames` frames of 32 payload bytes
+// are generated, every third frame carries a corrupted checksum, and
+// every fourth is addressed elsewhere. Accepted frames land in
+// FRAMEBUF; TX_FRAME accumulates an output checksum so the final state
+// is a strong functional signature.
+func Ethernet(frames int) *spec.System {
+	if frames < 1 || frames > 16 {
+		panic(fmt.Sprintf("workloads: frames out of range: %d", frames))
+	}
+	const payload = 32
+	sys := spec.NewSystem("EthernetCoprocessor")
+	chip1 := sys.AddModule("chip1")
+	chip2 := sys.AddModule("chip2")
+
+	framebuf := chip2.AddVariable(spec.NewVar("FRAMEBUF", spec.Array(512, spec.BitVector(8))))
+	rxlen := chip2.AddVariable(spec.NewVar("RXLEN", spec.Integer))
+	station := chip2.AddVariable(spec.NewVar("STATION_ADDR", spec.Integer))
+	station.Init = spec.Int(0x5A)
+	stats := chip2.AddVariable(spec.NewVar("STATS", spec.Array(4, spec.Integer)))
+
+	// chip1 working state.
+	rxbuf := chip1.AddVariable(spec.NewVar("rxbuf", spec.Array(payload+2, spec.BitVector(8))))
+	txsum := chip1.AddVariable(spec.NewVar("txsum", spec.Integer))
+
+	rxReady := chip1.AddVariable(spec.NewSignal("rx_ready", spec.Bit))
+	crcOK := chip1.AddVariable(spec.NewSignal("crc_ok", spec.Bit))
+	crcBad := chip1.AddVariable(spec.NewSignal("crc_bad", spec.Bit))
+	accept := chip1.AddVariable(spec.NewSignal("accept", spec.Bit))
+	reject := chip1.AddVariable(spec.NewSignal("reject", spec.Bit))
+	txDone := chip1.AddVariable(spec.NewSignal("tx_done", spec.Bit))
+
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+
+	// RX_FRAME: synthesizes and deserializes each frame into rxbuf:
+	// byte 0 = destination address, bytes 1..32 = payload, byte 33 =
+	// checksum (sum of payload mod 256; corrupted on every 3rd frame).
+	rx := chip1.AddBehavior(spec.NewBehavior("RX_FRAME"))
+	{
+		f := rx.AddVar("f", spec.Integer)
+		i := rx.AddVar("i", spec.Integer)
+		sum := rx.AddVar("sum", spec.Integer)
+		by := rx.AddVar("by", spec.Integer)
+		dst := rx.AddVar("dst", spec.Integer)
+		rx.Body = []spec.Stmt{
+			&spec.For{Var: f, From: spec.Int(1), To: spec.Int(int64(frames)), Body: []spec.Stmt{
+				// destination: every 4th frame goes elsewhere.
+				&spec.If{
+					Cond: spec.Eq(spec.Bin(spec.OpMod, spec.Ref(f), spec.Int(4)), spec.Int(0)),
+					Then: []spec.Stmt{spec.AssignVar(spec.Ref(dst), spec.Int(0x11))},
+					Else: []spec.Stmt{spec.AssignVar(spec.Ref(dst), spec.Int(0x5A))},
+				},
+				spec.AssignVar(spec.At(spec.Ref(rxbuf), spec.Int(0)), spec.ToVec(spec.Ref(dst), 8)),
+				spec.AssignVar(spec.Ref(sum), spec.Int(0)),
+				&spec.For{Var: i, From: spec.Int(1), To: spec.Int(payload), Body: []spec.Stmt{
+					spec.AssignVar(spec.Ref(by),
+						spec.Bin(spec.OpMod, spec.Add(spec.Mul(spec.Ref(i), spec.Int(5)), spec.Ref(f)), spec.Int(256))),
+					spec.AssignVar(spec.At(spec.Ref(rxbuf), spec.Ref(i)), spec.ToVec(spec.Ref(by), 8)),
+					spec.AssignVar(spec.Ref(sum), spec.Bin(spec.OpMod, spec.Add(spec.Ref(sum), spec.Ref(by)), spec.Int(256))),
+				}},
+				// checksum, corrupted on every 3rd frame
+				&spec.If{
+					Cond: spec.Eq(spec.Bin(spec.OpMod, spec.Ref(f), spec.Int(3)), spec.Int(0)),
+					Then: []spec.Stmt{spec.AssignVar(spec.Ref(sum),
+						spec.Bin(spec.OpMod, spec.Add(spec.Ref(sum), spec.Int(1)), spec.Int(256)))},
+				},
+				spec.AssignVar(spec.At(spec.Ref(rxbuf), spec.Int(payload+1)), spec.ToVec(spec.Ref(sum), 8)),
+				// count the frame and hand off to CRC_CHECK
+				spec.AssignVar(spec.At(spec.Ref(stats), spec.Int(0)),
+					spec.Add(spec.At(spec.Ref(stats), spec.Int(0)), spec.Int(1))),
+				spec.AssignSig(spec.Ref(rxReady), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(txDone), one)),
+				spec.AssignSig(spec.Ref(rxReady), zero),
+				spec.WaitUntil(spec.Eq(spec.Ref(txDone), zero)),
+			}},
+		}
+	}
+
+	// CRC_CHECK: recomputes the payload checksum and raises crc_ok or
+	// crc_bad (counting errors in the remote STATS array).
+	crc := chip1.AddBehavior(spec.NewBehavior("CRC_CHECK"))
+	{
+		f := crc.AddVar("f", spec.Integer)
+		i := crc.AddVar("i", spec.Integer)
+		sum := crc.AddVar("sum", spec.Integer)
+		crc.Body = []spec.Stmt{
+			&spec.For{Var: f, From: spec.Int(1), To: spec.Int(int64(frames)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.Eq(spec.Ref(rxReady), one)),
+				spec.AssignVar(spec.Ref(sum), spec.Int(0)),
+				&spec.For{Var: i, From: spec.Int(1), To: spec.Int(payload), Body: []spec.Stmt{
+					spec.AssignVar(spec.Ref(sum),
+						spec.Bin(spec.OpMod,
+							spec.Add(spec.Ref(sum), spec.ToInt(spec.At(spec.Ref(rxbuf), spec.Ref(i)))),
+							spec.Int(256))),
+				}},
+				&spec.If{
+					Cond: spec.Eq(spec.Ref(sum), spec.ToInt(spec.At(spec.Ref(rxbuf), spec.Int(payload+1)))),
+					Then: []spec.Stmt{spec.AssignSig(spec.Ref(crcOK), one)},
+					Else: []spec.Stmt{
+						spec.AssignVar(spec.At(spec.Ref(stats), spec.Int(1)),
+							spec.Add(spec.At(spec.Ref(stats), spec.Int(1)), spec.Int(1))),
+						spec.AssignSig(spec.Ref(crcBad), one),
+					},
+				},
+				spec.WaitUntil(spec.Eq(spec.Ref(rxReady), zero)),
+				spec.AssignSig(spec.Ref(crcOK), zero),
+				spec.AssignSig(spec.Ref(crcBad), zero),
+			}},
+		}
+	}
+
+	// ADDR_FILTER: on a good CRC, accepts frames addressed to
+	// STATION_ADDR (a remote register read) and DMAs them into the
+	// remote frame buffer.
+	filter := chip1.AddBehavior(spec.NewBehavior("ADDR_FILTER"))
+	{
+		f := filter.AddVar("f", spec.Integer)
+		i := filter.AddVar("i", spec.Integer)
+		off := filter.AddVar("off", spec.Integer)
+		filter.Body = []spec.Stmt{
+			&spec.For{Var: f, From: spec.Int(1), To: spec.Int(int64(frames)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.LogicalOr(
+					spec.Eq(spec.Ref(crcOK), one), spec.Eq(spec.Ref(crcBad), one))),
+				&spec.If{
+					Cond: spec.LogicalAnd(
+						spec.Eq(spec.Ref(crcOK), one),
+						spec.Eq(spec.ToInt(spec.At(spec.Ref(rxbuf), spec.Int(0))), spec.Ref(station))),
+					Then: []spec.Stmt{
+						spec.AssignVar(spec.Ref(off),
+							spec.Bin(spec.OpMod, spec.Mul(spec.Sub(spec.Ref(f), spec.Int(1)), spec.Int(payload)), spec.Int(512-payload))),
+						&spec.For{Var: i, From: spec.Int(0), To: spec.Int(payload - 1), Body: []spec.Stmt{
+							spec.AssignVar(spec.At(spec.Ref(framebuf), spec.Add(spec.Ref(off), spec.Ref(i))),
+								spec.At(spec.Ref(rxbuf), spec.Add(spec.Ref(i), spec.Int(1)))),
+						}},
+						spec.AssignVar(spec.Ref(rxlen), spec.Int(payload)),
+						spec.AssignSig(spec.Ref(accept), one),
+					},
+					Else: []spec.Stmt{
+						spec.AssignVar(spec.At(spec.Ref(stats), spec.Int(2)),
+							spec.Add(spec.At(spec.Ref(stats), spec.Int(2)), spec.Int(1))),
+						spec.AssignSig(spec.Ref(reject), one),
+					},
+				},
+				spec.WaitUntil(spec.LogicalAnd(
+					spec.Eq(spec.Ref(crcOK), zero), spec.Eq(spec.Ref(crcBad), zero))),
+				spec.AssignSig(spec.Ref(accept), zero),
+				spec.AssignSig(spec.Ref(reject), zero),
+			}},
+		}
+	}
+
+	// TX_FRAME: echoes accepted frames from the remote buffer back to
+	// the line (accumulating txsum) and completes the per-frame cycle.
+	tx := chip1.AddBehavior(spec.NewBehavior("TX_FRAME"))
+	{
+		f := tx.AddVar("f", spec.Integer)
+		i := tx.AddVar("i", spec.Integer)
+		off := tx.AddVar("off", spec.Integer)
+		tx.Body = []spec.Stmt{
+			&spec.For{Var: f, From: spec.Int(1), To: spec.Int(int64(frames)), Body: []spec.Stmt{
+				spec.WaitUntil(spec.LogicalOr(
+					spec.Eq(spec.Ref(accept), one), spec.Eq(spec.Ref(reject), one))),
+				&spec.If{
+					Cond: spec.Eq(spec.Ref(accept), one),
+					Then: []spec.Stmt{
+						spec.AssignVar(spec.Ref(off),
+							spec.Bin(spec.OpMod, spec.Mul(spec.Sub(spec.Ref(f), spec.Int(1)), spec.Int(payload)), spec.Int(512-payload))),
+						&spec.For{Var: i, From: spec.Int(0), To: spec.Int(payload - 1), Body: []spec.Stmt{
+							spec.AssignVar(spec.Ref(txsum),
+								spec.Bin(spec.OpMod,
+									spec.Add(spec.Ref(txsum), spec.ToInt(spec.At(spec.Ref(framebuf), spec.Add(spec.Ref(off), spec.Ref(i))))),
+									spec.Int(65536))),
+						}},
+						spec.AssignVar(spec.At(spec.Ref(stats), spec.Int(3)),
+							spec.Add(spec.At(spec.Ref(stats), spec.Int(3)), spec.Int(1))),
+					},
+				},
+				spec.AssignSig(spec.Ref(txDone), one),
+				spec.WaitUntil(spec.LogicalAnd(
+					spec.Eq(spec.Ref(accept), zero), spec.Eq(spec.Ref(reject), zero))),
+				spec.AssignSig(spec.Ref(txDone), zero),
+			}},
+		}
+	}
+
+	_ = rx
+	_ = crc
+	_ = filter
+	_ = tx
+	return sys
+}

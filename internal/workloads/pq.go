@@ -1,0 +1,48 @@
+package workloads
+
+import "repro/internal/spec"
+
+// PQ builds the walkthrough system of the paper's Fig. 3: behaviors P
+// and Q on one component; X (16-bit) and MEM (64 x 16-bit) on another;
+// channels CH0 (P writes X), CH1 (P reads X), CH2 (P writes MEM), CH3
+// (Q writes MEM), pre-grouped into the 8-bit bus B.
+//
+// Q is staggered behind P with a timed wait because the DAC'94 flow
+// leaves bus arbitration to future work: two accessors must not hold
+// concurrent transactions on the shared bus.
+func PQ() (*spec.System, *spec.Bus) {
+	sys := spec.NewSystem("PQ")
+	comp1 := sys.AddModule("comp1")
+	comp2 := sys.AddModule("comp2")
+
+	p := comp1.AddBehavior(spec.NewBehavior("P"))
+	q := comp1.AddBehavior(spec.NewBehavior("Q"))
+	x := comp2.AddVariable(spec.NewVar("X", spec.BitVector(16)))
+	mem := comp2.AddVariable(spec.NewVar("MEM", spec.Array(64, spec.BitVector(16))))
+
+	ad := p.AddVar("AD", spec.Integer)
+	count := q.AddVar("COUNT", spec.BitVector(16))
+
+	// P: AD := 5; X <= 32; MEM(AD) := X + 7;
+	p.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(ad), spec.Int(5)),
+		spec.AssignVar(spec.Ref(x), spec.ToVec(spec.Int(32), 16)),
+		spec.AssignVar(spec.At(spec.Ref(mem), spec.Ref(ad)),
+			spec.Add(spec.Ref(x), spec.ToVec(spec.Int(7), 16))),
+	}
+	// Q: COUNT := 9; MEM(60) := COUNT;
+	q.Body = []spec.Stmt{
+		spec.WaitFor(500),
+		spec.AssignVar(spec.Ref(count), spec.ToVec(spec.Int(9), 16)),
+		spec.AssignVar(spec.At(spec.Ref(mem), spec.Int(60)), spec.Ref(count)),
+	}
+
+	ch0 := sys.AddChannel(&spec.Channel{Name: "CH0", Accessor: p, Var: x, Dir: spec.Write})
+	ch1 := sys.AddChannel(&spec.Channel{Name: "CH1", Accessor: p, Var: x, Dir: spec.Read})
+	ch2 := sys.AddChannel(&spec.Channel{Name: "CH2", Accessor: p, Var: mem, Dir: spec.Write})
+	ch3 := sys.AddChannel(&spec.Channel{Name: "CH3", Accessor: q, Var: mem, Dir: spec.Write})
+
+	bus := &spec.Bus{Name: "B", Channels: []*spec.Channel{ch0, ch1, ch2, ch3}, Width: 8}
+	sys.Buses = append(sys.Buses, bus)
+	return sys, bus
+}

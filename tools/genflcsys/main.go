@@ -1,0 +1,27 @@
+// Command genflcsys regenerates testdata/flc.sys: the textual form of
+// the reconstructed fuzzy-logic-controller case study, produced by the
+// spec printer from the canonical builder in internal/flc.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/flc"
+	"repro/internal/hdl"
+)
+
+func main() {
+	f := flc.New(flc.DefaultConfig())
+	src, err := hdl.Print(f.Sys)
+	if err != nil {
+		panic(err)
+	}
+	header := "-- The Matsushita fuzzy logic controller case study (Fig. 6 of the\n" +
+		"-- paper), generated from the canonical builder by tools/genflcsys.\n" +
+		"-- Try: go run ./cmd/ifsyn -summary -trace -run testdata/flc.sys\n"
+	if err := os.WriteFile("testdata/flc.sys", []byte(header+src), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(src), "bytes written")
+}

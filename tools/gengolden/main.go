@@ -1,0 +1,25 @@
+// Command gengolden regenerates testdata/pq_refined.vhdl.golden, the
+// pinned emitter output for the refined Fig. 3 system.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/protogen"
+	"repro/internal/spec"
+	"repro/internal/vhdlgen"
+	"repro/internal/workloads"
+)
+
+func main() {
+	sys, bus := workloads.PQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		panic(err)
+	}
+	out := vhdlgen.Emit(sys)
+	if err := os.WriteFile("testdata/pq_refined.vhdl.golden", []byte(out), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out), "bytes written")
+}
