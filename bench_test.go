@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/flc"
 	"repro/internal/hdl"
 	"repro/internal/protogen"
@@ -167,19 +168,57 @@ func BenchmarkCostFunctionAblation(b *testing.B) {
 }
 
 // BenchmarkEstimator measures the statement-level performance estimator
-// on the full FLC behavior set.
+// on the full FLC behavior set. CompTime memoizes, so each iteration
+// invalidates first: the number reported is the cost of the cold
+// statement-tree walks, the quantity a sweep pays exactly once.
 func BenchmarkEstimator(b *testing.B) {
 	f := flc.New(flc.DefaultConfig())
 	est := estimate.New([]*spec.Channel{f.Ch1, f.Ch2})
 	b.ReportAllocs()
 	var total int64
 	for i := 0; i < b.N; i++ {
+		est.Invalidate()
 		total = 0
 		for _, beh := range f.Sys.Behaviors() {
 			total += est.CompTime(beh)
 		}
 	}
 	b.ReportMetric(float64(total), "flcCompClocks")
+}
+
+// BenchmarkSweepWide measures the exploration engine end to end —
+// estimator construction plus a full width x protocol sweep — on the
+// large Mesh workload (25 behaviors, 50 channels), serial path.
+func BenchmarkSweepWide(b *testing.B) {
+	sys := workloads.Mesh(5)
+	b.ReportAllocs()
+	var points int
+	for i := 0; i < b.N; i++ {
+		est := estimate.New(sys.Channels)
+		sp, err := explore.Sweep(sys.Channels, est, explore.Config{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(sp.Points)
+	}
+	b.ReportMetric(float64(points), "points")
+}
+
+// BenchmarkSweepParallel is BenchmarkSweepWide with the sweep fanned
+// across GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) {
+	sys := workloads.Mesh(5)
+	b.ReportAllocs()
+	var points int
+	for i := 0; i < b.N; i++ {
+		est := estimate.New(sys.Channels)
+		sp, err := explore.Sweep(sys.Channels, est, explore.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(sp.Points)
+	}
+	b.ReportMetric(float64(points), "points")
 }
 
 // BenchmarkHDLParse measures the front end on the Fig. 3 source.

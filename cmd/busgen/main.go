@@ -120,6 +120,7 @@ func main() {
 	flag.Var(&constraints, "constraint", "designer constraint (repeatable)")
 	protoName := flag.String("protocol", "full", "protocol: full | half | fixed")
 	linear := flag.Bool("linear", false, "use the linear penalty (ablation; default squared)")
+	workers := flag.Int("j", 0, "concurrent workers for the width sweep (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	if len(channels) == 0 {
@@ -144,6 +145,7 @@ func main() {
 	if *linear {
 		cfg.Penalty = busgen.LinearPenalty
 	}
+	cfg.Workers = *workers
 
 	est := estimate.New(channels)
 	res, err := busgen.Generate(channels, est, cfg)

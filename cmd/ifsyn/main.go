@@ -22,6 +22,8 @@
 //	                  minave:CHANNEL:VALUE:WEIGHT
 //	                  maxave:CHANNEL:VALUE:WEIGHT
 //	-o FILE         write the refined VHDL to FILE (default stdout)
+//	-j N            concurrent workers for estimation sweeps
+//	                (0 = all CPUs, 1 = serial; results are identical)
 //	-summary        print the synthesis summary (buses, IDs, wires)
 //	-trace          print the bus-generation width trace
 //	-arbitrate      add REQ/GRANT bus arbitration
@@ -108,6 +110,7 @@ func main() {
 	summary := flag.Bool("summary", false, "print synthesis summary")
 	trace := flag.Bool("trace", false, "print bus-generation width trace")
 	arbitrate := flag.Bool("arbitrate", false, "add REQ/GRANT bus arbitration")
+	workers := flag.Int("j", 0, "concurrent workers for estimation sweeps (0 = all CPUs, 1 = serial)")
 	area := flag.Bool("area", false, "print per-module area estimates")
 	run := flag.Bool("run", false, "simulate the refined system")
 	vcdPath := flag.String("vcd", "", "with -run: write waveforms to this VCD file")
@@ -170,6 +173,7 @@ func main() {
 		Bus:        cfg,
 		ForceWidth: *width,
 		Arbitrate:  *arbitrate,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatal(err)

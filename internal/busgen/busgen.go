@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/estimate"
+	"repro/internal/par"
 	"repro/internal/spec"
 )
 
@@ -103,6 +104,10 @@ type Config struct {
 	// integer rate tables (Fig. 8 reports 10/9/8 bits/clock). Set by
 	// DefaultConfig.
 	QuantizeRates bool
+	// Workers bounds the number of goroutines evaluating candidate
+	// widths: 0 means GOMAXPROCS, 1 means serial. Evaluation order in
+	// the trace, and the selected width, are identical either way.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for the paper's
@@ -145,6 +150,11 @@ type Result struct {
 var ErrInfeasible = errors.New("busgen: no feasible bus width for channel group")
 
 // Generate runs the bus-generation algorithm for the channel group.
+// Candidate widths are evaluated across cfg.Workers goroutines into
+// their trace slots, then scanned serially for the minimum-cost
+// feasible width, so the result is independent of scheduling. The
+// channel group must come from the pre-refinement specification (the
+// estimator memoizes statement walks; see estimate.Estimator).
 func Generate(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Result, error) {
 	if len(channels) == 0 {
 		return nil, errors.New("busgen: empty channel group")
@@ -152,18 +162,24 @@ func Generate(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*R
 	lo, hi := widthRange(channels, cfg)
 
 	res := &Result{SeparateLines: SeparateLines(channels)}
+	if hi >= lo {
+		res.Trace = make([]WidthEval, hi-lo+1)
+		par.For(len(res.Trace), cfg.Workers, func(i int) {
+			w := lo + i
+			ev := WidthEval{
+				Width:       w,
+				BusRate:     estimate.BusRate(w, cfg.Protocol),
+				SumAveRates: est.SumAveRates(channels, w, cfg.Protocol),
+			}
+			ev.Feasible = ev.BusRate >= ev.SumAveRates
+			ev.Cost = cost(channels, est, cfg, w)
+			res.Trace[i] = ev
+		})
+	}
 	bestIdx := -1
-	for w := lo; w <= hi; w++ {
-		ev := WidthEval{
-			Width:       w,
-			BusRate:     estimate.BusRate(w, cfg.Protocol),
-			SumAveRates: est.SumAveRates(channels, w, cfg.Protocol),
-		}
-		ev.Feasible = ev.BusRate >= ev.SumAveRates
-		ev.Cost = cost(channels, est, cfg, w)
-		res.Trace = append(res.Trace, ev)
+	for i, ev := range res.Trace {
 		if ev.Feasible && (bestIdx < 0 || ev.Cost < res.Trace[bestIdx].Cost) {
-			bestIdx = len(res.Trace) - 1
+			bestIdx = i
 		}
 	}
 	if bestIdx < 0 {

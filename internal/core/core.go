@@ -40,6 +40,10 @@ type Options struct {
 	Arbitrate bool
 	// BusSignalPrefix optionally prefixes generated bus signal names.
 	BusSignalPrefix string
+	// Workers bounds the goroutines used by the estimation and
+	// bus-generation sweeps: 0 means GOMAXPROCS, 1 means serial. The
+	// synthesized result is identical either way.
+	Workers int
 }
 
 // BusReport describes the synthesis of one bus.
@@ -72,7 +76,11 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 		// Zero value: upgrade to the paper's defaults.
 		def := busgen.DefaultConfig()
 		def.Protocol = opts.Bus.Protocol
+		def.Workers = opts.Bus.Workers
 		opts.Bus = def
+	}
+	if opts.Workers != 0 {
+		opts.Bus.Workers = opts.Workers
 	}
 
 	rep := &Report{}
@@ -101,7 +109,12 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 		}
 	}
 
-	// Steps 3 + 4 per bus.
+	// Step 3: select every bus's width first, while the specification is
+	// still unrefined. Protocol generation (step 4) rewrites behavior
+	// bodies in place, and the estimator memoizes its statement walks,
+	// so all estimation-driven decisions must precede the first
+	// refinement — this also matches the paper, where bus generation for
+	// every group reads the original specification.
 	for _, bus := range buses {
 		br := BusReport{Bus: bus}
 		if opts.ForceWidth > 0 {
@@ -114,16 +127,21 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 			bus.Width = gen.Width
 			br.Gen = gen
 		}
-		ref, err := protogen.Generate(sys, bus, protogen.Config{
+		rep.Buses = append(rep.Buses, br)
+	}
+
+	// Step 4: refine each bus at its selected width.
+	for i := range rep.Buses {
+		br := &rep.Buses[i]
+		ref, err := protogen.Generate(sys, br.Bus, protogen.Config{
 			Protocol:      opts.Bus.Protocol,
-			BusSignalName: opts.BusSignalPrefix + bus.Name,
+			BusSignalName: opts.BusSignalPrefix + br.Bus.Name,
 			Arbitrate:     opts.Arbitrate,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: bus %s: %w", bus.Name, err)
+			return nil, fmt.Errorf("core: bus %s: %w", br.Bus.Name, err)
 		}
 		br.Ref = ref
-		rep.Buses = append(rep.Buses, br)
 	}
 
 	if errs := sys.Validate(); len(errs) > 0 {

@@ -17,6 +17,7 @@ package estimate
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/spec"
 )
@@ -69,6 +70,22 @@ func DefaultModel() CostModel {
 // of a system. Remote variables (those reached over channels) must be
 // registered so their accesses are costed as transfers, not as local
 // references.
+//
+// The estimator memoizes the width-independent quantities — a behavior's
+// computation time and a channel's message count and size — the first
+// time they are demanded, so a width x protocol sweep walks each
+// statement tree once instead of once per candidate point. The caches
+// are keyed by identity and are never invalidated automatically:
+// estimates must be taken on the pre-refinement specification, because
+// protocol generation (protogen.Generate) rewrites behavior bodies in
+// place, which would change what an uncached walk sees. An estimator
+// created before refinement keeps answering with the specification-level
+// numbers afterwards — exactly the paper's semantics, where Fig. 7/8
+// estimates drive the refinement rather than follow it. To re-estimate a
+// mutated system (or after changing Model), call Invalidate.
+//
+// All methods are safe for concurrent use, so one estimator can back a
+// parallel sweep (explore.Sweep, busgen.Generate).
 type Estimator struct {
 	Model CostModel
 	// remote maps a variable to the channels that carry its accesses,
@@ -76,6 +93,19 @@ type Estimator struct {
 	remote map[*spec.Variable]map[spec.Direction]*spec.Channel
 	// byAccessor groups channels by accessing behavior.
 	byAccessor map[*spec.Behavior][]*spec.Channel
+
+	// mu guards the memoization caches below. Cache fills recompute
+	// outside the lock (the walks are pure), so concurrent first
+	// requests may duplicate work but never block each other on it.
+	mu       sync.Mutex
+	compTime map[*spec.Behavior]int64
+	chanMemo map[*spec.Channel]chanStats
+}
+
+// chanStats caches a channel's width-independent traffic numbers.
+type chanStats struct {
+	accesses int64
+	msgBits  int
 }
 
 // New returns an estimator for the given channels using the default cost
@@ -85,6 +115,8 @@ func New(channels []*spec.Channel) *Estimator {
 		Model:      DefaultModel(),
 		remote:     make(map[*spec.Variable]map[spec.Direction]*spec.Channel),
 		byAccessor: make(map[*spec.Behavior][]*spec.Channel),
+		compTime:   make(map[*spec.Behavior]int64),
+		chanMemo:   make(map[*spec.Channel]chanStats),
 	}
 	for _, c := range channels {
 		dirs := e.remote[c.Var]
@@ -127,24 +159,63 @@ func PeakRate(width int, p spec.Protocol) float64 {
 	return BusRate(width, p)
 }
 
+// Invalidate drops every memoized quantity. Call it after mutating the
+// specification (e.g. protogen.Generate) or the cost model when the
+// estimator should observe the new state; without it, estimates keep
+// describing the specification as it was when first walked.
+func (e *Estimator) Invalidate() {
+	e.mu.Lock()
+	e.compTime = make(map[*spec.Behavior]int64)
+	e.chanMemo = make(map[*spec.Channel]chanStats)
+	e.mu.Unlock()
+}
+
 // CompTime reports the behavior's computation time in clocks, excluding
 // time spent transferring channel messages. Statements that access remote
 // variables still pay their local costs (index arithmetic, assignment);
-// the transfer cost is added separately by ExecTime.
+// the transfer cost is added separately by ExecTime. The result is
+// memoized: the statement tree is walked once per behavior.
 func (e *Estimator) CompTime(b *spec.Behavior) int64 {
-	return e.stmtsCost(b.Body, nil)
+	e.mu.Lock()
+	t, ok := e.compTime[b]
+	e.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = e.stmtsCost(b.Body, nil)
+	e.mu.Lock()
+	e.compTime[b] = t
+	e.mu.Unlock()
+	return t
 }
 
 // Accesses reports the statically estimated number of messages the
 // behavior pushes through the given channel: each textual access to the
 // remote variable in the right direction, multiplied by the trip counts
 // of every enclosing loop. An explicit Channel.Accesses overrides the
-// estimate.
+// estimate. The result is memoized along with the channel's message
+// size.
 func (e *Estimator) Accesses(c *spec.Channel) int64 {
-	if c.Accesses > 0 {
-		return int64(c.Accesses)
+	return e.stats(c).accesses
+}
+
+// stats returns the channel's memoized width-independent traffic
+// numbers, computing them on first demand.
+func (e *Estimator) stats(c *spec.Channel) chanStats {
+	e.mu.Lock()
+	s, ok := e.chanMemo[c]
+	e.mu.Unlock()
+	if ok {
+		return s
 	}
-	return e.countAccesses(c.Accessor.Body, c)
+	s = chanStats{accesses: int64(c.Accesses), msgBits: c.MessageBits()}
+	if s.accesses <= 0 {
+		s.accesses = e.countAccesses(c.Accessor.Body, c)
+	}
+	e.mu.Lock()
+	e.chanMemo[c] = s
+	e.mu.Unlock()
+	return s
 }
 
 func (e *Estimator) countAccesses(stmts []spec.Stmt, c *spec.Channel) int64 {
@@ -213,10 +284,23 @@ func exprAccessCount(x spec.Expr, c *spec.Channel) int64 {
 // computation time plus, for every channel it accesses, the per-message
 // transfer time times the message count. This is the quantity plotted
 // against bus width in Fig. 7.
+//
+// The split matters for sweeps: the computation term is width-independent
+// and memoized, so only the CommTime term — O(channels of b), no tree
+// walks — is recomputed per candidate (width, protocol) point.
 func (e *Estimator) ExecTime(b *spec.Behavior, width int, p spec.Protocol) int64 {
-	t := e.CompTime(b)
+	return e.CompTime(b) + e.CommTime(b, width, p)
+}
+
+// CommTime reports the behavior's communication time in clocks at the
+// given bus width and protocol: for every channel it accesses, the
+// per-message transfer time times the message count. All inputs come
+// from the memoized per-channel stats, so the cost is O(channels of b).
+func (e *Estimator) CommTime(b *spec.Behavior, width int, p spec.Protocol) int64 {
+	var t int64
 	for _, c := range e.byAccessor[b] {
-		t += e.Accesses(c) * TransferClocks(c.MessageBits(), width, p)
+		s := e.stats(c)
+		t += s.accesses * TransferClocks(s.msgBits, width, p)
 	}
 	return t
 }
@@ -224,7 +308,8 @@ func (e *Estimator) ExecTime(b *spec.Behavior, width int, p spec.Protocol) int64
 // TotalBits reports the total number of bits the channel transfers over
 // the accessor's lifetime.
 func (e *Estimator) TotalBits(c *spec.Channel) int64 {
-	return e.Accesses(c) * int64(c.MessageBits())
+	s := e.stats(c)
+	return s.accesses * int64(s.msgBits)
 }
 
 // AveRate reports the channel's average transfer rate in bits per clock

@@ -307,7 +307,10 @@ func TestWaitCosts(t *testing.T) {
 	if got := e.CompTime(b); got != 17 {
 		t.Errorf("WaitFor cost = %d, want 17", got)
 	}
+	// CompTime is memoized per behavior; mutating the body requires an
+	// explicit cache invalidation before re-estimating.
 	b.Body = []spec.Stmt{spec.WaitOn(spec.NewSignal("s", spec.Bit))}
+	e.Invalidate()
 	if got := e.CompTime(b); got != e.Model.WaitClocks {
 		t.Errorf("WaitOn cost = %d", got)
 	}

@@ -1,0 +1,112 @@
+package estimate
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// memoSystem builds a small two-module system with one remote array and
+// a loop-heavy accessor, returning the estimator and its pieces.
+func memoSystem() (*Estimator, *spec.Behavior, *spec.Channel) {
+	sys := spec.NewSystem("memo")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	b := m1.AddBehavior(spec.NewBehavior("B"))
+	mem := m2.AddVariable(spec.NewVar("MEM", spec.Array(32, spec.BitVector(16))))
+	i := b.AddVar("i", spec.Integer)
+	b.Body = []spec.Stmt{
+		&spec.For{Var: i, From: spec.Int(0), To: spec.Int(31), Body: []spec.Stmt{
+			spec.AssignVar(spec.At(spec.Ref(mem), spec.Ref(i)), spec.ToVec(spec.Ref(i), 16)),
+		}},
+	}
+	ch := &spec.Channel{Name: "ch", Accessor: b, Var: mem, Dir: spec.Write}
+	return New([]*spec.Channel{ch}), b, ch
+}
+
+func TestMemoizedValuesStable(t *testing.T) {
+	e, b, ch := memoSystem()
+	comp := e.CompTime(b)
+	acc := e.Accesses(ch)
+	bits := e.TotalBits(ch)
+	for k := 0; k < 3; k++ {
+		if got := e.CompTime(b); got != comp {
+			t.Fatalf("CompTime drifted: %d vs %d", got, comp)
+		}
+		if got := e.Accesses(ch); got != acc {
+			t.Fatalf("Accesses drifted: %d vs %d", got, acc)
+		}
+		if got := e.TotalBits(ch); got != bits {
+			t.Fatalf("TotalBits drifted: %d vs %d", got, bits)
+		}
+	}
+	if acc != 32 {
+		t.Fatalf("Accesses = %d, want 32", acc)
+	}
+	if bits != 32*int64(ch.MessageBits()) {
+		t.Fatalf("TotalBits = %d", bits)
+	}
+}
+
+func TestExecTimeIsCompPlusComm(t *testing.T) {
+	e, b, _ := memoSystem()
+	for _, p := range []spec.Protocol{spec.FullHandshake, spec.HalfHandshake, spec.FixedDelay} {
+		for w := 1; w <= 24; w++ {
+			want := e.CompTime(b) + e.CommTime(b, w, p)
+			if got := e.ExecTime(b, w, p); got != want {
+				t.Fatalf("ExecTime(%d, %s) = %d, want comp+comm = %d", w, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMemoKeepsPreMutationEstimates(t *testing.T) {
+	e, b, ch := memoSystem()
+	comp := e.CompTime(b)
+	acc := e.Accesses(ch)
+	// Mutate the body the way protocol generation would: the cached
+	// estimates must keep describing the original specification until
+	// an explicit invalidation.
+	b.Body = nil
+	if got := e.CompTime(b); got != comp {
+		t.Fatalf("cached CompTime changed after mutation: %d vs %d", got, comp)
+	}
+	if got := e.Accesses(ch); got != acc {
+		t.Fatalf("cached Accesses changed after mutation: %d vs %d", got, acc)
+	}
+	e.Invalidate()
+	if got := e.CompTime(b); got != 0 {
+		t.Fatalf("post-invalidate CompTime = %d, want 0 for empty body", got)
+	}
+	if got := e.Accesses(ch); got != 0 {
+		t.Fatalf("post-invalidate Accesses = %d, want 0 for empty body", got)
+	}
+}
+
+// TestEstimatorConcurrentUse hammers one estimator from many
+// goroutines; run with -race (CI does) to prove the memoization locking
+// is sound, and check every goroutine observed identical values.
+func TestEstimatorConcurrentUse(t *testing.T) {
+	e, b, ch := memoSystem()
+	const workers = 16
+	results := make([][3]int64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			results[w] = [3]int64{
+				e.CompTime(b),
+				e.Accesses(ch),
+				e.ExecTime(b, 1+w%8, spec.FullHandshake) - e.CommTime(b, 1+w%8, spec.FullHandshake),
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("goroutine %d saw %v, goroutine 0 saw %v", w, results[w], results[0])
+		}
+	}
+}

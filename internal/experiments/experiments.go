@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/busgen"
 	"repro/internal/estimate"
+	"repro/internal/explore"
 	"repro/internal/flc"
 	"repro/internal/protogen"
 	"repro/internal/sim"
@@ -104,20 +105,31 @@ type Fig7Result struct {
 
 // Fig7 sweeps bus widths 1..24 and estimates the execution time of
 // processes EVAL_R3 and CONV_R2 with their channels implemented on a
-// full-handshake bus of each width.
+// full-handshake bus of each width. The sweep runs on the exploration
+// engine (memoized estimator, parallel candidate evaluation); the
+// per-point execution times are identical to querying the estimator
+// width by width.
 func Fig7() *Fig7Result {
 	f := flc.New(flc.DefaultConfig())
 	est := estimate.New([]*spec.Channel{f.Ch1, f.Ch2})
+	space, err := explore.Sweep([]*spec.Channel{f.Ch1, f.Ch2}, est, explore.Config{
+		Protocols: []spec.Protocol{spec.FullHandshake},
+		MinWidth:  1,
+		MaxWidth:  24,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: Fig7 sweep: %v", err)) // static FLC input cannot fail
+	}
 	res := &Fig7Result{PlateauWidth: f.Ch1.MessageBits(), ConstraintClocks: 2000}
-	for w := 1; w <= 24; w++ {
+	for _, pt := range space.Points {
 		p := Fig7Point{
-			Width:  w,
-			EvalR3: est.ExecTime(f.EvalR3, w, spec.FullHandshake),
-			ConvR2: est.ExecTime(f.ConvR2, w, spec.FullHandshake),
+			Width:  pt.Width,
+			EvalR3: pt.ExecTime[f.EvalR3],
+			ConvR2: pt.ExecTime[f.ConvR2],
 		}
 		res.Points = append(res.Points, p)
 		if res.MinWidthMeetingConstraint == 0 && p.ConvR2 <= res.ConstraintClocks {
-			res.MinWidthMeetingConstraint = w
+			res.MinWidthMeetingConstraint = p.Width
 		}
 	}
 	return res

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/estimate"
+	"repro/internal/par"
 	"repro/internal/spec"
 )
 
@@ -52,10 +53,21 @@ type Config struct {
 	MinWidth, MaxWidth int
 	// Area is the area model; zero value means the default model.
 	Area estimate.AreaModel
+	// Workers bounds the number of goroutines evaluating candidate
+	// points: 0 means GOMAXPROCS, 1 means serial.
+	Workers int
 }
 
 // Sweep evaluates every (width, protocol) candidate for the channel
-// group.
+// group. Candidates are fanned across cfg.Workers goroutines (default
+// GOMAXPROCS); each point lands in its grid slot, so the result is
+// byte-identical to a serial sweep regardless of scheduling. The
+// estimator's memoized quantities make each point cheap after the
+// first: only the communication terms depend on (width, protocol).
+//
+// Sweep must be given the pre-refinement specification: the estimator
+// caches statement-tree walks, and protogen.Generate rewrites behavior
+// bodies in place (see estimate.Estimator).
 func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Space, error) {
 	if len(channels) == 0 {
 		return nil, errors.New("explore: empty channel group")
@@ -75,6 +87,12 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 				hi = m
 			}
 		}
+		if hi <= 0 {
+			return nil, errors.New("explore: channel group carries no message bits; set Config.MaxWidth to bound the sweep")
+		}
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("explore: empty width range [%d, %d]", lo, hi)
 	}
 	area := cfg.Area
 	if area == (estimate.AreaModel{}) {
@@ -82,27 +100,28 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 	}
 
 	accessors := distinctAccessors(channels)
-	sp := &Space{Channels: channels}
-	for _, p := range protocols {
-		for w := lo; w <= hi; w++ {
-			pt := Point{
-				Width:    w,
-				Protocol: p,
-				Pins:     w + p.ControlLines() + idBits(len(channels)),
-				Feasible: estimate.BusRate(w, p) >= est.SumAveRates(channels, w, p),
-				ExecTime: make(map[*spec.Behavior]int64, len(accessors)),
-			}
-			for _, b := range accessors {
-				t := est.ExecTime(b, w, p)
-				pt.ExecTime[b] = t
-				if t > pt.WorstExec {
-					pt.WorstExec = t
-				}
-			}
-			pt.InterfaceArea = interfaceArea(channels, w, p, area)
-			sp.Points = append(sp.Points, pt)
+	widths := hi - lo + 1
+	sp := &Space{Channels: channels, Points: make([]Point, len(protocols)*widths)}
+	par.For(len(sp.Points), cfg.Workers, func(i int) {
+		p := protocols[i/widths]
+		w := lo + i%widths
+		pt := Point{
+			Width:    w,
+			Protocol: p,
+			Pins:     w + p.ControlLines() + idBits(len(channels)),
+			Feasible: estimate.BusRate(w, p) >= est.SumAveRates(channels, w, p),
+			ExecTime: make(map[*spec.Behavior]int64, len(accessors)),
 		}
-	}
+		for _, b := range accessors {
+			t := est.ExecTime(b, w, p)
+			pt.ExecTime[b] = t
+			if t > pt.WorstExec {
+				pt.WorstExec = t
+			}
+		}
+		pt.InterfaceArea = interfaceArea(channels, w, p, area)
+		sp.Points[i] = pt
+	})
 	return sp, nil
 }
 
@@ -142,7 +161,17 @@ func interfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m estimate.
 // Pareto returns the non-dominated points: no other point is at least
 // as good on pins, worst-case execution time and interface area, and
 // strictly better on one. Infeasible points are excluded. The result is
-// sorted by pins.
+// sorted by pins (ties: worst exec, then area, then protocol and
+// width), and points tied exactly on all three objectives are all kept,
+// as none dominates another.
+//
+// The scan is a sort-based sweep, O(n log n) instead of the naive
+// O(n²) all-pairs check: after sorting lexicographically by
+// (pins, worst exec, area), any potential dominator of a point
+// precedes it, so one pass with a staircase of (worst exec, area)
+// minima over the points kept so far decides dominance with a binary
+// search per point. (Dominance is transitive, so checking against kept
+// points only is sufficient.)
 func (s *Space) Pareto() []Point {
 	var feas []Point
 	for _, p := range s.Points {
@@ -150,29 +179,79 @@ func (s *Space) Pareto() []Point {
 			feas = append(feas, p)
 		}
 	}
-	var out []Point
-	for i, p := range feas {
-		dominated := false
-		for j, q := range feas {
-			if i == j {
-				continue
-			}
-			if dominates(q, p) {
-				dominated = true
-				break
-			}
+	sort.Slice(feas, func(i, j int) bool {
+		a, b := feas[i], feas[j]
+		if a.Pins != b.Pins {
+			return a.Pins < b.Pins
 		}
-		if !dominated {
-			out = append(out, p)
+		if a.WorstExec != b.WorstExec {
+			return a.WorstExec < b.WorstExec
+		}
+		if a.InterfaceArea != b.InterfaceArea {
+			return a.InterfaceArea < b.InterfaceArea
+		}
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		return a.Width < b.Width
+	})
+
+	// stairs holds, for the kept points so far, the minimal
+	// (worst exec, area) pairs: exec strictly increasing, area strictly
+	// decreasing.
+	type step struct {
+		t int64
+		a float64
+	}
+	var stairs []step
+	var out []Point
+	prevKept := false
+	for i, p := range feas {
+		// Points tied exactly on all three objectives sort adjacently
+		// and share one dominance verdict: the staircase must not test
+		// a point against its own equals.
+		if i > 0 && sameObjectives(feas[i-1], p) {
+			if prevKept {
+				out = append(out, p)
+			}
+			continue
+		}
+		// The latest stair with t <= p.WorstExec carries the smallest
+		// area among all kept points no slower than p; if even that
+		// area is <= p's, some earlier point dominates p.
+		k := sort.Search(len(stairs), func(j int) bool { return stairs[j].t > p.WorstExec }) - 1
+		if k >= 0 && stairs[k].a <= p.InterfaceArea {
+			prevKept = false
+			continue
+		}
+		prevKept = true
+		out = append(out, p)
+		// Insert (t, a), dropping stairs it renders non-minimal.
+		t, a := p.WorstExec, p.InterfaceArea
+		j := sort.Search(len(stairs), func(j int) bool { return stairs[j].t >= t })
+		k = j
+		for k < len(stairs) && stairs[k].a >= a {
+			k++
+		}
+		switch k - j {
+		case 0:
+			stairs = append(stairs, step{})
+			copy(stairs[j+1:], stairs[j:len(stairs)-1])
+			stairs[j] = step{t, a}
+		case 1:
+			stairs[j] = step{t, a}
+		default:
+			stairs[j] = step{t, a}
+			stairs = append(stairs[:j+1], stairs[k:]...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pins != out[j].Pins {
-			return out[i].Pins < out[j].Pins
-		}
-		return out[i].WorstExec < out[j].WorstExec
-	})
 	return out
+}
+
+// sameObjectives reports whether two points tie exactly on all three
+// optimization objectives.
+func sameObjectives(a, b Point) bool {
+	return a.Pins == b.Pins && a.WorstExec == b.WorstExec && a.InterfaceArea == b.InterfaceArea
 }
 
 func dominates(a, b Point) bool {

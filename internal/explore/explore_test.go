@@ -7,6 +7,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/flc"
 	"repro/internal/spec"
+	"repro/internal/workloads"
 )
 
 func flcSpace(t *testing.T, cfg Config) (*Space, *flc.System) {
@@ -121,6 +122,194 @@ func TestSweepEmptyGroupRejected(t *testing.T) {
 	est := estimate.New(nil)
 	if _, err := Sweep(nil, est, Config{}); err == nil {
 		t.Fatal("empty group accepted")
+	}
+}
+
+func TestSweepZeroMessageBitsRejected(t *testing.T) {
+	// A channel whose variable carries no bits gives an empty default
+	// width range; the sweep must say so rather than return an empty
+	// space.
+	b := spec.NewBehavior("B")
+	v := spec.NewVar("V", spec.BitVector(0))
+	ch := &spec.Channel{Name: "ch", Accessor: b, Var: v, Dir: spec.Write}
+	est := estimate.New([]*spec.Channel{ch})
+	if _, err := Sweep([]*spec.Channel{ch}, est, Config{}); err == nil {
+		t.Fatal("zero-message-bits group accepted without MaxWidth")
+	}
+	// An explicit MaxWidth bounds the sweep and is accepted.
+	sp, err := Sweep([]*spec.Channel{ch}, est, Config{MaxWidth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) != 8 { // 4 widths x 2 protocols
+		t.Fatalf("points = %d, want 8", len(sp.Points))
+	}
+	// An inverted explicit range is an error, not an empty sweep.
+	if _, err := Sweep([]*spec.Channel{ch}, est, Config{MinWidth: 5, MaxWidth: 4}); err == nil {
+		t.Fatal("inverted width range accepted")
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	sys := workloads.Mesh(3)
+	serialEst := estimate.New(sys.Channels)
+	serial, err := Sweep(sys.Channels, serialEst, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelEst := estimate.New(sys.Channels)
+	parallel, err := Sweep(sys.Channels, parallelEst, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Points) != len(parallel.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(parallel.Points))
+	}
+	for i := range serial.Points {
+		sp, pp := serial.Points[i], parallel.Points[i]
+		if sp.Width != pp.Width || sp.Protocol != pp.Protocol || sp.Pins != pp.Pins ||
+			sp.Feasible != pp.Feasible || sp.WorstExec != pp.WorstExec ||
+			sp.InterfaceArea != pp.InterfaceArea {
+			t.Fatalf("point %d differs:\nserial   %+v\nparallel %+v", i, sp, pp)
+		}
+		for b, v := range sp.ExecTime {
+			if pp.ExecTime[b] != v {
+				t.Fatalf("point %d: exec time of %s differs: %d vs %d", i, b.Name, v, pp.ExecTime[b])
+			}
+		}
+	}
+	sf, pf := serial.Pareto(), parallel.Pareto()
+	if len(sf) != len(pf) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(sf), len(pf))
+	}
+	for i := range sf {
+		if sf[i].Width != pf[i].Width || sf[i].Protocol != pf[i].Protocol {
+			t.Fatalf("frontier point %d differs: %+v vs %+v", i, sf[i], pf[i])
+		}
+	}
+}
+
+// TestParetoMatchesBruteForce pins the sort-based sweep against the
+// naive all-pairs dominance scan on a large mixed space.
+func TestParetoMatchesBruteForce(t *testing.T) {
+	sys := workloads.Mesh(3)
+	est := estimate.New(sys.Channels)
+	sp, err := Sweep(sys.Channels, est, Config{
+		Protocols: []spec.Protocol{spec.FullHandshake, spec.HalfHandshake, spec.FixedDelay},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sp.Pareto()
+
+	var feas []Point
+	for _, p := range sp.Points {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	var want []Point
+	for i, p := range feas {
+		dominated := false
+		for j, q := range feas {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			want = append(want, p)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frontier size %d, brute force %d", len(got), len(want))
+	}
+	key := func(p Point) [2]int { return [2]int{p.Width, int(p.Protocol)} }
+	wantSet := make(map[[2]int]bool, len(want))
+	for _, p := range want {
+		wantSet[key(p)] = true
+	}
+	for _, p := range got {
+		if !wantSet[key(p)] {
+			t.Fatalf("sweep kept (w=%d %s), brute force did not", p.Width, p.Protocol)
+		}
+	}
+}
+
+func TestParetoAllInfeasible(t *testing.T) {
+	sp := &Space{Points: []Point{
+		{Width: 1, Pins: 3, WorstExec: 10, InterfaceArea: 5},
+		{Width: 2, Pins: 4, WorstExec: 8, InterfaceArea: 6},
+	}}
+	if front := sp.Pareto(); len(front) != 0 {
+		t.Fatalf("all-infeasible space has a %d-point frontier", len(front))
+	}
+	if _, err := sp.Best(nil); err == nil {
+		t.Fatal("Best succeeded on an all-infeasible space")
+	}
+}
+
+func TestParetoSinglePoint(t *testing.T) {
+	pt := Point{Width: 4, Pins: 6, Feasible: true, WorstExec: 100, InterfaceArea: 50}
+	sp := &Space{Points: []Point{pt}}
+	front := sp.Pareto()
+	if len(front) != 1 || front[0].Width != 4 {
+		t.Fatalf("single-point frontier = %+v", front)
+	}
+	best, err := sp.Best(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Width != 4 {
+		t.Fatalf("best = %+v", best)
+	}
+}
+
+func TestParetoExactTiesAllKept(t *testing.T) {
+	// Two points tied on every objective dominate neither; both stay on
+	// the frontier. A third, strictly worse point is dropped.
+	sp := &Space{Points: []Point{
+		{Width: 4, Protocol: spec.FullHandshake, Pins: 6, Feasible: true, WorstExec: 100, InterfaceArea: 50},
+		{Width: 5, Protocol: spec.HalfHandshake, Pins: 6, Feasible: true, WorstExec: 100, InterfaceArea: 50},
+		{Width: 6, Protocol: spec.FullHandshake, Pins: 7, Feasible: true, WorstExec: 100, InterfaceArea: 50},
+	}}
+	front := sp.Pareto()
+	if len(front) != 2 {
+		t.Fatalf("frontier = %d points, want the 2 tied ones", len(front))
+	}
+	for _, p := range front {
+		if p.Pins != 6 {
+			t.Fatalf("dominated point on frontier: %+v", p)
+		}
+	}
+}
+
+func TestBestTieBreakOrder(t *testing.T) {
+	// Cost order is pins, then area, then time: among equal-pin points
+	// the smaller area wins even when it is slower; among fully tied
+	// cost the earlier point in Points order is kept.
+	a := Point{Width: 1, Protocol: spec.FullHandshake, Pins: 6, Feasible: true, WorstExec: 90, InterfaceArea: 60}
+	b := Point{Width: 2, Protocol: spec.HalfHandshake, Pins: 6, Feasible: true, WorstExec: 100, InterfaceArea: 50}
+	c := Point{Width: 3, Protocol: spec.FixedDelay, Pins: 6, Feasible: true, WorstExec: 80, InterfaceArea: 50}
+	sp := &Space{Points: []Point{a, b, c}}
+	best, err := sp.Best(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b and c tie on pins and area; c is faster.
+	if best.Width != 3 {
+		t.Fatalf("best width = %d, want 3 (area then time tie-break)", best.Width)
+	}
+	// Exact ties on all cost components keep the first point examined.
+	dup := c
+	dup.Width = 9
+	sp = &Space{Points: []Point{c, dup}}
+	best, err = sp.Best(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Width != 3 {
+		t.Fatalf("exact tie resolved to width %d, want first-seen 3", best.Width)
 	}
 }
 

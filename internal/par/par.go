@@ -1,0 +1,53 @@
+// Package par provides the bounded worker pool the synthesis flow uses
+// to fan independent candidate evaluations (width x protocol points,
+// bus-generation width trials) across CPUs. Results stay deterministic
+// because work is indexed: For(n, ...) invokes the body exactly once
+// for every i in [0, n), and bodies write only to their own slot, so
+// output order never depends on goroutine scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), fanning the iterations across
+// at most workers goroutines. workers <= 0 means GOMAXPROCS; a single
+// worker (or n <= 1) runs inline with no goroutines. For returns after
+// every iteration has completed. fn must be safe for concurrent calls
+// with distinct indices; iterations are claimed from a shared atomic
+// counter, so scheduling is dynamic but each index runs exactly once.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

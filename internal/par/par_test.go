@@ -1,0 +1,41 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForDeterministicSlots(t *testing.T) {
+	const n = 512
+	serial := make([]int, n)
+	For(n, 1, func(i int) { serial[i] = i * i })
+	parallel := make([]int, n)
+	For(n, 8, func(i int) { parallel[i] = i * i })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	For(0, 4, func(int) { t.Fatal("body ran for n=0") })
+	ran := false
+	For(1, 4, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("body skipped for n=1")
+	}
+}

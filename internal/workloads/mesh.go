@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Mesh builds a large synthetic workload for exercising the exploration
+// engine far beyond the paper's FLC: an n x n grid of tiles, each a
+// module holding one compute behavior and one 64-word x 16-bit memory.
+// Every tile behavior reads its west neighbor's memory, runs a local
+// smoothing computation, and writes its east neighbor's memory (rows
+// wrap around), so the system has n*n behaviors and 2*n*n channels —
+// the kind of candidate space industrial buses present (thousands of
+// (width, protocol) points once swept), versus the FLC's 24.
+//
+// The bodies carry nested loops and multi-operation expressions so the
+// statement-level estimator has real trees to walk; all loop bounds are
+// static, making traffic and trip counts deterministic. The mesh is an
+// estimation/exploration workload: it is valid under Validate and flows
+// through estimate, explore and busgen; it is not wired for simulation
+// (no handshake signals between tiles).
+func Mesh(n int) *spec.System {
+	if n < 1 || n > 16 {
+		panic(fmt.Sprintf("workloads: mesh size out of range: %d", n))
+	}
+	const words = 64
+	sys := spec.NewSystem(fmt.Sprintf("Mesh%dx%d", n, n))
+
+	mems := make([][]*spec.Variable, n)
+	tiles := make([][]*spec.Module, n)
+	for r := 0; r < n; r++ {
+		mems[r] = make([]*spec.Variable, n)
+		tiles[r] = make([]*spec.Module, n)
+		for c := 0; c < n; c++ {
+			m := sys.AddModule(fmt.Sprintf("tile%d_%d", r, c))
+			tiles[r][c] = m
+			mems[r][c] = m.AddVariable(spec.NewVar(
+				fmt.Sprintf("M%d_%d", r, c), spec.Array(words, spec.BitVector(16))))
+		}
+	}
+
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			west := mems[r][(c+n-1)%n]
+			east := mems[r][(c+1)%n]
+			b := tiles[r][c].AddBehavior(spec.NewBehavior(fmt.Sprintf("T%d_%d", r, c)))
+			i := b.AddVar("i", spec.Integer)
+			j := b.AddVar("j", spec.Integer)
+			acc := b.AddVar("acc", spec.Integer)
+			b.Body = []spec.Stmt{
+				spec.AssignVar(spec.Ref(acc), spec.Int(int64(r*n+c))),
+				// Gather: fold the west neighbor's memory into acc.
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(words - 1), Body: []spec.Stmt{
+					spec.AssignVar(spec.Ref(acc),
+						spec.Bin(spec.OpMod,
+							spec.Add(spec.Ref(acc),
+								spec.Mul(spec.ToInt(spec.At(spec.Ref(west), spec.Ref(i))), spec.Int(3))),
+							spec.Int(65536))),
+				}},
+				// Local smoothing: a compute-only inner loop nest.
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(7), Body: []spec.Stmt{
+					&spec.For{Var: j, From: spec.Int(0), To: spec.Int(7), Body: []spec.Stmt{
+						spec.AssignVar(spec.Ref(acc),
+							spec.Bin(spec.OpMod,
+								spec.Add(spec.Mul(spec.Ref(acc), spec.Int(5)),
+									spec.Add(spec.Mul(spec.Ref(i), spec.Int(8)), spec.Ref(j))),
+								spec.Int(65536))),
+					}},
+				}},
+				// Scatter: write the smoothed stream into the east
+				// neighbor's memory.
+				&spec.For{Var: i, From: spec.Int(0), To: spec.Int(words - 1), Body: []spec.Stmt{
+					spec.AssignVar(spec.At(spec.Ref(east), spec.Ref(i)),
+						spec.ToVec(spec.Bin(spec.OpMod, spec.Add(spec.Ref(acc), spec.Ref(i)), spec.Int(65536)), 16)),
+				}},
+			}
+			sys.AddChannel(&spec.Channel{
+				Name: fmt.Sprintf("rd%d_%d", r, c), Accessor: b, Var: west, Dir: spec.Read,
+			})
+			sys.AddChannel(&spec.Channel{
+				Name: fmt.Sprintf("wr%d_%d", r, c), Accessor: b, Var: east, Dir: spec.Write,
+			})
+		}
+	}
+	return sys
+}

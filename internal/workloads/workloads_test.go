@@ -3,7 +3,10 @@ package workloads
 import (
 	"testing"
 
+	"repro/internal/busgen"
 	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/explore"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -147,10 +150,57 @@ func TestPQBuilds(t *testing.T) {
 	}
 }
 
+func TestMeshBuilds(t *testing.T) {
+	sys := Mesh(4)
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatal(errs[0])
+	}
+	if got := len(sys.Modules); got != 16 {
+		t.Fatalf("modules = %d, want 16", got)
+	}
+	if got := len(sys.Channels); got != 32 {
+		t.Fatalf("channels = %d, want 2 per tile = 32", got)
+	}
+	est := estimate.New(sys.Channels)
+	for _, c := range sys.Channels {
+		// 16-bit data + 6-bit address, 64 messages per channel.
+		if c.MessageBits() != 22 {
+			t.Fatalf("%s: message bits = %d, want 22", c.Name, c.MessageBits())
+		}
+		if got := est.Accesses(c); got != 64 {
+			t.Fatalf("%s: accesses = %d, want 64", c.Name, got)
+		}
+	}
+	for _, b := range sys.Behaviors() {
+		if est.CompTime(b) <= 0 {
+			t.Fatalf("%s: degenerate computation time", b.Name)
+		}
+	}
+}
+
+func TestMeshExploresAndGenerates(t *testing.T) {
+	sys := Mesh(3)
+	est := estimate.New(sys.Channels)
+	sp, err := explore.Sweep(sys.Channels, est, explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) != 44 { // widths 1..22 x 2 protocols
+		t.Fatalf("points = %d, want 44", len(sp.Points))
+	}
+	if len(sp.Pareto()) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if _, err := busgen.Generate(sys.Channels, est, busgen.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBadArgsPanic(t *testing.T) {
 	for name, f := range map[string]func(){
 		"answering": func() { AnsweringMachine(0) },
 		"ethernet":  func() { Ethernet(100) },
+		"mesh":      func() { Mesh(0) },
 	} {
 		func() {
 			defer func() {
