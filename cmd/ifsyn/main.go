@@ -30,6 +30,14 @@
 //	-area           print gate-equivalent area estimates per module
 //	-run            simulate the refined system and print final values
 //	-vcd FILE       with -run: dump signal waveforms as a VCD file
+//	-robust         harden the protocol: bounded waits, retransmission,
+//	                watchdog variable processes (full/half handshake)
+//	-parity         with -robust: PAR/NACK parity lines over DATA+ID
+//	-timeout N      with -robust: clocks before a handshake wait expires
+//	-retries N      with -robust: retransmission budget per transaction
+//	-faults N       run a fault-injection campaign of N seeded runs per
+//	                bus and print the outcome table
+//	-fault-seed S   campaign seed (campaigns are reproducible per seed)
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"repro/internal/busgen"
 	"repro/internal/core"
 	"repro/internal/estimate"
+	"repro/internal/fault"
 	"repro/internal/hdl"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -114,6 +123,12 @@ func main() {
 	area := flag.Bool("area", false, "print per-module area estimates")
 	run := flag.Bool("run", false, "simulate the refined system")
 	vcdPath := flag.String("vcd", "", "with -run: write waveforms to this VCD file")
+	robust := flag.Bool("robust", false, "harden the protocol: bounded waits, retransmission, watchdogs")
+	parity := flag.Bool("parity", false, "with -robust: add PAR/NACK parity lines over DATA+ID")
+	timeoutClocks := flag.Int64("timeout", 0, "with -robust: handshake timeout in clocks (0 = default)")
+	retries := flag.Int("retries", 0, "with -robust: retransmission budget per transaction (0 = default)")
+	faults := flag.Int("faults", 0, "run a fault-injection campaign of N seeded runs per bus")
+	faultSeed := flag.Int64("fault-seed", 1, "campaign seed (same seed, same campaign)")
 	var constraints constraintFlags
 	flag.Var(&constraints, "constraint", "designer constraint (repeatable)")
 	flag.Parse()
@@ -169,11 +184,15 @@ func main() {
 	}
 
 	rep, err := core.Synthesize(sys, core.Options{
-		Grouping:   grouping,
-		Bus:        cfg,
-		ForceWidth: *width,
-		Arbitrate:  *arbitrate,
-		Workers:    *workers,
+		Grouping:      grouping,
+		Bus:           cfg,
+		ForceWidth:    *width,
+		Arbitrate:     *arbitrate,
+		Workers:       *workers,
+		Robust:        *robust,
+		Parity:        *parity,
+		TimeoutClocks: *timeoutClocks,
+		MaxRetries:    *retries,
 	})
 	if err != nil {
 		fatal(err)
@@ -252,6 +271,26 @@ func main() {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(os.Stderr, "  %-24s = %s\n", k, res.Finals[k])
+		}
+	}
+
+	if *faults > 0 {
+		for _, br := range rep.Buses {
+			var abortVars []string
+			if br.Ref != nil {
+				abortVars = br.Ref.AbortKeys()
+			}
+			report, err := fault.Campaign(sys, br.Bus, fault.Config{
+				Runs:      *faults,
+				Seed:      *faultSeed,
+				AbortVars: abortVars,
+				Workers:   *workers,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "\nfault campaign: bus %s, %d runs, seed %d\n%s",
+				br.Bus.Name, *faults, *faultSeed, report.Format())
 		}
 	}
 }

@@ -40,6 +40,17 @@ type Options struct {
 	Arbitrate bool
 	// BusSignalPrefix optionally prefixes generated bus signal names.
 	BusSignalPrefix string
+	// Robust hardens every generated protocol: bounded handshake waits,
+	// transaction retransmission and watchdog variable processes (see
+	// protogen.Config.Robust).
+	Robust bool
+	// Parity adds PAR/NACK parity lines to every bus; requires Robust
+	// and the full handshake.
+	Parity bool
+	// TimeoutClocks and MaxRetries tune the hardened protocols; zero
+	// selects the protogen defaults.
+	TimeoutClocks int64
+	MaxRetries    int
 	// Workers bounds the goroutines used by the estimation and
 	// bus-generation sweeps: 0 means GOMAXPROCS, 1 means serial. The
 	// synthesized result is identical either way.
@@ -137,6 +148,10 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 			Protocol:      opts.Bus.Protocol,
 			BusSignalName: opts.BusSignalPrefix + br.Bus.Name,
 			Arbitrate:     opts.Arbitrate,
+			Robust:        opts.Robust,
+			Parity:        opts.Parity,
+			TimeoutClocks: opts.TimeoutClocks,
+			MaxRetries:    opts.MaxRetries,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: bus %s: %w", br.Bus.Name, err)

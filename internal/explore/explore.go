@@ -23,7 +23,13 @@ import (
 type Point struct {
 	Width    int
 	Protocol spec.Protocol
-	// Pins is the total wire count (data + control + ID).
+	// Robust marks a hardened variant (bounded waits, retransmission,
+	// RST resynchronization line); Parity additionally adds PAR/NACK
+	// lines. See protogen.Config.Robust.
+	Robust bool
+	Parity bool
+	// Pins is the total wire count (data + control + ID, plus the
+	// hardening wires of robust variants).
 	Pins int
 	// Feasible reports Eq. 1 at this width/protocol.
 	Feasible bool
@@ -48,6 +54,14 @@ type Space struct {
 type Config struct {
 	// Protocols to examine; nil means full and half handshake.
 	Protocols []spec.Protocol
+	// IncludeRobust adds hardened variants to the sweep: for every
+	// full-handshake candidate, a robust point (+1 RST pin, retry FSM
+	// area) and a robust+parity point (+3 pins, plus the parity trees).
+	// Fault-free execution time is unchanged, so these points trade
+	// pins and area for fault tolerance — an objective the pins/time/
+	// area dominance scan cannot see, which is why Pareto keeps a
+	// separate frontier per hardening level.
+	IncludeRobust bool
 	// MinWidth/MaxWidth bound the width range; zero means the
 	// bus-generation default (1 .. largest message).
 	MinWidth, MaxWidth int
@@ -99,16 +113,29 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 		area = estimate.DefaultAreaModel()
 	}
 
+	variants := make([]variant, 0, 3*len(protocols))
+	for _, p := range protocols {
+		variants = append(variants, variant{proto: p})
+		if cfg.IncludeRobust && p == spec.FullHandshake {
+			variants = append(variants,
+				variant{proto: p, robust: true},
+				variant{proto: p, robust: true, parity: true})
+		}
+	}
+
 	accessors := distinctAccessors(channels)
 	widths := hi - lo + 1
-	sp := &Space{Channels: channels, Points: make([]Point, len(protocols)*widths)}
+	sp := &Space{Channels: channels, Points: make([]Point, len(variants)*widths)}
 	par.For(len(sp.Points), cfg.Workers, func(i int) {
-		p := protocols[i/widths]
+		v := variants[i/widths]
+		p := v.proto
 		w := lo + i%widths
 		pt := Point{
 			Width:    w,
 			Protocol: p,
-			Pins:     w + p.ControlLines() + idBits(len(channels)),
+			Robust:   v.robust,
+			Parity:   v.parity,
+			Pins:     w + p.ControlLines() + idBits(len(channels)) + v.extraPins(),
 			Feasible: estimate.BusRate(w, p) >= est.SumAveRates(channels, w, p),
 			ExecTime: make(map[*spec.Behavior]int64, len(accessors)),
 		}
@@ -119,10 +146,29 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 				pt.WorstExec = t
 			}
 		}
-		pt.InterfaceArea = interfaceArea(channels, w, p, area)
+		pt.InterfaceArea = interfaceArea(channels, w, p, area) + hardeningArea(channels, w, v, area)
 		sp.Points[i] = pt
 	})
 	return sp, nil
+}
+
+// variant is one protocol flavor of the sweep grid.
+type variant struct {
+	proto          spec.Protocol
+	robust, parity bool
+}
+
+// extraPins counts the hardening wires: RST for robust full handshakes,
+// PAR and NACK for parity.
+func (v variant) extraPins() int {
+	n := 0
+	if v.robust && v.proto == spec.FullHandshake {
+		n++
+	}
+	if v.parity {
+		n += 2
+	}
+	return n
 }
 
 func distinctAccessors(channels []*spec.Channel) []*spec.Behavior {
@@ -158,6 +204,32 @@ func interfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m estimate.
 	return area
 }
 
+// hardeningArea estimates what the robust machinery adds: drivers for
+// the extra wires, retry/timeout control states per word on each side,
+// a timeout counter and retry counter per channel side, and the parity
+// XOR trees.
+func hardeningArea(channels []*spec.Channel, w int, v variant, m estimate.AreaModel) float64 {
+	if !v.robust {
+		return 0
+	}
+	area := float64(v.extraPins()) * m.DriverGates * 2
+	idb := idBits(len(channels))
+	for _, c := range channels {
+		words := (c.MessageBits() + w - 1) / w
+		// ~4 extra states per word side: bounded-wait expiry branches,
+		// NACK paths, resync handling.
+		area += float64(words) * 8 * m.StateGates
+		// Timeout (log2 T ~ 5 bits) and retry (2 bits) counters per
+		// side.
+		area += 2 * 7 * m.RegBitGates
+		if v.parity {
+			// An XOR tree over DATA+ID on each side.
+			area += 2 * float64(w+idb-1) * m.LogicBitGates
+		}
+	}
+	return area
+}
+
 // Pareto returns the non-dominated points: no other point is at least
 // as good on pins, worst-case execution time and interface area, and
 // strictly better on one. Infeasible points are excluded. The result is
@@ -172,13 +244,40 @@ func interfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m estimate.
 // minima over the points kept so far decides dominance with a binary
 // search per point. (Dominance is transitive, so checking against kept
 // points only is sufficient.)
+// Robustness is a fourth objective the three-way dominance cannot
+// express — hardened points always carry more pins and area at equal
+// speed, so a single frontier would discard them all. Pareto therefore
+// keeps one frontier per hardening level (plain, robust, robust+parity)
+// and concatenates them, plain first.
 func (s *Space) Pareto() []Point {
-	var feas []Point
-	for _, p := range s.Points {
-		if p.Feasible {
-			feas = append(feas, p)
+	var out []Point
+	for level := 0; level <= 2; level++ {
+		var feas []Point
+		for _, p := range s.Points {
+			if p.Feasible && p.robustLevel() == level {
+				feas = append(feas, p)
+			}
 		}
+		out = append(out, frontier(feas)...)
 	}
+	return out
+}
+
+// robustLevel orders the hardening variants: 0 plain, 1 robust,
+// 2 robust+parity.
+func (p Point) robustLevel() int {
+	switch {
+	case p.Parity:
+		return 2
+	case p.Robust:
+		return 1
+	}
+	return 0
+}
+
+// frontier runs the staircase scan on one hardening level's feasible
+// points.
+func frontier(feas []Point) []Point {
 	sort.Slice(feas, func(i, j int) bool {
 		a, b := feas[i], feas[j]
 		if a.Pins != b.Pins {
@@ -303,11 +402,18 @@ func less(a, b *Point) bool {
 // Format renders points as an aligned table.
 func Format(points []Point) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s  %-15s  %5s  %9s  %12s  %9s\n",
+	fmt.Fprintf(&b, "%5s  %-22s  %5s  %9s  %12s  %9s\n",
 		"width", "protocol", "pins", "feasible", "worst clocks", "if gates")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%5d  %-15s  %5d  %9t  %12d  %9.0f\n",
-			p.Width, p.Protocol, p.Pins, p.Feasible, p.WorstExec, p.InterfaceArea)
+		name := p.Protocol.String()
+		switch p.robustLevel() {
+		case 1:
+			name += "+robust"
+		case 2:
+			name += "+parity"
+		}
+		fmt.Fprintf(&b, "%5d  %-22s  %5d  %9t  %12d  %9.0f\n",
+			p.Width, name, p.Pins, p.Feasible, p.WorstExec, p.InterfaceArea)
 	}
 	return b.String()
 }

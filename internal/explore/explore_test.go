@@ -335,3 +335,67 @@ func TestNarrowWidthsInfeasibleForFLC(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepRobustVariants(t *testing.T) {
+	sp, _ := flcSpace(t, Config{IncludeRobust: true})
+	// 23 widths x (full, full+robust, full+robust+parity, half).
+	if len(sp.Points) != 23*4 {
+		t.Fatalf("points = %d, want %d", len(sp.Points), 23*4)
+	}
+	var plain, robust, parity *Point
+	for i := range sp.Points {
+		p := &sp.Points[i]
+		if p.Protocol != spec.FullHandshake || p.Width != 8 {
+			continue
+		}
+		switch {
+		case p.Parity:
+			parity = p
+		case p.Robust:
+			robust = p
+		default:
+			plain = p
+		}
+	}
+	if plain == nil || robust == nil || parity == nil {
+		t.Fatal("missing full-handshake variant at width 8")
+	}
+	if robust.Pins != plain.Pins+1 {
+		t.Errorf("robust pins = %d, want plain+1 = %d (RST)", robust.Pins, plain.Pins+1)
+	}
+	if parity.Pins != plain.Pins+3 {
+		t.Errorf("parity pins = %d, want plain+3 = %d (RST+PAR+NACK)", parity.Pins, plain.Pins+3)
+	}
+	if robust.InterfaceArea <= plain.InterfaceArea {
+		t.Error("hardening added no area")
+	}
+	if parity.InterfaceArea <= robust.InterfaceArea {
+		t.Error("parity added no area over robust")
+	}
+	if robust.WorstExec != plain.WorstExec {
+		t.Error("fault-free exec time should not change with hardening")
+	}
+}
+
+func TestParetoKeepsRobustLevels(t *testing.T) {
+	sp, _ := flcSpace(t, Config{IncludeRobust: true})
+	front := sp.Pareto()
+	levels := map[int]bool{}
+	for _, p := range front {
+		levels[p.robustLevel()] = true
+		if !p.Feasible {
+			t.Fatalf("infeasible point on front: %+v", p)
+		}
+	}
+	// Hardened variants cost strictly more pins and area at equal speed,
+	// so a single three-objective frontier would discard them all; the
+	// per-level frontiers must keep every hardening level.
+	for lvl := 0; lvl <= 2; lvl++ {
+		if !levels[lvl] {
+			t.Errorf("Pareto front lost hardening level %d", lvl)
+		}
+	}
+	if s := Format(front); !strings.Contains(s, "+robust") || !strings.Contains(s, "+parity") {
+		t.Error("Format does not label hardened variants")
+	}
+}

@@ -1,0 +1,262 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Outcome classifies one faulty run against the fault-free golden run.
+type Outcome int
+
+// Outcomes, ordered from best to worst.
+const (
+	// Survived: the run completed and every final variable value
+	// matches the golden run — the protocol absorbed the fault.
+	Survived Outcome = iota
+	// AbortedCleanly: finals differ from golden, but the hardened
+	// accessors reported the loss on their abort counters; no silent
+	// corruption, no hang.
+	AbortedCleanly
+	// Corrupted: the run completed (or crashed on a poisoned value)
+	// with wrong finals and no abort report — the worst kind of
+	// failure, silent data corruption.
+	Corrupted
+	// Deadlocked: the run hung (deadlock or clock-budget blowout).
+	Deadlocked
+	numOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Survived:
+		return "survived"
+	case AbortedCleanly:
+		return "aborted-cleanly"
+	case Corrupted:
+		return "corrupted"
+	case Deadlocked:
+		return "deadlocked"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Runs is the number of seeded faulty runs; 0 means 20.
+	Runs int
+	// Seed seeds the campaign; run i draws its faults from a sub-seed
+	// derived deterministically from it.
+	Seed int64
+	// FaultsPerRun is the number of faults injected per run; 0 means 1.
+	FaultsPerRun int
+	// Classes restricts fault classes; empty means all.
+	Classes []Class
+	// Window is the fault-arming event window (see Plan.Window).
+	Window int64
+	// Sim is the base simulator configuration shared by all runs.
+	Sim sim.Config
+	// MaxClocks bounds each faulty run; 0 derives 16x the golden run's
+	// clocks (plus slack), so a livelocked run terminates quickly.
+	MaxClocks int64
+	// AbortVars names the Result.Finals entries holding abort counters
+	// ("Module.Var", see protogen.Refinement.AbortKeys). They are
+	// excluded from the finals comparison; a nonzero counter turns a
+	// mismatch into AbortedCleanly.
+	AbortVars []string
+	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RunResult is the outcome of one faulty run.
+type RunResult struct {
+	Run     int
+	Seed    int64
+	Faults  []Fault
+	Outcome Outcome
+	// Clocks is the faulty run's simulated duration (0 if it failed to
+	// complete).
+	Clocks int64
+	// Aborts is the sum over AbortVars at the end of the run.
+	Aborts int64
+	// Err holds the simulator error for hung or crashed runs.
+	Err string
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	// Golden is the fault-free reference run.
+	Golden *sim.Result
+	Runs   []RunResult
+	// Totals counts runs per outcome.
+	Totals map[Outcome]int
+	// ByClass counts runs per fault class and outcome; a run injecting
+	// several classes is counted once under each.
+	ByClass map[Class]map[Outcome]int
+}
+
+// Campaign runs a seeded fault-injection campaign: one golden run, then
+// cfg.Runs faulty runs in parallel, each injecting freshly drawn faults
+// into its own simulator instance. Everything is derived from cfg.Seed,
+// so a campaign is reproducible byte for byte.
+func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
+	if bus == nil || bus.Signal == nil {
+		return nil, fmt.Errorf("fault: bus is not refined (no bus signal; run protocol generation first)")
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 20
+	}
+
+	golden, err := runOnce(sys, cfg.Sim, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	maxClocks := cfg.MaxClocks
+	if maxClocks <= 0 {
+		maxClocks = 16*golden.Clocks + 4096
+	}
+
+	// Per-run sub-seeds, drawn up front in run order so the campaign's
+	// determinism does not depend on scheduling.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seeds := make([]int64, cfg.Runs)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	runs := make([]RunResult, cfg.Runs)
+	par.For(cfg.Runs, cfg.Workers, func(i int) {
+		faults := Randomize(bus, Plan{
+			Seed:    seeds[i],
+			Count:   cfg.FaultsPerRun,
+			Classes: cfg.Classes,
+			Window:  cfg.Window,
+		})
+		rr := RunResult{Run: i, Seed: seeds[i], Faults: faults}
+		scfg := cfg.Sim
+		scfg.MaxClocks = maxClocks
+		NewInjector(faults).Attach(&scfg)
+		res, rerr := runOnce(sys, scfg, nil)
+		if rerr != nil {
+			rr.Err = rerr.Error()
+			rr.Outcome = classifyError(rerr)
+		} else {
+			rr.Clocks = res.Clocks
+			rr.Aborts = sumAborts(res, cfg.AbortVars)
+			rr.Outcome = classifyFinals(golden, res, cfg.AbortVars, rr.Aborts)
+		}
+		runs[i] = rr
+	})
+
+	rep := &Report{
+		Golden:  golden,
+		Runs:    runs,
+		Totals:  make(map[Outcome]int),
+		ByClass: make(map[Class]map[Outcome]int),
+	}
+	for _, rr := range runs {
+		rep.Totals[rr.Outcome]++
+		seen := make(map[Class]bool)
+		for _, f := range rr.Faults {
+			if seen[f.Class] {
+				continue
+			}
+			seen[f.Class] = true
+			if rep.ByClass[f.Class] == nil {
+				rep.ByClass[f.Class] = make(map[Outcome]int)
+			}
+			rep.ByClass[f.Class][rr.Outcome]++
+		}
+	}
+	return rep, nil
+}
+
+func runOnce(sys *spec.System, cfg sim.Config, _ any) (*sim.Result, error) {
+	s, err := sim.New(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// classifyError maps a failed run to an outcome: hangs (deadlock, clock
+// budget) are Deadlocked; anything else crashed on poisoned data and is
+// counted as Corrupted.
+func classifyError(err error) Outcome {
+	var dl *sim.DeadlockError
+	if errors.As(err, &dl) || strings.Contains(err.Error(), "MaxClocks") {
+		return Deadlocked
+	}
+	return Corrupted
+}
+
+func sumAborts(res *sim.Result, abortVars []string) int64 {
+	var n int64
+	for _, key := range abortVars {
+		if iv, ok := res.Finals[key].(sim.IntVal); ok {
+			n += iv.V
+		}
+	}
+	return n
+}
+
+func classifyFinals(golden, got *sim.Result, abortVars []string, aborts int64) Outcome {
+	skip := make(map[string]bool, len(abortVars))
+	for _, k := range abortVars {
+		skip[k] = true
+	}
+	match := true
+	for k, gv := range golden.Finals {
+		if skip[k] {
+			continue
+		}
+		fv, ok := got.Finals[k]
+		if !ok || !gv.Equal(fv) {
+			match = false
+			break
+		}
+	}
+	switch {
+	case match:
+		return Survived
+	case aborts > 0:
+		return AbortedCleanly
+	}
+	return Corrupted
+}
+
+// Format renders the report as an aligned per-class outcome table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d runs, golden %d clocks\n", len(r.Runs), r.Golden.Clocks)
+	outcomes := []Outcome{Survived, AbortedCleanly, Corrupted, Deadlocked}
+	fmt.Fprintf(&b, "%-14s", "class")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, " %15s", o)
+	}
+	b.WriteByte('\n')
+	classes := make([]Class, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Fprintf(&b, "%-14s", c)
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, " %15d", r.ByClass[c][o])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-14s", "total")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, " %15d", r.Totals[o])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,277 @@
+// Package fault implements deterministic wire-fault injection for
+// refined specifications: seeded campaigns that mutate bus signal
+// transitions inside the simulation kernel and classify how the
+// generated protocols cope.
+//
+// The fault model targets the artifact protocol generation creates — the
+// global bus record signal. Each Fault names one record field (a control
+// line like START or DONE, the ID lines, or the DATA word) and a fault
+// class:
+//
+//	StuckAt0/StuckAt1 — from its AfterEvents-th transition on, the field
+//	                    is clamped low/high for Duration clocks
+//	                    (0 = forever);
+//	BitFlip           — one transition has one bit inverted;
+//	DropEvent         — one transition is suppressed (the field keeps
+//	                    its old value);
+//	DelayJitter       — one transition is deferred by Duration clocks.
+//
+// Faults are scheduled by *event count*, not wall-clock: "the third DONE
+// transition" is a property of the protocol's behavior, so the same
+// fault hits the same handshake phase regardless of when it happens.
+// Injection is a pure function of the simulated event sequence — no
+// clocks, no randomness inside the hook — which makes every faulty run
+// reproducible bit for bit. Randomness lives only in Randomize, which
+// expands a seed into a concrete fault list before the run starts.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Class enumerates the wire-fault classes.
+type Class int
+
+// Fault classes.
+const (
+	StuckAt0 Class = iota
+	StuckAt1
+	BitFlip
+	DropEvent
+	DelayJitter
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case BitFlip:
+		return "bit-flip"
+	case DropEvent:
+		return "drop-event"
+	case DelayJitter:
+		return "delay-jitter"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// AllClasses lists every fault class.
+func AllClasses() []Class {
+	return []Class{StuckAt0, StuckAt1, BitFlip, DropEvent, DelayJitter}
+}
+
+// Fault is one scheduled fault on a field of a bus record signal.
+type Fault struct {
+	Class Class
+	// Signal is the global record signal's name (the bus, e.g. "B").
+	Signal string
+	// Field is the targeted record field ("START", "DONE", "ID", ...).
+	Field string
+	// Bit is the bit flipped within the field (BitFlip only).
+	Bit int
+	// AfterEvents is how many transitions of the field to let pass
+	// unharmed; 0 strikes the field's first transition.
+	AfterEvents int64
+	// Duration is the clamp window in clocks for StuckAt0/StuckAt1
+	// (0 = forever) and the deferral in clocks for DelayJitter
+	// (0 = one clock).
+	Duration int64
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s %s.%s", f.Class, f.Signal, f.Field)
+	if f.Class == BitFlip {
+		s += fmt.Sprintf("[%d]", f.Bit)
+	}
+	s += fmt.Sprintf(" after %d events", f.AfterEvents)
+	if f.Duration > 0 && (f.Class == StuckAt0 || f.Class == StuckAt1 || f.Class == DelayJitter) {
+		s += fmt.Sprintf(" for %d clocks", f.Duration)
+	}
+	return s
+}
+
+// armedFault is a Fault plus its per-run firing state.
+type armedFault struct {
+	Fault
+	fired     bool
+	stuckFrom int64 // clock the clamp armed at; -1 = not armed yet
+}
+
+// Injector realizes a fault list as a simulator mutation hook. One
+// injector serves one run: it accumulates per-field event counts.
+type Injector struct {
+	faults []*armedFault
+	counts map[string]int64 // "SIG.FIELD" -> transitions seen
+}
+
+// NewInjector builds an injector for the given faults.
+func NewInjector(faults []Fault) *Injector {
+	in := &Injector{counts: make(map[string]int64)}
+	for _, f := range faults {
+		in.faults = append(in.faults, &armedFault{Fault: f, stuckFrom: -1})
+	}
+	return in
+}
+
+// Attach installs the injector on a simulator configuration.
+func (in *Injector) Attach(cfg *sim.Config) { cfg.Mutate = in.Mutate }
+
+// Mutate is the sim.Config.Mutate hook: given a proposed commit of a
+// record signal, it applies every armed fault and returns the mutated
+// value (plus a deferred commit for delay jitter).
+func (in *Injector) Mutate(now int64, sig *spec.Variable, old, next sim.Value) sim.Mutation {
+	ov, ook := old.(sim.RecordVal)
+	nv, nok := next.(sim.RecordVal)
+	if !ook || !nok || len(ov.Fields) != len(nv.Fields) {
+		return sim.Mutation{}
+	}
+	out := nv
+	mutated := false
+	ensure := func() sim.RecordVal {
+		if !mutated {
+			out = sim.RecordVal{Type: nv.Type, Fields: append([]sim.Value{}, nv.Fields...)}
+			mutated = true
+		}
+		return out
+	}
+	var m sim.Mutation
+	for i, fld := range nv.Type.Fields {
+		key := sig.Name + "." + fld.Name
+		changed := !ov.Fields[i].Equal(nv.Fields[i])
+		for _, af := range in.faults {
+			if af.Signal != sig.Name || af.Field != fld.Name {
+				continue
+			}
+			switch af.Class {
+			case StuckAt0, StuckAt1:
+				if af.stuckFrom < 0 && changed && in.counts[key] >= af.AfterEvents {
+					af.stuckFrom = now
+				}
+				if af.stuckFrom >= 0 && (af.Duration <= 0 || now < af.stuckFrom+af.Duration) {
+					if w := fieldWidth(nv.Fields[i]); w > 0 {
+						v := bits.New(w)
+						if af.Class == StuckAt1 {
+							v = v.Not()
+						}
+						ensure().Fields[i] = sim.VecVal{V: v}
+					}
+				}
+			case BitFlip:
+				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+					af.fired = true
+					if vv, ok := nv.Fields[i].(sim.VecVal); ok {
+						b := af.Bit
+						if w := vv.V.Width(); w > 0 {
+							b %= w
+							flipped := vv.V.Clone().SetSlice(b, b, vv.V.Slice(b, b).Not())
+							ensure().Fields[i] = sim.VecVal{V: flipped}
+						}
+					}
+				}
+			case DropEvent:
+				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+					af.fired = true
+					ensure().Fields[i] = ov.Fields[i].Copy()
+				}
+			case DelayJitter:
+				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+					af.fired = true
+					// Suppress the transition now; re-drive the whole
+					// intended record value Duration clocks later.
+					ensure().Fields[i] = ov.Fields[i].Copy()
+					m.Later = nv.Copy()
+					m.Delay = af.Duration
+					if m.Delay <= 0 {
+						m.Delay = 1
+					}
+				}
+			}
+		}
+		if changed {
+			in.counts[key]++
+		}
+	}
+	if mutated {
+		m.Now = out
+	}
+	return m
+}
+
+func fieldWidth(v sim.Value) int {
+	if vv, ok := v.(sim.VecVal); ok {
+		return vv.V.Width()
+	}
+	return 0
+}
+
+// Plan parameterizes random fault drawing for one bus.
+type Plan struct {
+	Seed int64
+	// Count is the number of faults to draw; 0 means 1.
+	Count int
+	// Classes restricts the classes drawn from; empty means all.
+	Classes []Class
+	// Window bounds AfterEvents: each fault arms after a uniformly
+	// drawn number of field transitions in [0, Window). 0 means
+	// DefaultWindow.
+	Window int64
+}
+
+// DefaultWindow is the default AfterEvents range: wide enough to strike
+// any handshake phase of a multi-transaction workload's first dozens of
+// words.
+const DefaultWindow = 48
+
+// Randomize expands a seed into concrete faults against the bus's record
+// signal. The same bus and plan always yield the same faults.
+func Randomize(bus *spec.Bus, plan Plan) []Fault {
+	if bus.Signal == nil || len(bus.Record.Fields) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(plan.Seed))
+	classes := plan.Classes
+	if len(classes) == 0 {
+		classes = AllClasses()
+	}
+	count := plan.Count
+	if count <= 0 {
+		count = 1
+	}
+	window := plan.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	faults := make([]Fault, count)
+	for i := range faults {
+		fld := bus.Record.Fields[rng.Intn(len(bus.Record.Fields))]
+		f := Fault{
+			Class:       classes[rng.Intn(len(classes))],
+			Signal:      bus.Signal.Name,
+			Field:       fld.Name,
+			AfterEvents: rng.Int63n(window),
+		}
+		switch f.Class {
+		case BitFlip:
+			if w := fld.Type.BitWidth(); w > 0 {
+				f.Bit = rng.Intn(w)
+			}
+		case StuckAt0, StuckAt1:
+			// Transient clamps half the time, permanent otherwise.
+			if rng.Intn(2) == 0 {
+				f.Duration = 4 + rng.Int63n(28)
+			}
+		case DelayJitter:
+			f.Duration = 1 + rng.Int63n(6)
+		}
+		faults[i] = f
+	}
+	return faults
+}

@@ -66,6 +66,75 @@ type Config struct {
 	// ArbiterPolicy selects the grant policy when Arbitrate is set; the
 	// zero value is the fixed-priority arbiter.
 	ArbiterPolicy ArbiterPolicy
+	// Robust hardens the generated wire sequences against lost or
+	// corrupted strobes (see robust.go): every handshake wait gets a
+	// timeout, full-handshake accessors retransmit whole transactions
+	// (up to MaxRetries, resynchronizing the server over an extra RST
+	// line) before aborting cleanly, and variable processes get a
+	// watchdog that returns to the dispatch loop when a transaction
+	// stalls. Only handshake protocols can be hardened.
+	Robust bool
+	// TimeoutClocks bounds each hardened handshake wait; 0 means
+	// DefaultTimeoutClocks. Requires Robust.
+	TimeoutClocks int64
+	// MaxRetries bounds transaction retransmission attempts on the full
+	// handshake; 0 means DefaultMaxRetries. Requires Robust.
+	MaxRetries int
+	// Parity adds a PAR line carrying even parity over DATA and ID and
+	// a NACK line on which the receiver rejects a corrupted word,
+	// triggering retransmission. Requires Robust and the full handshake
+	// (the only protocol with a receiver-to-sender feedback path).
+	Parity bool
+}
+
+// Default hardening parameters, used when Config.Robust is set and the
+// corresponding knob is zero.
+const (
+	// DefaultTimeoutClocks is the per-wait timeout: generously above
+	// the two clocks a fault-free word transfer needs, small enough
+	// that retries resolve quickly.
+	DefaultTimeoutClocks = 16
+	// DefaultMaxRetries is the retransmission budget per transaction.
+	DefaultMaxRetries = 3
+)
+
+// Validate checks the configuration for internal contradictions and
+// combinations the selected protocol cannot express. Generate calls it;
+// callers assembling configurations from user input (flags) may want the
+// error before running the whole flow.
+func (c Config) Validate() error {
+	if c.Arbitrate && c.Protocol == spec.HardwiredPort {
+		return fmt.Errorf("protogen: hardwired ports are point-to-point wires with a single accessor: nothing to arbitrate")
+	}
+	if c.TimeoutClocks < 0 {
+		return fmt.Errorf("protogen: negative TimeoutClocks %d", c.TimeoutClocks)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("protogen: negative MaxRetries %d", c.MaxRetries)
+	}
+	if !c.Robust {
+		switch {
+		case c.Parity:
+			return fmt.Errorf("protogen: Parity requires Robust (NACK-and-retry is part of the hardened sequence)")
+		case c.TimeoutClocks != 0:
+			return fmt.Errorf("protogen: TimeoutClocks requires Robust")
+		case c.MaxRetries != 0:
+			return fmt.Errorf("protogen: MaxRetries requires Robust")
+		}
+		return nil
+	}
+	switch c.Protocol {
+	case spec.FixedDelay, spec.HardwiredPort:
+		return fmt.Errorf("protogen: %s has no handshake waits to bound: timeouts, retransmission and parity are inexpressible (Robust needs a handshake protocol)", c.Protocol)
+	case spec.HalfHandshake:
+		if c.Parity {
+			return fmt.Errorf("protogen: half handshake has no receiver-to-sender feedback path: parity NACK is inexpressible")
+		}
+		if c.MaxRetries != 0 {
+			return fmt.Errorf("protogen: half handshake gives the sender no acknowledgement to miss: retransmission is inexpressible (Robust adds only the server watchdog)")
+		}
+	}
+	return nil
 }
 
 // ArbiterPolicy enumerates generated arbiter grant policies.
@@ -109,6 +178,21 @@ type Refinement struct {
 	// Arbiter is the generated bus arbiter process, nil unless
 	// Config.Arbitrate was set and the bus has several accessors.
 	Arbiter *spec.Behavior
+	// AbortCounters lists the module variables counting cleanly aborted
+	// transactions, one per module with hardened accessors (only when
+	// Config.Robust enables retransmission). A fault campaign reads
+	// them to tell a clean abort from silent corruption.
+	AbortCounters []*spec.Variable
+}
+
+// AbortKeys returns the simulator Finals keys ("Module.Var") of the
+// refinement's abort counters, in creation order.
+func (r *Refinement) AbortKeys() []string {
+	keys := make([]string, len(r.AbortCounters))
+	for i, v := range r.AbortCounters {
+		keys[i] = v.Owner.Name + "." + v.Name
+	}
+	return keys
 }
 
 // Generate runs protocol generation for one bus of the system, mutating
@@ -117,6 +201,9 @@ type Refinement struct {
 // report. The bus must already have a positive width — normally chosen by
 // bus generation — and its channels must belong to the system.
 func Generate(sys *spec.System, bus *spec.Bus, cfg Config) (*Refinement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if bus.Width <= 0 {
 		return nil, fmt.Errorf("protogen: bus %s has no width (run bus generation first)", bus.Name)
 	}
@@ -149,11 +236,14 @@ func Generate(sys *spec.System, bus *spec.Bus, cfg Config) (*Refinement, error) 
 			AccessorProcs: make(map[*spec.Channel]*spec.Procedure),
 			ServerProcs:   make(map[*spec.Channel]*spec.Procedure),
 		},
-		servers: make(map[*spec.Variable]*spec.Behavior),
+		servers:   make(map[*spec.Variable]*spec.Behavior),
+		abortVars: make(map[*spec.Module]*spec.Variable),
 	}
 
 	// Step 1: protocol selection.
 	bus.Protocol = cfg.Protocol
+	bus.Robust = cfg.Robust
+	bus.Parity = cfg.Parity
 
 	// Step 2: ID assignment.
 	g.assignIDs()
@@ -183,6 +273,9 @@ type generator struct {
 	// serverArms accumulates (channel, serve procedure) dispatch arms
 	// per server, in channel order.
 	serverArms map[*spec.Behavior][]dispatchArm
+	// abortVars caches the per-module abort counter variables created
+	// by hardened accessors (robust.go).
+	abortVars map[*spec.Module]*spec.Variable
 }
 
 type dispatchArm struct {
@@ -221,6 +314,12 @@ func (g *generator) declareBus() {
 		fields = append(fields, spec.Field{Name: "START", Type: spec.Bit}, spec.Field{Name: "DONE", Type: spec.Bit})
 	case spec.HalfHandshake:
 		fields = append(fields, spec.Field{Name: "START", Type: spec.Bit})
+	}
+	if g.robustRetry() {
+		fields = append(fields, spec.Field{Name: "RST", Type: spec.Bit})
+	}
+	if g.cfg.Parity {
+		fields = append(fields, spec.Field{Name: "PAR", Type: spec.Bit}, spec.Field{Name: "NACK", Type: spec.Bit})
 	}
 	if idb := g.bus.IDBits(); idb > 0 {
 		fields = append(fields, spec.Field{Name: "ID", Type: spec.BitVector(idb)})
@@ -285,12 +384,29 @@ func andOpt(a, b spec.Expr) spec.Expr {
 func (g *generator) generateProcedures(c *spec.Channel) {
 	server := g.serverFor(c.Var)
 	var accessor, serve *spec.Procedure
-	if c.Dir == spec.Write {
-		accessor = g.buildSendProc(c)
-		serve = g.buildServeWriteProc(c)
-	} else {
-		accessor = g.buildReceiveProc(c)
-		serve = g.buildServeReadProc(c)
+	switch {
+	case g.robustRetry():
+		if c.Dir == spec.Write {
+			accessor = g.buildRobustSendProc(c)
+			serve = g.buildRobustServeWriteProc(c)
+		} else {
+			accessor = g.buildRobustReceiveProc(c)
+			serve = g.buildRobustServeReadProc(c)
+		}
+	default:
+		if c.Dir == spec.Write {
+			accessor = g.buildSendProc(c)
+			serve = g.buildServeWriteProc(c)
+		} else {
+			accessor = g.buildReceiveProc(c)
+			serve = g.buildServeReadProc(c)
+		}
+		if g.cfg.Robust {
+			// Half handshake: the accessor never blocks on an
+			// acknowledgement, so only the server side can hang; harden
+			// it with the watchdog alone.
+			g.hardenServeProc(serve)
+		}
 	}
 	accessor.Channel = c
 	serve.Channel = c
@@ -726,8 +842,16 @@ func (g *generator) finishServers() {
 			// variable process: wait out the current bus word so the
 			// dispatcher does not spin on the still-asserted strobe.
 			if g.cfg.Protocol == spec.FullHandshake || g.cfg.Protocol == spec.HalfHandshake {
-				ifStmt.Else = []spec.Stmt{
-					spec.WaitUntil(spec.Eq(g.busField("START"), spec.VecString("0"))),
+				waitOut := spec.Eq(g.busField("START"), spec.VecString("0"))
+				if g.cfg.Robust {
+					// Hardened: a stuck foreign strobe must not wedge
+					// this server forever.
+					if g.robustRetry() {
+						waitOut = spec.LogicalOr(waitOut, spec.Eq(g.busField("RST"), one))
+					}
+					ifStmt.Else = []spec.Stmt{spec.WaitUntilFor(waitOut, g.timeout(), nil)}
+				} else {
+					ifStmt.Else = []spec.Stmt{spec.WaitUntil(waitOut)}
 				}
 			}
 			dispatch = ifStmt
@@ -745,6 +869,28 @@ func (g *generator) finishServers() {
 				trigger = spec.WaitFor(1)
 			}
 		}
-		server.Body = []spec.Stmt{&spec.Loop{Body: []spec.Stmt{trigger, dispatch}}}
+		var loop []spec.Stmt
+		if g.robustRetry() {
+			// Re-arm: a watchdog abort can return here with DONE (or
+			// NACK) still asserted; clearing the server-driven lines
+			// before the next dispatch keeps every abort path clean.
+			loop = append(loop, spec.AssignSig(g.busField("DONE"), spec.VecString("0")))
+			if g.cfg.Parity {
+				loop = append(loop, spec.AssignSig(g.busField("NACK"), spec.VecString("0")))
+			}
+			// Drain before arming: dispatch only on a strobe that rises
+			// *after* the previous one fell. Dispatching on the level —
+			// fine with ideal wires — re-serves word 0 of a transaction
+			// whose strobe is stuck high while the accessor is mid-way
+			// through, silently desynchronizing the word framing.
+			drained := server.AddVar("stale", spec.Bool)
+			loop = append(loop,
+				spec.WaitUntilFor(spec.Eq(g.busField("START"), spec.VecString("0")), g.timeout(), drained),
+				&spec.If{Cond: spec.Not(spec.Ref(drained)), Then: []spec.Stmt{trigger, dispatch}},
+			)
+		} else {
+			loop = append(loop, trigger, dispatch)
+		}
+		server.Body = []spec.Stmt{&spec.Loop{Body: loop}}
 	}
 }

@@ -1,0 +1,554 @@
+// Robust (fault-tolerant) wire sequences for protocol generation.
+//
+// The paper's Fig. 4 protocol assumes ideal wires: every strobe
+// transition arrives, so every "wait until" eventually fires. Under wire
+// faults (a dropped DONE, a stuck START, a flipped DATA bit) those waits
+// hang and the refined system deadlocks. Config.Robust replaces the
+// generated sequences with hardened variants built here:
+//
+//   - every handshake wait becomes a bounded wait ("wait until cond for
+//     T"), so a lost strobe surfaces as a timeout instead of a hang;
+//   - full-handshake accessors wrap the whole transaction in a retry
+//     loop: on a timeout (or a parity NACK) the accessor pulses a
+//     dedicated RST line — resynchronizing the server back to its
+//     dispatch loop — and retransmits from the first word, up to
+//     MaxRetries times; exhausted budgets increment a per-module abort
+//     counter (<bus>_ABORTS) and give up cleanly;
+//   - variable processes get a watchdog: any expired wait (or an
+//     observed RST pulse) returns the serve procedure to the dispatch
+//     loop, which first clears the server-driven lines (DONE, NACK), so
+//     a half-finished transaction never wedges the server or the bus;
+//   - with Config.Parity, the sender additionally drives PAR (even
+//     parity over the DATA word and the ID lines) and the receiver
+//     answers a mismatch on NACK instead of acknowledging, folding
+//     corruption detection into the same retransmission path.
+//
+// Retries restart the *transaction*, not the word: after a lost strobe
+// the two sides cannot agree on which word failed, but a transaction
+// retried from word zero against a freshly resynchronized server is
+// idempotent (writes re-commit the same message, reads re-read).
+//
+// The half handshake has no acknowledgement wire, so the accessor never
+// blocks and cannot detect loss; Robust there reduces to the server
+// watchdog (hardenServeProc), which bounds every serve-side wait.
+package protogen
+
+import (
+	"repro/internal/bits"
+	"repro/internal/spec"
+)
+
+// robustRetry reports whether the full retransmission machinery (RST
+// line, retry loops, abort counters) is generated. It needs a
+// sender-visible acknowledgement, i.e. the full handshake.
+func (g *generator) robustRetry() bool {
+	return g.cfg.Robust && g.cfg.Protocol == spec.FullHandshake
+}
+
+// timeout returns the bounded-wait deadline in clocks.
+func (g *generator) timeout() int64 {
+	if g.cfg.TimeoutClocks > 0 {
+		return g.cfg.TimeoutClocks
+	}
+	return DefaultTimeoutClocks
+}
+
+// retries returns the retransmission budget per transaction.
+func (g *generator) retries() int {
+	if g.cfg.MaxRetries > 0 {
+		return g.cfg.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// abortVarFor returns (creating on first use) the module-level counter
+// of cleanly aborted transactions for accessors on module m.
+func (g *generator) abortVarFor(m *spec.Module) *spec.Variable {
+	if v, ok := g.abortVars[m]; ok {
+		return v
+	}
+	name := g.bus.Signal.Name + "_ABORTS"
+	if g.sys.FindVariable(name) != nil {
+		name += "_" + m.Name
+	}
+	v := spec.NewVar(name, spec.Integer)
+	m.AddVariable(v)
+	g.abortVars[m] = v
+	g.ref.AbortCounters = append(g.ref.AbortCounters, v)
+	return v
+}
+
+// parityExpr XOR-reduces the low width bits of a vector expression to a
+// single parity bit (a 1-wide vector, comparable against B.PAR).
+func parityExpr(x spec.Expr, width int) spec.Expr {
+	terms := make([]spec.Expr, width)
+	for i := 0; i < width; i++ {
+		terms[i] = spec.SliceBits(x, i, i)
+	}
+	// Balanced XOR tree, log2(width) levels deep like the hardware.
+	for len(terms) > 1 {
+		var next []spec.Expr
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, spec.Bin(spec.OpXor, terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// driveParity returns the PAR value the sender computes from the values
+// it intends to put on the wires: the (padded) word and the channel's ID
+// constant. Using the intended — not observed — values means a fault on
+// any covered line shows up at the receiver as a mismatch.
+func (g *generator) driveParity(word spec.Expr, c *spec.Channel) spec.Expr {
+	x := g.padToBus(word)
+	w := g.bus.Width
+	if c.IDBits > 0 {
+		x = spec.Bin(spec.OpConcat, x, spec.Vec(c.ID))
+		w += c.IDBits
+	}
+	return parityExpr(x, w)
+}
+
+// serverDriveParity is the server-side counterpart for the data phase of
+// a read: the server drives the word but the ID lines stay under the
+// accessor, so it reads them off the bus.
+func (g *generator) serverDriveParity(word spec.Expr) spec.Expr {
+	x := g.padToBus(word)
+	w := g.bus.Width
+	if idb := g.bus.IDBits(); idb > 0 {
+		x = spec.Bin(spec.OpConcat, x, g.busField("ID"))
+		w += idb
+	}
+	return parityExpr(x, w)
+}
+
+// checkParityMismatch returns the receiver's check: parity recomputed
+// from the observed DATA and ID lines differs from the observed PAR.
+func (g *generator) checkParityMismatch() spec.Expr {
+	x := g.busField("DATA")
+	w := g.bus.Width
+	if idb := g.bus.IDBits(); idb > 0 {
+		x = spec.Bin(spec.OpConcat, x, g.busField("ID"))
+		w += idb
+	}
+	return spec.Neq(parityExpr(x, w), g.busField("PAR"))
+}
+
+// hardenServeProc bounds every handshake wait of a serve procedure and
+// returns to the dispatch loop when one expires — the watchdog, for
+// protocols whose serve sequences are otherwise kept (half handshake).
+func (g *generator) hardenServeProc(p *spec.Procedure) {
+	tmo := spec.NewVar("tmo", spec.Bool)
+	used := false
+	p.Body = spec.RewriteStmts(p.Body, func(s spec.Stmt) []spec.Stmt {
+		w, ok := s.(*spec.Wait)
+		if !ok || w.Until == nil || w.HasFor {
+			return spec.Keep(s)
+		}
+		used = true
+		return []spec.Stmt{
+			spec.WaitUntilFor(w.Until, g.timeout(), tmo),
+			&spec.If{Cond: spec.Ref(tmo), Then: []spec.Stmt{&spec.Return{}}},
+		}
+	})
+	if used {
+		p.Locals = append(p.Locals, tmo)
+	}
+}
+
+// abortWatch is the server-side bail-out condition after a bounded wait:
+// the wait expired, or the accessor is pulsing RST to resynchronize.
+func (g *generator) abortWatch(tmo *spec.Variable) spec.Expr {
+	return spec.LogicalOr(spec.Ref(tmo), spec.Eq(g.busField("RST"), spec.VecString("1")))
+}
+
+// orRST widens a server wait condition to also wake on the RST pulse.
+func (g *generator) orRST(cond spec.Expr) spec.Expr {
+	return spec.LogicalOr(cond, spec.Eq(g.busField("RST"), spec.VecString("1")))
+}
+
+// resyncStmts emits the accessor's RST pulse opening a retransmission:
+// long enough (two clocks high) that every bounded server wait observes
+// it, followed by one clock of recovery.
+func (g *generator) resyncStmts() []spec.Stmt {
+	return []spec.Stmt{
+		spec.AssignSig(g.busField("RST"), spec.VecString("1")),
+		spec.WaitFor(2),
+		spec.AssignSig(g.busField("RST"), spec.VecString("0")),
+		spec.WaitFor(1),
+	}
+}
+
+// retryLoop wraps the per-word transfer groups of one transaction in the
+// bounded retransmission loop:
+//
+//	ok := false; attempt := 0;
+//	while not ok and attempt <= MaxRetries loop
+//	  if attempt > 0 then <RST pulse>; end if;
+//	  ok := true;
+//	  B.ID <= <id>;                      -- re-driven: heals flipped IDs
+//	  if ok then <word 0>; end if;       -- each word clears ok on failure
+//	  ...
+//	  attempt := attempt + 1;
+//	end loop;
+func (g *generator) retryLoop(c *spec.Channel, ok, attempt *spec.Variable, words [][]spec.Stmt) []spec.Stmt {
+	inner := []spec.Stmt{
+		&spec.If{Cond: spec.Gt(spec.Ref(attempt), spec.Int(0)), Then: g.resyncStmts()},
+		spec.AssignVar(spec.Ref(ok), &spec.BoolLit{Value: true}),
+	}
+	inner = append(inner, g.setID(c)...)
+	for _, w := range words {
+		inner = append(inner, &spec.If{Cond: spec.Ref(ok), Then: w})
+	}
+	inner = append(inner, spec.AssignVar(spec.Ref(attempt), spec.Add(spec.Ref(attempt), spec.Int(1))))
+	return []spec.Stmt{
+		spec.AssignVar(spec.Ref(ok), &spec.BoolLit{Value: false}),
+		spec.AssignVar(spec.Ref(attempt), spec.Int(0)),
+		&spec.While{
+			Cond: spec.LogicalAnd(spec.Not(spec.Ref(ok)), spec.Le(spec.Ref(attempt), spec.Int(int64(g.retries())))),
+			Body: inner,
+		},
+	}
+}
+
+// abortStmts counts an exhausted retry budget. Deliberately not a
+// Return: the arbitration release (wrapArbitration) must still run so an
+// aborting accessor does not hold the bus grant forever.
+func (g *generator) abortStmts(c *spec.Channel, ok *spec.Variable) []spec.Stmt {
+	ab := g.abortVarFor(c.Accessor.Owner)
+	return []spec.Stmt{
+		&spec.If{
+			Cond: spec.Not(spec.Ref(ok)),
+			Then: []spec.Stmt{spec.AssignVar(spec.Ref(ab), spec.Add(spec.Ref(ab), spec.Int(1)))},
+		},
+	}
+}
+
+// robustSendWordStmts emits one hardened accessor-driven word:
+//
+//	B.DATA <= <word>; [B.PAR <= parity;]
+//	B.START <= '1';
+//	wait until B.DONE = '1' [or B.NACK = '1'] for T -> tmo;
+//	if tmo [or B.NACK = '1'] then
+//	  ok := false; B.START <= '0'; wait for 1;
+//	else
+//	  B.START <= '0';
+//	  wait until B.DONE = '0' for T -> tmo;
+//	  if tmo then ok := false; end if;
+//	end if;
+func (g *generator) robustSendWordStmts(c *spec.Channel, word spec.Expr, ok, tmo *spec.Variable) []spec.Stmt {
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+	waitCond := spec.Eq(g.busField("DONE"), one)
+	failCond := spec.Expr(spec.Ref(tmo))
+	if g.cfg.Parity {
+		nack := spec.Eq(g.busField("NACK"), one)
+		waitCond = spec.LogicalOr(waitCond, nack)
+		failCond = spec.LogicalOr(failCond, nack)
+	}
+	stmts := []spec.Stmt{
+		spec.AssignSig(g.busField("DATA"), g.padToBus(word)),
+	}
+	if g.cfg.Parity {
+		stmts = append(stmts, spec.AssignSig(g.busField("PAR"), g.driveParity(word, c)))
+	}
+	stmts = append(stmts,
+		spec.AssignSig(g.busField("START"), one),
+		spec.WaitUntilFor(waitCond, g.timeout(), tmo),
+		&spec.If{
+			Cond: failCond,
+			Then: []spec.Stmt{
+				spec.AssignVar(spec.Ref(ok), &spec.BoolLit{Value: false}),
+				spec.AssignSig(g.busField("START"), zero),
+				spec.WaitFor(1),
+			},
+			Else: []spec.Stmt{
+				spec.AssignSig(g.busField("START"), zero),
+				spec.WaitUntilFor(spec.Eq(g.busField("DONE"), zero), g.timeout(), tmo),
+				&spec.If{Cond: spec.Ref(tmo), Then: []spec.Stmt{
+					spec.AssignVar(spec.Ref(ok), &spec.BoolLit{Value: false}),
+					spec.WaitFor(1),
+				}},
+			},
+		},
+	)
+	return stmts
+}
+
+// robustServeWordStmts emits the hardened server side of one
+// accessor-driven word: the baseline sequence with every wait bounded,
+// watching RST, and bailing to the dispatch loop on any anomaly. With
+// parity, a corrupted word is answered on NACK instead of DONE.
+func (g *generator) robustServeWordStmts(c *spec.Channel, latch []spec.Stmt, tmo *spec.Variable) []spec.Stmt {
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+	startHigh := andOpt(spec.Eq(g.busField("START"), one), g.idMatches(c))
+	startLow := spec.Eq(g.busField("START"), zero)
+	stmts := []spec.Stmt{
+		spec.WaitUntilFor(g.orRST(startHigh), g.timeout(), tmo),
+		&spec.If{Cond: g.abortWatch(tmo), Then: []spec.Stmt{&spec.Return{}}},
+		spec.WaitFor(1),
+	}
+	if g.cfg.Parity {
+		stmts = append(stmts, &spec.If{
+			Cond: g.checkParityMismatch(),
+			Then: []spec.Stmt{
+				spec.AssignSig(g.busField("NACK"), one),
+				spec.WaitUntilFor(g.orRST(startLow), g.timeout(), nil),
+				spec.AssignSig(g.busField("NACK"), zero),
+				spec.WaitFor(1),
+				&spec.Return{},
+			},
+		})
+	}
+	stmts = append(stmts, latch...)
+	stmts = append(stmts,
+		spec.AssignSig(g.busField("DONE"), one),
+		spec.WaitUntilFor(g.orRST(startLow), g.timeout(), tmo),
+		spec.AssignSig(g.busField("DONE"), zero),
+		spec.WaitFor(1),
+		&spec.If{Cond: g.abortWatch(tmo), Then: []spec.Stmt{&spec.Return{}}},
+	)
+	return stmts
+}
+
+// robustServerSendWordStmts emits one hardened server-driven word (the
+// data phase of a read): roles swapped, same guards.
+func (g *generator) robustServerSendWordStmts(word spec.Expr, tmo *spec.Variable) []spec.Stmt {
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+	ackCond := spec.Expr(spec.Eq(g.busField("START"), one))
+	if g.cfg.Parity {
+		ackCond = spec.LogicalOr(ackCond, spec.Eq(g.busField("NACK"), one))
+	}
+	stmts := []spec.Stmt{
+		spec.AssignSig(g.busField("DATA"), g.padToBus(word)),
+	}
+	if g.cfg.Parity {
+		stmts = append(stmts, spec.AssignSig(g.busField("PAR"), g.serverDriveParity(word)))
+	}
+	stmts = append(stmts,
+		spec.WaitFor(1),
+		spec.AssignSig(g.busField("DONE"), one),
+		spec.WaitUntilFor(g.orRST(ackCond), g.timeout(), tmo),
+		spec.AssignSig(g.busField("DONE"), zero),
+		&spec.If{Cond: g.abortWatch(tmo), Then: []spec.Stmt{
+			spec.WaitFor(1),
+			&spec.Return{},
+		}},
+	)
+	if g.cfg.Parity {
+		stmts = append(stmts, &spec.If{
+			Cond: spec.Eq(g.busField("NACK"), one),
+			Then: []spec.Stmt{
+				spec.WaitUntilFor(g.orRST(spec.Eq(g.busField("NACK"), zero)), g.timeout(), nil),
+				spec.WaitFor(1),
+				&spec.Return{},
+			},
+		})
+	}
+	stmts = append(stmts,
+		spec.WaitFor(1),
+		spec.WaitUntilFor(g.orRST(spec.Eq(g.busField("START"), zero)), g.timeout(), tmo),
+		&spec.If{Cond: g.abortWatch(tmo), Then: []spec.Stmt{&spec.Return{}}},
+	)
+	return stmts
+}
+
+// robustRecvWordStmts emits the hardened accessor side of one
+// server-driven word. With parity, a corrupted word is rejected on NACK,
+// failing the transaction into the retry loop.
+func (g *generator) robustRecvWordStmts(latch []spec.Stmt, ok, tmo *spec.Variable) []spec.Stmt {
+	one := spec.VecString("1")
+	zero := spec.VecString("0")
+	fail := spec.AssignVar(spec.Ref(ok), &spec.BoolLit{Value: false})
+	accept := append([]spec.Stmt{}, latch...)
+	accept = append(accept,
+		spec.AssignSig(g.busField("START"), one),
+		spec.WaitUntilFor(spec.Eq(g.busField("DONE"), zero), g.timeout(), tmo),
+		spec.AssignSig(g.busField("START"), zero),
+		spec.WaitFor(1),
+		&spec.If{Cond: spec.Ref(tmo), Then: []spec.Stmt{fail}},
+	)
+	var consume []spec.Stmt
+	if g.cfg.Parity {
+		consume = []spec.Stmt{&spec.If{
+			Cond: g.checkParityMismatch(),
+			Then: []spec.Stmt{
+				spec.AssignSig(g.busField("NACK"), one),
+				spec.WaitUntilFor(spec.Eq(g.busField("DONE"), zero), g.timeout(), tmo),
+				spec.AssignSig(g.busField("NACK"), zero),
+				spec.WaitFor(1),
+				fail,
+			},
+			Else: accept,
+		}}
+	} else {
+		consume = accept
+	}
+	stmts := []spec.Stmt{
+		spec.WaitUntilFor(spec.Eq(g.busField("DONE"), one), g.timeout(), tmo),
+		&spec.If{
+			Cond: spec.Ref(tmo),
+			Then: []spec.Stmt{fail},
+			Else: consume,
+		},
+	}
+	return stmts
+}
+
+// buildRobustSendProc is the hardened buildSendProc: same parameters and
+// message layout, with the word transfers wrapped in the retry loop.
+func (g *generator) buildRobustSendProc(c *spec.Channel) *spec.Procedure {
+	p := &spec.Procedure{Name: "Send" + c.Name}
+	dataBits, addrBits := c.DataBits(), c.AddrBits()
+	txdata := spec.NewVar("txdata", spec.BitVector(dataBits))
+	var addr *spec.Variable
+	if addrBits > 0 {
+		addr = spec.NewVar("addr", spec.BitVector(addrBits))
+		p.Params = append(p.Params, spec.Param{Var: addr, Mode: spec.ModeIn})
+	}
+	p.Params = append(p.Params, spec.Param{Var: txdata, Mode: spec.ModeIn})
+
+	mBits := dataBits + addrBits
+	msg := spec.NewVar("msg", spec.BitVector(mBits))
+	ok := spec.NewVar("ok", spec.Bool)
+	attempt := spec.NewVar("attempt", spec.Integer)
+	tmo := spec.NewVar("tmo", spec.Bool)
+	p.Locals = append(p.Locals, msg, ok, attempt, tmo)
+
+	var body []spec.Stmt
+	if addrBits > 0 {
+		body = append(body, spec.AssignVar(spec.Ref(msg), spec.Bin(spec.OpConcat, spec.Ref(addr), spec.Ref(txdata))))
+	} else {
+		body = append(body, spec.AssignVar(spec.Ref(msg), spec.Ref(txdata)))
+	}
+	var words [][]spec.Stmt
+	for _, span := range wordSpans(mBits, g.bus.Width) {
+		words = append(words, g.robustSendWordStmts(c, spec.SliceBits(spec.Ref(msg), span[0], span[1]), ok, tmo))
+	}
+	body = append(body, g.retryLoop(c, ok, attempt, words)...)
+	body = append(body, g.abortStmts(c, ok)...)
+	body = append(body, g.turnaround()...)
+	p.Body = g.wrapArbitration(c.Accessor, body)
+	return p
+}
+
+// buildRobustReceiveProc is the hardened buildReceiveProc: the request
+// phase and the data phase together form one retried transaction, so a
+// fault anywhere re-requests from scratch (re-reading is idempotent).
+func (g *generator) buildRobustReceiveProc(c *spec.Channel) *spec.Procedure {
+	p := &spec.Procedure{Name: "Receive" + c.Name}
+	dataBits, addrBits := c.DataBits(), c.AddrBits()
+	var addr *spec.Variable
+	if addrBits > 0 {
+		addr = spec.NewVar("addr", spec.BitVector(addrBits))
+		p.Params = append(p.Params, spec.Param{Var: addr, Mode: spec.ModeIn})
+	}
+	rxdata := spec.NewVar("rxdata", spec.BitVector(dataBits))
+	p.Params = append(p.Params, spec.Param{Var: rxdata, Mode: spec.ModeOut})
+	ok := spec.NewVar("ok", spec.Bool)
+	attempt := spec.NewVar("attempt", spec.Integer)
+	tmo := spec.NewVar("tmo", spec.Bool)
+	p.Locals = append(p.Locals, ok, attempt, tmo)
+
+	var words [][]spec.Stmt
+	if addrBits > 0 {
+		for _, span := range wordSpans(addrBits, g.bus.Width) {
+			words = append(words, g.robustSendWordStmts(c, spec.SliceBits(spec.Ref(addr), span[0], span[1]), ok, tmo))
+		}
+	} else {
+		words = append(words, g.robustSendWordStmts(c, spec.Vec(bits.New(min(g.bus.Width, 1))), ok, tmo))
+	}
+	for _, span := range wordSpans(dataBits, g.bus.Width) {
+		w := span[0] - span[1] + 1
+		latch := []spec.Stmt{
+			spec.AssignVar(
+				spec.SliceBits(spec.Ref(rxdata), span[0], span[1]),
+				spec.SliceBits(g.busField("DATA"), w-1, 0),
+			),
+		}
+		words = append(words, g.robustRecvWordStmts(latch, ok, tmo))
+	}
+	body := g.retryLoop(c, ok, attempt, words)
+	body = append(body, g.abortStmts(c, ok)...)
+	body = append(body, g.turnaround()...)
+	p.Body = g.wrapArbitration(c.Accessor, body)
+	return p
+}
+
+// buildRobustServeWriteProc is the hardened buildServeWriteProc. Any
+// watchdog Return fires before the commit, so a faulted transaction
+// never half-writes the variable.
+func (g *generator) buildRobustServeWriteProc(c *spec.Channel) *spec.Procedure {
+	p := &spec.Procedure{Name: "Recv" + c.Name}
+	dataBits, addrBits := c.DataBits(), c.AddrBits()
+	mBits := dataBits + addrBits
+	msg := spec.NewVar("msg", spec.BitVector(mBits))
+	tmo := spec.NewVar("tmo", spec.Bool)
+	p.Locals = append(p.Locals, msg, tmo)
+
+	var body []spec.Stmt
+	for _, span := range wordSpans(mBits, g.bus.Width) {
+		w := span[0] - span[1] + 1
+		latch := []spec.Stmt{
+			spec.AssignVar(
+				spec.SliceBits(spec.Ref(msg), span[0], span[1]),
+				spec.SliceBits(g.busField("DATA"), w-1, 0),
+			),
+		}
+		body = append(body, g.robustServeWordStmts(c, latch, tmo)...)
+	}
+	if addrBits > 0 {
+		addrSlice := spec.SliceBits(spec.Ref(msg), mBits-1, dataBits)
+		dataSlice := spec.SliceBits(spec.Ref(msg), dataBits-1, 0)
+		elem := c.Var.Type.(spec.ArrayType).Elem
+		body = append(body, spec.AssignVar(
+			spec.At(spec.Ref(c.Var), spec.ToInt(addrSlice)), g.coerceToVar(dataSlice, elem)))
+	} else {
+		body = append(body, spec.AssignVar(spec.Ref(c.Var), g.coerceToVar(spec.Ref(msg), c.Var.Type)))
+	}
+	p.Body = body
+	return p
+}
+
+// buildRobustServeReadProc is the hardened buildServeReadProc.
+func (g *generator) buildRobustServeReadProc(c *spec.Channel) *spec.Procedure {
+	p := &spec.Procedure{Name: "Send" + c.Name}
+	dataBits, addrBits := c.DataBits(), c.AddrBits()
+	tmo := spec.NewVar("tmo", spec.Bool)
+
+	var body []spec.Stmt
+	var value spec.Expr
+	if addrBits > 0 {
+		addrBuf := spec.NewVar("addrbuf", spec.BitVector(addrBits))
+		p.Locals = append(p.Locals, addrBuf)
+		for _, span := range wordSpans(addrBits, g.bus.Width) {
+			w := span[0] - span[1] + 1
+			latch := []spec.Stmt{
+				spec.AssignVar(
+					spec.SliceBits(spec.Ref(addrBuf), span[0], span[1]),
+					spec.SliceBits(g.busField("DATA"), w-1, 0),
+				),
+			}
+			body = append(body, g.robustServeWordStmts(c, latch, tmo)...)
+		}
+		value = spec.At(spec.Ref(c.Var), spec.ToInt(spec.Ref(addrBuf)))
+	} else {
+		body = append(body, g.robustServeWordStmts(c, nil, tmo)...)
+		value = spec.Ref(c.Var)
+	}
+
+	dataBuf := spec.NewVar("databuf", spec.BitVector(dataBits))
+	p.Locals = append(p.Locals, dataBuf, tmo)
+	body = append(body, spec.AssignVar(spec.Ref(dataBuf), g.coerceToMsg(value, dataBits)))
+	for _, span := range wordSpans(dataBits, g.bus.Width) {
+		body = append(body, g.robustServerSendWordStmts(spec.SliceBits(spec.Ref(dataBuf), span[0], span[1]), tmo)...)
+	}
+	p.Body = body
+	return p
+}

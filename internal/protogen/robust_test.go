@@ -1,0 +1,120 @@
+package protogen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; "" means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"robust full", Config{Protocol: spec.FullHandshake, Robust: true}, ""},
+		{"robust full parity", Config{Protocol: spec.FullHandshake, Robust: true, Parity: true}, ""},
+		{"robust full tuned", Config{Protocol: spec.FullHandshake, Robust: true, TimeoutClocks: 32, MaxRetries: 5}, ""},
+		{"robust half watchdog only", Config{Protocol: spec.HalfHandshake, Robust: true}, ""},
+		{"arbitrate hardwired", Config{Protocol: spec.HardwiredPort, Arbitrate: true}, "nothing to arbitrate"},
+		{"negative timeout", Config{Robust: true, TimeoutClocks: -1}, "negative TimeoutClocks"},
+		{"negative retries", Config{Robust: true, MaxRetries: -2}, "negative MaxRetries"},
+		{"parity without robust", Config{Protocol: spec.FullHandshake, Parity: true}, "Parity requires Robust"},
+		{"timeout without robust", Config{Protocol: spec.FullHandshake, TimeoutClocks: 8}, "TimeoutClocks requires Robust"},
+		{"retries without robust", Config{Protocol: spec.FullHandshake, MaxRetries: 2}, "MaxRetries requires Robust"},
+		{"robust fixed delay", Config{Protocol: spec.FixedDelay, Robust: true}, "no handshake waits"},
+		{"robust hardwired", Config{Protocol: spec.HardwiredPort, Robust: true}, "no handshake waits"},
+		{"parity on half", Config{Protocol: spec.HalfHandshake, Robust: true, Parity: true}, "no receiver-to-sender feedback"},
+		{"retries on half", Config{Protocol: spec.HalfHandshake, Robust: true, MaxRetries: 2}, "no acknowledgement to miss"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsInvalidConfig(t *testing.T) {
+	sys, bus := buildPQ()
+	_, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake, Parity: true})
+	if err == nil || !strings.Contains(err.Error(), "Parity requires Robust") {
+		t.Fatalf("Generate with invalid config: err = %v, want Parity-requires-Robust error", err)
+	}
+}
+
+func TestRobustBusStructure(t *testing.T) {
+	sys, bus := buildPQ()
+	ref, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake, Robust: true, Parity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bus.Robust || !bus.Parity {
+		t.Fatalf("bus flags: Robust=%v Parity=%v, want both true", bus.Robust, bus.Parity)
+	}
+	rec, ok := bus.Signal.Type.(spec.RecordType)
+	if !ok {
+		t.Fatalf("bus signal type = %T, want RecordType", bus.Signal.Type)
+	}
+	want := map[string]bool{"RST": false, "PAR": false, "NACK": false}
+	for _, f := range rec.Fields {
+		if _, tracked := want[f.Name]; tracked {
+			want[f.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("bus record is missing hardening field %s", name)
+		}
+	}
+	if len(ref.AbortCounters) == 0 {
+		t.Fatal("robust refinement registered no abort counters")
+	}
+	for _, k := range ref.AbortKeys() {
+		if !strings.Contains(k, "_ABORTS") {
+			t.Errorf("abort key %q does not name an _ABORTS counter", k)
+		}
+	}
+}
+
+func TestRobustLineCounts(t *testing.T) {
+	sys, bus := buildPQ()
+	base := bus.TotalLines()
+	if _, err := Generate(sys, bus, Config{Protocol: spec.FullHandshake, Robust: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.TotalLines(); got != base+1 {
+		t.Fatalf("robust TotalLines = %d, want %d (baseline %d + RST)", got, base+1, base)
+	}
+	_ = sys
+}
+
+func TestRobustHalfAddsNoLines(t *testing.T) {
+	sys, bus := buildPQ()
+	ref, err := Generate(sys, bus, Config{Protocol: spec.HalfHandshake, Robust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bus.Signal.Type.(spec.RecordType)
+	for _, f := range rec.Fields {
+		if f.Name == "RST" || f.Name == "PAR" || f.Name == "NACK" {
+			t.Errorf("half-handshake robust bus grew field %s; watchdogs need no wires", f.Name)
+		}
+	}
+	if len(ref.AbortCounters) != 0 {
+		t.Errorf("half-handshake robust registered %d abort counters, want 0", len(ref.AbortCounters))
+	}
+}

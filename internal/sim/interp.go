@@ -590,6 +590,9 @@ func (p *process) execWait(s *spec.Wait) {
 		// Immediate check: continue without suspending if the
 		// condition already holds (see the package comment).
 		if asBool(p.eval(s.Until)) {
+			if s.TimedOut != nil {
+				p.setLocal(s.TimedOut, BoolVal{V: false})
+			}
 			return
 		}
 		cond := s.Until
@@ -613,6 +616,9 @@ func (p *process) execWait(s *spec.Wait) {
 		w.forever = true
 	}
 	p.yield(w)
+	if s.TimedOut != nil {
+		p.setLocal(s.TimedOut, BoolVal{V: p.timedOut})
+	}
 }
 
 // maxCallDepth bounds procedure nesting; specification procedures are

@@ -26,6 +26,29 @@ type Config struct {
 	// OnEvent, when non-nil, is called for every signal value change,
 	// after the change takes effect.
 	OnEvent func(now int64, sig *spec.Variable, val Value)
+	// Mutate, when non-nil, intercepts every pending signal update just
+	// before it commits, receiving the signal's current value and the
+	// proposed next value. Fault injectors use it to corrupt, suppress
+	// or delay wire transitions (see internal/fault). The hook must be
+	// deterministic for reproducible runs; it is never invoked for the
+	// delayed re-commits it schedules itself.
+	Mutate func(now int64, sig *spec.Variable, old, next Value) Mutation
+}
+
+// Mutation is the outcome of a Config.Mutate call.
+type Mutation struct {
+	// Now replaces the proposed value for this commit; nil keeps the
+	// proposed value. Returning a copy of the current value suppresses
+	// the change entirely (no event fires).
+	Now Value
+	// Later, when non-nil and Delay > 0, is committed to the signal
+	// Delay clocks from now, modeling a slow or glitching driver. For
+	// record signals only the components that differ from this commit's
+	// outcome are re-driven then, merged over the signal's then-current
+	// value — the late transition must not revert unrelated wires that
+	// moved during the delay.
+	Later Value
+	Delay int64
 }
 
 // Result summarizes a completed simulation.
@@ -56,10 +79,19 @@ func (r *Result) Final(module, variable string) Value {
 type DeadlockError struct {
 	Now     int64
 	Waiting []string // "behavior: wait description"
+	// Bus snapshots the control-line state of every global record
+	// signal (the generated buses) at deadlock time — entries like
+	// `B.START='1'` — so a deadlock caused by a lost or stuck strobe is
+	// diagnosable from the error alone. DATA lines are included last.
+	Bus []string
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at clock %d; waiting: %s", e.Now, strings.Join(e.Waiting, "; "))
+	msg := fmt.Sprintf("sim: deadlock at clock %d; waiting: %s", e.Now, strings.Join(e.Waiting, "; "))
+	if len(e.Bus) > 0 {
+		msg += "; bus: " + strings.Join(e.Bus, " ")
+	}
+	return msg
 }
 
 // maxDeltas bounds total delta cycles as a livelock backstop.
@@ -101,6 +133,9 @@ type process struct {
 	// lag accumulates cost-model clocks not yet converted into a timed
 	// yield (flushed at the next wait).
 	lag int64
+	// timedOut records whether the last bounded wait expired before its
+	// condition held (consumed by execWait for Wait.TimedOut).
+	timedOut bool
 }
 
 // signalState is the kernel-side storage of one signal.
@@ -109,6 +144,20 @@ type signalState struct {
 	current Value
 	pending Value // nil if no update scheduled this delta
 	events  int64
+	// skipMutate marks a pending update that came from a Mutation's
+	// delayed re-commit, which must not pass through Config.Mutate
+	// again.
+	skipMutate bool
+}
+
+// delayedUpdate is a signal value a Mutation deferred to a later clock.
+// base records the commit's actual outcome at schedule time, so the
+// apply can re-drive only the components the mutation suppressed.
+type delayedUpdate struct {
+	at   int64
+	sig  *signalState
+	val  Value
+	base Value
 }
 
 // effective is the value a reader in the *same* delta as a writer
@@ -133,6 +182,7 @@ type kernel struct {
 	steps   int64
 	yieldCh chan *process
 	dirty   []*signalState // signals with pending updates this delta
+	delayed []delayedUpdate
 	// graceEnd is the clock at which the post-completion grace window
 	// closes; -1 until every foreground process has finished.
 	graceEnd int64
@@ -274,13 +324,19 @@ func (k *kernel) run() (*Result, error) {
 			}
 		}
 
-		// Advance time to the earliest deadline.
+		// Advance time to the earliest deadline (process wait deadlines
+		// and delayed signal commits alike).
 		next := int64(-1)
 		for _, p := range k.procs {
 			if p.state == stateWaiting && !p.wait.forever && p.wait.deadline >= 0 {
 				if next < 0 || p.wait.deadline < next {
 					next = p.wait.deadline
 				}
+			}
+		}
+		for _, d := range k.delayed {
+			if next < 0 || d.at < next {
+				next = d.at
 			}
 		}
 		if k.graceEnd >= 0 && (next < 0 || next > k.graceEnd) {
@@ -293,13 +349,61 @@ func (k *kernel) run() (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded MaxClocks=%d at clock %d", k.cfg.MaxClocks, k.now)
 		}
 		k.now = next
+		// Delayed signal commits due now bypass Config.Mutate (they are
+		// the hook's own doing) and wake sensitive processes like any
+		// other event.
+		if n := k.applyDelayed(); n {
+			runnable = append(runnable, k.wakeOnEvents(k.flush())...)
+		}
 		for _, p := range k.procs {
 			if p.state == stateWaiting && !p.wait.forever && p.wait.deadline == k.now {
+				p.timedOut = p.wait.check != nil && !p.wait.check()
 				p.state = stateReady
+				p.wait = waitSpec{deadline: -1}
 				runnable = append(runnable, p)
 			}
 		}
 	}
+}
+
+// applyDelayed schedules every delayed signal commit due at the current
+// clock, reporting whether any was applied.
+func (k *kernel) applyDelayed() bool {
+	applied := false
+	rest := k.delayed[:0]
+	for _, d := range k.delayed {
+		if d.at > k.now {
+			rest = append(rest, d)
+			continue
+		}
+		if d.sig.pending == nil {
+			k.dirty = append(k.dirty, d.sig)
+		}
+		d.sig.pending = mergeDelayed(d.sig.effective(), d.base, d.val)
+		d.sig.skipMutate = true
+		applied = true
+	}
+	k.delayed = rest
+	return applied
+}
+
+// mergeDelayed builds the value a delayed re-commit drives: for records,
+// the current value with only the suppressed components (where val
+// differs from base) overwritten; other shapes re-drive val wholesale.
+func mergeDelayed(cur, base, val Value) Value {
+	cv, okC := cur.(RecordVal)
+	bv, okB := base.(RecordVal)
+	vv, okV := val.(RecordVal)
+	if !okC || !okB || !okV || len(cv.Fields) != len(vv.Fields) || len(bv.Fields) != len(vv.Fields) {
+		return val
+	}
+	out := RecordVal{Type: cv.Type, Fields: append([]Value{}, cv.Fields...)}
+	for i := range vv.Fields {
+		if !vv.Fields[i].Equal(bv.Fields[i]) {
+			out.Fields[i] = vv.Fields[i]
+		}
+	}
+	return out
 }
 
 // step resumes one process and waits for it to yield.
@@ -321,6 +425,18 @@ func (k *kernel) flush() []*signalState {
 		if s.pending == nil {
 			continue
 		}
+		if k.cfg.Mutate != nil && !s.skipMutate {
+			m := k.cfg.Mutate(k.now, s.v, s.current, s.pending)
+			if m.Now != nil {
+				s.pending = m.Now
+			}
+			if m.Later != nil && m.Delay > 0 {
+				k.delayed = append(k.delayed, delayedUpdate{
+					at: k.now + m.Delay, sig: s, val: m.Later, base: s.pending.Copy(),
+				})
+			}
+		}
+		s.skipMutate = false
 		if !s.pending.Equal(s.current) {
 			s.current = s.pending
 			s.events++
@@ -360,6 +476,7 @@ func (k *kernel) wakeOnEvents(events []*signalState) []*process {
 		if p.wait.check != nil && !p.wait.check() {
 			continue
 		}
+		p.timedOut = false
 		p.state = stateReady
 		p.wait = waitSpec{deadline: -1}
 		woken = append(woken, p)
@@ -397,7 +514,43 @@ func (k *kernel) deadlock() error {
 		}
 		waiting = append(waiting, fmt.Sprintf("%s: %s", name, p.wait.desc))
 	}
-	return &DeadlockError{Now: k.now, Waiting: waiting}
+	return &DeadlockError{Now: k.now, Waiting: waiting, Bus: k.busState()}
+}
+
+// busState renders the value of every global record signal (the
+// generated buses) field by field, control lines first, for deadlock
+// diagnostics.
+func (k *kernel) busState() []string {
+	globals := append([]*spec.Variable{}, k.sys.Globals...)
+	sort.Slice(globals, func(i, j int) bool { return globals[i].Name < globals[j].Name })
+	var out []string
+	for _, g := range globals {
+		s, ok := k.signals[g]
+		if !ok {
+			continue
+		}
+		n := g.Name
+		rv, ok := s.current.(RecordVal)
+		if !ok {
+			continue
+		}
+		var data []string
+		for i, f := range rv.Type.Fields {
+			val := rv.Fields[i].String()
+			// Single wires read better in VHDL bit style: '1', not "1".
+			if vv, ok := rv.Fields[i].(VecVal); ok && vv.V.Width() == 1 {
+				val = "'" + vv.V.String() + "'"
+			}
+			entry := fmt.Sprintf("%s.%s=%s", n, f.Name, val)
+			if f.Name == "DATA" {
+				data = append(data, entry)
+			} else {
+				out = append(out, entry)
+			}
+		}
+		out = append(out, data...)
+	}
+	return out
 }
 
 func (k *kernel) result() *Result {

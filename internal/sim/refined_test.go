@@ -215,3 +215,50 @@ func TestRefinedReadModifyWriteLoop(t *testing.T) {
 		t.Fatalf("ACC = %d, want 55", got.V.Uint64())
 	}
 }
+
+// TestRefinedHalfHandshakeAtWidths sweeps the half-handshake protocol
+// across bus widths; the refined system must compute the same finals at
+// every word count.
+func TestRefinedHalfHandshakeAtWidths(t *testing.T) {
+	for _, w := range []int{3, 8, 16, 22} {
+		refined, bus := buildPQ()
+		bus.Width = w
+		if _, err := protogen.Generate(refined, bus, protogen.Config{Protocol: spec.HalfHandshake}); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		res := mustRun(t, refined, Config{})
+		x := res.Final("comp2", "X").(VecVal)
+		mem := res.Final("comp2", "MEM").(ArrayVal)
+		if x.V.Uint64() != 32 || mem.Elems[5].(VecVal).V.Uint64() != 39 || mem.Elems[60].(VecVal).V.Uint64() != 9 {
+			t.Errorf("width %d: finals wrong: X=%s mem[5]=%s mem[60]=%s",
+				w, x, mem.Elems[5], mem.Elems[60])
+		}
+	}
+}
+
+// TestRefinedFixedDelay exercises the fixed-delay protocol on a
+// single-word scalar write: the receiver samples the data lines a fixed
+// number of clocks after the strobe, with no acknowledgement.
+func TestRefinedFixedDelay(t *testing.T) {
+	sys := spec.NewSystem("fd")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+	w := m1.AddBehavior(spec.NewBehavior("W"))
+	x := m2.AddVariable(spec.NewVar("X", spec.BitVector(8)))
+	w.Body = []spec.Stmt{
+		spec.AssignVar(spec.Ref(x), spec.ToVec(spec.Int(42), 8)),
+	}
+	ch := sys.AddChannel(&spec.Channel{Name: "CH", Accessor: w, Var: x, Dir: spec.Write})
+	bus := &spec.Bus{Name: "B", Channels: []*spec.Channel{ch}, Width: 8}
+	sys.Buses = append(sys.Buses, bus)
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FixedDelay}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, sys, Config{})
+	if got := res.Final("m2", "X").(VecVal); got.V.Uint64() != 42 {
+		t.Errorf("X = %s, want 42", got)
+	}
+	if res.Clocks == 0 {
+		t.Error("fixed-delay transfer consumed no bus time")
+	}
+}

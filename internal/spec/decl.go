@@ -322,6 +322,12 @@ type Bus struct {
 	// Arbitrated records that protocol generation added REQ/GRANT
 	// arbitration hardware and an arbiter process.
 	Arbitrated bool
+	// Robust records that protocol generation hardened the wire
+	// sequences (timeouts, retransmission); full-handshake robust buses
+	// carry an extra RST resynchronization line.
+	Robust bool
+	// Parity records that the bus carries PAR/NACK parity lines.
+	Parity bool
 }
 
 // IDBits reports the number of ID lines needed to address the bus's
@@ -334,9 +340,16 @@ func (b *Bus) IDBits() int {
 }
 
 // TotalLines reports all wires of the bus: data + control + ID, plus
-// the REQ/GRANT/GVALID arbitration wires when present.
+// the REQ/GRANT/GVALID arbitration wires when present, plus the
+// RST/PAR/NACK hardening wires when present.
 func (b *Bus) TotalLines() int {
 	n := b.Width + b.Protocol.ControlLines() + b.IDBits()
+	if b.Robust && b.Protocol == FullHandshake {
+		n++ // RST
+	}
+	if b.Parity {
+		n += 2 // PAR, NACK
+	}
 	if b.Arbitrated {
 		accs := make(map[*Behavior]bool)
 		for _, c := range b.Channels {

@@ -108,11 +108,21 @@ func (*Exit) stmtNode()        {}
 //	wait for n;            — resume after n clocks
 //
 // A Wait with no clauses suspends forever.
+//
+// A bounded wait ("wait until cond for n") may additionally record
+// whether it expired: when TimedOut is set, the simulator assigns true
+// to that (boolean) variable if the deadline fired before the condition
+// held, false otherwise. Hardened generated protocols use this to detect
+// lost handshake strobes. The VHDL back end renders it as the standard
+// idiom "wait until cond for n ns; t := not (cond);".
 type Wait struct {
 	On     []*Variable // signals to be sensitive to
 	Until  Expr        // optional condition, re-evaluated on events
 	For    int64       // optional clock count; <= 0 means none
 	HasFor bool
+	// TimedOut, when non-nil, receives whether the bounded wait expired.
+	// Only meaningful with both Until and HasFor set.
+	TimedOut *Variable
 }
 
 // WaitOn returns "wait on sigs...".
@@ -124,6 +134,13 @@ func WaitUntil(cond Expr) *Wait { return &Wait{Until: cond} }
 
 // WaitFor returns "wait for n" (n clocks of simulated time).
 func WaitFor(n int64) *Wait { return &Wait{For: n, HasFor: true} }
+
+// WaitUntilFor returns the bounded wait "wait until cond for n",
+// recording into timedOut (a boolean variable, may be nil) whether the
+// deadline expired before an event made cond true.
+func WaitUntilFor(cond Expr, n int64, timedOut *Variable) *Wait {
+	return &Wait{Until: cond, For: n, HasFor: true, TimedOut: timedOut}
+}
 
 func (s *Wait) String() string {
 	var parts []string
@@ -139,6 +156,9 @@ func (s *Wait) String() string {
 	}
 	if s.HasFor {
 		parts = append(parts, fmt.Sprintf("for %d", s.For))
+	}
+	if s.TimedOut != nil {
+		parts = append(parts, "-> "+s.TimedOut.Name)
 	}
 	return "wait " + strings.Join(parts, " ")
 }

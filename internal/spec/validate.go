@@ -123,6 +123,11 @@ func validateBody(b *Behavior) []error {
 				if s.Var == nil {
 					errs = append(errs, fmt.Errorf("%s: for loop with nil loop variable", where))
 				}
+			case *Wait:
+				if s.TimedOut != nil && (s.Until == nil || !s.HasFor) {
+					errs = append(errs, fmt.Errorf("%s: wait records a timed-out result but lacks %s",
+						where, missingWaitClause(s)))
+				}
 			}
 			return true
 		})
@@ -132,6 +137,16 @@ func validateBody(b *Behavior) []error {
 		check(p.Body, fmt.Sprintf("behavior %s procedure %s", b.Name, p.Name))
 	}
 	return errs
+}
+
+func missingWaitClause(s *Wait) string {
+	if s.Until == nil && !s.HasFor {
+		return "a condition and a deadline"
+	}
+	if s.Until == nil {
+		return "a condition"
+	}
+	return "a deadline"
 }
 
 // MustValidate panics if the system is invalid. Intended for construction
