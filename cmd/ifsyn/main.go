@@ -38,6 +38,16 @@
 //	-faults N       run a fault-injection campaign of N seeded runs per
 //	                bus and print the outcome table
 //	-fault-seed S   campaign seed (campaigns are reproducible per seed)
+//	-verify         model-check the refined system: exhaustive
+//	                interleaving search for deadlocks, driver conflicts,
+//	                bounded response and end-to-end delivery; violations
+//	                print minimal counterexample traces and exit 1
+//	-verify-depth N bound the model checker's search depth (0 = states
+//	                bound only)
+//	-verify-drops N wire-fault budget: how many strobe transitions may
+//	                be dropped along any explored path (0 = fault-free)
+//	-cex FILE       with -verify: dump the first counterexample's
+//	                simulator replay as a VCD waveform to FILE
 package main
 
 import (
@@ -129,6 +139,10 @@ func main() {
 	retries := flag.Int("retries", 0, "with -robust: retransmission budget per transaction (0 = default)")
 	faults := flag.Int("faults", 0, "run a fault-injection campaign of N seeded runs per bus")
 	faultSeed := flag.Int64("fault-seed", 1, "campaign seed (same seed, same campaign)")
+	doVerify := flag.Bool("verify", false, "model-check the refined system for deadlocks, conflicts, liveness and delivery")
+	verifyDepth := flag.Int("verify-depth", 0, "with -verify: search depth bound (0 = states bound only)")
+	verifyDrops := flag.Int("verify-drops", 0, "with -verify: dropped-transition budget per path (0 = fault-free)")
+	cexPath := flag.String("cex", "", "with -verify: write the first counterexample's replay waveform to this VCD file")
 	var constraints constraintFlags
 	flag.Var(&constraints, "constraint", "designer constraint (repeatable)")
 	flag.Parse()
@@ -193,6 +207,9 @@ func main() {
 		Parity:        *parity,
 		TimeoutClocks: *timeoutClocks,
 		MaxRetries:    *retries,
+		Verify:        *doVerify,
+		VerifyDepth:   *verifyDepth,
+		VerifyDrops:   *verifyDrops,
 	})
 	if err != nil {
 		fatal(err)
@@ -291,6 +308,33 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "\nfault campaign: bus %s, %d runs, seed %d\n%s",
 				br.Bus.Name, *faults, *faultSeed, report.Format())
+		}
+	}
+
+	if rep.Verify != nil {
+		fmt.Fprintf(os.Stderr, "\nverify: %s", rep.Verify.Format())
+		if len(rep.Verify.Violations) > 0 {
+			v := rep.Verify.Violations[0]
+			if v.Cex != nil {
+				if r, err := v.Cex.Replay(); err == nil {
+					fmt.Fprintf(os.Stderr, "replay of [1]: %s\n", r.Outcome)
+				}
+				if *cexPath != "" {
+					f, err := os.Create(*cexPath)
+					if err != nil {
+						fatal(err)
+					}
+					if err := v.Cex.WriteVCD(f); err != nil {
+						f.Close()
+						fatal(err)
+					}
+					if err := f.Close(); err != nil {
+						fatal(err)
+					}
+					fmt.Fprintf(os.Stderr, "counterexample waveform written to %s\n", *cexPath)
+				}
+			}
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,176 @@
+// Command protocheck model-checks a generated bus protocol: it refines
+// a specification (the paper's PQ example by default, or a spec file),
+// then explores every process interleaving — optionally under a
+// wire-fault budget — for deadlocks, driver conflicts, bounded-response
+// violations and end-to-end delivery faults. Violations print minimal
+// counterexample traces, each replayed through the simulator.
+//
+// Usage:
+//
+//	protocheck [flags] [spec.sys]
+//
+//	-protocol P   full | half (default full handshake)
+//	-robust       harden the protocol (bounded waits, retransmission)
+//	-parity       with -robust: PAR/NACK parity lines
+//	-timeout N    with -robust: handshake timeout in clocks
+//	-retries N    with -robust: retransmission budget per transaction
+//	-arbitrate    add REQ/GRANT bus arbitration
+//	-width N      force the bus width (0 = run bus generation)
+//	-drops N      wire-fault budget: strobe transitions that may be
+//	              dropped along any one explored path (default 0)
+//	-depth N      search depth bound (0 = states bound only)
+//	-states N     stored-states bound (0 = checker default)
+//	-j N          exploration workers (0 = all CPUs; verdict identical)
+//	-cex FILE     write the first counterexample's replay as VCD
+//	-expect E     none | no-deadlock | deadlock | any: exit 0 iff the
+//	              verdict matches (default none — a clean report;
+//	              no-deadlock tolerates other findings, e.g. the robust
+//	              protocol's residual lost-ack corruption window)
+//
+// Exit status: 0 when the verdict matches -expect, 1 when it does not,
+// 2 on usage or synthesis errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hdl"
+	"repro/internal/spec"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+func main() {
+	protoName := flag.String("protocol", "full", "protocol: full | half")
+	robust := flag.Bool("robust", false, "harden the protocol: bounded waits, retransmission, watchdogs")
+	parity := flag.Bool("parity", false, "with -robust: add PAR/NACK parity lines")
+	timeoutClocks := flag.Int64("timeout", 0, "with -robust: handshake timeout in clocks (0 = default)")
+	retries := flag.Int("retries", 0, "with -robust: retransmission budget (0 = default)")
+	arbitrate := flag.Bool("arbitrate", false, "add REQ/GRANT bus arbitration")
+	width := flag.Int("width", 0, "force bus width (0 = run bus generation)")
+	drops := flag.Int("drops", 0, "dropped-transition budget per explored path")
+	depth := flag.Int("depth", 0, "search depth bound (0 = states bound only)")
+	states := flag.Int("states", 0, "stored-states bound (0 = checker default)")
+	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
+	cexPath := flag.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
+	expect := flag.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
+	flag.Parse()
+
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: protocheck [flags] [spec.sys]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	switch *expect {
+	case "none", "no-deadlock", "deadlock", "any":
+	default:
+		fmt.Fprintf(os.Stderr, "protocheck: unknown -expect %q (want none | no-deadlock | deadlock | any)\n", *expect)
+		os.Exit(2)
+	}
+
+	var sys *spec.System
+	if flag.NArg() == 1 {
+		parsed, err := hdl.ParseFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		sys = parsed
+	} else {
+		sys, _ = workloads.PQ()
+	}
+
+	opts := core.Options{
+		ForceWidth:    *width,
+		Arbitrate:     *arbitrate,
+		Robust:        *robust,
+		Parity:        *parity,
+		TimeoutClocks: *timeoutClocks,
+		MaxRetries:    *retries,
+		Workers:       *workers,
+	}
+	switch *protoName {
+	case "full":
+		opts.Bus.Protocol = spec.FullHandshake
+	case "half":
+		opts.Bus.Protocol = spec.HalfHandshake
+	default:
+		fmt.Fprintf(os.Stderr, "protocheck: unknown -protocol %q (want full | half)\n", *protoName)
+		os.Exit(2)
+	}
+
+	rep, err := core.Synthesize(sys, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var abortVars []string
+	for _, br := range rep.Buses {
+		abortVars = append(abortVars, br.Ref.AbortKeys()...)
+	}
+
+	vr, err := verify.Check(sys, verify.Config{
+		MaxDepth:  *depth,
+		MaxStates: *states,
+		MaxDrops:  *drops,
+		Workers:   *workers,
+		AbortVars: abortVars,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(vr.Format())
+
+	deadlocked := false
+	for _, v := range vr.Violations {
+		if v.Kind == verify.Deadlock {
+			deadlocked = true
+		}
+	}
+	if len(vr.Violations) > 0 {
+		v := vr.Violations[0]
+		if v.Cex != nil {
+			if r, err := v.Cex.Replay(); err == nil {
+				fmt.Printf("replay of [1]: %s\n", r.Outcome)
+			} else {
+				fmt.Printf("replay of [1] failed: %v\n", err)
+			}
+			if *cexPath != "" {
+				f, err := os.Create(*cexPath)
+				if err != nil {
+					fatal(err)
+				}
+				if err := v.Cex.WriteVCD(f); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("counterexample waveform written to %s\n", *cexPath)
+			}
+		}
+	}
+
+	ok := false
+	switch *expect {
+	case "none":
+		ok = vr.Clean()
+	case "no-deadlock":
+		ok = !deadlocked
+	case "deadlock":
+		ok = deadlocked
+	case "any":
+		ok = len(vr.Violations) > 0
+	}
+	if !ok {
+		fmt.Printf("verdict does not match -expect %s\n", *expect)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "protocheck:", err)
+	os.Exit(2)
+}

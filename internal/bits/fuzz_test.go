@@ -1,0 +1,65 @@
+package bits
+
+import "testing"
+
+// FuzzSliceRoundTrip checks the algebra connecting Slice, SetSlice,
+// Concat, Parse and String on arbitrary vectors and ranges:
+//
+//   - writing a slice back into its own slot is the identity;
+//   - a vector is the concatenation of its parts around any cut;
+//   - Slice yields the declared width and survives String/Parse.
+//
+// Slicing underpins every word transfer the protocol generators emit
+// (wordSpans splits messages into bus words and reassembles them), so a
+// hole here silently corrupts multi-word transactions.
+func FuzzSliceRoundTrip(f *testing.F) {
+	f.Add("1010", 3, 1)
+	f.Add("1", 0, 0)
+	f.Add("00100000", 7, 0)
+	f.Add("1111000010100101", 11, 4)
+	f.Add("1_0000000000000000000000000000000000000000000000000000000000000001", 64, 1)
+	f.Fuzz(func(t *testing.T, s string, hi, lo int) {
+		x, err := Parse(s)
+		if err != nil || x.Width() == 0 {
+			t.Skip()
+		}
+		if lo < 0 || hi < lo || hi >= x.Width() {
+			t.Skip()
+		}
+		sl := x.Slice(hi, lo)
+		if sl.Width() != hi-lo+1 {
+			t.Fatalf("Slice(%d,%d) of width-%d vector has width %d", hi, lo, x.Width(), sl.Width())
+		}
+		if y := x.SetSlice(hi, lo, sl); !y.Equal(x) {
+			t.Fatalf("SetSlice(Slice) not identity: %s -> %s", x, y)
+		}
+		// Reassemble x from the three parts around the cut.
+		re := sl
+		if hi+1 <= x.Width()-1 {
+			re = Concat(x.Slice(x.Width()-1, hi+1), re)
+		}
+		if lo > 0 {
+			re = Concat(re, x.Slice(lo-1, 0))
+		}
+		if !re.Equal(x) {
+			t.Fatalf("concat of slices differs: %s -> %s", x, re)
+		}
+		// The textual form round-trips.
+		rt, err := Parse(sl.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%s)): %v", sl, err)
+		}
+		if !rt.Equal(sl) {
+			t.Fatalf("String/Parse round trip: %s -> %s", sl, rt)
+		}
+		// An all-zero write then restore also round-trips (SetSlice must
+		// clear bits, not just set them).
+		z := x.SetSlice(hi, lo, New(hi-lo+1))
+		if !z.Slice(hi, lo).IsZero() {
+			t.Fatalf("SetSlice(zero) left bits set: %s", z)
+		}
+		if y := z.SetSlice(hi, lo, sl); !y.Equal(x) {
+			t.Fatalf("restore after zeroing differs: %s -> %s", x, y)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/protogen"
 	"repro/internal/spec"
+	"repro/internal/verify"
 )
 
 // Options parameterizes Synthesize.
@@ -55,6 +56,18 @@ type Options struct {
 	// bus-generation sweeps: 0 means GOMAXPROCS, 1 means serial. The
 	// synthesized result is identical either way.
 	Workers int
+	// Verify model-checks the refined system after synthesis: exhaustive
+	// interleaving exploration for deadlocks, driver conflicts, bounded
+	// response and end-to-end delivery (internal/verify). The report's
+	// Verify field carries the verdict; synthesis itself still succeeds
+	// when violations are found — callers decide how to react.
+	Verify bool
+	// VerifyDepth bounds the model checker's search depth (0 =
+	// unbounded; the state bound still applies).
+	VerifyDepth int
+	// VerifyDrops is the model checker's wire-fault budget: how many
+	// strobe transitions may be dropped along any one explored path.
+	VerifyDrops int
 }
 
 // BusReport describes the synthesis of one bus.
@@ -75,6 +88,8 @@ type Report struct {
 	Buses []BusReport
 	// Estimator is the estimator used, for follow-up queries.
 	Estimator *estimate.Estimator
+	// Verify is the model-checking report (nil unless Options.Verify).
+	Verify *verify.Report
 }
 
 // Synthesize runs the full interface-synthesis flow on the system,
@@ -161,6 +176,26 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 
 	if errs := sys.Validate(); len(errs) > 0 {
 		return nil, fmt.Errorf("core: refined system invalid: %w", errs[0])
+	}
+
+	// Optional step 5: model-check the refined system. Abort counters
+	// introduced by robust refinement excuse cleanly-aborted runs from
+	// the delivery check.
+	if opts.Verify {
+		var abortVars []string
+		for _, br := range rep.Buses {
+			abortVars = append(abortVars, br.Ref.AbortKeys()...)
+		}
+		vr, err := verify.Check(sys, verify.Config{
+			MaxDepth:  opts.VerifyDepth,
+			MaxDrops:  opts.VerifyDrops,
+			Workers:   opts.Workers,
+			AbortVars: abortVars,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: verify: %w", err)
+		}
+		rep.Verify = vr
 	}
 	return rep, nil
 }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// TestSynthesizeWithVerifyPass: Options.Verify bolts the model checker
+// onto the synthesis flow — the fault-free baseline PQ refinement must
+// come back provably clean.
+func TestSynthesizeWithVerifyPass(t *testing.T) {
+	sys, _ := workloads.PQ()
+	rep, err := Synthesize(sys, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verify == nil {
+		t.Fatal("Options.Verify set but Report.Verify is nil")
+	}
+	if !rep.Verify.Clean() {
+		t.Fatalf("baseline PQ refinement not clean:\n%s", rep.Verify.Format())
+	}
+	if rep.Verify.States == 0 || rep.Verify.Transitions == 0 {
+		t.Fatalf("degenerate exploration: %+v", rep.Verify)
+	}
+}
+
+// TestSynthesizeVerifyFindsDropDeadlock: the same flow with a 1-drop
+// wire-fault budget must surface the ideal-wire protocol's fragility —
+// a dropped strobe wedges the handshake — as a deadlock counterexample,
+// without failing synthesis itself.
+func TestSynthesizeVerifyFindsDropDeadlock(t *testing.T) {
+	sys, _ := workloads.PQ()
+	rep, err := Synthesize(sys, Options{Verify: true, VerifyDrops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verify == nil {
+		t.Fatal("Options.Verify set but Report.Verify is nil")
+	}
+	for _, v := range rep.Verify.Violations {
+		if v.Kind == verify.Deadlock {
+			return
+		}
+	}
+	t.Fatalf("no deadlock found under a 1-drop budget:\n%s", rep.Verify.Format())
+}

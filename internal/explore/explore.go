@@ -17,6 +17,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/par"
 	"repro/internal/spec"
+	"repro/internal/verify"
 )
 
 // Point is one candidate bus implementation.
@@ -42,6 +43,11 @@ type Point struct {
 	// InterfaceArea estimates the bus drivers plus a transfer FSM per
 	// channel, in gates.
 	InterfaceArea float64
+	// Verdict is the model-checking report for this point, nil until
+	// Annotate has run. A clean verdict upgrades the point from
+	// "estimated feasible" to "verified free of deadlocks, driver
+	// conflicts and delivery faults" within the checked bounds.
+	Verdict *verify.Report
 }
 
 // Space is the evaluated design space.
@@ -102,11 +108,11 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 			}
 		}
 		if hi <= 0 {
-			return nil, errors.New("explore: channel group carries no message bits; set Config.MaxWidth to bound the sweep")
+			return nil, fmt.Errorf("explore: channel group %s carries no message bits; set Config.MaxWidth to bound the sweep", groupName(channels))
 		}
 	}
 	if hi < lo {
-		return nil, fmt.Errorf("explore: empty width range [%d, %d]", lo, hi)
+		return nil, fmt.Errorf("explore: empty width range [%d, %d] for channel group %s", lo, hi, groupName(channels))
 	}
 	area := cfg.Area
 	if area == (estimate.AreaModel{}) {
@@ -150,6 +156,66 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 		sp.Points[i] = pt
 	})
 	return sp, nil
+}
+
+// groupName renders a channel group for error messages: the member
+// channel names, truncated past four.
+func groupName(channels []*spec.Channel) string {
+	names := make([]string, 0, len(channels))
+	for i, c := range channels {
+		if i == 4 {
+			names = append(names, fmt.Sprintf("… %d more", len(channels)-i))
+			break
+		}
+		names = append(names, c.Name)
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Annotate model-checks candidate points in place, fanning them across
+// workers goroutines. Protocol generation rewrites specifications
+// destructively, so the caller supplies build, which must return a
+// *fresh* refined system implementing the point (plus its abort-counter
+// finals keys, see protogen.Refinement.AbortKeys) on every call.
+// Failed builds or checks surface as a joined error after every point
+// has been attempted; points whose check errored keep a nil Verdict.
+//
+// Each point's check runs serially (verify.Config.Workers is forced to
+// 1) unless Annotate itself is serial — the outer fan-out already
+// saturates the CPUs, and nested exploration pools would oversubscribe.
+func Annotate(points []Point, workers int, build func(Point) (*spec.System, []string, error), cfg verify.Config) error {
+	if workers != 1 {
+		cfg.Workers = 1
+	}
+	errs := make([]error, len(points))
+	par.For(len(points), workers, func(i int) {
+		sys, aborts, err := build(points[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("explore: point (width %d, %s): build: %w", points[i].Width, points[i].Protocol, err)
+			return
+		}
+		c := cfg
+		c.AbortVars = append(append([]string(nil), c.AbortVars...), aborts...)
+		rep, err := verify.Check(sys, c)
+		if err != nil {
+			errs[i] = fmt.Errorf("explore: point (width %d, %s): %w", points[i].Width, points[i].Protocol, err)
+			return
+		}
+		points[i].Verdict = rep
+	})
+	return errors.Join(errs...)
+}
+
+// Verified filters points down to those whose model-checking verdict is
+// clean: annotated, search complete, no violations.
+func Verified(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Verdict != nil && p.Verdict.Clean() {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // variant is one protocol flavor of the sweep grid.

@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/flc"
+	"repro/internal/protogen"
 	"repro/internal/spec"
+	"repro/internal/verify"
 	"repro/internal/workloads"
 )
 
@@ -397,5 +399,92 @@ func TestParetoKeepsRobustLevels(t *testing.T) {
 	}
 	if s := Format(front); !strings.Contains(s, "+robust") || !strings.Contains(s, "+parity") {
 		t.Error("Format does not label hardened variants")
+	}
+}
+
+// TestSweepWidthRangeErrorsNameGroup: a degenerate width range must be
+// reported against the channel group that produced it — sweeps run per
+// group, and an anonymous error is undebuggable in a multi-bus flow.
+func TestSweepWidthRangeErrorsNameGroup(t *testing.T) {
+	b := spec.NewBehavior("B")
+	mk := func(name string) *spec.Channel {
+		return &spec.Channel{Name: name, Accessor: b, Var: spec.NewVar("V"+name, spec.BitVector(0)), Dir: spec.Write}
+	}
+	cases := []struct {
+		name     string
+		channels []*spec.Channel
+		cfg      Config
+		want     string
+	}{
+		{
+			name:     "no message bits",
+			channels: []*spec.Channel{mk("chA"), mk("chB")},
+			cfg:      Config{},
+			want:     "channel group {chA, chB} carries no message bits",
+		},
+		{
+			name:     "inverted explicit range",
+			channels: []*spec.Channel{mk("chA"), mk("chB")},
+			cfg:      Config{MinWidth: 5, MaxWidth: 4},
+			want:     "empty width range [5, 4] for channel group {chA, chB}",
+		},
+		{
+			name:     "long group truncated",
+			channels: []*spec.Channel{mk("c1"), mk("c2"), mk("c3"), mk("c4"), mk("c5"), mk("c6")},
+			cfg:      Config{MinWidth: 2, MaxWidth: 1},
+			want:     "channel group {c1, c2, c3, c4, … 2 more}",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			est := estimate.New(tc.channels)
+			_, err := Sweep(tc.channels, est, tc.cfg)
+			if err == nil {
+				t.Fatal("degenerate range accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the group (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAnnotateAndVerified: model-checking verdicts attached to sweep
+// points separate estimated feasibility from verified correctness. The
+// full-handshake PQ point checks clean; the half-handshake point's
+// read-turnaround driver contention (a true finding, see
+// internal/verify) must knock it out of the Verified set.
+func TestAnnotateAndVerified(t *testing.T) {
+	sys, bus := workloads.PQ()
+	est := estimate.New(sys.Channels)
+	sp, err := Sweep(bus.Channels, est, Config{MinWidth: 8, MaxWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (full+half at width 8)", len(sp.Points))
+	}
+	build := func(p Point) (*spec.System, []string, error) {
+		fresh, fbus := workloads.PQ()
+		fbus.Width = p.Width
+		ref, err := protogen.Generate(fresh, fbus, protogen.Config{
+			Protocol: p.Protocol, Robust: p.Robust, Parity: p.Parity,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return fresh, ref.AbortKeys(), nil
+	}
+	if err := Annotate(sp.Points, 0, build, verify.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sp.Points {
+		if p.Verdict == nil {
+			t.Fatalf("point %d not annotated", i)
+		}
+	}
+	ok := Verified(sp.Points)
+	if len(ok) != 1 || ok[0].Protocol != spec.FullHandshake {
+		t.Fatalf("Verified kept %d point(s), want exactly the full-handshake one:\n%s", len(ok), Format(ok))
 	}
 }

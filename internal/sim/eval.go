@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/estimate"
+	"repro/internal/spec"
+)
+
+// Evaluator implements the simulator's expression and lvalue semantics
+// over caller-supplied storage. The process interpreter in this package
+// and the FSM executor in internal/verify both run specification
+// statements; any divergence between their value semantics would make
+// model-checking verdicts about simulated behavior meaningless, so the
+// semantics live here exactly once and both engines plug in their own
+// variable storage via Lookup and Store callbacks.
+type Evaluator struct {
+	// Lookup resolves a variable read to its current value. It must not
+	// return nil; unknown variables should be reported via Fail.
+	Lookup func(*spec.Variable) Value
+	// Fail aborts evaluation with a formatted runtime error. It must not
+	// return (the simulator panics a sentinel; other engines may do the
+	// same or longjmp however they like).
+	Fail func(format string, args ...any)
+}
+
+func (ev *Evaluator) fail(format string, args ...any) {
+	ev.Fail(format, args...)
+	// Fail must not return; guard against a misbehaving callback rather
+	// than continuing with corrupt state.
+	panic(fmt.Sprintf("sim: Evaluator.Fail returned: "+format, args...))
+}
+
+// Eval evaluates an expression against the current variable values.
+func (ev *Evaluator) Eval(e spec.Expr) Value {
+	switch e := e.(type) {
+	case *spec.IntLit:
+		return IntVal{V: e.Value}
+	case *spec.VecLit:
+		return VecVal{V: e.Value}
+	case *spec.BoolLit:
+		return BoolVal{V: e.Value}
+	case *spec.VarRef:
+		return ev.Lookup(e.Var)
+	case *spec.Index:
+		arr := ev.Eval(e.Arr)
+		av, ok := arr.(ArrayVal)
+		if !ok {
+			ev.fail("indexing non-array %s", e.Arr)
+		}
+		idx := int(asInt(ev.Eval(e.Index))) - av.Lo
+		if idx < 0 || idx >= len(av.Elems) {
+			ev.fail("index %d out of range for %s (len %d)", idx+av.Lo, e.Arr, len(av.Elems))
+		}
+		return av.Elems[idx]
+	case *spec.SliceExpr:
+		x := ev.Eval(e.X)
+		hi := int(asInt(ev.Eval(e.Hi)))
+		lo := int(asInt(ev.Eval(e.Lo)))
+		xv, ok := x.(VecVal)
+		if !ok {
+			ev.fail("slicing non-vector %s", e.X)
+		}
+		if lo < 0 || hi >= xv.V.Width() || hi < lo {
+			ev.fail("slice (%d downto %d) out of range for %s", hi, lo, e.X)
+		}
+		return VecVal{V: xv.V.Slice(hi, lo)}
+	case *spec.FieldRef:
+		x := ev.Eval(e.X)
+		rv, ok := x.(RecordVal)
+		if !ok {
+			ev.fail("field access on non-record %s", e.X)
+		}
+		i := rv.FieldIndex(e.Field)
+		if i < 0 {
+			ev.fail("no field %s on %s", e.Field, e.X)
+		}
+		return rv.Fields[i]
+	case *spec.Binary:
+		return ev.evalBinary(e)
+	case *spec.Unary:
+		x := ev.Eval(e.X)
+		switch e.Op {
+		case spec.OpNot:
+			switch x := x.(type) {
+			case BoolVal:
+				return BoolVal{V: !x.V}
+			case VecVal:
+				return VecVal{V: x.V.Not()}
+			}
+			ev.fail("not on %s", x)
+		case spec.OpNeg:
+			return IntVal{V: -asInt(x)}
+		}
+		ev.fail("unknown unary op %s", e.Op)
+	case *spec.Conv:
+		x := ev.Eval(e.X)
+		switch to := e.To.(type) {
+		case spec.IntegerType:
+			if xv, ok := x.(VecVal); ok && e.Signed {
+				return IntVal{V: xv.V.Int64()}
+			}
+			return IntVal{V: asInt(x)}
+		case spec.BitVectorType:
+			return VecVal{V: asVec(x, to.Width)}
+		case spec.BitType:
+			return VecVal{V: asVec(x, 1)}
+		case spec.BoolType:
+			return BoolVal{V: asBool(x)}
+		}
+		ev.fail("unsupported conversion to %s", e.To)
+	}
+	ev.fail("cannot evaluate %T", e)
+	return nil
+}
+
+func (ev *Evaluator) evalBinary(e *spec.Binary) Value {
+	x := ev.Eval(e.X)
+	y := ev.Eval(e.Y)
+	switch e.Op {
+	case spec.OpAnd, spec.OpOr:
+		if xb, ok := x.(BoolVal); ok {
+			yb := asBool(y)
+			if e.Op == spec.OpAnd {
+				return BoolVal{V: xb.V && yb}
+			}
+			return BoolVal{V: xb.V || yb}
+		}
+	}
+
+	// Vector operands: bitwise and modular arithmetic.
+	xv, xIsVec := x.(VecVal)
+	yv, yIsVec := y.(VecVal)
+	if xIsVec || yIsVec {
+		return ev.evalVecBinary(e.Op, x, y, xv, yv, xIsVec, yIsVec)
+	}
+
+	// Integer / boolean arithmetic.
+	a, b := asInt(x), asInt(y)
+	switch e.Op {
+	case spec.OpAdd:
+		return IntVal{V: a + b}
+	case spec.OpSub:
+		return IntVal{V: a - b}
+	case spec.OpMul:
+		return IntVal{V: a * b}
+	case spec.OpDiv:
+		if b == 0 {
+			ev.fail("division by zero")
+		}
+		return IntVal{V: a / b}
+	case spec.OpMod:
+		if b == 0 {
+			ev.fail("mod by zero")
+		}
+		return IntVal{V: a % b}
+	case spec.OpEq:
+		return BoolVal{V: a == b}
+	case spec.OpNeq:
+		return BoolVal{V: a != b}
+	case spec.OpLt:
+		return BoolVal{V: a < b}
+	case spec.OpLe:
+		return BoolVal{V: a <= b}
+	case spec.OpGt:
+		return BoolVal{V: a > b}
+	case spec.OpGe:
+		return BoolVal{V: a >= b}
+	case spec.OpShl:
+		return IntVal{V: a << uint(b)}
+	case spec.OpShr:
+		return IntVal{V: a >> uint(b)}
+	case spec.OpXor:
+		return IntVal{V: a ^ b}
+	}
+	ev.fail("unsupported integer op %s", e.Op)
+	return nil
+}
+
+func (ev *Evaluator) evalVecBinary(op spec.Op, x, y Value, xv, yv VecVal, xIsVec, yIsVec bool) Value {
+	// Align: coerce the non-vector side (or the narrower vector) to the
+	// wider operand's width.
+	width := 0
+	if xIsVec {
+		width = xv.V.Width()
+	}
+	if yIsVec && yv.V.Width() > width {
+		width = yv.V.Width()
+	}
+	if op == spec.OpConcat {
+		a := asVec(x, vecWidthOr(x, width))
+		b := asVec(y, vecWidthOr(y, width))
+		return VecVal{V: bits.Concat(a, b)}
+	}
+	a := asVec(x, width)
+	b := asVec(y, width)
+	switch op {
+	case spec.OpAdd:
+		return VecVal{V: a.Add(b)}
+	case spec.OpSub:
+		return VecVal{V: a.Sub(b)}
+	case spec.OpAnd:
+		return VecVal{V: a.And(b)}
+	case spec.OpOr:
+		return VecVal{V: a.Or(b)}
+	case spec.OpXor:
+		return VecVal{V: a.Xor(b)}
+	case spec.OpEq:
+		return BoolVal{V: a.Equal(b)}
+	case spec.OpNeq:
+		return BoolVal{V: !a.Equal(b)}
+	case spec.OpLt:
+		return BoolVal{V: a.CompareUnsigned(b) < 0}
+	case spec.OpLe:
+		return BoolVal{V: a.CompareUnsigned(b) <= 0}
+	case spec.OpGt:
+		return BoolVal{V: a.CompareUnsigned(b) > 0}
+	case spec.OpGe:
+		return BoolVal{V: a.CompareUnsigned(b) >= 0}
+	case spec.OpMul, spec.OpDiv, spec.OpMod:
+		if width > 64 {
+			ev.fail("%s on vectors wider than 64 bits", op)
+		}
+		av, bv := a.Uint64(), b.Uint64()
+		var r uint64
+		switch op {
+		case spec.OpMul:
+			r = av * bv
+		case spec.OpDiv:
+			if bv == 0 {
+				ev.fail("division by zero")
+			}
+			r = av / bv
+		default:
+			if bv == 0 {
+				ev.fail("mod by zero")
+			}
+			r = av % bv
+		}
+		return VecVal{V: bits.FromUint(r, width)}
+	case spec.OpShl, spec.OpShr:
+		sh := int(asInt(y))
+		if sh < 0 {
+			ev.fail("negative shift amount %d", sh)
+		}
+		if op == spec.OpShl {
+			return VecVal{V: a.Lsh(sh)}
+		}
+		return VecVal{V: a.Rsh(sh)}
+	}
+	ev.fail("unsupported vector op %s", op)
+	return nil
+}
+
+func vecWidthOr(v Value, def int) int {
+	if vv, ok := v.(VecVal); ok {
+		return vv.V.Width()
+	}
+	return def
+}
+
+// Coerce adapts a value to a declared type on assignment.
+func Coerce(v Value, t spec.Type) Value {
+	switch t := t.(type) {
+	case spec.IntegerType:
+		return IntVal{V: asInt(v)}
+	case spec.BitVectorType:
+		return VecVal{V: asVec(v, t.Width)}
+	case spec.BitType:
+		return VecVal{V: asVec(v, 1)}
+	case spec.BoolType:
+		return BoolVal{V: asBool(v)}
+	}
+	return v
+}
+
+// AsBool converts a value to a boolean the way simulation conditions do
+// (a vector is true iff non-zero). It panics on non-scalar shapes.
+func AsBool(v Value) bool { return asBool(v) }
+
+// AsInt converts a value to an integer the way simulation arithmetic
+// does (vectors are read unsigned). It panics on non-numeric shapes.
+func AsInt(v Value) int64 { return asInt(v) }
+
+// AsVec converts a value to a bit vector of the given width, truncating
+// or zero-extending, the way simulation assignments do.
+func AsVec(v Value, width int) bits.Vector { return asVec(v, width) }
+
+// ---- lvalue stores ----
+
+// accessor is one step of an lvalue path, outermost last.
+type accessor struct {
+	index  spec.Expr // array index, or
+	field  string    // record field, or
+	hi, lo spec.Expr // slice bounds
+	kind   int       // 0 index, 1 field, 2 slice
+}
+
+func flattenLValue(lhs spec.Expr) (*spec.Variable, []accessor) {
+	var path []accessor
+	for {
+		switch l := lhs.(type) {
+		case *spec.VarRef:
+			// reverse path: it was collected outermost-first
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return l.Var, path
+		case *spec.Index:
+			path = append(path, accessor{kind: 0, index: l.Index})
+			lhs = l.Arr
+		case *spec.FieldRef:
+			path = append(path, accessor{kind: 1, field: l.Field})
+			lhs = l.X
+		case *spec.SliceExpr:
+			path = append(path, accessor{kind: 2, hi: l.Hi, lo: l.Lo})
+			lhs = l.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// Store writes val into the lvalue. The base variable's current value is
+// obtained from load only when a partial update (index, field or slice
+// store) needs it; the final value is handed to store. Containers off
+// the update path are shared with the loaded value, never mutated — safe
+// for both in-place variable storage and scheduled signal values. The
+// stored base variable is returned.
+func (ev *Evaluator) Store(lhs spec.Expr, val Value, load func(*spec.Variable) Value, store func(*spec.Variable, Value)) *spec.Variable {
+	base, path := flattenLValue(lhs)
+	if base == nil {
+		ev.fail("assignment to non-lvalue %s", lhs)
+	}
+	if len(path) == 0 {
+		store(base, Coerce(val, base.Type))
+		return base
+	}
+	store(base, ev.applyPath(load(base), path, val))
+	return base
+}
+
+// applyPath rebuilds the containers along the accessor path with the
+// leaf replaced. Containers off the path are shared.
+func (ev *Evaluator) applyPath(cur Value, path []accessor, val Value) Value {
+	a := path[0]
+	switch a.kind {
+	case 0: // index
+		av, ok := cur.(ArrayVal)
+		if !ok {
+			ev.fail("indexed store into non-array")
+		}
+		idx := int(asInt(ev.Eval(a.index))) - av.Lo
+		if idx < 0 || idx >= len(av.Elems) {
+			ev.fail("store index %d out of range (len %d)", idx+av.Lo, len(av.Elems))
+		}
+		elems := make([]Value, len(av.Elems))
+		copy(elems, av.Elems)
+		if len(path) == 1 {
+			elems[idx] = coerceLeafLike(val, elems[idx])
+		} else {
+			elems[idx] = ev.applyPath(elems[idx], path[1:], val)
+		}
+		return ArrayVal{Lo: av.Lo, Elems: elems}
+	case 1: // field
+		rv, ok := cur.(RecordVal)
+		if !ok {
+			ev.fail("field store into non-record")
+		}
+		i := rv.FieldIndex(a.field)
+		if i < 0 {
+			ev.fail("store to unknown field %s", a.field)
+		}
+		fields := make([]Value, len(rv.Fields))
+		copy(fields, rv.Fields)
+		if len(path) == 1 {
+			fields[i] = Coerce(val, rv.Type.Fields[i].Type)
+		} else {
+			fields[i] = ev.applyPath(fields[i], path[1:], val)
+		}
+		return RecordVal{Type: rv.Type, Fields: fields}
+	case 2: // slice (always a leaf)
+		vv, ok := cur.(VecVal)
+		if !ok {
+			ev.fail("slice store into non-vector")
+		}
+		hi := int(asInt(ev.Eval(a.hi)))
+		lo := int(asInt(ev.Eval(a.lo)))
+		if len(path) != 1 {
+			ev.fail("slice must be the last lvalue step")
+		}
+		if lo < 0 || hi >= vv.V.Width() || hi < lo {
+			ev.fail("slice store (%d downto %d) out of range (width %d)", hi, lo, vv.V.Width())
+		}
+		return VecVal{V: vv.V.SetSlice(hi, lo, asVec(val, hi-lo+1))}
+	}
+	ev.fail("bad lvalue path")
+	return nil
+}
+
+// coerceLeafLike coerces val to the shape of the existing element.
+func coerceLeafLike(val Value, like Value) Value {
+	switch like := like.(type) {
+	case VecVal:
+		return VecVal{V: asVec(val, like.V.Width())}
+	case IntVal:
+		return IntVal{V: asInt(val)}
+	case BoolVal:
+		return BoolVal{V: asBool(val)}
+	}
+	return val
+}
+
+// InitialValue evaluates a variable's declared initializer, or its zero
+// value. Initializers must be constant.
+func InitialValue(v *spec.Variable) Value {
+	zero := ZeroValue(v.Type)
+	if v.Init != nil {
+		if c, ok := estimate.ConstInt(v.Init); ok {
+			return Coerce(IntVal{V: c}, v.Type)
+		}
+		if vl, ok := v.Init.(*spec.VecLit); ok {
+			return Coerce(VecVal{V: vl.Value}, v.Type)
+		}
+	}
+	if len(v.InitArray) > 0 {
+		av, ok := zero.(ArrayVal)
+		if !ok {
+			return zero
+		}
+		for i := range av.Elems {
+			if i < len(v.InitArray) {
+				av.Elems[i] = coerceLeafLike(VecVal{V: v.InitArray[i]}, av.Elems[i])
+			}
+		}
+		return av
+	}
+	return zero
+}

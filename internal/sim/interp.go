@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/bits"
 	"repro/internal/spec"
 )
 
@@ -54,304 +53,48 @@ func (p *process) lookup(v *spec.Variable) Value {
 	return nil
 }
 
-// ---- expression evaluation ----
-
-func (p *process) eval(e spec.Expr) Value {
-	switch e := e.(type) {
-	case *spec.IntLit:
-		return IntVal{V: e.Value}
-	case *spec.VecLit:
-		return VecVal{V: e.Value}
-	case *spec.BoolLit:
-		return BoolVal{V: e.Value}
-	case *spec.VarRef:
-		return p.lookup(e.Var)
-	case *spec.Index:
-		arr := p.eval(e.Arr)
-		av, ok := arr.(ArrayVal)
-		if !ok {
-			fail("process %s: indexing non-array %s", p.beh.Name, e.Arr)
-		}
-		idx := int(asInt(p.eval(e.Index))) - av.Lo
-		if idx < 0 || idx >= len(av.Elems) {
-			fail("process %s: index %d out of range for %s (len %d)",
-				p.beh.Name, idx+av.Lo, e.Arr, len(av.Elems))
-		}
-		return av.Elems[idx]
-	case *spec.SliceExpr:
-		x := p.eval(e.X)
-		hi := int(asInt(p.eval(e.Hi)))
-		lo := int(asInt(p.eval(e.Lo)))
-		xv, ok := x.(VecVal)
-		if !ok {
-			fail("process %s: slicing non-vector %s", p.beh.Name, e.X)
-		}
-		if lo < 0 || hi >= xv.V.Width() || hi < lo {
-			fail("process %s: slice (%d downto %d) out of range for %s", p.beh.Name, hi, lo, e.X)
-		}
-		return VecVal{V: xv.V.Slice(hi, lo)}
-	case *spec.FieldRef:
-		x := p.eval(e.X)
-		rv, ok := x.(RecordVal)
-		if !ok {
-			fail("process %s: field access on non-record %s", p.beh.Name, e.X)
-		}
-		i := rv.FieldIndex(e.Field)
-		if i < 0 {
-			fail("process %s: no field %s on %s", p.beh.Name, e.Field, e.X)
-		}
-		return rv.Fields[i]
-	case *spec.Binary:
-		return p.evalBinary(e)
-	case *spec.Unary:
-		x := p.eval(e.X)
-		switch e.Op {
-		case spec.OpNot:
-			switch x := x.(type) {
-			case BoolVal:
-				return BoolVal{V: !x.V}
-			case VecVal:
-				return VecVal{V: x.V.Not()}
-			}
-			fail("process %s: not on %s", p.beh.Name, x)
-		case spec.OpNeg:
-			return IntVal{V: -asInt(x)}
-		}
-		fail("process %s: unknown unary op %s", p.beh.Name, e.Op)
-	case *spec.Conv:
-		x := p.eval(e.X)
-		switch to := e.To.(type) {
-		case spec.IntegerType:
-			if xv, ok := x.(VecVal); ok && e.Signed {
-				return IntVal{V: xv.V.Int64()}
-			}
-			return IntVal{V: asInt(x)}
-		case spec.BitVectorType:
-			return VecVal{V: asVec(x, to.Width)}
-		case spec.BitType:
-			return VecVal{V: asVec(x, 1)}
-		case spec.BoolType:
-			return BoolVal{V: asBool(x)}
-		}
-		fail("process %s: unsupported conversion to %s", p.beh.Name, e.To)
-	}
-	fail("process %s: cannot evaluate %T", p.beh.Name, e)
-	return nil
-}
-
-func (p *process) evalBinary(e *spec.Binary) Value {
-	x := p.eval(e.X)
-	y := p.eval(e.Y)
-	switch e.Op {
-	case spec.OpAnd, spec.OpOr:
-		if xb, ok := x.(BoolVal); ok {
-			yb := asBool(y)
-			if e.Op == spec.OpAnd {
-				return BoolVal{V: xb.V && yb}
-			}
-			return BoolVal{V: xb.V || yb}
-		}
-	}
-
-	// Vector operands: bitwise and modular arithmetic.
-	xv, xIsVec := x.(VecVal)
-	yv, yIsVec := y.(VecVal)
-	if xIsVec || yIsVec {
-		return p.evalVecBinary(e.Op, x, y, xv, yv, xIsVec, yIsVec)
-	}
-
-	// Integer / boolean arithmetic.
-	a, b := asInt(x), asInt(y)
-	switch e.Op {
-	case spec.OpAdd:
-		return IntVal{V: a + b}
-	case spec.OpSub:
-		return IntVal{V: a - b}
-	case spec.OpMul:
-		return IntVal{V: a * b}
-	case spec.OpDiv:
-		if b == 0 {
-			fail("process %s: division by zero", p.beh.Name)
-		}
-		return IntVal{V: a / b}
-	case spec.OpMod:
-		if b == 0 {
-			fail("process %s: mod by zero", p.beh.Name)
-		}
-		return IntVal{V: a % b}
-	case spec.OpEq:
-		return BoolVal{V: a == b}
-	case spec.OpNeq:
-		return BoolVal{V: a != b}
-	case spec.OpLt:
-		return BoolVal{V: a < b}
-	case spec.OpLe:
-		return BoolVal{V: a <= b}
-	case spec.OpGt:
-		return BoolVal{V: a > b}
-	case spec.OpGe:
-		return BoolVal{V: a >= b}
-	case spec.OpShl:
-		return IntVal{V: a << uint(b)}
-	case spec.OpShr:
-		return IntVal{V: a >> uint(b)}
-	case spec.OpXor:
-		return IntVal{V: a ^ b}
-	}
-	fail("process %s: unsupported integer op %s", p.beh.Name, e.Op)
-	return nil
-}
-
-func (p *process) evalVecBinary(op spec.Op, x, y Value, xv, yv VecVal, xIsVec, yIsVec bool) Value {
-	// Align: coerce the non-vector side (or the narrower vector) to the
-	// wider operand's width.
-	width := 0
-	if xIsVec {
-		width = xv.V.Width()
-	}
-	if yIsVec && yv.V.Width() > width {
-		width = yv.V.Width()
-	}
-	if op == spec.OpConcat {
-		a := asVec(x, vecWidthOr(x, width))
-		b := asVec(y, vecWidthOr(y, width))
-		return VecVal{V: bits.Concat(a, b)}
-	}
-	a := asVec(x, width)
-	b := asVec(y, width)
-	switch op {
-	case spec.OpAdd:
-		return VecVal{V: a.Add(b)}
-	case spec.OpSub:
-		return VecVal{V: a.Sub(b)}
-	case spec.OpAnd:
-		return VecVal{V: a.And(b)}
-	case spec.OpOr:
-		return VecVal{V: a.Or(b)}
-	case spec.OpXor:
-		return VecVal{V: a.Xor(b)}
-	case spec.OpEq:
-		return BoolVal{V: a.Equal(b)}
-	case spec.OpNeq:
-		return BoolVal{V: !a.Equal(b)}
-	case spec.OpLt:
-		return BoolVal{V: a.CompareUnsigned(b) < 0}
-	case spec.OpLe:
-		return BoolVal{V: a.CompareUnsigned(b) <= 0}
-	case spec.OpGt:
-		return BoolVal{V: a.CompareUnsigned(b) > 0}
-	case spec.OpGe:
-		return BoolVal{V: a.CompareUnsigned(b) >= 0}
-	case spec.OpMul, spec.OpDiv, spec.OpMod:
-		if width > 64 {
-			fail("process %s: %s on vectors wider than 64 bits", p.beh.Name, op)
-		}
-		av, bv := a.Uint64(), b.Uint64()
-		var r uint64
-		switch op {
-		case spec.OpMul:
-			r = av * bv
-		case spec.OpDiv:
-			if bv == 0 {
-				fail("process %s: division by zero", p.beh.Name)
-			}
-			r = av / bv
-		default:
-			if bv == 0 {
-				fail("process %s: mod by zero", p.beh.Name)
-			}
-			r = av % bv
-		}
-		return VecVal{V: bits.FromUint(r, width)}
-	case spec.OpShl, spec.OpShr:
-		sh := int(asInt(y))
-		if sh < 0 {
-			fail("process %s: negative shift amount %d", p.beh.Name, sh)
-		}
-		if op == spec.OpShl {
-			return VecVal{V: a.Lsh(sh)}
-		}
-		return VecVal{V: a.Rsh(sh)}
-	}
-	fail("process %s: unsupported vector op %s", p.beh.Name, op)
-	return nil
-}
-
-func vecWidthOr(v Value, def int) int {
-	if vv, ok := v.(VecVal); ok {
-		return vv.V.Width()
-	}
-	return def
-}
-
-// coerceToType adapts a value to a declared type on assignment.
-func coerceToType(v Value, t spec.Type) Value {
-	switch t := t.(type) {
-	case spec.IntegerType:
-		return IntVal{V: asInt(v)}
-	case spec.BitVectorType:
-		return VecVal{V: asVec(v, t.Width)}
-	case spec.BitType:
-		return VecVal{V: asVec(v, 1)}
-	case spec.BoolType:
-		return BoolVal{V: asBool(v)}
-	}
-	return v
-}
-
-// ---- assignment ----
-
-// accessor is one step of an lvalue path, outermost last.
-type accessor struct {
-	index  spec.Expr // array index, or
-	field  string    // record field, or
-	hi, lo spec.Expr // slice bounds
-	kind   int       // 0 index, 1 field, 2 slice
-}
-
-func flattenLValue(lhs spec.Expr) (*spec.Variable, []accessor) {
-	var path []accessor
-	for {
-		switch l := lhs.(type) {
-		case *spec.VarRef:
-			// reverse path: it was collected outermost-first
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return l.Var, path
-		case *spec.Index:
-			path = append(path, accessor{kind: 0, index: l.Index})
-			lhs = l.Arr
-		case *spec.FieldRef:
-			path = append(path, accessor{kind: 1, field: l.Field})
-			lhs = l.X
-		case *spec.SliceExpr:
-			path = append(path, accessor{kind: 2, hi: l.Hi, lo: l.Lo})
-			lhs = l.X
-		default:
-			return nil, nil
-		}
+// evaluator builds the process's Evaluator: reads see committed signal
+// values, and runtime errors carry the process name.
+func (p *process) evaluator() Evaluator {
+	return Evaluator{
+		Lookup: p.lookup,
+		Fail: func(format string, args ...any) {
+			fail("process "+p.beh.Name+": "+format, args...)
+		},
 	}
 }
+
+func (p *process) eval(e spec.Expr) Value { return p.ev.Eval(e) }
 
 // assign stores val into the lvalue. Signals are scheduled for the next
 // delta cycle; variables update immediately. The semantics follow the
 // target's kind regardless of the statement's ":="/"<=" spelling.
 func (p *process) assign(lhs spec.Expr, val Value) {
-	base, path := flattenLValue(lhs)
-	if base == nil {
-		fail("process %s: assignment to non-lvalue %s", p.beh.Name, lhs)
-	}
-	if sig, ok := p.k.signals[base]; ok {
-		cur := sig.effective().Copy()
-		p.k.schedule(base, p.applyPathCopy(cur, path, val, base.Type))
-		return
-	}
-	c := p.storageCell(base)
-	if c == nil {
-		fail("process %s: variable %s not writable", p.beh.Name, base.Name)
-	}
-	p.applyPathInPlace(c, path, val, base.Type)
+	p.ev.Store(lhs, val,
+		func(base *spec.Variable) Value {
+			if sig, ok := p.k.signals[base]; ok {
+				// Writers in the same delta build on each other's pending
+				// value so a later field update cannot revert an earlier
+				// one (reads via eval still see the committed value).
+				return sig.effective().Copy()
+			}
+			if c := p.storageCell(base); c != nil {
+				return c.get()
+			}
+			fail("process %s: variable %s not writable", p.beh.Name, base.Name)
+			return nil
+		},
+		func(base *spec.Variable, nv Value) {
+			if _, ok := p.k.signals[base]; ok {
+				p.k.schedule(base, nv)
+				return
+			}
+			c := p.storageCell(base)
+			if c == nil {
+				fail("process %s: variable %s not writable", p.beh.Name, base.Name)
+			}
+			c.set(nv)
+		})
 }
 
 // storageCell finds the map holding the variable and returns a settable
@@ -375,103 +118,6 @@ type mapSlot struct {
 
 func (s *mapSlot) get() Value  { return s.m[s.v] }
 func (s *mapSlot) set(v Value) { s.m[s.v] = v }
-
-// applyPathInPlace descends through the accessor path mutating shared
-// backing storage where possible (array elements, record fields); only
-// the head value is re-stored.
-func (p *process) applyPathInPlace(slot *mapSlot, path []accessor, val Value, t spec.Type) {
-	if len(path) == 0 {
-		slot.set(coerceToType(val, t))
-		return
-	}
-	cur := slot.get()
-	updated := p.applyPathCopyShallow(cur, path, val)
-	slot.set(updated)
-}
-
-// applyPathCopy deep-copies along the path so the result shares nothing
-// with cur beyond untouched branches (sufficient for scheduled signal
-// values, which are compared and stored by the kernel).
-func (p *process) applyPathCopy(cur Value, path []accessor, val Value, t spec.Type) Value {
-	if len(path) == 0 {
-		return coerceToType(val, t)
-	}
-	return p.applyPathCopyShallow(cur, path, val)
-}
-
-// applyPathCopyShallow rebuilds the containers along the path with the
-// leaf replaced. Containers off the path are shared, which is safe both
-// for in-place variable updates and for signal scheduling (the kernel
-// never mutates stored values in place).
-func (p *process) applyPathCopyShallow(cur Value, path []accessor, val Value) Value {
-	a := path[0]
-	switch a.kind {
-	case 0: // index
-		av, ok := cur.(ArrayVal)
-		if !ok {
-			fail("process %s: indexed store into non-array", p.beh.Name)
-		}
-		idx := int(asInt(p.eval(a.index))) - av.Lo
-		if idx < 0 || idx >= len(av.Elems) {
-			fail("process %s: store index %d out of range (len %d)", p.beh.Name, idx+av.Lo, len(av.Elems))
-		}
-		elems := make([]Value, len(av.Elems))
-		copy(elems, av.Elems)
-		if len(path) == 1 {
-			elems[idx] = coerceLeafLike(val, elems[idx])
-		} else {
-			elems[idx] = p.applyPathCopyShallow(elems[idx], path[1:], val)
-		}
-		return ArrayVal{Lo: av.Lo, Elems: elems}
-	case 1: // field
-		rv, ok := cur.(RecordVal)
-		if !ok {
-			fail("process %s: field store into non-record", p.beh.Name)
-		}
-		i := rv.FieldIndex(a.field)
-		if i < 0 {
-			fail("process %s: store to unknown field %s", p.beh.Name, a.field)
-		}
-		fields := make([]Value, len(rv.Fields))
-		copy(fields, rv.Fields)
-		if len(path) == 1 {
-			fields[i] = coerceToType(val, rv.Type.Fields[i].Type)
-		} else {
-			fields[i] = p.applyPathCopyShallow(fields[i], path[1:], val)
-		}
-		return RecordVal{Type: rv.Type, Fields: fields}
-	case 2: // slice (always a leaf)
-		vv, ok := cur.(VecVal)
-		if !ok {
-			fail("process %s: slice store into non-vector", p.beh.Name)
-		}
-		hi := int(asInt(p.eval(a.hi)))
-		lo := int(asInt(p.eval(a.lo)))
-		if len(path) != 1 {
-			fail("process %s: slice must be the last lvalue step", p.beh.Name)
-		}
-		if lo < 0 || hi >= vv.V.Width() || hi < lo {
-			fail("process %s: slice store (%d downto %d) out of range (width %d)",
-				p.beh.Name, hi, lo, vv.V.Width())
-		}
-		return VecVal{V: vv.V.SetSlice(hi, lo, asVec(val, hi-lo+1))}
-	}
-	fail("process %s: bad lvalue path", p.beh.Name)
-	return nil
-}
-
-// coerceLeafLike coerces val to the shape of the existing element.
-func coerceLeafLike(val Value, like Value) Value {
-	switch like := like.(type) {
-	case VecVal:
-		return VecVal{V: asVec(val, like.V.Width())}
-	case IntVal:
-		return IntVal{V: asInt(val)}
-	case BoolVal:
-		return BoolVal{V: asBool(val)}
-	}
-	return val
-}
 
 // ---- statement execution ----
 
@@ -564,12 +210,12 @@ func (p *process) execStmt(s spec.Stmt) ctrl {
 // setLocal writes a loop variable without path machinery.
 func (p *process) setLocal(v *spec.Variable, val Value) {
 	if slot := p.storageCell(v); slot != nil {
-		slot.set(coerceToType(val, v.Type))
+		slot.set(Coerce(val, v.Type))
 		return
 	}
 	// Loop variables may be undeclared scratch variables: create them
 	// in the innermost frame.
-	p.frames[len(p.frames)-1].vars[v] = coerceToType(val, v.Type)
+	p.frames[len(p.frames)-1].vars[v] = Coerce(val, v.Type)
 }
 
 func (p *process) execWait(s *spec.Wait) {
@@ -643,7 +289,7 @@ func (p *process) execCall(s *spec.Call) {
 	for i, prm := range proc.Params {
 		switch prm.Mode {
 		case spec.ModeIn, spec.ModeInOut:
-			f.vars[prm.Var] = coerceToType(p.eval(s.Args[i]), prm.Var.Type).Copy()
+			f.vars[prm.Var] = Coerce(p.eval(s.Args[i]), prm.Var.Type).Copy()
 		default:
 			f.vars[prm.Var] = ZeroValue(prm.Var.Type)
 		}

@@ -30,9 +30,18 @@ type Config struct {
 	// before it commits, receiving the signal's current value and the
 	// proposed next value. Fault injectors use it to corrupt, suppress
 	// or delay wire transitions (see internal/fault). The hook must be
-	// deterministic for reproducible runs; it is never invoked for the
+	// deterministic for reproducible runs (VerifyDeterministic replays a
+	// run twice and reports divergence); it is never invoked for the
 	// delayed re-commits it schedules itself.
 	Mutate func(now int64, sig *spec.Variable, old, next Value) Mutation
+	// Schedule, when non-nil, reorders the runnable processes of each
+	// delta cycle. It receives the behavior names in the default
+	// execution order (process creation order) and returns the names in
+	// the desired order; names it omits run after the ones it lists, in
+	// default order. Counterexample replay uses it to force a specific
+	// interleaving (see internal/verify). Like Mutate, it must be
+	// deterministic for reproducible runs.
+	Schedule func(now int64, runnable []string) []string
 }
 
 // Mutation is the outcome of a Config.Mutate call.
@@ -125,6 +134,7 @@ type process struct {
 	k      *kernel
 	resume chan bool // true = continue, false = abort
 	frames []frame
+	ev     Evaluator
 	state  procState
 	wait   waitSpec
 	err    error
@@ -219,18 +229,18 @@ func New(sys *spec.System, cfg Config) (*Simulator, error) {
 	// Global signals.
 	for _, g := range sys.Globals {
 		if g.Kind != spec.KindSignal {
-			k.shared[g] = initialValue(g)
+			k.shared[g] = InitialValue(g)
 			continue
 		}
-		k.signals[g] = &signalState{v: g, current: initialValue(g)}
+		k.signals[g] = &signalState{v: g, current: InitialValue(g)}
 	}
 	// Module variables (shared storage) and processes.
 	for _, m := range sys.Modules {
 		for _, v := range m.Variables {
 			if v.Kind == spec.KindSignal {
-				k.signals[v] = &signalState{v: v, current: initialValue(v)}
+				k.signals[v] = &signalState{v: v, current: InitialValue(v)}
 			} else {
-				k.shared[v] = initialValue(v)
+				k.shared[v] = InitialValue(v)
 			}
 		}
 	}
@@ -242,41 +252,15 @@ func New(sys *spec.System, cfg Config) (*Simulator, error) {
 			resume: make(chan bool),
 			state:  stateReady,
 		}
+		p.ev = p.evaluator()
 		base := frame{vars: make(map[*spec.Variable]Value)}
 		for _, v := range b.Variables {
-			base.vars[v] = initialValue(v)
+			base.vars[v] = InitialValue(v)
 		}
 		p.frames = []frame{base}
 		k.procs = append(k.procs, p)
 	}
 	return &Simulator{k: k}, nil
-}
-
-// initialValue evaluates a variable's declared initializer, or its zero
-// value. Initializers must be constant.
-func initialValue(v *spec.Variable) Value {
-	zero := ZeroValue(v.Type)
-	if v.Init != nil {
-		if c, ok := estimate.ConstInt(v.Init); ok {
-			return coerceToType(IntVal{V: c}, v.Type)
-		}
-		if vl, ok := v.Init.(*spec.VecLit); ok {
-			return coerceToType(VecVal{V: vl.Value}, v.Type)
-		}
-	}
-	if len(v.InitArray) > 0 {
-		av, ok := zero.(ArrayVal)
-		if !ok {
-			return zero
-		}
-		for i := range av.Elems {
-			if i < len(v.InitArray) {
-				av.Elems[i] = coerceLeafLike(VecVal{V: v.InitArray[i]}, av.Elems[i])
-			}
-		}
-		return av
-	}
-	return zero
 }
 
 // Run executes the system to completion: every non-server process
@@ -302,6 +286,7 @@ func (k *kernel) run() (*Result, error) {
 				return nil, fmt.Errorf("sim: exceeded %d delta cycles at clock %d (livelock?)", int64(maxDeltas), k.now)
 			}
 			sort.Slice(runnable, func(i, j int) bool { return runnable[i].id < runnable[j].id })
+			k.reorder(runnable)
 			for _, p := range runnable {
 				if err := k.step(p); err != nil {
 					return nil, err
@@ -364,6 +349,34 @@ func (k *kernel) run() (*Result, error) {
 			}
 		}
 	}
+}
+
+// reorder applies the Config.Schedule hook to one delta cycle's
+// runnable set (already in default id order). Listed processes run in
+// the hook's order; unlisted ones keep their relative default order and
+// run after every listed one.
+func (k *kernel) reorder(runnable []*process) {
+	if k.cfg.Schedule == nil || len(runnable) < 2 {
+		return
+	}
+	names := make([]string, len(runnable))
+	for i, p := range runnable {
+		names[i] = p.beh.Name
+	}
+	rank := make(map[string]int, len(runnable))
+	for _, n := range k.cfg.Schedule(k.now, names) {
+		if _, ok := rank[n]; !ok {
+			rank[n] = len(rank)
+		}
+	}
+	sort.SliceStable(runnable, func(i, j int) bool {
+		ri, iok := rank[runnable[i].beh.Name]
+		rj, jok := rank[runnable[j].beh.Name]
+		if iok != jok {
+			return iok
+		}
+		return iok && ri < rj
+	})
 }
 
 // applyDelayed schedules every delayed signal commit due at the current

@@ -119,13 +119,13 @@ func TestCoercePanicsOnComposite(t *testing.T) {
 }
 
 func TestCoerceToTypeLeaves(t *testing.T) {
-	if v := coerceToType(VecVal{V: bits.MustParse("11111111")}, spec.Integer); v.(IntVal).V != 255 {
+	if v := Coerce(VecVal{V: bits.MustParse("11111111")}, spec.Integer); v.(IntVal).V != 255 {
 		t.Errorf("vec->int = %s", v)
 	}
-	if v := coerceToType(IntVal{V: 300}, spec.BitVector(8)); v.(VecVal).V.Uint64() != 44 {
+	if v := Coerce(IntVal{V: 300}, spec.BitVector(8)); v.(VecVal).V.Uint64() != 44 {
 		t.Errorf("int->vec trunc = %s", v)
 	}
-	if v := coerceToType(IntVal{V: 0}, spec.Bool); v.(BoolVal).V {
+	if v := Coerce(IntVal{V: 0}, spec.Bool); v.(BoolVal).V {
 		t.Error("int->bool")
 	}
 }

@@ -1,0 +1,438 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// step labels one transition of the product system: a process segment
+// (optionally with a dropped field transition) or a quiescent tick.
+type step struct {
+	proc int8  // -1 = tick
+	drop int16 // index into machine.drops, -1 = none
+	tick int64 // clocks advanced when proc == -1
+}
+
+// node is one stored state plus its search bookkeeping. parent/via
+// record the first (hence shortest, BFS) path for counterexamples.
+type node struct {
+	st      *state
+	parent  int32
+	via     step
+	depth   int32
+	enabled uint32
+	open    bool
+	// Sleep-set reduction bookkeeping: pendingMask holds transitions
+	// awaiting exploration, explored the ones already taken. A later
+	// arrival with a smaller sleep set re-opens the difference
+	// (pendingMask |= newly allowed), which preserves every reachable
+	// state despite state caching.
+	pendingMask uint32
+	explored    uint32
+	needsTick   bool
+	queued      bool
+}
+
+type edge struct {
+	from, to int32
+	via      step
+}
+
+type violationSite struct {
+	kind Kind
+	msg  string
+	node int32
+	loop []edge // livelock lasso, nil otherwise
+}
+
+type searcher struct {
+	m           *machine
+	nodes       []*node
+	index       map[string]int32
+	edges       []edge // transitions between open states (liveness graph)
+	frontier    []int32
+	sites       []*violationSite
+	vioKeys     map[string]bool
+	transitions int64
+	depth       int32
+	incomplete  string
+}
+
+// succOut is one successor computed by a worker; everything the merge
+// needs is precomputed so the sequential phase stays cheap.
+type succOut struct {
+	via       step
+	key       string
+	st        *state
+	enabled   uint32
+	open      bool
+	sleep     uint32
+	conflicts []string
+}
+
+type expandOut struct {
+	maskUsed uint32
+	tickUsed bool
+	succs    []succOut
+	err      error
+}
+
+func newSearcher(m *machine) *searcher {
+	return &searcher{
+		m:       m,
+		index:   make(map[string]int32),
+		vioKeys: make(map[string]bool),
+	}
+}
+
+// run explores the product state space breadth-first. Each layer is
+// expanded in parallel (par.For over the frontier, results in slot
+// order) and merged sequentially, so state numbering, verdicts and
+// counts are identical at any worker count.
+func (s *searcher) run() error {
+	init := s.m.initialState()
+	en, err := s.m.enabledMask(init)
+	if err != nil {
+		return err
+	}
+	s.admit(succOut{via: step{proc: -1, drop: -1}, key: init.encode(), st: init, enabled: en, open: s.m.open(init)}, -1)
+
+	for len(s.frontier) > 0 && s.incomplete == "" {
+		s.depth++
+		if s.m.cfg.MaxDepth > 0 && s.depth > int32(s.m.cfg.MaxDepth) {
+			s.incomplete = fmt.Sprintf("depth bound %d reached", s.m.cfg.MaxDepth)
+			break
+		}
+		layer := s.frontier
+		s.frontier = nil
+		results := make([]expandOut, len(layer))
+		par.For(len(layer), s.m.cfg.Workers, func(i int) {
+			results[i] = s.expand(layer[i])
+		})
+		for i, idx := range layer {
+			if err := s.merge(idx, results[i]); err != nil {
+				return err
+			}
+			if s.incomplete != "" {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// expand computes every successor of one node: for each pending process
+// its normal segment plus one drop variant per droppable field change,
+// then the quiescent tick when nothing is enabled. Pure with respect to
+// shared search state — mutation happens in merge.
+func (s *searcher) expand(idx int32) expandOut {
+	n := s.nodes[idx]
+	out := expandOut{maskUsed: n.pendingMask, tickUsed: n.needsTick}
+	// disallowed = the node's effective sleep set relative to enabled.
+	disallowed := n.enabled &^ (n.pendingMask | n.explored)
+	var earlier uint32
+	for p := 0; p < len(s.m.progs); p++ {
+		bit := uint32(1) << uint(p)
+		if n.pendingMask&bit == 0 {
+			continue
+		}
+		res, err := s.m.exec(n.st, p)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		sleep := (disallowed | n.explored | earlier) & s.m.indep[p]
+		earlier |= bit
+		if err := s.emit(&out, step{proc: int8(p), drop: -1}, res.st, sleep, res.conflicts); err != nil {
+			out.err = err
+			return out
+		}
+		if n.st.budget > 0 {
+			for di, d := range s.m.drops {
+				if !dropApplies(d, res.commits) {
+					continue
+				}
+				ds := s.m.dropVariant(n.st, res.st, di)
+				// Conflicts belong to the shared segment and are already
+				// reported on the normal successor.
+				if err := s.emit(&out, step{proc: int8(p), drop: int16(di)}, ds, sleep, nil); err != nil {
+					out.err = err
+					return out
+				}
+			}
+		}
+	}
+	if n.needsTick {
+		ts, clocks, ok := s.m.tick(n.st)
+		if ok {
+			// Time advance interacts with every timer: no sleep carries over.
+			if err := s.emit(&out, step{proc: -1, drop: -1, tick: clocks}, ts, 0, nil); err != nil {
+				out.err = err
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func dropApplies(d dropTarget, commits []commitEvent) bool {
+	for _, c := range commits {
+		if c.bus != d.bus {
+			continue
+		}
+		for _, f := range c.changed {
+			if f == d.field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *searcher) emit(out *expandOut, via step, st *state, sleep uint32, conflicts []string) error {
+	en, err := s.m.enabledMask(st)
+	if err != nil {
+		return err
+	}
+	out.succs = append(out.succs, succOut{
+		via: via, key: st.encode(), st: st,
+		enabled: en, open: s.m.open(st), sleep: sleep, conflicts: conflicts,
+	})
+	return nil
+}
+
+// merge folds one expansion into the store, in deterministic order.
+// The node's queue flag is only finalized after all successors are
+// admitted: a re-arrival (possibly a self-loop) can hand the node fresh
+// pending bits mid-merge, and it must be re-queued for them.
+func (s *searcher) merge(idx int32, out expandOut) error {
+	if out.err != nil {
+		return out.err
+	}
+	n := s.nodes[idx]
+	n.explored |= out.maskUsed
+	n.pendingMask &^= out.maskUsed
+	if out.tickUsed {
+		n.needsTick = false
+	}
+	for _, sc := range out.succs {
+		s.transitions++
+		j := s.admit(sc, idx)
+		if s.incomplete != "" {
+			return nil
+		}
+		for _, msg := range sc.conflicts {
+			s.addViolation(DriverConflict, msg, j, nil)
+		}
+		if n.open && s.nodes[j].open {
+			s.edges = append(s.edges, edge{from: idx, to: j, via: sc.via})
+		}
+	}
+	n.queued = n.pendingMask != 0 || n.needsTick
+	if n.queued {
+		s.frontier = append(s.frontier, idx)
+	}
+	return nil
+}
+
+// admit stores a successor (or folds a re-arrival into the existing
+// node) and classifies terminal and quiescent states. parent is -1 for
+// the initial state.
+func (s *searcher) admit(sc succOut, parent int32) int32 {
+	if j, ok := s.index[sc.key]; ok {
+		old := s.nodes[j]
+		allowed := old.enabled &^ sc.sleep
+		if fresh := allowed &^ old.explored &^ old.pendingMask; fresh != 0 {
+			old.pendingMask |= fresh
+			if !old.queued {
+				old.queued = true
+				s.frontier = append(s.frontier, j)
+			}
+		}
+		return j
+	}
+	j := int32(len(s.nodes))
+	depth := int32(0)
+	if parent >= 0 {
+		depth = s.nodes[parent].depth + 1
+	}
+	nn := &node{
+		st: sc.st, parent: parent, via: sc.via, depth: depth,
+		enabled: sc.enabled, open: sc.open,
+		pendingMask: sc.enabled &^ sc.sleep,
+	}
+	s.nodes = append(s.nodes, nn)
+	s.index[sc.key] = j
+	if s.m.cfg.MaxStates > 0 && len(s.nodes) > s.m.cfg.MaxStates {
+		s.incomplete = fmt.Sprintf("state bound %d reached", s.m.cfg.MaxStates)
+		return j
+	}
+	if sc.enabled == 0 {
+		hasTimer := false
+		for p := range s.m.progs {
+			if sc.st.blocked[p] && !sc.st.fin[p] && sc.st.rem[p] > 0 {
+				hasTimer = true
+				break
+			}
+		}
+		nn.needsTick = hasTimer
+		s.classifyQuiet(j, sc.st, hasTimer)
+	}
+	if nn.pendingMask != 0 || nn.needsTick {
+		nn.queued = true
+		s.frontier = append(s.frontier, j)
+	}
+	return j
+}
+
+// classifyQuiet inspects a state with no enabled process. Without
+// pending timers it is terminal: either every foreground process
+// finished (check data delivery) or the system is deadlocked. With
+// timers but a closed bus and all foreground work done, the system is
+// quiescent between server drain timeouts — the delivery check runs
+// there too, the model analogue of the simulator's grace window.
+func (s *searcher) classifyQuiet(j int32, st *state, hasTimer bool) {
+	var finMask uint32
+	for p := range s.m.progs {
+		if st.fin[p] {
+			finMask |= 1 << uint(p)
+		}
+	}
+	fgDone := s.m.fgMask&^finMask == 0
+	if !hasTimer && !fgDone {
+		s.addViolation(Deadlock, "deadlock: "+s.m.describeState(st), j, nil)
+		return
+	}
+	if fgDone && !s.m.open(st) {
+		s.checkDelivery(j, st)
+	}
+}
+
+// checkDelivery compares module-variable finals against the golden
+// fault-free simulation. A run that aborted cleanly (any abort counter
+// advanced) is excused; a silent mismatch is data corruption.
+func (s *searcher) checkDelivery(j int32, st *state) {
+	if s.m.expected == nil {
+		return
+	}
+	aborted := false
+	for _, slot := range s.m.abortSlots {
+		if !valIsZero(st.g[slot]) {
+			aborted = true
+			break
+		}
+	}
+	if aborted {
+		return
+	}
+	skip := make(map[int]bool, len(s.m.abortSlots))
+	for _, slot := range s.m.abortSlots {
+		skip[slot] = true
+	}
+	for slot, want := range s.m.expected {
+		if want == nil || skip[slot] {
+			continue
+		}
+		if !st.g[slot].Equal(want) {
+			s.addViolation(Corruption, fmt.Sprintf(
+				"data delivery violated: %s = %s, golden run delivered %s (and no clean abort was signalled)",
+				s.m.gname[slot], st.g[slot], want), j, nil)
+			return
+		}
+	}
+}
+
+func (s *searcher) addViolation(kind Kind, msg string, node int32, loop []edge) {
+	key := fmt.Sprintf("%d|%s", kind, msg)
+	if s.vioKeys[key] {
+		return
+	}
+	s.vioKeys[key] = true
+	s.sites = append(s.sites, &violationSite{kind: kind, msg: msg, node: node, loop: loop})
+	if max := s.m.cfg.MaxViolations; max > 0 && len(s.sites) >= max && s.incomplete == "" {
+		s.incomplete = fmt.Sprintf("violation cap %d reached", max)
+	}
+}
+
+// checkLiveness looks for a cycle in the open-state subgraph: a lasso
+// along which some transaction strobe never returns to idle, i.e. a
+// START that is never answered by a completed handshake or a clean
+// abort. Runs after the search on the recorded edges.
+func (s *searcher) checkLiveness() {
+	if len(s.edges) == 0 {
+		return
+	}
+	adj := make(map[int32][]int)
+	for i, e := range s.edges {
+		adj[e.from] = append(adj[e.from], i)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int32]int8)
+	type frameT struct {
+		node int32
+		next int
+		in   int // edge index that entered this node, -1 for roots
+	}
+	for root := range s.nodes {
+		r := int32(root)
+		if color[r] != white || len(adj[r]) == 0 {
+			continue
+		}
+		stack := []frameT{{node: r, in: -1}}
+		color[r] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			es := adj[f.node]
+			if f.next >= len(es) {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			ei := es[f.next]
+			f.next++
+			to := s.edges[ei].to
+			switch color[to] {
+			case white:
+				color[to] = grey
+				stack = append(stack, frameT{node: to, in: ei})
+			case grey:
+				// Back edge: the lasso loop runs from `to` around to the
+				// current node and back via ei.
+				var loop []edge
+				start := 0
+				for i, fr := range stack {
+					if fr.node == to {
+						start = i
+						break
+					}
+				}
+				for _, fr := range stack[start+1:] {
+					loop = append(loop, s.edges[fr.in])
+				}
+				loop = append(loop, s.edges[ei])
+				s.addViolation(Livelock, fmt.Sprintf(
+					"bounded-response violated: a transaction stays open around a %d-transition cycle (%s)",
+					len(loop), s.m.describeState(s.nodes[to].st)), to, loop)
+				return
+			}
+		}
+	}
+}
+
+// pathTo reconstructs the BFS-shortest step sequence from the initial
+// state to the node.
+func (s *searcher) pathTo(node int32) []step {
+	var steps []step
+	for i := node; i > 0; i = s.nodes[i].parent {
+		steps = append(steps, s.nodes[i].via)
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return steps
+}

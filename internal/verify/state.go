@@ -1,0 +1,763 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// maxProcs bounds the number of processes so enabled/sleep sets fit a
+// uint32 mask.
+const maxProcs = 30
+
+// maxSegmentSteps bounds the instructions one atomic segment may
+// execute (a runaway zero-delay loop would otherwise hang the checker).
+const maxSegmentSteps = 200_000
+
+// machine is the compiled product system: one program per process plus
+// the global storage layout and the bus-line bookkeeping the checks
+// need.
+type machine struct {
+	sys   *spec.System
+	cfg   Config
+	progs []*program
+	// Global storage slots: sys.Globals first, then module variables in
+	// module order. Signals and shared variables live side by side; the
+	// executor distinguishes them via isSignal.
+	globals  []*spec.Variable
+	gslot    map[*spec.Variable]int
+	isSignal []bool
+	gname    []string // "Module.Var" for module variables, plain name for globals
+	buses    []*busModel
+	bySlot   map[int]*busModel
+	drops    []dropTarget
+	nTrack   int // total tracked bus fields (lastW width)
+	// indep[p] has bit q set when p and q have disjoint-enough global
+	// footprints to commute (neither writes what the other touches).
+	indep  []uint32
+	fgMask uint32 // non-server processes
+	// Delivery check inputs (from the golden fault-free simulation).
+	expected   []sim.Value // per gslot; nil entries unchecked
+	abortSlots []int
+}
+
+// busModel is the checker's view of one generated bus: which record
+// fields carry the handshake strobes and the shared payload lines.
+type busModel struct {
+	bus  *spec.Bus
+	sig  *spec.Variable
+	slot int
+	rec  spec.RecordType
+	// Field indexes into the record; -1 when absent.
+	start, done, data, id int
+	// trackBase is this bus's offset into state.lastW; trackOf maps a
+	// tracked field index to its offset.
+	trackBase int
+	trackOf   map[int]int
+	strobe    map[int]bool
+}
+
+// dropTarget is one fault-injection point: a droppable transition of a
+// tracked bus field.
+type dropTarget struct {
+	bus   *busModel
+	field int
+	name  string // "B.START"
+}
+
+func newMachine(sys *spec.System, cfg Config) (*machine, error) {
+	m := &machine{
+		sys:    sys,
+		cfg:    cfg,
+		gslot:  make(map[*spec.Variable]int),
+		bySlot: make(map[int]*busModel),
+	}
+	for _, b := range sys.Buses {
+		switch b.Protocol {
+		case spec.FullHandshake, spec.HalfHandshake:
+		default:
+			return nil, fmt.Errorf("verify: bus %s uses protocol %v; the model checker supports full and half handshakes only", b.Name, b.Protocol)
+		}
+	}
+	addGlobal := func(v *spec.Variable, name string) {
+		m.gslot[v] = len(m.globals)
+		m.globals = append(m.globals, v)
+		m.isSignal = append(m.isSignal, v.Kind == spec.KindSignal)
+		m.gname = append(m.gname, name)
+	}
+	for _, g := range sys.Globals {
+		addGlobal(g, g.Name)
+	}
+	for _, mod := range sys.Modules {
+		for _, v := range mod.Variables {
+			addGlobal(v, mod.Name+"."+v.Name)
+		}
+	}
+
+	dropFields := cfg.DropFields
+	if len(dropFields) == 0 {
+		dropFields = []string{"START", "DONE"}
+	}
+	for _, b := range sys.Buses {
+		if b.Signal == nil {
+			continue
+		}
+		slot, ok := m.gslot[b.Signal]
+		if !ok {
+			return nil, fmt.Errorf("verify: bus %s signal %s is not a global", b.Name, b.Signal.Name)
+		}
+		rec, ok := b.Signal.Type.(spec.RecordType)
+		if !ok {
+			continue
+		}
+		bm := &busModel{
+			bus: b, sig: b.Signal, slot: slot, rec: rec,
+			start: -1, done: -1, data: -1, id: -1,
+			trackBase: m.nTrack,
+			trackOf:   make(map[int]int),
+			strobe:    make(map[int]bool),
+		}
+		for i, f := range rec.Fields {
+			switch f.Name {
+			case "START":
+				bm.start = i
+			case "DONE":
+				bm.done = i
+			case "DATA":
+				bm.data = i
+			case "ID":
+				bm.id = i
+			default:
+				continue
+			}
+			bm.trackOf[i] = len(bm.trackOf)
+			bm.strobe[i] = f.Name == "START" || f.Name == "DONE"
+		}
+		m.nTrack += len(bm.trackOf)
+		m.buses = append(m.buses, bm)
+		m.bySlot[slot] = bm
+		for _, name := range dropFields {
+			for i, f := range rec.Fields {
+				if f.Name == name {
+					if _, tracked := bm.trackOf[i]; !tracked {
+						return nil, fmt.Errorf("verify: drop field %s.%s is not a tracked bus line", b.Signal.Name, name)
+					}
+					m.drops = append(m.drops, dropTarget{bus: bm, field: i, name: b.Signal.Name + "." + name})
+				}
+			}
+		}
+	}
+
+	behs := sys.Behaviors()
+	if len(behs) == 0 {
+		return nil, fmt.Errorf("verify: system has no behaviors")
+	}
+	if len(behs) > maxProcs {
+		return nil, fmt.Errorf("verify: %d processes exceed the checker's limit of %d", len(behs), maxProcs)
+	}
+	for i, b := range behs {
+		prog, err := m.compile(b)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		m.progs = append(m.progs, prog)
+		if !b.Server {
+			m.fgMask |= 1 << uint(i)
+		}
+	}
+	m.buildIndependence()
+	return m, nil
+}
+
+// buildIndependence computes the static commutation relation from
+// whole-program global footprints: p and q are independent when
+// neither's writes intersect the other's reads or writes. Coarse but
+// sound — a finer per-segment analysis would only shrink the state
+// count further.
+func (m *machine) buildIndependence() {
+	n := len(m.progs)
+	m.indep = make([]uint32, n)
+	if m.cfg.NoReduction {
+		// Empty independence relation: sleep sets stay empty and every
+		// interleaving is explored.
+		return
+	}
+	conflict := func(a, b *program) bool {
+		for v := range a.writes {
+			if b.reads[v] || b.writes[v] {
+				return true
+			}
+		}
+		for v := range b.writes {
+			if a.reads[v] {
+				return true
+			}
+		}
+		return false
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p != q && !conflict(m.progs[p], m.progs[q]) {
+				m.indep[p] |= 1 << uint(q)
+			}
+		}
+	}
+}
+
+// state is one vertex of the product state space. Values are shared
+// between states freely: the executor never mutates a stored value in
+// place (bits.Vector operations are persistent and container updates
+// rebuild the containers along the path).
+type state struct {
+	g       []sim.Value
+	l       [][]sim.Value
+	pc      []int32
+	blocked []bool
+	fin     []bool
+	// rem is the remaining clocks of a blocked process's bounded wait
+	// (-1 for none). Relative deadlines, not absolute time: the
+	// quiescent tick decrements every positive counter by the minimum,
+	// which preserves the simulator's exact timeout ordering.
+	rem []int64
+	// lastW records, per tracked bus field, the last process that drove
+	// it (-1 none) — the state the driver-conflict check needs.
+	lastW  []int8
+	budget int16 // remaining drop-fault budget
+}
+
+func (m *machine) initialState() *state {
+	st := &state{
+		g:       make([]sim.Value, len(m.globals)),
+		l:       make([][]sim.Value, len(m.progs)),
+		pc:      make([]int32, len(m.progs)),
+		blocked: make([]bool, len(m.progs)),
+		fin:     make([]bool, len(m.progs)),
+		rem:     make([]int64, len(m.progs)),
+		lastW:   make([]int8, m.nTrack),
+		budget:  int16(m.cfg.MaxDrops),
+	}
+	for i, v := range m.globals {
+		st.g[i] = sim.InitialValue(v)
+	}
+	for p, prog := range m.progs {
+		st.l[p] = make([]sim.Value, len(prog.locals))
+		for i, v := range prog.locals {
+			st.l[p][i] = sim.InitialValue(v)
+		}
+	}
+	for p := range st.rem {
+		st.rem[p] = -1
+	}
+	for i := range st.lastW {
+		st.lastW[i] = -1
+	}
+	return st
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		g:       append([]sim.Value(nil), s.g...),
+		l:       make([][]sim.Value, len(s.l)),
+		pc:      append([]int32(nil), s.pc...),
+		blocked: append([]bool(nil), s.blocked...),
+		fin:     append([]bool(nil), s.fin...),
+		rem:     append([]int64(nil), s.rem...),
+		lastW:   append([]int8(nil), s.lastW...),
+		budget:  s.budget,
+	}
+	for i := range s.l {
+		ns.l[i] = append([]sim.Value(nil), s.l[i]...)
+	}
+	return ns
+}
+
+// encode renders the state as a canonical string key for the
+// deduplicating store.
+func (s *state) encode() string {
+	var b strings.Builder
+	for _, v := range s.g {
+		b.WriteString(v.String())
+		b.WriteByte(0)
+	}
+	for p := range s.l {
+		fmt.Fprintf(&b, "#%d:%d:%t:%t:%d;", p, s.pc[p], s.blocked[p], s.fin[p], s.rem[p])
+		for _, v := range s.l[p] {
+			b.WriteString(v.String())
+			b.WriteByte(0)
+		}
+	}
+	for _, w := range s.lastW {
+		fmt.Fprintf(&b, "%d,", w)
+	}
+	fmt.Fprintf(&b, "|%d", s.budget)
+	return b.String()
+}
+
+// verifyFail is panicked by the executor's Evaluator on runtime errors
+// and recovered at the segment boundary.
+type verifyFail struct{ err error }
+
+// commitEvent is one signal commit of a segment whose value actually
+// changed, recorded for counterexample rendering and drop enumeration.
+type commitEvent struct {
+	slot    int
+	bus     *busModel // nil for plain signals
+	changed []int     // changed field indexes (bus signals)
+	old     sim.Value
+	new     sim.Value
+}
+
+// segResult is the outcome of running one process for one atomic
+// segment (from its current wait to its next blocking wait).
+type segResult struct {
+	st        *state
+	commits   []commitEvent
+	conflicts []string // driver-conflict violation messages
+}
+
+// exec runs process p from parent for one atomic segment. The segment
+// mirrors one simulator delta slice: signal writes accumulate in a
+// pending buffer invisible to reads, waits whose condition already
+// holds are passed through inline, and everything commits at the next
+// blocking wait (or at process end). parent is not mutated.
+func (m *machine) exec(parent *state, p int) (res *segResult, err error) {
+	st := parent.clone()
+	prog := m.progs[p]
+	res = &segResult{st: st}
+	pending := make(map[int]sim.Value)
+	written := make(map[int]map[int]bool)
+
+	defer func() {
+		if r := recover(); r != nil {
+			vf, ok := r.(verifyFail)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, fmt.Errorf("verify: process %s: %w", prog.beh.Name, vf.err)
+		}
+	}()
+
+	ev := sim.Evaluator{
+		Lookup: func(v *spec.Variable) sim.Value {
+			if i, ok := prog.lslot[v]; ok {
+				return st.l[p][i]
+			}
+			if i, ok := m.gslot[v]; ok {
+				// Signal reads see committed values even while this
+				// segment has pending writes — the simulator's delta
+				// semantics.
+				return st.g[i]
+			}
+			panic(verifyFail{fmt.Errorf("variable %s not in scope", v.Name)})
+		},
+		Fail: func(format string, args ...any) {
+			panic(verifyFail{fmt.Errorf(format, args...)})
+		},
+	}
+	setLocal := func(v *spec.Variable, val sim.Value) {
+		i, ok := prog.lslot[v]
+		if !ok {
+			panic(verifyFail{fmt.Errorf("local %s has no slot", v.Name)})
+		}
+		st.l[p][i] = sim.Coerce(val, v.Type)
+	}
+	commit := func() {
+		slots := make([]int, 0, len(pending))
+		for gi := range pending {
+			slots = append(slots, gi)
+		}
+		sort.Ints(slots)
+		for _, gi := range slots {
+			old, nv := st.g[gi], pending[gi]
+			bm := m.bySlot[gi]
+			cev := commitEvent{slot: gi, bus: bm, old: old, new: nv}
+			if bm != nil {
+				ov, okO := old.(sim.RecordVal)
+				nvv, okN := nv.(sim.RecordVal)
+				if okO && okN && len(ov.Fields) == len(nvv.Fields) {
+					for f := range ov.Fields {
+						if !ov.Fields[f].Equal(nvv.Fields[f]) {
+							cev.changed = append(cev.changed, f)
+						}
+					}
+					m.checkDrivers(st, p, bm, ov, nvv, written[gi], res)
+				}
+			} else if !old.Equal(nv) {
+				cev.changed = []int{-1}
+			}
+			st.g[gi] = nv
+			if len(cev.changed) > 0 {
+				res.commits = append(res.commits, cev)
+			}
+		}
+	}
+
+	// Resume a blocked process: decide (again) whether its wait ended by
+	// condition or by timeout, mirroring the simulator's wake logic.
+	if st.fin[p] {
+		return nil, fmt.Errorf("verify: process %s already finished", prog.beh.Name)
+	}
+	if st.blocked[p] {
+		in := prog.code[st.pc[p]]
+		if in.op != opWait {
+			return nil, fmt.Errorf("verify: process %s blocked on non-wait instruction", prog.beh.Name)
+		}
+		w := in.wait
+		condMet := w.Until != nil && sim.AsBool(ev.Eval(w.Until))
+		if !condMet && st.rem[p] != 0 {
+			return nil, fmt.Errorf("verify: process %s resumed while not enabled", prog.beh.Name)
+		}
+		if w.TimedOut != nil {
+			setLocal(w.TimedOut, sim.BoolVal{V: !condMet})
+		}
+		st.blocked[p] = false
+		st.rem[p] = -1
+		st.pc[p]++
+	}
+
+	steps := 0
+	for {
+		steps++
+		if steps > maxSegmentSteps {
+			return nil, fmt.Errorf("verify: process %s executed %d instructions without yielding (runaway zero-delay loop?)", prog.beh.Name, steps)
+		}
+		in := &prog.code[st.pc[p]]
+		switch in.op {
+		case opEnd:
+			st.fin[p] = true
+			commit()
+			return res, nil
+		case opJump:
+			st.pc[p] = in.target
+		case opBranch:
+			if sim.AsBool(ev.Eval(in.cond)) {
+				st.pc[p]++
+			} else {
+				st.pc[p] = in.target
+			}
+		case opClear:
+			setLocal(in.v, sim.ZeroValue(in.v.Type))
+			st.pc[p]++
+		case opAssign:
+			a := in.assign
+			val := ev.Eval(a.RHS)
+			base := spec.BaseVar(a.LHS)
+			gi, isGlobal := m.gslot[base]
+			if isGlobal && m.isSignal[gi] {
+				ev.Store(a.LHS, val,
+					func(*spec.Variable) sim.Value {
+						// Writers build on their own pending value so a
+						// later field update cannot revert an earlier one.
+						if pv, ok := pending[gi]; ok {
+							return pv
+						}
+						return st.g[gi]
+					},
+					func(_ *spec.Variable, nv sim.Value) { pending[gi] = nv })
+				if bm := m.bySlot[gi]; bm != nil {
+					if written[gi] == nil {
+						written[gi] = make(map[int]bool)
+					}
+					markWritten(a.LHS, bm, written[gi])
+				}
+			} else {
+				ev.Store(a.LHS, val,
+					func(v *spec.Variable) sim.Value { return ev.Lookup(v) },
+					func(v *spec.Variable, nv sim.Value) {
+						if i, ok := prog.lslot[v]; ok {
+							st.l[p][i] = nv
+							return
+						}
+						if i, ok := m.gslot[v]; ok {
+							st.g[i] = nv
+							return
+						}
+						panic(verifyFail{fmt.Errorf("variable %s not writable", v.Name)})
+					})
+			}
+			st.pc[p]++
+		case opWait:
+			w := in.wait
+			if w.Until != nil && sim.AsBool(ev.Eval(w.Until)) {
+				// Immediate pass-through without suspending, like the
+				// simulator's in-slice check against committed values.
+				if w.TimedOut != nil {
+					setLocal(w.TimedOut, sim.BoolVal{V: false})
+				}
+				st.pc[p]++
+				continue
+			}
+			st.blocked[p] = true
+			if w.HasFor {
+				st.rem[p] = w.For
+			} else {
+				st.rem[p] = -1
+			}
+			commit()
+			return res, nil
+		default:
+			return nil, fmt.Errorf("verify: process %s: bad opcode %d", prog.beh.Name, in.op)
+		}
+	}
+}
+
+// dropVariant derives the faulty sibling of a normal successor: the
+// wire lost the dropped field's edge, so the committed field reverts to
+// its pre-segment value and the fault budget shrinks, while the
+// writer's continuation (decided before the commit, exactly like a
+// simulator DropEvent fault) stands.
+func (m *machine) dropVariant(parent, norm *state, dropField int) *state {
+	d := m.drops[dropField]
+	slot := d.bus.slot
+	ns := norm.clone()
+	nv, ok := ns.g[slot].(sim.RecordVal)
+	if !ok {
+		return ns
+	}
+	ov := parent.g[slot].(sim.RecordVal)
+	fields := append([]sim.Value(nil), nv.Fields...)
+	fields[d.field] = ov.Fields[d.field]
+	ns.g[slot] = sim.RecordVal{Type: nv.Type, Fields: fields}
+	ns.budget--
+	return ns
+}
+
+// checkDrivers applies the driver mutual-exclusion rules at commit
+// time, before lastW is updated to the committing process:
+//
+//   - a strobe (START/DONE) driven to a nonzero value by p while
+//     asserted by another process is a conflict — two drivers
+//     asserting one wire. Driving a strobe to zero is a release, which
+//     any process may perform: the robust dispatcher deliberately
+//     clears stale DONE/NACK lines on re-arm, and a watchdog clearing
+//     a sibling server's leftover strobe is recovery, not contention;
+//   - DATA or ID written by p while a transaction opened by another
+//     process (its START still high) is in flight clobbers lines the
+//     opener is entitled to.
+//
+// Writes are tracked even when the value does not change: driving an
+// already-high strobe high is still a second driver.
+func (m *machine) checkDrivers(st *state, p int, bm *busModel, old, nv sim.RecordVal, written map[int]bool, res *segResult) {
+	fields := make([]int, 0, len(written))
+	for f := range written {
+		fields = append(fields, f)
+	}
+	sort.Ints(fields)
+	name := func(f int) string { return bm.sig.Name + "." + bm.rec.Fields[f].Name }
+	for _, f := range fields {
+		ti, tracked := bm.trackOf[f]
+		if !tracked {
+			continue
+		}
+		li := bm.trackBase + ti
+		last := st.lastW[li]
+		if bm.strobe[f] {
+			if last >= 0 && int(last) != p && !valIsZero(old.Fields[f]) && !valIsZero(nv.Fields[f]) {
+				res.conflicts = append(res.conflicts, fmt.Sprintf(
+					"driver conflict on %s: %s drives it while %s holds it asserted",
+					name(f), m.progs[p].beh.Name, m.progs[last].beh.Name))
+			}
+		} else if bm.start >= 0 && !valIsZero(old.Fields[bm.start]) {
+			sl := st.lastW[bm.trackBase+bm.trackOf[bm.start]]
+			if sl >= 0 && int(sl) != p {
+				res.conflicts = append(res.conflicts, fmt.Sprintf(
+					"driver conflict on %s: %s drives it during a transaction opened by %s",
+					name(f), m.progs[p].beh.Name, m.progs[sl].beh.Name))
+			}
+		}
+		st.lastW[li] = int8(p)
+	}
+}
+
+// markWritten records which tracked bus fields an assignment drives. A
+// whole-record assignment drives every field.
+func markWritten(lhs spec.Expr, bm *busModel, set map[int]bool) {
+	for {
+		switch l := lhs.(type) {
+		case *spec.VarRef:
+			for f := range bm.trackOf {
+				set[f] = true
+			}
+			return
+		case *spec.FieldRef:
+			if _, ok := l.X.(*spec.VarRef); ok {
+				for i, f := range bm.rec.Fields {
+					if f.Name == l.Field {
+						set[i] = true
+					}
+				}
+				return
+			}
+			lhs = l.X
+		case *spec.SliceExpr:
+			lhs = l.X
+		case *spec.Index:
+			lhs = l.Arr
+		default:
+			return
+		}
+	}
+}
+
+func valIsZero(v sim.Value) bool {
+	switch v := v.(type) {
+	case sim.VecVal:
+		return v.V.IsZero()
+	case sim.IntVal:
+		return v.V == 0
+	case sim.BoolVal:
+		return !v.V
+	}
+	return false
+}
+
+// enabledMask computes which processes may take a transition from st: a
+// runnable process, a blocked process whose wait condition holds, or a
+// blocked process whose bounded wait has expired (rem == 0).
+func (m *machine) enabledMask(st *state) (uint32, error) {
+	var mask uint32
+	for p, prog := range m.progs {
+		if st.fin[p] {
+			continue
+		}
+		if !st.blocked[p] {
+			mask |= 1 << uint(p)
+			continue
+		}
+		w := prog.code[st.pc[p]].wait
+		if w.Until != nil {
+			ok, err := m.evalCond(st, p, w.Until)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				mask |= 1 << uint(p)
+				continue
+			}
+		}
+		if st.rem[p] == 0 {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask, nil
+}
+
+func (m *machine) evalCond(st *state, p int, cond spec.Expr) (ok bool, err error) {
+	prog := m.progs[p]
+	defer func() {
+		if r := recover(); r != nil {
+			vf, isVF := r.(verifyFail)
+			if !isVF {
+				panic(r)
+			}
+			ok, err = false, fmt.Errorf("verify: process %s: %w", prog.beh.Name, vf.err)
+		}
+	}()
+	ev := sim.Evaluator{
+		Lookup: func(v *spec.Variable) sim.Value {
+			if i, okL := prog.lslot[v]; okL {
+				return st.l[p][i]
+			}
+			if i, okG := m.gslot[v]; okG {
+				return st.g[i]
+			}
+			panic(verifyFail{fmt.Errorf("variable %s not in scope", v.Name)})
+		},
+		Fail: func(format string, args ...any) {
+			panic(verifyFail{fmt.Errorf(format, args...)})
+		},
+	}
+	return sim.AsBool(ev.Eval(cond)), nil
+}
+
+// tick advances quiescent time: with no process enabled, the minimum
+// positive remaining-clock counter elapses from every bounded wait.
+// Deterministic — a single successor — so timeouts fire in exactly the
+// relative order the simulator would fire them.
+func (m *machine) tick(st *state) (*state, int64, bool) {
+	min := int64(-1)
+	for p := range m.progs {
+		if st.blocked[p] && !st.fin[p] && st.rem[p] > 0 {
+			if min < 0 || st.rem[p] < min {
+				min = st.rem[p]
+			}
+		}
+	}
+	if min < 0 {
+		return nil, 0, false
+	}
+	ns := st.clone()
+	for p := range m.progs {
+		if ns.blocked[p] && !ns.fin[p] && ns.rem[p] > 0 {
+			ns.rem[p] -= min
+		}
+	}
+	return ns, min, true
+}
+
+// open reports whether any tracked strobe is asserted — a transaction
+// is in flight. The bounded-response liveness check looks for cycles
+// that never leave open states.
+func (m *machine) open(st *state) bool {
+	for _, bm := range m.buses {
+		rv, ok := st.g[bm.slot].(sim.RecordVal)
+		if !ok {
+			continue
+		}
+		for f, isStrobe := range bm.strobe {
+			if isStrobe && !valIsZero(rv.Fields[f]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// describeState renders a blocked-process summary plus the bus lines,
+// mirroring sim.DeadlockError diagnostics.
+func (m *machine) describeState(st *state) string {
+	var waiting []string
+	for p, prog := range m.progs {
+		if st.fin[p] {
+			continue
+		}
+		name := prog.beh.Name
+		if prog.beh.Server {
+			name += " (server)"
+		}
+		if st.blocked[p] {
+			w := prog.code[st.pc[p]].wait
+			desc := ""
+			if w.Until != nil {
+				desc = "until " + w.Until.String()
+			}
+			if w.HasFor {
+				desc += fmt.Sprintf(" (rem %d)", st.rem[p])
+			}
+			waiting = append(waiting, name+": wait "+strings.TrimSpace(desc))
+		} else {
+			waiting = append(waiting, name+": runnable")
+		}
+	}
+	out := strings.Join(waiting, "; ")
+	var lines []string
+	for _, bm := range m.buses {
+		rv, ok := st.g[bm.slot].(sim.RecordVal)
+		if !ok {
+			continue
+		}
+		for i, f := range bm.rec.Fields {
+			if f.Name == "DATA" {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s.%s=%s", bm.sig.Name, f.Name, rv.Fields[i]))
+		}
+	}
+	if len(lines) > 0 {
+		out += "; bus: " + strings.Join(lines, " ")
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Config parameterizes a model-checking run.
+type Config struct {
+	// MaxDepth bounds the BFS depth (product transitions along any one
+	// path); 0 means unbounded — MaxStates is then the only limit.
+	MaxDepth int
+	// MaxStates bounds the number of distinct stored states; 0 means the
+	// default of 250000. Exceeding it makes the report Incomplete.
+	MaxStates int
+	// Workers is the exploration worker count; 0 uses every CPU. The
+	// verdict, state count and transition count are identical at any
+	// worker count: layers are expanded in parallel but merged in a
+	// fixed order.
+	Workers int
+	// MaxDrops is the wire-fault budget: along any one path, at most
+	// this many tracked bus-line transitions may be dropped. 0 checks
+	// the fault-free system only.
+	MaxDrops int
+	// DropFields names the record fields whose transitions may be
+	// dropped; empty means START and DONE.
+	DropFields []string
+	// MaxViolations caps distinct reported violations; 0 means 8.
+	// Hitting the cap stops the search (Incomplete).
+	MaxViolations int
+	// NoReduction disables sleep-set partial-order reduction. The
+	// verdict must not change — only the state count (used by tests as
+	// a soundness cross-check).
+	NoReduction bool
+	// SkipLiveness disables the bounded-response cycle check.
+	SkipLiveness bool
+	// AbortVars lists abort-counter finals keys ("Module.Var", see
+	// protogen.Refinement.AbortKeys). A run that signalled a clean
+	// abort is excused from the data-delivery check.
+	AbortVars []string
+	// MaxClocks bounds the golden simulation and counterexample
+	// replays; 0 means 1000000.
+	MaxClocks int64
+}
+
+// Kind classifies a violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// Deadlock: a reachable state with every unfinished process blocked
+	// forever while foreground work remains.
+	Deadlock Kind = iota
+	// DriverConflict: two processes drive a shared bus line in a way
+	// the handshake should make mutually exclusive.
+	DriverConflict
+	// Livelock: a cycle along which a transaction strobe never returns
+	// to idle — bounded response is violated.
+	Livelock
+	// Corruption: every foreground process finished without signalling
+	// an abort, but a module variable differs from the golden
+	// fault-free run — data was silently lost or corrupted.
+	Corruption
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Deadlock:
+		return "deadlock"
+	case DriverConflict:
+		return "driver-conflict"
+	case Livelock:
+		return "bounded-response"
+	case Corruption:
+		return "data-corruption"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Violation is one verified property failure with its counterexample.
+type Violation struct {
+	Kind    Kind
+	Message string
+	Cex     *Counterexample
+}
+
+// Report summarizes one model-checking run.
+type Report struct {
+	Procs            int
+	States           int
+	Transitions      int64
+	Depth            int
+	Incomplete       bool
+	IncompleteReason string
+	Violations       []Violation
+	// GoldenClocks is the fault-free simulation's duration (the
+	// delivery-check reference), -1 if the golden run itself failed.
+	GoldenClocks int64
+	Elapsed      time.Duration
+}
+
+// Clean reports a complete run with no violations.
+func (r *Report) Clean() bool {
+	return !r.Incomplete && len(r.Violations) == 0
+}
+
+// Format renders a human-readable summary.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d states, %d transitions (depth %d, %d procs, %s)\n",
+		r.States, r.Transitions, r.Depth, r.Procs, r.Elapsed.Round(time.Millisecond))
+	if r.Incomplete {
+		fmt.Fprintf(&b, "INCOMPLETE: %s\n", r.IncompleteReason)
+	}
+	if len(r.Violations) == 0 {
+		b.WriteString("no violations found\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d violation(s):\n", len(r.Violations))
+	for i, v := range r.Violations {
+		fmt.Fprintf(&b, "[%d] %s: %s\n", i+1, v.Kind, v.Message)
+		if v.Cex != nil {
+			b.WriteString(v.Cex.Format())
+		}
+	}
+	return b.String()
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 250_000
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 8
+	}
+	if cfg.MaxClocks <= 0 {
+		cfg.MaxClocks = 1_000_000
+	}
+	return cfg
+}
+
+// Check explores the system's product state space exhaustively (within
+// the configured bounds) and reports every property violation with a
+// minimal, replayable counterexample.
+//
+// The golden fault-free simulation runs first: its finals are the
+// data-delivery reference and its duration bounds counterexample
+// replays. If the golden run itself fails, the delivery check is
+// skipped — the search will find the underlying defect directly.
+func Check(sys *spec.System, cfg Config) (*Report, error) {
+	cfg = withDefaults(cfg)
+	start := time.Now()
+	m, err := newMachine(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	goldenClocks := int64(-1)
+	var goldenFinals map[string]string
+	replayClocks := cfg.MaxClocks
+	if gs, err := sim.New(sys, sim.Config{MaxClocks: cfg.MaxClocks}); err == nil {
+		if res, runErr := gs.Run(); runErr == nil {
+			goldenClocks = res.Clocks
+			if b := res.Clocks*4 + 2000; b < replayClocks {
+				replayClocks = b
+			}
+			slotOf := make(map[string]int, len(m.gname))
+			for i, n := range m.gname {
+				slotOf[n] = i
+			}
+			m.expected = make([]sim.Value, len(m.globals))
+			goldenFinals = make(map[string]string, len(res.Finals))
+			for k, v := range res.Finals {
+				goldenFinals[k] = v.String()
+				if slot, ok := slotOf[k]; ok {
+					m.expected[slot] = v
+				}
+			}
+			for _, k := range cfg.AbortVars {
+				if slot, ok := slotOf[k]; ok {
+					m.abortSlots = append(m.abortSlots, slot)
+				}
+			}
+		}
+	}
+
+	sr := newSearcher(m)
+	if err := sr.run(); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipLiveness {
+		sr.checkLiveness()
+	}
+
+	rep := &Report{
+		Procs:        len(m.progs),
+		States:       len(sr.nodes),
+		Transitions:  sr.transitions,
+		Depth:        int(sr.depth),
+		GoldenClocks: goldenClocks,
+	}
+	if sr.incomplete != "" {
+		rep.Incomplete = true
+		rep.IncompleteReason = sr.incomplete
+	}
+	for _, site := range sr.sites {
+		cex, err := buildCex(m, sr, site, goldenFinals, cfg.AbortVars, replayClocks)
+		if err != nil {
+			return nil, fmt.Errorf("verify: rendering counterexample: %w", err)
+		}
+		rep.Violations = append(rep.Violations, Violation{Kind: site.kind, Message: site.msg, Cex: cex})
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
