@@ -26,6 +26,8 @@
 //	              verdict matches (default none — a clean report;
 //	              no-deadlock tolerates other findings, e.g. the robust
 //	              protocol's residual lost-ack corruption window)
+//	-cpuprofile F write a CPU profile of the check to F (go tool pprof)
+//	-memprofile F write an allocation profile taken after the check to F
 //
 // Exit status: 0 when the verdict matches -expect, 1 when it does not,
 // 2 on usage or synthesis errors.
@@ -35,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/hdl"
@@ -57,6 +61,8 @@ func main() {
 	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
 	cexPath := flag.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
 	expect := flag.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the check to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the check to this file")
 	flag.Parse()
 
 	if flag.NArg() > 1 {
@@ -110,6 +116,20 @@ func main() {
 		abortVars = append(abortVars, br.Ref.AbortKeys()...)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// fatal uses os.Exit, which skips defers — stop explicitly on
+		// both outcomes so the profile always flushes.
+		defer f.Close()
+	}
+
 	vr, err := verify.Check(sys, verify.Config{
 		MaxDepth:  *depth,
 		MaxStates: *states,
@@ -117,8 +137,25 @@ func main() {
 		Workers:   *workers,
 		AbortVars: abortVars,
 	})
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // flush the allocation accounting before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(vr.Format())
 

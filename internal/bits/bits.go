@@ -149,6 +149,25 @@ func (x Vector) Clone() Vector {
 	return y
 }
 
+// AppendBytes appends x's packed bits to dst little-endian — exactly
+// ceil(width/8) bytes, low byte first; bits above the width are zero
+// (the representation invariant masks them). For equal-width vectors
+// the appended bytes are equal iff the vectors are Equal, which makes
+// the rendering usable as a hash/dedup key without going through
+// String; the tight byte count matters because callers hash and
+// compare millions of these.
+func (x Vector) AppendBytes(dst []byte) []byte {
+	n := (x.width + 7) / 8
+	for _, w := range x.words {
+		for k := 0; k < 8 && n > 0; k++ {
+			dst = append(dst, byte(w))
+			w >>= 8
+			n--
+		}
+	}
+	return dst
+}
+
 // Uint64 returns the value of the low 64 bits of x, zero-extended.
 func (x Vector) Uint64() uint64 {
 	if len(x.words) == 0 {

@@ -18,12 +18,21 @@ import (
 // every iteration has completed. fn must be safe for concurrent calls
 // with distinct indices; iterations are claimed from a shared atomic
 // counter, so scheduling is dynamic but each index runs exactly once.
+//
+// Degenerate inputs are guarded rather than left to wedge the pool: a
+// negative or zero n is an empty range (For returns immediately, fn is
+// never called), and a worker count that is still unusable after the
+// GOMAXPROCS substitution clamps to 1 so the loop always makes
+// progress instead of spawning zero goroutines and hanging the wait.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 0 {
+		workers = 1
 	}
 	if workers > n {
 		workers = n

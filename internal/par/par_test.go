@@ -39,3 +39,44 @@ func TestForEmptyAndTiny(t *testing.T) {
 		t.Fatal("body skipped for n=1")
 	}
 }
+
+// TestForGuards pins the degenerate-input contract: negative and zero
+// ranges are empty (never hang, never call fn), and any worker count —
+// zero, negative, or absurdly large — still visits every index exactly
+// once. For must return (not deadlock) in every case; the test itself
+// hanging is the failure mode for a regression here.
+func TestForGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		workers int
+		want    int // total fn invocations
+	}{
+		{"negative-n", -5, 4, 0},
+		{"negative-n-negative-workers", -1, -1, 0},
+		{"zero-n", 0, 0, 0},
+		{"zero-workers", 10, 0, 10},
+		{"negative-workers", 10, -3, 10},
+		{"very-negative-workers", 7, -1 << 30, 7},
+		{"more-workers-than-work", 3, 64, 3},
+		{"one-worker", 5, 1, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var total atomic.Int32
+			seen := make([]int32, max(tc.n, 0))
+			For(tc.n, tc.workers, func(i int) {
+				total.Add(1)
+				atomic.AddInt32(&seen[i], 1)
+			})
+			if got := int(total.Load()); got != tc.want {
+				t.Fatalf("For(%d, %d): fn ran %d times, want %d", tc.n, tc.workers, got, tc.want)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("For(%d, %d): index %d ran %d times", tc.n, tc.workers, i, c)
+				}
+			}
+		})
+	}
+}

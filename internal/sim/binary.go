@@ -1,0 +1,65 @@
+package sim
+
+// AppendBinary appends a compact, self-delimiting binary rendering of v
+// to dst and returns the extended slice. It is the model checker's
+// state-key codec: no intermediate strings, no fmt, one append stream.
+//
+// The contract is equivalence with the String renderings the legacy
+// string keys were built from: for two values stored in the same slot
+// (hence of the same specification type), the appended bytes are equal
+// exactly when the String() renderings are equal. Deduplication over
+// binary keys therefore partitions states identically to the string
+// store it replaces — state counts cannot drift. In particular, array
+// elements past index 8 are summarized by the element count alone,
+// mirroring ArrayVal.String's tail truncation (the equivalence classes
+// must match; a finer key would split states the string store merged).
+//
+// Each encoding starts with a kind tag, so values of different kinds
+// landing in one slot (e.g. an integer overwritten by a vector) never
+// alias, and fixed-width headers make the stream uniquely decodable —
+// concatenations are equal iff they are equal componentwise.
+func AppendBinary(dst []byte, v Value) []byte {
+	switch v := v.(type) {
+	case IntVal:
+		return appendU64(append(dst, 'i'), uint64(v.V))
+	case BoolVal:
+		if v.V {
+			return append(dst, 'b', 1)
+		}
+		return append(dst, 'b', 0)
+	case VecVal:
+		dst = appendU32(append(dst, 'v'), uint32(v.V.Width()))
+		return v.V.AppendBytes(dst)
+	case ArrayVal:
+		dst = appendU32(append(dst, 'a'), uint32(len(v.Elems)))
+		n := len(v.Elems)
+		if n > arrayHeadElems {
+			n = arrayHeadElems
+		}
+		for i := 0; i < n; i++ {
+			dst = AppendBinary(dst, v.Elems[i])
+		}
+		return dst
+	case RecordVal:
+		dst = appendU32(append(dst, 'r'), uint32(len(v.Fields)))
+		for _, f := range v.Fields {
+			dst = AppendBinary(dst, f)
+		}
+		return dst
+	}
+	panic("sim: AppendBinary on unknown value kind")
+}
+
+// arrayHeadElems is how many leading array elements ArrayVal.String
+// renders before summarizing the tail as "... N elems" (indices 0..8).
+const arrayHeadElems = 9
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -32,13 +32,43 @@ func (ev *Evaluator) fail(format string, args ...any) {
 	panic(fmt.Sprintf("sim: Evaluator.Fail returned: "+format, args...))
 }
 
+// smallVecBox caches boxed VecVals for vectors up to 64 bits wide whose
+// value fits a byte. Protocol state is dominated by flags, opcodes and
+// small counters; without the cache every evaluated strobe or counter
+// result is a fresh interface allocation, and the model checker boxes
+// millions of them per run. Vector operations are persistent, so the
+// cached backing words are never mutated.
+var smallVecBox [65][256]Value
+
+func init() {
+	for w := 1; w <= 64; w++ {
+		max := 256
+		if w < 8 {
+			max = 1 << uint(w)
+		}
+		for v := 0; v < max; v++ {
+			smallVecBox[w][v] = VecVal{V: bits.FromUint(uint64(v), w)}
+		}
+	}
+}
+
+// boxVec boxes a vector result, reusing a cached box when possible.
+func boxVec(v bits.Vector) Value {
+	if w := v.Width(); w >= 1 && w <= 64 {
+		if u := v.Uint64(); u < 256 {
+			return smallVecBox[w][u]
+		}
+	}
+	return VecVal{V: v}
+}
+
 // Eval evaluates an expression against the current variable values.
 func (ev *Evaluator) Eval(e spec.Expr) Value {
 	switch e := e.(type) {
 	case *spec.IntLit:
 		return IntVal{V: e.Value}
 	case *spec.VecLit:
-		return VecVal{V: e.Value}
+		return boxVec(e.Value)
 	case *spec.BoolLit:
 		return BoolVal{V: e.Value}
 	case *spec.VarRef:
@@ -65,7 +95,7 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 		if lo < 0 || hi >= xv.V.Width() || hi < lo {
 			ev.fail("slice (%d downto %d) out of range for %s", hi, lo, e.X)
 		}
-		return VecVal{V: xv.V.Slice(hi, lo)}
+		return boxVec(xv.V.Slice(hi, lo))
 	case *spec.FieldRef:
 		x := ev.Eval(e.X)
 		rv, ok := x.(RecordVal)
@@ -87,7 +117,7 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 			case BoolVal:
 				return BoolVal{V: !x.V}
 			case VecVal:
-				return VecVal{V: x.V.Not()}
+				return boxVec(x.V.Not())
 			}
 			ev.fail("not on %s", x)
 		case spec.OpNeg:
@@ -103,9 +133,9 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 			}
 			return IntVal{V: asInt(x)}
 		case spec.BitVectorType:
-			return VecVal{V: asVec(x, to.Width)}
+			return boxVec(asVec(x, to.Width))
 		case spec.BitType:
-			return VecVal{V: asVec(x, 1)}
+			return boxVec(asVec(x, 1))
 		case spec.BoolType:
 			return BoolVal{V: asBool(x)}
 		}
@@ -191,21 +221,21 @@ func (ev *Evaluator) evalVecBinary(op spec.Op, x, y Value, xv, yv VecVal, xIsVec
 	if op == spec.OpConcat {
 		a := asVec(x, vecWidthOr(x, width))
 		b := asVec(y, vecWidthOr(y, width))
-		return VecVal{V: bits.Concat(a, b)}
+		return boxVec(bits.Concat(a, b))
 	}
 	a := asVec(x, width)
 	b := asVec(y, width)
 	switch op {
 	case spec.OpAdd:
-		return VecVal{V: a.Add(b)}
+		return boxVec(a.Add(b))
 	case spec.OpSub:
-		return VecVal{V: a.Sub(b)}
+		return boxVec(a.Sub(b))
 	case spec.OpAnd:
-		return VecVal{V: a.And(b)}
+		return boxVec(a.And(b))
 	case spec.OpOr:
-		return VecVal{V: a.Or(b)}
+		return boxVec(a.Or(b))
 	case spec.OpXor:
-		return VecVal{V: a.Xor(b)}
+		return boxVec(a.Xor(b))
 	case spec.OpEq:
 		return BoolVal{V: a.Equal(b)}
 	case spec.OpNeq:
@@ -238,16 +268,16 @@ func (ev *Evaluator) evalVecBinary(op spec.Op, x, y Value, xv, yv VecVal, xIsVec
 			}
 			r = av % bv
 		}
-		return VecVal{V: bits.FromUint(r, width)}
+		return boxVec(bits.FromUint(r, width))
 	case spec.OpShl, spec.OpShr:
 		sh := int(asInt(y))
 		if sh < 0 {
 			ev.fail("negative shift amount %d", sh)
 		}
 		if op == spec.OpShl {
-			return VecVal{V: a.Lsh(sh)}
+			return boxVec(a.Lsh(sh))
 		}
-		return VecVal{V: a.Rsh(sh)}
+		return boxVec(a.Rsh(sh))
 	}
 	ev.fail("unsupported vector op %s", op)
 	return nil
@@ -266,9 +296,9 @@ func Coerce(v Value, t spec.Type) Value {
 	case spec.IntegerType:
 		return IntVal{V: asInt(v)}
 	case spec.BitVectorType:
-		return VecVal{V: asVec(v, t.Width)}
+		return boxVec(asVec(v, t.Width))
 	case spec.BitType:
-		return VecVal{V: asVec(v, 1)}
+		return boxVec(asVec(v, 1))
 	case spec.BoolType:
 		return BoolVal{V: asBool(v)}
 	}
@@ -393,7 +423,7 @@ func (ev *Evaluator) applyPath(cur Value, path []accessor, val Value) Value {
 		if lo < 0 || hi >= vv.V.Width() || hi < lo {
 			ev.fail("slice store (%d downto %d) out of range (width %d)", hi, lo, vv.V.Width())
 		}
-		return VecVal{V: vv.V.SetSlice(hi, lo, asVec(val, hi-lo+1))}
+		return boxVec(vv.V.SetSlice(hi, lo, asVec(val, hi-lo+1)))
 	}
 	ev.fail("bad lvalue path")
 	return nil
@@ -403,7 +433,7 @@ func (ev *Evaluator) applyPath(cur Value, path []accessor, val Value) Value {
 func coerceLeafLike(val Value, like Value) Value {
 	switch like := like.(type) {
 	case VecVal:
-		return VecVal{V: asVec(val, like.V.Width())}
+		return boxVec(asVec(val, like.V.Width()))
 	case IntVal:
 		return IntVal{V: asInt(val)}
 	case BoolVal:

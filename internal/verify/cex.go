@@ -63,6 +63,7 @@ func buildCex(m *machine, sr *searcher, site *violationSite, golden map[string]s
 		sys: m.sys, maxClocks: maxClocks, golden: golden, abortKeys: abortKeys,
 	}
 	st := m.initialState()
+	ec := m.newExecCtx()
 	counts := make(map[string]int64)
 	seen := make(map[string]bool)
 	for _, sp := range steps {
@@ -77,7 +78,7 @@ func buildCex(m *machine, sr *searcher, site *violationSite, golden map[string]s
 		}
 		p := int(sp.proc)
 		prog := m.progs[p]
-		res, err := m.exec(st, p)
+		res, err := m.exec(ec, st, p)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +104,10 @@ func buildCex(m *machine, sr *searcher, site *violationSite, golden map[string]s
 			if !okO || !okN {
 				continue
 			}
-			for _, f := range cev.changed {
+			for f := 0; f < len(cev.bus.rec.Fields) && f < 64; f++ {
+				if cev.changed&(1<<uint(f)) == 0 {
+					continue
+				}
 				name := cev.bus.sig.Name + "." + cev.bus.rec.Fields[f].Name
 				txt := fmt.Sprintf("%s: %s -> %s", name, ov.Fields[f], nv.Fields[f])
 				if name == dropName {

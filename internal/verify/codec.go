@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"repro/internal/sim"
+)
+
+// This file is the binary state codec: the dedup key the searcher's
+// store hashes and confirms against. encodeInto must partition states
+// exactly like the legacy string encode() — two states get equal byte
+// keys iff their encode() strings are equal — because the recorded
+// state counts (EXPERIMENTS.md) depend on the store's equivalence
+// classes, not just on correctness. codec_test.go pins the equivalence
+// over a generated corpus.
+//
+// Layout (all integers little-endian, fixed width):
+//
+//	globals     sim.AppendBinary per slot, in slot order
+//	per process pc uint32 · flags byte (bit0 blocked, bit1 fin) ·
+//	            rem uint64 · locals via sim.AppendBinary
+//	lastW       one byte per tracked bus field
+//	budget      uint16
+//
+// No per-field delimiters are needed: the machine fixes the global
+// count, the process count and each process's local count, and every
+// sim.AppendBinary rendering is self-delimiting, so the stream is
+// uniquely decodable by position.
+
+// encodeInto appends s's canonical binary key to dst and returns the
+// extended slice. It allocates only when dst's capacity is exceeded —
+// callers reuse per-worker scratch buffers across successors.
+func (s *state) encodeInto(dst []byte) []byte {
+	for _, v := range s.g {
+		dst = sim.AppendBinary(dst, v)
+	}
+	for p := range s.l {
+		pc := uint32(s.ps[p].pc)
+		dst = append(dst, byte(pc), byte(pc>>8), byte(pc>>16), byte(pc>>24))
+		var flags byte
+		if s.ps[p].blocked {
+			flags |= 1
+		}
+		if s.ps[p].fin {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		r := uint64(s.ps[p].rem)
+		dst = append(dst,
+			byte(r), byte(r>>8), byte(r>>16), byte(r>>24),
+			byte(r>>32), byte(r>>40), byte(r>>48), byte(r>>56))
+		for _, v := range s.l[p] {
+			dst = sim.AppendBinary(dst, v)
+		}
+	}
+	for _, w := range s.lastW {
+		dst = append(dst, byte(w))
+	}
+	return append(dst, byte(s.budget), byte(s.budget>>8))
+}
+
+// FNV-1a, 64-bit. Inlined rather than hash/fnv so hashing a key is a
+// single pass over the bytes with no Hash64 allocation per state.
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey returns the 64-bit FNV-1a hash of a binary state key — the
+// only per-state datum the store retains.
+func hashKey(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashString is hashKey for strings (violation-message dedup) without
+// a []byte conversion allocation.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}

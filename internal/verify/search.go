@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/par"
 )
@@ -46,43 +47,86 @@ type violationSite struct {
 	loop []edge // livelock lasso, nil otherwise
 }
 
+// vioKey dedups violations by kind and message hash — two fixed-size
+// words, unlike the formatted message strings the map used to retain.
+// Hashing the message (rather than keying on the site node) keeps the
+// dedup classes exactly those of the legacy (kind, message) keying:
+// the same finding reached at many nodes still counts once, so the
+// MaxViolations cap fires at the same point and the recorded state
+// counts stay byte-identical. A 64-bit collision would only merge two
+// distinct findings into one report — never a soundness hole.
+type vioKey struct {
+	kind Kind
+	msg  uint64 // FNV-1a of the formatted message
+}
+
 type searcher struct {
 	m           *machine
 	nodes       []*node
-	index       map[string]int32
+	store       *store
 	edges       []edge // transitions between open states (liveness graph)
 	frontier    []int32
 	sites       []*violationSite
-	vioKeys     map[string]bool
+	vioKeys     map[vioKey]bool
 	transitions int64
 	depth       int32
 	incomplete  string
+	// wpool recycles per-worker expansion buffers (key arena, confirm
+	// scratch, successor slice) across layers.
+	wpool sync.Pool
+	// nodeArena chunk-allocates node storage: one allocation per 4096
+	// admissions instead of one per node.
+	nodeArena []node
+}
+
+func (s *searcher) newNode() *node {
+	if len(s.nodeArena) == 0 {
+		s.nodeArena = make([]node, 4096)
+	}
+	nn := &s.nodeArena[0]
+	s.nodeArena = s.nodeArena[1:]
+	return nn
+}
+
+// wctx is one expansion's reusable buffers. Successor keys are slices
+// of the arena, recorded as offsets because append may move it.
+type wctx struct {
+	arena   []byte
+	scratch []byte
+	succs   []succOut
+	ec      *execCtx
 }
 
 // succOut is one successor computed by a worker; everything the merge
-// needs is precomputed so the sequential phase stays cheap.
+// needs is precomputed so the sequential phase stays cheap. Workers
+// pre-hash the binary key and pre-check it against the store (frozen
+// during expansion): a hit fixes `existing` and drops the state and key
+// on the spot, a miss carries the state plus its key (arena offsets)
+// to the merge, which re-checks against in-layer insertions.
 type succOut struct {
-	via       step
-	key       string
-	st        *state
-	enabled   uint32
-	open      bool
-	sleep     uint32
-	conflicts []string
+	via            step
+	hash           uint64
+	existing       int32 // pre-checked store hit; -1 = miss
+	st             *state
+	keyOff, keyEnd int32
+	enabled        uint32
+	open           bool
+	sleep          uint32
+	conflicts      []string
 }
 
 type expandOut struct {
 	maskUsed uint32
 	tickUsed bool
-	succs    []succOut
+	w        *wctx
 	err      error
 }
 
 func newSearcher(m *machine) *searcher {
 	return &searcher{
 		m:       m,
-		index:   make(map[string]int32),
-		vioKeys: make(map[string]bool),
+		store:   newStore(),
+		vioKeys: make(map[vioKey]bool),
 	}
 }
 
@@ -92,11 +136,16 @@ func newSearcher(m *machine) *searcher {
 // counts are identical at any worker count.
 func (s *searcher) run() error {
 	init := s.m.initialState()
-	en, err := s.m.enabledMask(init)
+	en, err := s.m.enabledMask(s.m.newExecCtx(), init)
 	if err != nil {
 		return err
 	}
-	s.admit(succOut{via: step{proc: -1, drop: -1}, key: init.encode(), st: init, enabled: en, open: s.m.open(init)}, -1)
+	w0 := &wctx{arena: init.encodeInto(nil)}
+	s.admit(&succOut{
+		via: step{proc: -1, drop: -1}, hash: hashKey(w0.arena), existing: -1,
+		st: init, keyOff: 0, keyEnd: int32(len(w0.arena)),
+		enabled: en, open: s.m.open(init),
+	}, -1, w0)
 
 	for len(s.frontier) > 0 && s.incomplete == "" {
 		s.depth++
@@ -125,10 +174,19 @@ func (s *searcher) run() error {
 // expand computes every successor of one node: for each pending process
 // its normal segment plus one drop variant per droppable field change,
 // then the quiescent tick when nothing is enabled. Pure with respect to
-// shared search state — mutation happens in merge.
+// shared search state — mutation happens in merge. (The store is read,
+// never written: pre-check hits against it stay valid because states
+// are never removed.)
 func (s *searcher) expand(idx int32) expandOut {
 	n := s.nodes[idx]
-	out := expandOut{maskUsed: n.pendingMask, tickUsed: n.needsTick}
+	w, ok := s.wpool.Get().(*wctx)
+	if !ok {
+		w = &wctx{}
+	}
+	if w.ec == nil {
+		w.ec = s.m.newExecCtx()
+	}
+	out := expandOut{maskUsed: n.pendingMask, tickUsed: n.needsTick, w: w}
 	// disallowed = the node's effective sleep set relative to enabled.
 	disallowed := n.enabled &^ (n.pendingMask | n.explored)
 	var earlier uint32
@@ -137,14 +195,15 @@ func (s *searcher) expand(idx int32) expandOut {
 		if n.pendingMask&bit == 0 {
 			continue
 		}
-		res, err := s.m.exec(n.st, p)
+		res, err := s.m.exec(w.ec, n.st, p)
 		if err != nil {
 			out.err = err
 			return out
 		}
 		sleep := (disallowed | n.explored | earlier) & s.m.indep[p]
 		earlier |= bit
-		if err := s.emit(&out, step{proc: int8(p), drop: -1}, res.st, sleep, res.conflicts); err != nil {
+		normHit, err := s.emit(w, step{proc: int8(p), drop: -1}, res.st, sleep, res.conflicts)
+		if err != nil {
 			out.err = err
 			return out
 		}
@@ -156,20 +215,33 @@ func (s *searcher) expand(idx int32) expandOut {
 				ds := s.m.dropVariant(n.st, res.st, di)
 				// Conflicts belong to the shared segment and are already
 				// reported on the normal successor.
-				if err := s.emit(&out, step{proc: int8(p), drop: int16(di)}, ds, sleep, nil); err != nil {
+				hit, err := s.emit(w, step{proc: int8(p), drop: int16(di)}, ds, sleep, nil)
+				if err != nil {
 					out.err = err
 					return out
 				}
+				if hit {
+					s.m.release(ds)
+				}
 			}
+		}
+		// The norm state seeds its drop variants above, so its shell is
+		// only recyclable once they have all been derived.
+		if normHit {
+			s.m.release(res.st)
 		}
 	}
 	if n.needsTick {
 		ts, clocks, ok := s.m.tick(n.st)
 		if ok {
 			// Time advance interacts with every timer: no sleep carries over.
-			if err := s.emit(&out, step{proc: -1, drop: -1, tick: clocks}, ts, 0, nil); err != nil {
+			hit, err := s.emit(w, step{proc: -1, drop: -1, tick: clocks}, ts, 0, nil)
+			if err != nil {
 				out.err = err
 				return out
+			}
+			if hit {
+				s.m.release(ts)
 			}
 		}
 	}
@@ -178,28 +250,43 @@ func (s *searcher) expand(idx int32) expandOut {
 
 func dropApplies(d dropTarget, commits []commitEvent) bool {
 	for _, c := range commits {
-		if c.bus != d.bus {
-			continue
-		}
-		for _, f := range c.changed {
-			if f == d.field {
-				return true
-			}
+		if c.bus == d.bus && c.changed&(1<<uint(d.field)) != 0 {
+			return true
 		}
 	}
 	return false
 }
 
-func (s *searcher) emit(out *expandOut, via step, st *state, sleep uint32, conflicts []string) error {
-	en, err := s.m.enabledMask(st)
-	if err != nil {
-		return err
+// emit encodes one successor into the worker's arena, hashes it and
+// pre-checks the frozen store. On a hit the key is discarded, the
+// existing node index recorded, and the (now redundant) enabled-mask
+// evaluation skipped entirely — the caller owns releasing the state.
+// On a miss the key stays in the arena for the merge's re-check.
+func (s *searcher) emit(w *wctx, via step, st *state, sleep uint32, conflicts []string) (hit bool, err error) {
+	off := int32(len(w.arena))
+	w.arena = st.encodeInto(w.arena)
+	key := w.arena[off:]
+	h := hashKey(key)
+	if j, scratch, ok := s.store.lookup(h, key, s.nodes, w.scratch); ok {
+		w.scratch = scratch
+		w.arena = w.arena[:off]
+		w.succs = append(w.succs, succOut{
+			via: via, hash: h, existing: j, sleep: sleep, conflicts: conflicts,
+		})
+		return true, nil
+	} else {
+		w.scratch = scratch
 	}
-	out.succs = append(out.succs, succOut{
-		via: via, key: st.encode(), st: st,
+	en, err := s.m.enabledMask(w.ec, st)
+	if err != nil {
+		return false, err
+	}
+	w.succs = append(w.succs, succOut{
+		via: via, hash: h, existing: -1, st: st,
+		keyOff: off, keyEnd: int32(len(w.arena)),
 		enabled: en, open: s.m.open(st), sleep: sleep, conflicts: conflicts,
 	})
-	return nil
+	return false, nil
 }
 
 // merge folds one expansion into the store, in deterministic order.
@@ -207,6 +294,7 @@ func (s *searcher) emit(out *expandOut, via step, st *state, sleep uint32, confl
 // admitted: a re-arrival (possibly a self-loop) can hand the node fresh
 // pending bits mid-merge, and it must be re-queued for them.
 func (s *searcher) merge(idx int32, out expandOut) error {
+	defer s.recycle(out.w)
 	if out.err != nil {
 		return out.err
 	}
@@ -216,9 +304,10 @@ func (s *searcher) merge(idx int32, out expandOut) error {
 	if out.tickUsed {
 		n.needsTick = false
 	}
-	for _, sc := range out.succs {
+	for i := range out.w.succs {
+		sc := &out.w.succs[i]
 		s.transitions++
-		j := s.admit(sc, idx)
+		j := s.admit(sc, idx, out.w)
 		if s.incomplete != "" {
 			return nil
 		}
@@ -236,34 +325,54 @@ func (s *searcher) merge(idx int32, out expandOut) error {
 	return nil
 }
 
+// recycle clears a worker context (dropping its state and conflict
+// references so pooled buffers don't pin dead objects) and returns it
+// to the pool.
+func (s *searcher) recycle(w *wctx) {
+	if w == nil {
+		return
+	}
+	for i := range w.succs {
+		w.succs[i] = succOut{}
+	}
+	w.succs = w.succs[:0]
+	w.arena = w.arena[:0]
+	s.wpool.Put(w)
+}
+
 // admit stores a successor (or folds a re-arrival into the existing
 // node) and classifies terminal and quiescent states. parent is -1 for
-// the initial state.
-func (s *searcher) admit(sc succOut, parent int32) int32 {
-	if j, ok := s.index[sc.key]; ok {
-		old := s.nodes[j]
-		allowed := old.enabled &^ sc.sleep
-		if fresh := allowed &^ old.explored &^ old.pendingMask; fresh != 0 {
-			old.pendingMask |= fresh
-			if !old.queued {
-				old.queued = true
-				s.frontier = append(s.frontier, j)
-			}
-		}
+// the initial state. A pre-checked hit folds directly; a miss is
+// re-checked against the store because an earlier merge slot of the
+// same layer may have admitted the state already — in that case the
+// duplicate's shell goes back to the pool.
+func (s *searcher) admit(sc *succOut, parent int32, w *wctx) int32 {
+	if sc.existing >= 0 {
+		s.fold(sc.existing, sc.sleep)
+		return sc.existing
+	}
+	key := w.arena[sc.keyOff:sc.keyEnd]
+	if j, scratch, ok := s.store.lookup(sc.hash, key, s.nodes, w.scratch); ok {
+		w.scratch = scratch
+		s.fold(j, sc.sleep)
+		s.m.release(sc.st)
 		return j
+	} else {
+		w.scratch = scratch
 	}
 	j := int32(len(s.nodes))
 	depth := int32(0)
 	if parent >= 0 {
 		depth = s.nodes[parent].depth + 1
 	}
-	nn := &node{
+	nn := s.newNode()
+	*nn = node{
 		st: sc.st, parent: parent, via: sc.via, depth: depth,
 		enabled: sc.enabled, open: sc.open,
 		pendingMask: sc.enabled &^ sc.sleep,
 	}
 	s.nodes = append(s.nodes, nn)
-	s.index[sc.key] = j
+	s.store.insert(sc.hash, j)
 	if s.m.cfg.MaxStates > 0 && len(s.nodes) > s.m.cfg.MaxStates {
 		s.incomplete = fmt.Sprintf("state bound %d reached", s.m.cfg.MaxStates)
 		return j
@@ -271,7 +380,7 @@ func (s *searcher) admit(sc succOut, parent int32) int32 {
 	if sc.enabled == 0 {
 		hasTimer := false
 		for p := range s.m.progs {
-			if sc.st.blocked[p] && !sc.st.fin[p] && sc.st.rem[p] > 0 {
+			if sc.st.ps[p].blocked && !sc.st.ps[p].fin && sc.st.ps[p].rem > 0 {
 				hasTimer = true
 				break
 			}
@@ -286,6 +395,20 @@ func (s *searcher) admit(sc succOut, parent int32) int32 {
 	return j
 }
 
+// fold merges a re-arrival into an existing node: an arrival with a
+// smaller sleep set re-opens the newly allowed transitions.
+func (s *searcher) fold(j int32, sleep uint32) {
+	old := s.nodes[j]
+	allowed := old.enabled &^ sleep
+	if fresh := allowed &^ old.explored &^ old.pendingMask; fresh != 0 {
+		old.pendingMask |= fresh
+		if !old.queued {
+			old.queued = true
+			s.frontier = append(s.frontier, j)
+		}
+	}
+}
+
 // classifyQuiet inspects a state with no enabled process. Without
 // pending timers it is terminal: either every foreground process
 // finished (check data delivery) or the system is deadlocked. With
@@ -295,7 +418,7 @@ func (s *searcher) admit(sc succOut, parent int32) int32 {
 func (s *searcher) classifyQuiet(j int32, st *state, hasTimer bool) {
 	var finMask uint32
 	for p := range s.m.progs {
-		if st.fin[p] {
+		if st.ps[p].fin {
 			finMask |= 1 << uint(p)
 		}
 	}
@@ -344,7 +467,7 @@ func (s *searcher) checkDelivery(j int32, st *state) {
 }
 
 func (s *searcher) addViolation(kind Kind, msg string, node int32, loop []edge) {
-	key := fmt.Sprintf("%d|%s", kind, msg)
+	key := vioKey{kind: kind, msg: hashString(msg)}
 	if s.vioKeys[key] {
 		return
 	}

@@ -2,8 +2,8 @@ package verify
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -42,6 +42,10 @@ type machine struct {
 	// Delivery check inputs (from the golden fault-free simulation).
 	expected   []sim.Value // per gslot; nil entries unchecked
 	abortSlots []int
+	// pool recycles state shells (the top-level slices of states that
+	// were deduplicated away). Only cloneShared allocates states, so
+	// every pooled shell has this machine's exact slice lengths.
+	pool sync.Pool
 }
 
 // busModel is the checker's view of one generated bus: which record
@@ -210,34 +214,44 @@ func (m *machine) buildIndependence() {
 // state is one vertex of the product state space. Values are shared
 // between states freely: the executor never mutates a stored value in
 // place (bits.Vector operations are persistent and container updates
-// rebuild the containers along the path).
+// rebuild the containers along the path). The same invariant extends
+// one level up to whole per-process local slices: cloneShared aliases
+// the inner l[q] slices between parent and child, and the executor
+// replaces l[p] with a fresh copy before the running process writes a
+// local, so an inner slice is never mutated once any other state can
+// see it. Top-level slices (g, l, pc, blocked, fin, rem, lastW) are
+// always exclusively owned — that is what makes shells recyclable.
 type state struct {
-	g       []sim.Value
-	l       [][]sim.Value
-	pc      []int32
-	blocked []bool
-	fin     []bool
-	// rem is the remaining clocks of a blocked process's bounded wait
-	// (-1 for none). Relative deadlines, not absolute time: the
-	// quiescent tick decrements every positive counter by the minimum,
-	// which preserves the simulator's exact timeout ordering.
-	rem []int64
+	g []sim.Value
+	l [][]sim.Value
+	// ps packs each process's scalar bookkeeping into one slice (one
+	// allocation and one memmove per clone instead of four).
+	ps []procState
 	// lastW records, per tracked bus field, the last process that drove
 	// it (-1 none) — the state the driver-conflict check needs.
 	lastW  []int8
 	budget int16 // remaining drop-fault budget
 }
 
+// procState is one process's control scalars.
+type procState struct {
+	pc      int32
+	blocked bool
+	fin     bool
+	// rem is the remaining clocks of a blocked process's bounded wait
+	// (-1 for none). Relative deadlines, not absolute time: the
+	// quiescent tick decrements every positive counter by the minimum,
+	// which preserves the simulator's exact timeout ordering.
+	rem int64
+}
+
 func (m *machine) initialState() *state {
 	st := &state{
-		g:       make([]sim.Value, len(m.globals)),
-		l:       make([][]sim.Value, len(m.progs)),
-		pc:      make([]int32, len(m.progs)),
-		blocked: make([]bool, len(m.progs)),
-		fin:     make([]bool, len(m.progs)),
-		rem:     make([]int64, len(m.progs)),
-		lastW:   make([]int8, m.nTrack),
-		budget:  int16(m.cfg.MaxDrops),
+		g:      make([]sim.Value, len(m.globals)),
+		l:      make([][]sim.Value, len(m.progs)),
+		ps:     make([]procState, len(m.progs)),
+		lastW:  make([]int8, m.nTrack),
+		budget: int16(m.cfg.MaxDrops),
 	}
 	for i, v := range m.globals {
 		st.g[i] = sim.InitialValue(v)
@@ -248,8 +262,8 @@ func (m *machine) initialState() *state {
 			st.l[p][i] = sim.InitialValue(v)
 		}
 	}
-	for p := range st.rem {
-		st.rem[p] = -1
+	for p := range st.ps {
+		st.ps[p].rem = -1
 	}
 	for i := range st.lastW {
 		st.lastW[i] = -1
@@ -257,25 +271,45 @@ func (m *machine) initialState() *state {
 	return st
 }
 
-func (s *state) clone() *state {
-	ns := &state{
-		g:       append([]sim.Value(nil), s.g...),
-		l:       make([][]sim.Value, len(s.l)),
-		pc:      append([]int32(nil), s.pc...),
-		blocked: append([]bool(nil), s.blocked...),
-		fin:     append([]bool(nil), s.fin...),
-		rem:     append([]int64(nil), s.rem...),
-		lastW:   append([]int8(nil), s.lastW...),
-		budget:  s.budget,
+// cloneShared derives a copy-on-write child of s: every top-level
+// slice is copied (so the child may overwrite pc/rem/g/lastW entries
+// and swap whole local slices freely), but the inner per-process local
+// slices are shared with the parent. Writers must replace l[p] with a
+// fresh copy before touching a local — exec does exactly that for the
+// single process it runs.
+func (m *machine) cloneShared(s *state) *state {
+	ns, ok := m.pool.Get().(*state)
+	if !ok {
+		ns = &state{
+			g:     make([]sim.Value, len(s.g)),
+			l:     make([][]sim.Value, len(s.l)),
+			ps:    make([]procState, len(s.ps)),
+			lastW: make([]int8, len(s.lastW)),
+		}
 	}
-	for i := range s.l {
-		ns.l[i] = append([]sim.Value(nil), s.l[i]...)
-	}
+	copy(ns.g, s.g)
+	copy(ns.l, s.l) // inner slices aliased — see the state doc comment
+	copy(ns.ps, s.ps)
+	copy(ns.lastW, s.lastW)
+	ns.budget = s.budget
 	return ns
 }
 
-// encode renders the state as a canonical string key for the
-// deduplicating store.
+// release returns a deduplicated-away state's shell to the pool. Legal
+// only for states produced by cloneShared that no node, edge or pending
+// drop variant references: the top-level slices will be overwritten by
+// the next cloneShared, while the (possibly shared) inner local slices
+// are left untouched.
+func (m *machine) release(st *state) {
+	if st != nil {
+		m.pool.Put(st)
+	}
+}
+
+// encode renders the state as a canonical string key. It is the legacy
+// store key, retained as the oracle for the binary codec's equivalence
+// test (codec_test.go) and the baseline the benchmarks compare against;
+// the searcher itself now keys on encodeInto (codec.go).
 func (s *state) encode() string {
 	var b strings.Builder
 	for _, v := range s.g {
@@ -283,7 +317,7 @@ func (s *state) encode() string {
 		b.WriteByte(0)
 	}
 	for p := range s.l {
-		fmt.Fprintf(&b, "#%d:%d:%t:%t:%d;", p, s.pc[p], s.blocked[p], s.fin[p], s.rem[p])
+		fmt.Fprintf(&b, "#%d:%d:%t:%t:%d;", p, s.ps[p].pc, s.ps[p].blocked, s.ps[p].fin, s.ps[p].rem)
 		for _, v := range s.l[p] {
 			b.WriteString(v.String())
 			b.WriteByte(0)
@@ -303,9 +337,12 @@ type verifyFail struct{ err error }
 // commitEvent is one signal commit of a segment whose value actually
 // changed, recorded for counterexample rendering and drop enumeration.
 type commitEvent struct {
-	slot    int
-	bus     *busModel // nil for plain signals
-	changed []int     // changed field indexes (bus signals)
+	slot int
+	bus  *busModel // nil for plain signals
+	// changed is a bitmask of the changed record field indexes (bus
+	// signals; fields past 63 are untracked, like checkDrivers), or any
+	// nonzero marker for a changed plain signal.
+	changed uint64
 	old     sim.Value
 	new     sim.Value
 }
@@ -318,17 +355,161 @@ type segResult struct {
 	conflicts []string // driver-conflict violation messages
 }
 
+// pendingWrite is one signal slot's accumulated segment write: the
+// value visible to later writes (not reads) of the same segment, plus
+// the record-field bits the segment's assignments drove. A segment
+// touches at most a handful of slots, so a linear slice beats the maps
+// this replaced.
+type pendingWrite struct {
+	slot   int
+	val    sim.Value
+	fields uint64
+}
+
+// execCtx is a worker's reusable segment-execution context: the pending
+// and commit scratch buffers plus an Evaluator whose closures are bound
+// once to the ctx instead of being rebuilt per call, so repeated
+// exec/evalCond calls allocate nothing beyond the successor states they
+// produce. Not safe for concurrent use — each worker (and each
+// sequential caller) owns its own.
+type execCtx struct {
+	m       *machine
+	st      *state
+	p       int
+	prog    *program
+	pending []pendingWrite
+	res     segResult
+	gi      int // signal slot the current Store call targets
+	ev      sim.Evaluator
+	// Store callbacks, bound once. sig* accumulate into the pending
+	// buffer (delta semantics); mem* write through directly.
+	sigLoad  func(*spec.Variable) sim.Value
+	sigStore func(*spec.Variable, sim.Value)
+	memLoad  func(*spec.Variable) sim.Value
+	memStore func(*spec.Variable, sim.Value)
+}
+
+func (m *machine) newExecCtx() *execCtx {
+	ec := &execCtx{m: m}
+	ec.ev = sim.Evaluator{
+		Lookup: func(v *spec.Variable) sim.Value {
+			if i, ok := ec.prog.lslot[v]; ok {
+				return ec.st.l[ec.p][i]
+			}
+			if i, ok := m.gslot[v]; ok {
+				// Signal reads see committed values even while this
+				// segment has pending writes — the simulator's delta
+				// semantics.
+				return ec.st.g[i]
+			}
+			panic(verifyFail{fmt.Errorf("variable %s not in scope", v.Name)})
+		},
+		Fail: func(format string, args ...any) {
+			panic(verifyFail{fmt.Errorf(format, args...)})
+		},
+	}
+	ec.sigLoad = func(*spec.Variable) sim.Value {
+		// Writers build on their own pending value so a later field
+		// update cannot revert an earlier one.
+		if pw := ec.findPending(ec.gi); pw != nil {
+			return pw.val
+		}
+		return ec.st.g[ec.gi]
+	}
+	ec.sigStore = func(_ *spec.Variable, nv sim.Value) {
+		if pw := ec.findPending(ec.gi); pw != nil {
+			pw.val = nv
+			return
+		}
+		ec.pending = append(ec.pending, pendingWrite{slot: ec.gi, val: nv})
+	}
+	ec.memLoad = func(v *spec.Variable) sim.Value { return ec.ev.Lookup(v) }
+	ec.memStore = func(v *spec.Variable, nv sim.Value) {
+		if i, ok := ec.prog.lslot[v]; ok {
+			ec.st.l[ec.p][i] = nv
+			return
+		}
+		if i, ok := m.gslot[v]; ok {
+			ec.st.g[i] = nv
+			return
+		}
+		panic(verifyFail{fmt.Errorf("variable %s not writable", v.Name)})
+	}
+	return ec
+}
+
+func (ec *execCtx) findPending(gi int) *pendingWrite {
+	for i := range ec.pending {
+		if ec.pending[i].slot == gi {
+			return &ec.pending[i]
+		}
+	}
+	return nil
+}
+
+func (ec *execCtx) setLocal(v *spec.Variable, val sim.Value) {
+	i, ok := ec.prog.lslot[v]
+	if !ok {
+		panic(verifyFail{fmt.Errorf("local %s has no slot", v.Name)})
+	}
+	ec.st.l[ec.p][i] = sim.Coerce(val, v.Type)
+}
+
+// commit applies the pending signal writes slot-ordered, as the
+// simulator commits: insertion sort — the pending list rarely exceeds
+// two slots.
+func (ec *execCtx) commit() {
+	m, st, pending := ec.m, ec.st, ec.pending
+	for i := 1; i < len(pending); i++ {
+		for j := i; j > 0 && pending[j].slot < pending[j-1].slot; j-- {
+			pending[j], pending[j-1] = pending[j-1], pending[j]
+		}
+	}
+	for i := range pending {
+		pw := &pending[i]
+		gi := pw.slot
+		old, nv := st.g[gi], pw.val
+		bm := m.bySlot[gi]
+		cev := commitEvent{slot: gi, bus: bm, old: old, new: nv}
+		if bm != nil {
+			ov, okO := old.(sim.RecordVal)
+			nvv, okN := nv.(sim.RecordVal)
+			if okO && okN && len(ov.Fields) == len(nvv.Fields) {
+				for f := 0; f < len(ov.Fields) && f < 64; f++ {
+					if !ov.Fields[f].Equal(nvv.Fields[f]) {
+						cev.changed |= 1 << uint(f)
+					}
+				}
+				m.checkDrivers(st, ec.p, bm, ov, nvv, pw.fields, &ec.res)
+			}
+		} else if !old.Equal(nv) {
+			cev.changed = 1
+		}
+		st.g[gi] = nv
+		if cev.changed != 0 {
+			ec.res.commits = append(ec.res.commits, cev)
+		}
+	}
+}
+
 // exec runs process p from parent for one atomic segment. The segment
 // mirrors one simulator delta slice: signal writes accumulate in a
 // pending buffer invisible to reads, waits whose condition already
 // holds are passed through inline, and everything commits at the next
-// blocking wait (or at process end). parent is not mutated.
-func (m *machine) exec(parent *state, p int) (res *segResult, err error) {
-	st := parent.clone()
+// blocking wait (or at process end). parent is not mutated. The
+// returned result lives inside ec — its commits backing is reused by
+// the ctx's next exec, so callers must consume it first (conflicts are
+// freshly allocated and safe to retain).
+func (m *machine) exec(ec *execCtx, parent *state, p int) (res *segResult, err error) {
+	st := m.cloneShared(parent)
+	// Copy-on-write: only process p's locals can be written this
+	// segment, so give p a private slice and keep sharing the rest.
+	st.l[p] = append(make([]sim.Value, 0, len(parent.l[p])), parent.l[p]...)
 	prog := m.progs[p]
-	res = &segResult{st: st}
-	pending := make(map[int]sim.Value)
-	written := make(map[int]map[int]bool)
+	ec.st, ec.p, ec.prog = st, p, prog
+	ec.pending = ec.pending[:0]
+	ec.res = segResult{st: st, commits: ec.res.commits[:0]}
+	res = &ec.res
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -340,82 +521,27 @@ func (m *machine) exec(parent *state, p int) (res *segResult, err error) {
 		}
 	}()
 
-	ev := sim.Evaluator{
-		Lookup: func(v *spec.Variable) sim.Value {
-			if i, ok := prog.lslot[v]; ok {
-				return st.l[p][i]
-			}
-			if i, ok := m.gslot[v]; ok {
-				// Signal reads see committed values even while this
-				// segment has pending writes — the simulator's delta
-				// semantics.
-				return st.g[i]
-			}
-			panic(verifyFail{fmt.Errorf("variable %s not in scope", v.Name)})
-		},
-		Fail: func(format string, args ...any) {
-			panic(verifyFail{fmt.Errorf(format, args...)})
-		},
-	}
-	setLocal := func(v *spec.Variable, val sim.Value) {
-		i, ok := prog.lslot[v]
-		if !ok {
-			panic(verifyFail{fmt.Errorf("local %s has no slot", v.Name)})
-		}
-		st.l[p][i] = sim.Coerce(val, v.Type)
-	}
-	commit := func() {
-		slots := make([]int, 0, len(pending))
-		for gi := range pending {
-			slots = append(slots, gi)
-		}
-		sort.Ints(slots)
-		for _, gi := range slots {
-			old, nv := st.g[gi], pending[gi]
-			bm := m.bySlot[gi]
-			cev := commitEvent{slot: gi, bus: bm, old: old, new: nv}
-			if bm != nil {
-				ov, okO := old.(sim.RecordVal)
-				nvv, okN := nv.(sim.RecordVal)
-				if okO && okN && len(ov.Fields) == len(nvv.Fields) {
-					for f := range ov.Fields {
-						if !ov.Fields[f].Equal(nvv.Fields[f]) {
-							cev.changed = append(cev.changed, f)
-						}
-					}
-					m.checkDrivers(st, p, bm, ov, nvv, written[gi], res)
-				}
-			} else if !old.Equal(nv) {
-				cev.changed = []int{-1}
-			}
-			st.g[gi] = nv
-			if len(cev.changed) > 0 {
-				res.commits = append(res.commits, cev)
-			}
-		}
-	}
-
 	// Resume a blocked process: decide (again) whether its wait ended by
 	// condition or by timeout, mirroring the simulator's wake logic.
-	if st.fin[p] {
+	if st.ps[p].fin {
 		return nil, fmt.Errorf("verify: process %s already finished", prog.beh.Name)
 	}
-	if st.blocked[p] {
-		in := prog.code[st.pc[p]]
+	if st.ps[p].blocked {
+		in := prog.code[st.ps[p].pc]
 		if in.op != opWait {
 			return nil, fmt.Errorf("verify: process %s blocked on non-wait instruction", prog.beh.Name)
 		}
 		w := in.wait
-		condMet := w.Until != nil && sim.AsBool(ev.Eval(w.Until))
-		if !condMet && st.rem[p] != 0 {
+		condMet := w.Until != nil && sim.AsBool(ec.ev.Eval(w.Until))
+		if !condMet && st.ps[p].rem != 0 {
 			return nil, fmt.Errorf("verify: process %s resumed while not enabled", prog.beh.Name)
 		}
 		if w.TimedOut != nil {
-			setLocal(w.TimedOut, sim.BoolVal{V: !condMet})
+			ec.setLocal(w.TimedOut, sim.BoolVal{V: !condMet})
 		}
-		st.blocked[p] = false
-		st.rem[p] = -1
-		st.pc[p]++
+		st.ps[p].blocked = false
+		st.ps[p].rem = -1
+		st.ps[p].pc++
 	}
 
 	steps := 0
@@ -424,79 +550,58 @@ func (m *machine) exec(parent *state, p int) (res *segResult, err error) {
 		if steps > maxSegmentSteps {
 			return nil, fmt.Errorf("verify: process %s executed %d instructions without yielding (runaway zero-delay loop?)", prog.beh.Name, steps)
 		}
-		in := &prog.code[st.pc[p]]
+		in := &prog.code[st.ps[p].pc]
 		switch in.op {
 		case opEnd:
-			st.fin[p] = true
-			commit()
+			st.ps[p].fin = true
+			ec.commit()
 			return res, nil
 		case opJump:
-			st.pc[p] = in.target
+			st.ps[p].pc = in.target
 		case opBranch:
-			if sim.AsBool(ev.Eval(in.cond)) {
-				st.pc[p]++
+			if sim.AsBool(ec.ev.Eval(in.cond)) {
+				st.ps[p].pc++
 			} else {
-				st.pc[p] = in.target
+				st.ps[p].pc = in.target
 			}
 		case opClear:
-			setLocal(in.v, sim.ZeroValue(in.v.Type))
-			st.pc[p]++
+			ec.setLocal(in.v, sim.ZeroValue(in.v.Type))
+			st.ps[p].pc++
 		case opAssign:
 			a := in.assign
-			val := ev.Eval(a.RHS)
+			val := ec.ev.Eval(a.RHS)
 			base := spec.BaseVar(a.LHS)
 			gi, isGlobal := m.gslot[base]
 			if isGlobal && m.isSignal[gi] {
-				ev.Store(a.LHS, val,
-					func(*spec.Variable) sim.Value {
-						// Writers build on their own pending value so a
-						// later field update cannot revert an earlier one.
-						if pv, ok := pending[gi]; ok {
-							return pv
-						}
-						return st.g[gi]
-					},
-					func(_ *spec.Variable, nv sim.Value) { pending[gi] = nv })
+				ec.gi = gi
+				ec.ev.Store(a.LHS, val, ec.sigLoad, ec.sigStore)
 				if bm := m.bySlot[gi]; bm != nil {
-					if written[gi] == nil {
-						written[gi] = make(map[int]bool)
+					if pw := ec.findPending(gi); pw != nil {
+						pw.fields |= writtenMask(a.LHS, bm)
 					}
-					markWritten(a.LHS, bm, written[gi])
 				}
 			} else {
-				ev.Store(a.LHS, val,
-					func(v *spec.Variable) sim.Value { return ev.Lookup(v) },
-					func(v *spec.Variable, nv sim.Value) {
-						if i, ok := prog.lslot[v]; ok {
-							st.l[p][i] = nv
-							return
-						}
-						if i, ok := m.gslot[v]; ok {
-							st.g[i] = nv
-							return
-						}
-						panic(verifyFail{fmt.Errorf("variable %s not writable", v.Name)})
-					})
+				ec.ev.Store(a.LHS, val, ec.memLoad, ec.memStore)
 			}
-			st.pc[p]++
+			st.ps[p].pc++
 		case opWait:
 			w := in.wait
-			if w.Until != nil && sim.AsBool(ev.Eval(w.Until)) {
+			if w.Until != nil && sim.AsBool(ec.ev.Eval(w.Until)) {
 				// Immediate pass-through without suspending, like the
 				// simulator's in-slice check against committed values.
 				if w.TimedOut != nil {
-					setLocal(w.TimedOut, sim.BoolVal{V: false})
+					ec.setLocal(w.TimedOut, sim.BoolVal{V: false})
 				}
-				st.pc[p]++
+				st.ps[p].pc++
 				continue
 			}
-			st.blocked[p] = true
+			st.ps[p].blocked = true
 			if w.HasFor {
-				st.rem[p] = w.For
+				st.ps[p].rem = w.For
 			} else {
-				st.rem[p] = -1
+				st.ps[p].rem = -1
 			}
-			commit()
+			ec.commit()
 			return res, nil
 		default:
 			return nil, fmt.Errorf("verify: process %s: bad opcode %d", prog.beh.Name, in.op)
@@ -512,7 +617,7 @@ func (m *machine) exec(parent *state, p int) (res *segResult, err error) {
 func (m *machine) dropVariant(parent, norm *state, dropField int) *state {
 	d := m.drops[dropField]
 	slot := d.bus.slot
-	ns := norm.clone()
+	ns := m.cloneShared(norm)
 	nv, ok := ns.g[slot].(sim.RecordVal)
 	if !ok {
 		return ns
@@ -540,14 +645,12 @@ func (m *machine) dropVariant(parent, norm *state, dropField int) *state {
 //
 // Writes are tracked even when the value does not change: driving an
 // already-high strobe high is still a second driver.
-func (m *machine) checkDrivers(st *state, p int, bm *busModel, old, nv sim.RecordVal, written map[int]bool, res *segResult) {
-	fields := make([]int, 0, len(written))
-	for f := range written {
-		fields = append(fields, f)
-	}
-	sort.Ints(fields)
+func (m *machine) checkDrivers(st *state, p int, bm *busModel, old, nv sim.RecordVal, written uint64, res *segResult) {
 	name := func(f int) string { return bm.sig.Name + "." + bm.rec.Fields[f].Name }
-	for _, f := range fields {
+	for f := 0; f < len(bm.rec.Fields) && f < 64; f++ {
+		if written&(1<<uint(f)) == 0 {
+			continue
+		}
 		ti, tracked := bm.trackOf[f]
 		if !tracked {
 			continue
@@ -572,24 +675,26 @@ func (m *machine) checkDrivers(st *state, p int, bm *busModel, old, nv sim.Recor
 	}
 }
 
-// markWritten records which tracked bus fields an assignment drives. A
-// whole-record assignment drives every field.
-func markWritten(lhs spec.Expr, bm *busModel, set map[int]bool) {
+// writtenMask returns the field bits an assignment drives. A
+// whole-record assignment drives every tracked field.
+func writtenMask(lhs spec.Expr, bm *busModel) uint64 {
 	for {
 		switch l := lhs.(type) {
 		case *spec.VarRef:
+			var mask uint64
 			for f := range bm.trackOf {
-				set[f] = true
+				mask |= 1 << uint(f)
 			}
-			return
+			return mask
 		case *spec.FieldRef:
 			if _, ok := l.X.(*spec.VarRef); ok {
+				var mask uint64
 				for i, f := range bm.rec.Fields {
 					if f.Name == l.Field {
-						set[i] = true
+						mask |= 1 << uint(i)
 					}
 				}
-				return
+				return mask
 			}
 			lhs = l.X
 		case *spec.SliceExpr:
@@ -597,7 +702,7 @@ func markWritten(lhs spec.Expr, bm *busModel, set map[int]bool) {
 		case *spec.Index:
 			lhs = l.Arr
 		default:
-			return
+			return 0
 		}
 	}
 }
@@ -617,19 +722,19 @@ func valIsZero(v sim.Value) bool {
 // enabledMask computes which processes may take a transition from st: a
 // runnable process, a blocked process whose wait condition holds, or a
 // blocked process whose bounded wait has expired (rem == 0).
-func (m *machine) enabledMask(st *state) (uint32, error) {
+func (m *machine) enabledMask(ec *execCtx, st *state) (uint32, error) {
 	var mask uint32
 	for p, prog := range m.progs {
-		if st.fin[p] {
+		if st.ps[p].fin {
 			continue
 		}
-		if !st.blocked[p] {
+		if !st.ps[p].blocked {
 			mask |= 1 << uint(p)
 			continue
 		}
-		w := prog.code[st.pc[p]].wait
+		w := prog.code[st.ps[p].pc].wait
 		if w.Until != nil {
-			ok, err := m.evalCond(st, p, w.Until)
+			ok, err := m.evalCond(ec, st, p, w.Until)
 			if err != nil {
 				return 0, err
 			}
@@ -638,14 +743,17 @@ func (m *machine) enabledMask(st *state) (uint32, error) {
 				continue
 			}
 		}
-		if st.rem[p] == 0 {
+		if st.ps[p].rem == 0 {
 			mask |= 1 << uint(p)
 		}
 	}
 	return mask, nil
 }
 
-func (m *machine) evalCond(st *state, p int, cond spec.Expr) (ok bool, err error) {
+// evalCond evaluates a wait condition against st through ec's bound
+// evaluator (reads only — ec's pending buffer is never consulted by
+// Lookup, so a ctx fresh from exec is safe to reuse here).
+func (m *machine) evalCond(ec *execCtx, st *state, p int, cond spec.Expr) (ok bool, err error) {
 	prog := m.progs[p]
 	defer func() {
 		if r := recover(); r != nil {
@@ -656,21 +764,8 @@ func (m *machine) evalCond(st *state, p int, cond spec.Expr) (ok bool, err error
 			ok, err = false, fmt.Errorf("verify: process %s: %w", prog.beh.Name, vf.err)
 		}
 	}()
-	ev := sim.Evaluator{
-		Lookup: func(v *spec.Variable) sim.Value {
-			if i, okL := prog.lslot[v]; okL {
-				return st.l[p][i]
-			}
-			if i, okG := m.gslot[v]; okG {
-				return st.g[i]
-			}
-			panic(verifyFail{fmt.Errorf("variable %s not in scope", v.Name)})
-		},
-		Fail: func(format string, args ...any) {
-			panic(verifyFail{fmt.Errorf(format, args...)})
-		},
-	}
-	return sim.AsBool(ev.Eval(cond)), nil
+	ec.st, ec.p, ec.prog = st, p, prog
+	return sim.AsBool(ec.ev.Eval(cond)), nil
 }
 
 // tick advances quiescent time: with no process enabled, the minimum
@@ -680,19 +775,19 @@ func (m *machine) evalCond(st *state, p int, cond spec.Expr) (ok bool, err error
 func (m *machine) tick(st *state) (*state, int64, bool) {
 	min := int64(-1)
 	for p := range m.progs {
-		if st.blocked[p] && !st.fin[p] && st.rem[p] > 0 {
-			if min < 0 || st.rem[p] < min {
-				min = st.rem[p]
+		if st.ps[p].blocked && !st.ps[p].fin && st.ps[p].rem > 0 {
+			if min < 0 || st.ps[p].rem < min {
+				min = st.ps[p].rem
 			}
 		}
 	}
 	if min < 0 {
 		return nil, 0, false
 	}
-	ns := st.clone()
+	ns := m.cloneShared(st)
 	for p := range m.progs {
-		if ns.blocked[p] && !ns.fin[p] && ns.rem[p] > 0 {
-			ns.rem[p] -= min
+		if ns.ps[p].blocked && !ns.ps[p].fin && ns.ps[p].rem > 0 {
+			ns.ps[p].rem -= min
 		}
 	}
 	return ns, min, true
@@ -721,21 +816,21 @@ func (m *machine) open(st *state) bool {
 func (m *machine) describeState(st *state) string {
 	var waiting []string
 	for p, prog := range m.progs {
-		if st.fin[p] {
+		if st.ps[p].fin {
 			continue
 		}
 		name := prog.beh.Name
 		if prog.beh.Server {
 			name += " (server)"
 		}
-		if st.blocked[p] {
-			w := prog.code[st.pc[p]].wait
+		if st.ps[p].blocked {
+			w := prog.code[st.ps[p].pc].wait
 			desc := ""
 			if w.Until != nil {
 				desc = "until " + w.Until.String()
 			}
 			if w.HasFor {
-				desc += fmt.Sprintf(" (rem %d)", st.rem[p])
+				desc += fmt.Sprintf(" (rem %d)", st.ps[p].rem)
 			}
 			waiting = append(waiting, name+": wait "+strings.TrimSpace(desc))
 		} else {

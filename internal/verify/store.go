@@ -1,0 +1,69 @@
+package verify
+
+import "bytes"
+
+// storeShards is the shard count of the dedup store; a power of two so
+// shard selection is a mask of the hash's low bits.
+const storeShards = 64
+
+// store is the searcher's deduplicating state index, in the hash-
+// compaction lineage: it never retains a state key. Each stored state
+// is represented only by the 64-bit FNV-1a hash of its binary encoding,
+// mapped to the node index, across storeShards shard maps keyed by the
+// hash's low bits. Two distinct states can share a hash, so a hash hit
+// is a candidate, not an answer: lookup re-encodes the candidate node's
+// state into a scratch buffer and confirms byte equality — unlike
+// SPIN's probabilistic bitstate mode, a collision here costs one
+// re-encode, never a soundness hole. The rare confirmed-distinct
+// same-hash states chain through the overflow map.
+//
+// Concurrency contract: insert only runs in the sequential merge phase.
+// During parallel expansion the store is frozen, so workers may call
+// lookup concurrently to pre-dedup successors (a miss must be re-checked
+// at merge time — an earlier merge slot may have inserted the state —
+// but a hit is final, states are never removed).
+type store struct {
+	shards   [storeShards]map[uint64]int32
+	overflow map[uint64][]int32
+}
+
+func newStore() *store {
+	st := &store{overflow: make(map[uint64][]int32)}
+	for i := range st.shards {
+		st.shards[i] = make(map[uint64]int32)
+	}
+	return st
+}
+
+// lookup finds the node whose state encodes to key, confirming every
+// same-hash candidate by re-encoding it into scratch and comparing
+// bytes. It returns the node index, the (possibly grown) scratch buffer
+// for reuse, and whether a confirmed match exists.
+func (st *store) lookup(h uint64, key []byte, nodes []*node, scratch []byte) (int32, []byte, bool) {
+	j, ok := st.shards[h&(storeShards-1)][h]
+	if !ok {
+		return 0, scratch, false
+	}
+	scratch = nodes[j].st.encodeInto(scratch[:0])
+	if bytes.Equal(scratch, key) {
+		return j, scratch, true
+	}
+	for _, k := range st.overflow[h] {
+		scratch = nodes[k].st.encodeInto(scratch[:0])
+		if bytes.Equal(scratch, key) {
+			return k, scratch, true
+		}
+	}
+	return 0, scratch, false
+}
+
+// insert records node j as (another) state hashing to h. The caller has
+// already established via lookup that j's state is not present.
+func (st *store) insert(h uint64, j int32) {
+	sh := st.shards[h&(storeShards-1)]
+	if _, exists := sh[h]; exists {
+		st.overflow[h] = append(st.overflow[h], j)
+		return
+	}
+	sh[h] = j
+}

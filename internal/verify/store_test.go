@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// intState is a minimal one-slot state for store tests.
+func intState(v int64) *state {
+	return &state{
+		g:  []sim.Value{sim.IntVal{V: v}},
+		l:  [][]sim.Value{nil},
+		ps: []procState{{rem: -1}},
+	}
+}
+
+// TestStoreConfirmsOnCollision forces distinct states onto one hash
+// (inserting them under the same h, as a real 64-bit collision would)
+// and checks that lookup confirms by bytes — returning each state's own
+// node, chaining through the overflow list, and rejecting a same-hash
+// stranger instead of aliasing it to a stored state.
+func TestStoreConfirmsOnCollision(t *testing.T) {
+	st := newStore()
+	var nodes []*node
+	const h = uint64(0xdeadbeefcafef00d)
+	for i := int64(0); i < 3; i++ {
+		nodes = append(nodes, &node{st: intState(i)})
+		st.insert(h, int32(i))
+	}
+	var scratch []byte
+	for i := int64(0); i < 3; i++ {
+		key := intState(i).encodeInto(nil)
+		j, sc, ok := st.lookup(h, key, nodes, scratch)
+		scratch = sc
+		if !ok || j != int32(i) {
+			t.Fatalf("state %d: lookup = (%d, %v), want (%d, true)", i, j, ok, i)
+		}
+	}
+	// A fourth state with the same hash but different bytes must miss:
+	// hash equality alone never admits a state.
+	key := intState(99).encodeInto(nil)
+	if j, _, ok := st.lookup(h, key, nodes, scratch); ok {
+		t.Fatalf("stranger with colliding hash matched node %d", j)
+	}
+	// And a hash nobody inserted misses without touching candidates.
+	if _, _, ok := st.lookup(h+1, key, nodes, nil); ok {
+		t.Fatal("lookup hit on an absent hash")
+	}
+}
+
+// TestStoreShardsByHash checks states land in the shard their hash's
+// low bits select, so the per-shard maps stay balanced and disjoint.
+func TestStoreShardsByHash(t *testing.T) {
+	st := newStore()
+	var nodes []*node
+	for i := int64(0); i < 200; i++ {
+		s := intState(i)
+		nodes = append(nodes, &node{st: s})
+		st.insert(hashKey(s.encodeInto(nil)), int32(i))
+	}
+	total := 0
+	occupied := 0
+	for i, sh := range st.shards {
+		for h := range sh {
+			if h&(storeShards-1) != uint64(i) {
+				t.Fatalf("hash %x stored in shard %d", h, i)
+			}
+		}
+		total += len(sh)
+		if len(sh) > 0 {
+			occupied++
+		}
+	}
+	if total != 200 {
+		t.Fatalf("stored %d hashes across shards, want 200 (overflow: %d)", total, len(st.overflow))
+	}
+	if occupied < storeShards/2 {
+		t.Fatalf("only %d/%d shards occupied — FNV low bits are not spreading", occupied, storeShards)
+	}
+	var scratch []byte
+	for i := int64(0); i < 200; i++ {
+		key := intState(i).encodeInto(nil)
+		j, sc, ok := st.lookup(hashKey(key), key, nodes, scratch)
+		scratch = sc
+		if !ok || j != int32(i) {
+			t.Fatalf("state %d: lookup = (%d, %v)", i, j, ok)
+		}
+	}
+}
+
+// TestViolationDedupBounded pins the vioKeys memory fix: reporting the
+// same violation at one site over and over must not grow the dedup map
+// or the site list, and the map's keys are fixed-size (kind, hash)
+// pairs — it retains no message strings no matter how many distinct
+// sites report.
+func TestViolationDedupBounded(t *testing.T) {
+	s := newSearcher(&machine{cfg: withDefaults(Config{MaxViolations: 100})})
+	for i := 0; i < 50; i++ {
+		s.addViolation(Deadlock, "deadlock: P stuck at the same site", 7, nil)
+	}
+	if len(s.vioKeys) != 1 || len(s.sites) != 1 {
+		t.Fatalf("repeated violation at one site: %d keys, %d sites, want 1, 1", len(s.vioKeys), len(s.sites))
+	}
+	// The same finding surfacing at other nodes is still one site (the
+	// legacy message-keyed semantics the state counts depend on).
+	for n := int32(8); n < 40; n++ {
+		s.addViolation(Deadlock, "deadlock: P stuck at the same site", n, nil)
+	}
+	if len(s.vioKeys) != 1 || len(s.sites) != 1 {
+		t.Fatalf("same message across nodes: %d keys, %d sites, want 1, 1", len(s.vioKeys), len(s.sites))
+	}
+	// Distinct findings still accumulate, each once.
+	for i := 0; i < 10; i++ {
+		msg := fmt.Sprintf("driver conflict on B.F%d", i)
+		s.addViolation(DriverConflict, msg, 7, nil)
+		s.addViolation(DriverConflict, msg, 7, nil)
+	}
+	if len(s.vioKeys) != 11 || len(s.sites) != 11 {
+		t.Fatalf("distinct violations: %d keys, %d sites, want 11, 11", len(s.vioKeys), len(s.sites))
+	}
+	// And the cap still halts the search.
+	s.m.cfg.MaxViolations = 12
+	s.addViolation(Corruption, "one more", 3, nil)
+	if s.incomplete == "" {
+		t.Fatal("violation cap did not mark the search incomplete")
+	}
+}

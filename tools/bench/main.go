@@ -1,0 +1,184 @@
+// Command bench measures the model checker's exploration throughput
+// (states/sec), allocation footprint (bytes and allocs per stored
+// state) and wall time on the reference PQ workloads, and records the
+// numbers in BENCH_verify.json so the performance trajectory across PRs
+// stays on the record. By default a run is appended to an existing
+// file; -fresh overwrites it.
+//
+// Usage:
+//
+//	go run ./tools/bench -label pr5-binary-codec [-o BENCH_verify.json]
+//
+//	-label L   run label recorded in the file (default "dev")
+//	-o FILE    output file (default BENCH_verify.json)
+//	-fresh     overwrite the file instead of appending
+//	-reps N    repetitions per scenario; best wall time wins (default 3)
+//	-j N       exploration workers (0 = all CPUs)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// Measurement is one scenario's record.
+type Measurement struct {
+	Scenario       string  `json:"scenario"`
+	States         int     `json:"states"`
+	Transitions    int64   `json:"transitions"`
+	WallMS         float64 `json:"wallMs"`
+	StatesPerSec   float64 `json:"statesPerSec"`
+	BytesPerState  float64 `json:"bytesPerState"`
+	AllocsPerState float64 `json:"allocsPerState"`
+	Violations     int     `json:"violations"`
+	Incomplete     string  `json:"incomplete,omitempty"`
+}
+
+// Run is one invocation of this tool: a labelled set of measurements.
+type Run struct {
+	Label     string        `json:"label"`
+	GoVersion string        `json:"goVersion"`
+	CPUs      int           `json:"cpus"`
+	Workers   int           `json:"workers"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+// File is the committed BENCH_verify.json shape.
+type File struct {
+	Comment string `json:"comment"`
+	Runs    []Run  `json:"runs"`
+}
+
+const fileComment = "Model-checker performance trajectory; append a run with: go run ./tools/bench -label <pr-label>"
+
+// scenario builds a fresh refined system (protogen mutates the input
+// spec, so each measurement synthesizes from scratch) plus the checker
+// configuration to measure.
+type scenario struct {
+	name  string
+	build func(workers int) (*spec.System, verify.Config, error)
+}
+
+func refinedPQ(robust bool, workers int, vcfg verify.Config) (*spec.System, verify.Config, error) {
+	sys, _ := workloads.PQ()
+	rep, err := core.Synthesize(sys, core.Options{
+		Bus:     core.Options{}.Bus,
+		Robust:  robust,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, vcfg, err
+	}
+	for _, br := range rep.Buses {
+		vcfg.AbortVars = append(vcfg.AbortVars, br.Ref.AbortKeys()...)
+	}
+	vcfg.Workers = workers
+	return sys, vcfg, nil
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{"baseline-drop1", func(w int) (*spec.System, verify.Config, error) {
+			return refinedPQ(false, w, verify.Config{MaxDrops: 1})
+		}},
+		{"robust-drop0", func(w int) (*spec.System, verify.Config, error) {
+			return refinedPQ(true, w, verify.Config{})
+		}},
+		{"robust-drop1-100k", func(w int) (*spec.System, verify.Config, error) {
+			return refinedPQ(true, w, verify.Config{MaxDrops: 1, MaxStates: 100_000})
+		}},
+	}
+}
+
+func measure(sc scenario, workers, reps int) (Measurement, error) {
+	best := Measurement{Scenario: sc.name}
+	for r := 0; r < reps; r++ {
+		sys, vcfg, err := sc.build(workers)
+		if err != nil {
+			return best, fmt.Errorf("%s: synthesis: %w", sc.name, err)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		rep, err := verify.Check(sys, vcfg)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return best, fmt.Errorf("%s: check: %w", sc.name, err)
+		}
+		m := Measurement{
+			Scenario:       sc.name,
+			States:         rep.States,
+			Transitions:    rep.Transitions,
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			StatesPerSec:   float64(rep.States) / wall.Seconds(),
+			BytesPerState:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rep.States),
+			AllocsPerState: float64(m1.Mallocs-m0.Mallocs) / float64(rep.States),
+			Violations:     len(rep.Violations),
+			Incomplete:     rep.IncompleteReason,
+		}
+		if r == 0 || m.WallMS < best.WallMS {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	label := flag.String("label", "dev", "run label recorded in the output file")
+	out := flag.String("o", "BENCH_verify.json", "output file")
+	fresh := flag.Bool("fresh", false, "overwrite the output file instead of appending")
+	reps := flag.Int("reps", 3, "repetitions per scenario (best wall time wins)")
+	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs)")
+	flag.Parse()
+
+	run := Run{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Workers:   *workers,
+	}
+	for _, sc := range scenarios() {
+		m, err := measure(sc, *workers, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-18s %7d states %8d transitions %9.1f ms %10.0f states/s %8.0f B/state %6.1f allocs/state\n",
+			m.Scenario, m.States, m.Transitions, m.WallMS, m.StatesPerSec, m.BytesPerState, m.AllocsPerState)
+		run.Scenarios = append(run.Scenarios, m)
+	}
+
+	var f File
+	if !*fresh {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %s exists but is not parseable (%v); use -fresh to overwrite\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	f.Comment = fileComment
+	f.Runs = append(f.Runs, run)
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded run %q in %s\n", *label, *out)
+}
