@@ -33,9 +33,57 @@ func New(width int) Vector {
 
 func wordCount(width int) int { return (width + wordBits - 1) / wordBits }
 
+// Small interned vectors: every vector of width 1..smallVecW whose
+// value is below smallVecV is a shared immutable instance. Simulated
+// protocols move flags, opcodes and byte-wide data words — the same few
+// thousand small values sliced and rebuilt millions of times per fault
+// campaign — and vector operations are persistent (no method mutates a
+// vector once returned), so constructors can hand out shared instances
+// instead of allocating.
+const (
+	smallVecW = 16
+	smallVecV = 256
+)
+
+var smallVecs [smallVecW][smallVecV]Vector
+
+func init() {
+	// One backing array for the whole table keeps it a single
+	// allocation and cache-dense.
+	backing := make([]uint64, smallVecW*smallVecV)
+	for w := 1; w <= smallVecW; w++ {
+		for v := 0; v < smallVecV; v++ {
+			if w < 8 && v>>uint(w) != 0 {
+				continue // value does not fit the width
+			}
+			words := backing[:1:1]
+			backing = backing[1:]
+			words[0] = uint64(v)
+			smallVecs[w-1][v] = Vector{width: w, words: words}
+		}
+	}
+}
+
+// smallVec returns the interned vector for (width, value) when the
+// table covers it.
+func smallVec(width int, v uint64) (Vector, bool) {
+	if width < 1 || width > smallVecW || v >= smallVecV {
+		return Vector{}, false
+	}
+	if width < 8 && v>>uint(width) != 0 {
+		return Vector{}, false
+	}
+	return smallVecs[width-1][v], true
+}
+
 // FromUint returns a vector of the given width holding v truncated to
 // width bits.
 func FromUint(v uint64, width int) Vector {
+	if width >= 1 && width <= smallVecW {
+		if sv, ok := smallVec(width, v&maskLow(width)); ok {
+			return sv
+		}
+	}
 	x := New(width)
 	if width == 0 {
 		return x
@@ -48,6 +96,11 @@ func FromUint(v uint64, width int) Vector {
 // FromInt returns a vector of the given width holding the two's-complement
 // encoding of v truncated to width bits.
 func FromInt(v int64, width int) Vector {
+	if width >= 1 && width <= smallVecW {
+		if sv, ok := smallVec(width, uint64(v)&maskLow(width)); ok {
+			return sv
+		}
+	}
 	x := New(width)
 	if width == 0 {
 		return x
@@ -223,12 +276,28 @@ func (x Vector) Slice(hi, lo int) Vector {
 		panic(fmt.Sprintf("bits: slice (%d downto %d) out of range for width %d", hi, lo, x.width))
 	}
 	w := hi - lo + 1
-	y := New(w)
-	for i := 0; i < w; i++ {
-		if x.Bit(lo + i) {
-			y.words[i/wordBits] |= 1 << (i % wordBits)
+	if w <= smallVecW {
+		word, off := lo/wordBits, uint(lo%wordBits)
+		v := x.words[word] >> off
+		if off != 0 && word+1 < len(x.words) {
+			v |= x.words[word+1] << (wordBits - off)
+		}
+		if sv, ok := smallVec(w, v&maskLow(w)); ok {
+			return sv
 		}
 	}
+	y := New(w)
+	// Word-at-a-time extraction: each output word is one or two input
+	// words shifted into place.
+	word, off := lo/wordBits, uint(lo%wordBits)
+	for i := range y.words {
+		v := x.words[word+i] >> off
+		if off != 0 && word+i+1 < len(x.words) {
+			v |= x.words[word+i+1] << (wordBits - off)
+		}
+		y.words[i] = v
+	}
+	y.mask()
 	return y
 }
 
@@ -242,15 +311,41 @@ func (x Vector) SetSlice(hi, lo int, v Vector) Vector {
 		panic(fmt.Sprintf("bits: slice width mismatch: slot %d, value %d", hi-lo+1, v.width))
 	}
 	y := x.Clone()
-	for i := 0; i <= hi-lo; i++ {
-		b := v.Bit(i)
-		if b {
-			y.words[(lo+i)/wordBits] |= 1 << ((lo + i) % wordBits)
-		} else {
-			y.words[(lo+i)/wordBits] &^= 1 << ((lo + i) % wordBits)
+	// Word-at-a-time store: within each word the slot spans, mask out the
+	// slot bits and or in the corresponding word of v shifted into place.
+	word, off := lo/wordBits, uint(lo%wordBits)
+	lastWord := hi / wordBits
+	for j := word; j <= lastWord; j++ {
+		start := 0
+		if j == word {
+			start = int(off)
 		}
+		end := wordBits - 1
+		if j == lastWord {
+			end = hi % wordBits
+		}
+		msk := maskLow(end-start+1) << uint(start)
+		// Word j of v<<off: the low part of v.words[k] plus the carry out
+		// of v.words[k-1].
+		k := j - word
+		var val uint64
+		if k < len(v.words) {
+			val = v.words[k] << off
+		}
+		if off != 0 && k > 0 {
+			val |= v.words[k-1] >> (wordBits - off)
+		}
+		y.words[j] = y.words[j]&^msk | val&msk
 	}
 	return y
+}
+
+// maskLow returns a mask of the n lowest bits (n in [0,64]).
+func maskLow(n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
 }
 
 // Concat returns the vector hi & lo (hi occupying the most significant
@@ -274,7 +369,13 @@ func Concat(hi, lo Vector) Vector {
 // Resize returns x truncated or zero-extended to the given width.
 func (x Vector) Resize(width int) Vector {
 	if width == x.width {
-		return x.Clone()
+		// Vectors are persistent; an identity resize can share x.
+		return x
+	}
+	if width >= 1 && width <= smallVecW && len(x.words) > 0 {
+		if sv, ok := smallVec(width, x.words[0]&maskLow(min(width, x.width))); ok {
+			return sv
+		}
 	}
 	y := New(width)
 	n := min(width, x.width)

@@ -52,11 +52,13 @@ type Config struct {
 	// Runs is the number of seeded faulty runs; 0 means 20.
 	Runs int
 	// Seed seeds the campaign; run i draws its faults from a sub-seed
-	// derived deterministically from it.
+	// derived deterministically (and statelessly) from it.
 	Seed int64
 	// FaultsPerRun is the number of faults injected per run; 0 means 1.
 	FaultsPerRun int
-	// Classes restricts fault classes; empty means all.
+	// Classes restricts fault classes; nil means all. A non-nil empty
+	// slice is a configuration error (it would draw no faults at all),
+	// as is any class outside the known range.
 	Classes []Class
 	// Window is the fault-arming event window (see Plan.Window).
 	Window int64
@@ -72,6 +74,49 @@ type Config struct {
 	AbortVars []string
 	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// MaxExemplars bounds per-outcome exemplar retention in the report:
+	// for each outcome the first MaxExemplars runs (by run index) are
+	// kept as full RunResults, everything else is only counted. 0 means
+	// DefaultExemplars. This is what lets a 10⁷-run campaign hold its
+	// report in O(classes + exemplars) memory instead of O(runs).
+	MaxExemplars int
+	// Unpooled forces every run onto the classic goroutine-per-process
+	// kernel instead of the pooled batch engine. The two kernels are
+	// bit-identical (and cross-checked in tests); this exists for
+	// benchmark baselines and as an escape hatch.
+	Unpooled bool
+}
+
+// DefaultExemplars is the per-outcome exemplar retention bound.
+const DefaultExemplars = 4
+
+// validate rejects configurations that would otherwise silently run a
+// meaningless campaign (zero-fault runs, no runs, inverted windows).
+func (cfg *Config) validate() error {
+	if cfg.Runs < 0 {
+		return fmt.Errorf("fault: negative Runs %d", cfg.Runs)
+	}
+	if cfg.FaultsPerRun < 0 {
+		return fmt.Errorf("fault: negative FaultsPerRun %d", cfg.FaultsPerRun)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("fault: negative fault window %d", cfg.Window)
+	}
+	if cfg.MaxClocks < 0 {
+		return fmt.Errorf("fault: negative MaxClocks %d", cfg.MaxClocks)
+	}
+	if cfg.MaxExemplars < 0 {
+		return fmt.Errorf("fault: negative MaxExemplars %d", cfg.MaxExemplars)
+	}
+	if cfg.Classes != nil && len(cfg.Classes) == 0 {
+		return errors.New("fault: Classes is empty (nil means all classes)")
+	}
+	for _, c := range cfg.Classes {
+		if c < 0 || c >= numClasses {
+			return fmt.Errorf("fault: unknown fault class %d", int(c))
+		}
+	}
+	return nil
 }
 
 // RunResult is the outcome of one faulty run.
@@ -89,31 +134,79 @@ type RunResult struct {
 	Err string
 }
 
-// Report aggregates a campaign.
+// Report aggregates a campaign. Classification is folded incrementally
+// as runs complete: the report never materializes per-run state beyond
+// the bounded exemplar lists, so its memory footprint is independent of
+// the run count.
 type Report struct {
 	// Golden is the fault-free reference run.
 	Golden *sim.Result
-	Runs   []RunResult
+	// Runs is the number of faulty runs executed.
+	Runs int
 	// Totals counts runs per outcome.
 	Totals map[Outcome]int
 	// ByClass counts runs per fault class and outcome; a run injecting
 	// several classes is counted once under each.
 	ByClass map[Class]map[Outcome]int
+	// Exemplars holds, per outcome, the first MaxExemplars runs (by run
+	// index) that produced it — the counterexamples a repair loop or a
+	// human debugger starts from.
+	Exemplars map[Outcome][]RunResult
+}
+
+// runSeed derives run i's fault seed from the campaign seed via a
+// splitmix64 step. Unlike drawing seeds from one sequential generator,
+// the derivation is stateless, so a worker can seed run i without
+// having drawn seeds 0..i-1 — the property that lets chunks of runs
+// execute in any order on any worker count and still be byte-identical.
+func runSeed(campaignSeed int64, run int) int64 {
+	z := uint64(campaignSeed) + (uint64(run)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// Keep seeds non-negative like the rand.Int63 draws they replace.
+	return int64(z >> 1)
+}
+
+// chunkAgg is one seed-chunk's partial aggregation. Workers fold their
+// chunk locally with no sharing; the campaign merges chunks in index
+// order, which makes every report field independent of worker count and
+// scheduling.
+type chunkAgg struct {
+	totals    [numOutcomes]int
+	byClass   [numClasses][numOutcomes]int
+	exemplars [numOutcomes][]RunResult
 }
 
 // Campaign runs a seeded fault-injection campaign: one golden run, then
-// cfg.Runs faulty runs in parallel, each injecting freshly drawn faults
-// into its own simulator instance. Everything is derived from cfg.Seed,
-// so a campaign is reproducible byte for byte.
+// cfg.Runs faulty runs sharded in chunks across workers, each injecting
+// freshly drawn faults into its own simulator run. Runs execute on the
+// pooled batch kernel (sim.NewEngine) when the system compiles for it,
+// falling back to the classic kernel otherwise; both produce identical
+// reports. Everything is derived from cfg.Seed, so a campaign is
+// reproducible byte for byte at any worker count.
 func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
 	if bus == nil || bus.Signal == nil {
 		return nil, fmt.Errorf("fault: bus is not refined (no bus signal; run protocol generation first)")
 	}
-	if cfg.Runs <= 0 {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Runs == 0 {
 		cfg.Runs = 20
 	}
+	maxEx := cfg.MaxExemplars
+	if maxEx == 0 {
+		maxEx = DefaultExemplars
+	}
 
-	golden, err := runOnce(sys, cfg.Sim, nil)
+	var eng *sim.Engine
+	if !cfg.Unpooled {
+		// A compile failure (recursive procedure, exotic construct) is
+		// not a campaign error: the classic kernel runs everything.
+		eng, _ = sim.NewEngine(sys)
+	}
+	golden, err := execute(eng, sys, cfg.Sim)
 	if err != nil {
 		return nil, fmt.Errorf("fault: golden run failed: %w", err)
 	}
@@ -122,67 +215,127 @@ func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
 		maxClocks = 16*golden.Clocks + 4096
 	}
 
-	// Per-run sub-seeds, drawn up front in run order so the campaign's
-	// determinism does not depend on scheduling.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	seeds := make([]int64, cfg.Runs)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
+	// Chunk size balances dispatch overhead against load balance; the
+	// report is invariant to it (chunks merge in index order), so it can
+	// depend on the worker count without costing determinism.
+	chunk := cfg.Runs / (8 * effectiveWorkers(cfg.Workers))
+	if chunk < 1 {
+		chunk = 1
 	}
+	if chunk > 4096 {
+		chunk = 4096
+	}
+	partials := make([]chunkAgg, (cfg.Runs+chunk-1)/chunk)
+	golds := goldenFinals(golden, cfg.AbortVars)
 
-	runs := make([]RunResult, cfg.Runs)
-	par.For(cfg.Runs, cfg.Workers, func(i int) {
-		faults := Randomize(bus, Plan{
-			Seed:    seeds[i],
-			Count:   cfg.FaultsPerRun,
-			Classes: cfg.Classes,
-			Window:  cfg.Window,
-		})
-		rr := RunResult{Run: i, Seed: seeds[i], Faults: faults}
+	par.ForChunks(cfg.Runs, cfg.Workers, chunk, func(lo, hi int) {
+		agg := &partials[lo/chunk]
+		// One injector, RNG and fault buffer serve the whole chunk:
+		// Reset rearms them per run without allocating, and the
+		// simulator configuration (hook binding included) is built
+		// once. Fault draws and injection state are byte-identical to
+		// fresh per-run objects.
+		inj := &Injector{}
+		rng := rand.New(&smSource{})
+		var faults []Fault
 		scfg := cfg.Sim
 		scfg.MaxClocks = maxClocks
-		NewInjector(faults).Attach(&scfg)
-		res, rerr := runOnce(sys, scfg, nil)
-		if rerr != nil {
-			rr.Err = rerr.Error()
-			rr.Outcome = classifyError(rerr)
-		} else {
-			rr.Clocks = res.Clocks
-			rr.Aborts = sumAborts(res, cfg.AbortVars)
-			rr.Outcome = classifyFinals(golden, res, cfg.AbortVars, rr.Aborts)
+		// Classification reads only Clocks and Finals; skip the rest of
+		// the Result.
+		scfg.FinalsOnly = true
+		inj.Attach(&scfg)
+		for i := lo; i < hi; i++ {
+			seed := runSeed(cfg.Seed, i)
+			faults = randomizeInto(faults, rng, bus, Plan{
+				Seed:    seed,
+				Count:   cfg.FaultsPerRun,
+				Classes: cfg.Classes,
+				Window:  cfg.Window,
+			})
+			rr := RunResult{Run: i, Seed: seed, Faults: faults}
+			inj.Reset(faults)
+			res, rerr := execute(eng, sys, scfg)
+			if rerr != nil {
+				rr.Err = rerr.Error()
+				rr.Outcome = classifyError(rerr)
+			} else {
+				rr.Clocks = res.Clocks
+				rr.Aborts = sumAborts(res, cfg.AbortVars)
+				rr.Outcome = classifyFinals(golds, res, rr.Aborts)
+			}
+			agg.totals[rr.Outcome]++
+			var seen [numClasses]bool
+			for _, f := range rr.Faults {
+				if seen[f.Class] {
+					continue
+				}
+				seen[f.Class] = true
+				agg.byClass[f.Class][rr.Outcome]++
+			}
+			if len(agg.exemplars[rr.Outcome]) < maxEx {
+				// The fault buffer is recycled next run; an exemplar
+				// that outlives the loop gets its own copy.
+				rr.Faults = append([]Fault(nil), faults...)
+				agg.exemplars[rr.Outcome] = append(agg.exemplars[rr.Outcome], rr)
+			}
 		}
-		runs[i] = rr
 	})
 
 	rep := &Report{
-		Golden:  golden,
-		Runs:    runs,
-		Totals:  make(map[Outcome]int),
-		ByClass: make(map[Class]map[Outcome]int),
+		Golden:    golden,
+		Runs:      cfg.Runs,
+		Totals:    make(map[Outcome]int),
+		ByClass:   make(map[Class]map[Outcome]int),
+		Exemplars: make(map[Outcome][]RunResult),
 	}
-	for _, rr := range runs {
-		rep.Totals[rr.Outcome]++
-		seen := make(map[Class]bool)
-		for _, f := range rr.Faults {
-			if seen[f.Class] {
-				continue
+	for ci := range partials {
+		agg := &partials[ci]
+		for o := Outcome(0); o < numOutcomes; o++ {
+			if n := agg.totals[o]; n > 0 {
+				rep.Totals[o] += n
 			}
-			seen[f.Class] = true
-			if rep.ByClass[f.Class] == nil {
-				rep.ByClass[f.Class] = make(map[Outcome]int)
+			// Chunks are merged in index order and each chunk keeps its
+			// exemplars in run order, so the global list is exactly the
+			// first maxEx runs with this outcome.
+			for _, rr := range agg.exemplars[o] {
+				if len(rep.Exemplars[o]) < maxEx {
+					rep.Exemplars[o] = append(rep.Exemplars[o], rr)
+				}
 			}
-			rep.ByClass[f.Class][rr.Outcome]++
+			for c := Class(0); c < numClasses; c++ {
+				if n := agg.byClass[c][o]; n > 0 {
+					if rep.ByClass[c] == nil {
+						rep.ByClass[c] = make(map[Outcome]int)
+					}
+					rep.ByClass[c][o] += n
+				}
+			}
 		}
 	}
 	return rep, nil
 }
 
-func runOnce(sys *spec.System, cfg sim.Config, _ any) (*sim.Result, error) {
+// execute runs one simulation on the pooled engine when available, the
+// classic kernel otherwise.
+func execute(eng *sim.Engine, sys *spec.System, cfg sim.Config) (*sim.Result, error) {
+	if eng != nil {
+		return eng.Run(cfg)
+	}
 	s, err := sim.New(sys, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.Run()
+}
+
+func effectiveWorkers(workers int) int {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return workers
 }
 
 // classifyError maps a failed run to an outcome: hangs (deadlock, clock
@@ -206,18 +359,34 @@ func sumAborts(res *sim.Result, abortVars []string) int64 {
 	return n
 }
 
-func classifyFinals(golden, got *sim.Result, abortVars []string, aborts int64) Outcome {
+// goldenEntry is one golden final to compare faulty runs against; the
+// abort counters are excluded up front so the per-run comparison is a
+// flat scan with no skip-set rebuilding.
+type goldenEntry struct {
+	key string
+	val sim.Value
+}
+
+func goldenFinals(golden *sim.Result, abortVars []string) []goldenEntry {
 	skip := make(map[string]bool, len(abortVars))
 	for _, k := range abortVars {
 		skip[k] = true
 	}
-	match := true
+	entries := make([]goldenEntry, 0, len(golden.Finals))
 	for k, gv := range golden.Finals {
 		if skip[k] {
 			continue
 		}
-		fv, ok := got.Finals[k]
-		if !ok || !gv.Equal(fv) {
+		entries = append(entries, goldenEntry{key: k, val: gv})
+	}
+	return entries
+}
+
+func classifyFinals(entries []goldenEntry, got *sim.Result, aborts int64) Outcome {
+	match := true
+	for _, e := range entries {
+		fv, ok := got.Finals[e.key]
+		if !ok || !e.val.Equal(fv) {
 			match = false
 			break
 		}
@@ -231,10 +400,12 @@ func classifyFinals(golden, got *sim.Result, abortVars []string, aborts int64) O
 	return Corrupted
 }
 
-// Format renders the report as an aligned per-class outcome table.
-func (r *Report) Format() string {
+// String renders the report as an aligned per-class outcome table with
+// rows in ascending class order, so the output is stable for golden
+// tests and CI logs.
+func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "campaign: %d runs, golden %d clocks\n", len(r.Runs), r.Golden.Clocks)
+	fmt.Fprintf(&b, "campaign: %d runs, golden %d clocks\n", r.Runs, r.Golden.Clocks)
 	outcomes := []Outcome{Survived, AbortedCleanly, Corrupted, Deadlocked}
 	fmt.Fprintf(&b, "%-14s", "class")
 	for _, o := range outcomes {
@@ -260,3 +431,8 @@ func (r *Report) Format() string {
 	b.WriteByte('\n')
 	return b.String()
 }
+
+// Format renders the report.
+//
+// Deprecated: use String.
+func (r *Report) Format() string { return r.String() }

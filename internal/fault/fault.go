@@ -102,27 +102,106 @@ func (f Fault) String() string {
 type armedFault struct {
 	Fault
 	fired     bool
+	dead      bool  // will never mutate again; counted out of Injector.live
 	stuckFrom int64 // clock the clamp armed at; -1 = not armed yet
+	// stuckVal caches the clamp value (StuckAt0/StuckAt1): a permanent
+	// clamp rewrites the field on every committed event in its window,
+	// and the all-zeros/all-ones vector never changes.
+	stuckVal sim.Value
+}
+
+// sigFaults is the injector's per-signal resolution: the faults
+// targeting each record field (as indices into Injector.faults, so
+// rearming the injector never invalidates a bucket), plus that field's
+// transition count. Resolving names to indices once per signal keeps
+// the Mutate hook — which runs on every committed signal event of every
+// faulty run — free of string building and map lookups.
+type sigFaults struct {
+	sig     *spec.Variable
+	typ     spec.RecordType
+	byField [][]int32
+	counts  []int64
+	any     bool
 }
 
 // Injector realizes a fault list as a simulator mutation hook. One
-// injector serves one run: it accumulates per-field event counts.
+// injector serves one run at a time: it accumulates per-field event
+// counts. Reset rearms it for the next run reusing all of its storage,
+// which is what lets a campaign chunk drive tens of thousands of runs
+// through one injector without allocating.
 type Injector struct {
-	faults []*armedFault
-	counts map[string]int64 // "SIG.FIELD" -> transitions seen
+	faults []armedFault
+	sigs   []sigFaults
+	// live counts faults that can still mutate; at zero the injector
+	// reports Mutation.Done so the kernel stops calling the hook. A
+	// one-shot fault (flip, drop, jitter) dies when it fires, a
+	// transient clamp when its window closes; a permanent clamp never
+	// dies.
+	live int
 }
 
 // NewInjector builds an injector for the given faults.
 func NewInjector(faults []Fault) *Injector {
-	in := &Injector{counts: make(map[string]int64)}
-	for _, f := range faults {
-		in.faults = append(in.faults, &armedFault{Fault: f, stuckFrom: -1})
-	}
+	in := &Injector{}
+	in.Reset(faults)
 	return in
+}
+
+// Reset rearms the injector with a new fault list, reusing its fault
+// and per-signal bucket storage. Event counts and firing state restart
+// from zero, exactly as a fresh injector's would.
+func (in *Injector) Reset(faults []Fault) {
+	in.faults = in.faults[:0]
+	for _, f := range faults {
+		in.faults = append(in.faults, armedFault{Fault: f, stuckFrom: -1})
+	}
+	in.live = len(in.faults)
+	for si := range in.sigs {
+		in.rearm(&in.sigs[si])
+	}
+}
+
+// rearm rebuilds one signal's fault buckets from the current fault list
+// into the bucket storage it already owns.
+func (in *Injector) rearm(sf *sigFaults) {
+	sf.any = false
+	for i := range sf.counts {
+		sf.counts[i] = 0
+	}
+	for i := range sf.typ.Fields {
+		b := sf.byField[i][:0]
+		for fi := range in.faults {
+			f := &in.faults[fi]
+			if f.Signal == sf.sig.Name && f.Field == sf.typ.Fields[i].Name {
+				b = append(b, int32(fi))
+				sf.any = true
+			}
+		}
+		sf.byField[i] = b
+	}
 }
 
 // Attach installs the injector on a simulator configuration.
 func (in *Injector) Attach(cfg *sim.Config) { cfg.Mutate = in.Mutate }
+
+// resolve returns the per-field fault buckets for sig, building them on
+// the signal's first committed event.
+func (in *Injector) resolve(sig *spec.Variable, typ spec.RecordType) *sigFaults {
+	for i := range in.sigs {
+		if in.sigs[i].sig == sig && len(in.sigs[i].counts) == len(typ.Fields) {
+			return &in.sigs[i]
+		}
+	}
+	in.sigs = append(in.sigs, sigFaults{
+		sig:     sig,
+		typ:     typ,
+		byField: make([][]int32, len(typ.Fields)),
+		counts:  make([]int64, len(typ.Fields)),
+	})
+	sf := &in.sigs[len(in.sigs)-1]
+	in.rearm(sf)
+	return sf
+}
 
 // Mutate is the sim.Config.Mutate hook: given a proposed commit of a
 // record signal, it applies every armed fault and returns the mutated
@@ -131,10 +210,27 @@ func (in *Injector) Mutate(now int64, sig *spec.Variable, old, next sim.Value) s
 	ov, ook := old.(sim.RecordVal)
 	nv, nok := next.(sim.RecordVal)
 	if !ook || !nok || len(ov.Fields) != len(nv.Fields) {
+		if _, isRec := sig.Type.(spec.RecordType); !isRec {
+			// Faults only target record fields; a signal whose declared
+			// type is not a record can never be mutated.
+			return sim.Mutation{SkipSig: true}
+		}
 		return sim.Mutation{}
+	}
+	if in.live == 0 {
+		return sim.Mutation{Done: true}
+	}
+	sf := in.resolve(sig, nv.Type)
+	if !sf.any {
+		// No armed fault targets this signal, and the fault list is
+		// fixed for the whole run: opt out of further calls for it.
+		return sim.Mutation{SkipSig: true}
 	}
 	out := nv
 	mutated := false
+	// ensure switches out to a private copy of next's fields on the
+	// first actual mutation (kept a named function, not a closure, so
+	// the common no-fire call allocates nothing).
 	ensure := func() sim.RecordVal {
 		if !mutated {
 			out = sim.RecordVal{Type: nv.Type, Fields: append([]sim.Value{}, nv.Fields...)}
@@ -143,30 +239,49 @@ func (in *Injector) Mutate(now int64, sig *spec.Variable, old, next sim.Value) s
 		return out
 	}
 	var m sim.Mutation
-	for i, fld := range nv.Type.Fields {
-		key := sig.Name + "." + fld.Name
+	for i := range nv.Type.Fields {
+		affs := sf.byField[i]
+		if len(affs) == 0 {
+			// Transition counts only feed fault arming, so fields no
+			// fault targets need no edge detection at all.
+			continue
+		}
 		changed := !ov.Fields[i].Equal(nv.Fields[i])
-		for _, af := range in.faults {
-			if af.Signal != sig.Name || af.Field != fld.Name {
-				continue
-			}
+		for _, fi := range affs {
+			af := &in.faults[fi]
 			switch af.Class {
 			case StuckAt0, StuckAt1:
-				if af.stuckFrom < 0 && changed && in.counts[key] >= af.AfterEvents {
+				if af.stuckFrom < 0 && changed && sf.counts[i] >= af.AfterEvents {
 					af.stuckFrom = now
 				}
+				if af.stuckFrom >= 0 && af.Duration > 0 && now >= af.stuckFrom+af.Duration && !af.dead {
+					af.dead = true
+					in.live--
+				}
 				if af.stuckFrom >= 0 && (af.Duration <= 0 || now < af.stuckFrom+af.Duration) {
-					if w := fieldWidth(nv.Fields[i]); w > 0 {
-						v := bits.New(w)
-						if af.Class == StuckAt1 {
-							v = v.Not()
+					if af.stuckVal == nil {
+						if w := fieldWidth(nv.Fields[i]); w > 0 {
+							v := bits.New(w)
+							if af.Class == StuckAt1 {
+								v = v.Not()
+							}
+							af.stuckVal = sim.VecVal{V: v}
 						}
-						ensure().Fields[i] = sim.VecVal{V: v}
+					}
+					// Skip the rewrite when the field already holds the
+					// clamp value (the steady state of a long window:
+					// the previous commit was itself clamped), so an
+					// armed clamp costs nothing until the program
+					// actually drives the line.
+					if af.stuckVal != nil && !nv.Fields[i].Equal(af.stuckVal) {
+						ensure().Fields[i] = af.stuckVal
 					}
 				}
 			case BitFlip:
-				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+				if !af.fired && changed && sf.counts[i] >= af.AfterEvents {
 					af.fired = true
+					af.dead = true
+					in.live--
 					if vv, ok := nv.Fields[i].(sim.VecVal); ok {
 						b := af.Bit
 						if w := vv.V.Width(); w > 0 {
@@ -177,13 +292,17 @@ func (in *Injector) Mutate(now int64, sig *spec.Variable, old, next sim.Value) s
 					}
 				}
 			case DropEvent:
-				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+				if !af.fired && changed && sf.counts[i] >= af.AfterEvents {
 					af.fired = true
+					af.dead = true
+					in.live--
 					ensure().Fields[i] = ov.Fields[i].Copy()
 				}
 			case DelayJitter:
-				if !af.fired && changed && in.counts[key] >= af.AfterEvents {
+				if !af.fired && changed && sf.counts[i] >= af.AfterEvents {
 					af.fired = true
+					af.dead = true
+					in.live--
 					// Suppress the transition now; re-drive the whole
 					// intended record value Duration clocks later.
 					ensure().Fields[i] = ov.Fields[i].Copy()
@@ -196,7 +315,7 @@ func (in *Injector) Mutate(now int64, sig *spec.Variable, old, next sim.Value) s
 			}
 		}
 		if changed {
-			in.counts[key]++
+			sf.counts[i]++
 		}
 	}
 	if mutated {
@@ -230,13 +349,39 @@ type Plan struct {
 // words.
 const DefaultWindow = 48
 
+// smSource is a splitmix64 rand.Source64. Campaigns seed one generator
+// per run, and math/rand's default source fills a 607-word state array
+// on every Seed — per-run cost that dwarfs the handful of draws a fault
+// plan needs. splitmix64 has one word of state and O(1) seeding.
+type smSource struct{ state uint64 }
+
+func (s *smSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *smSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *smSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
 // Randomize expands a seed into concrete faults against the bus's record
 // signal. The same bus and plan always yield the same faults.
 func Randomize(bus *spec.Bus, plan Plan) []Fault {
+	return randomizeInto(nil, rand.New(&smSource{state: uint64(plan.Seed)}), bus, plan)
+}
+
+// randomizeInto is Randomize with caller-owned storage: dst's backing
+// array is reused when it fits and rng is re-seeded from the plan, so a
+// campaign loop draws each run's faults without allocating. The draw
+// sequence is identical to Randomize's.
+func randomizeInto(dst []Fault, rng *rand.Rand, bus *spec.Bus, plan Plan) []Fault {
 	if bus.Signal == nil || len(bus.Record.Fields) == 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(plan.Seed))
+	rng.Seed(plan.Seed)
 	classes := plan.Classes
 	if len(classes) == 0 {
 		classes = AllClasses()
@@ -249,7 +394,11 @@ func Randomize(bus *spec.Bus, plan Plan) []Fault {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	faults := make([]Fault, count)
+	faults := dst[:0]
+	if cap(faults) < count {
+		faults = make([]Fault, 0, count)
+	}
+	faults = faults[:count]
 	for i := range faults {
 		fld := bus.Record.Fields[rng.Intn(len(bus.Record.Fields))]
 		f := Fault{

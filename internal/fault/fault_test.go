@@ -221,10 +221,10 @@ func TestCampaignReproducible(t *testing.T) {
 		return rep
 	}
 	a, b := run(1), run(8)
-	if !reflect.DeepEqual(a.Runs, b.Runs) {
-		t.Fatal("same seed produced different campaign runs")
+	if !reflect.DeepEqual(a.Exemplars, b.Exemplars) {
+		t.Fatal("same seed produced different campaign exemplars")
 	}
-	if a.Format() != b.Format() {
+	if a.String() != b.String() {
 		t.Fatal("same seed produced different campaign reports")
 	}
 	var total int
@@ -233,6 +233,136 @@ func TestCampaignReproducible(t *testing.T) {
 	}
 	if total != 24 {
 		t.Fatalf("totals sum %d, want 24", total)
+	}
+}
+
+// TestCampaignWorkerInvariance is the streaming scheduler's determinism
+// claim at scale: 10k runs sharded across 1, 4 and 16 workers must
+// produce byte-identical reports — same outcome counts, same per-class
+// table, same exemplar runs in the same order.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-run campaign")
+	}
+	sys, bus, ref := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake, Robust: true})
+	run := func(workers int) *Report {
+		rep, err := Campaign(sys, bus, Config{
+			Runs: 10_000, Seed: 1234, AbortVars: ref.AbortKeys(), Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(1)
+	for _, workers := range []int{4, 16} {
+		rep := run(workers)
+		if rep.String() != base.String() {
+			t.Errorf("workers=%d report differs:\n%s\nvs workers=1:\n%s", workers, rep.String(), base.String())
+		}
+		if !reflect.DeepEqual(rep.Exemplars, base.Exemplars) {
+			t.Errorf("workers=%d exemplars differ from workers=1", workers)
+		}
+	}
+	var total int
+	for _, n := range base.Totals {
+		total += n
+	}
+	if total != 10_000 {
+		t.Fatalf("totals sum %d, want 10000", total)
+	}
+}
+
+// TestCampaignPooledMatchesUnpooled: the pooled batch kernel and the
+// classic kernel must classify identically — same report, same
+// exemplars — on the hardened scenarios the acceptance criteria name.
+func TestCampaignPooledMatchesUnpooled(t *testing.T) {
+	for _, pc := range []struct {
+		name string
+		cfg  protogen.Config
+	}{
+		{"robust", protogen.Config{Protocol: spec.FullHandshake, Robust: true}},
+		{"robust-parity", protogen.Config{Protocol: spec.FullHandshake, Robust: true, Parity: true}},
+	} {
+		t.Run(pc.name, func(t *testing.T) {
+			sys, bus, ref := refinePQ(t, pc.cfg)
+			run := func(unpooled bool) *Report {
+				rep, err := Campaign(sys, bus, Config{
+					Runs: 64, Seed: 99, AbortVars: ref.AbortKeys(), Unpooled: unpooled,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			pooled, unpooled := run(false), run(true)
+			if pooled.String() != unpooled.String() {
+				t.Errorf("pooled report differs from unpooled:\n%s\nvs:\n%s", pooled.String(), unpooled.String())
+			}
+			if !reflect.DeepEqual(pooled.Exemplars, unpooled.Exemplars) {
+				t.Error("pooled exemplars differ from unpooled")
+			}
+		})
+	}
+}
+
+// TestCampaignConfigValidation: broken configurations must fail up
+// front with a clear error, not silently run zero-fault campaigns.
+func TestCampaignConfigValidation(t *testing.T) {
+	sys, bus, _ := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake})
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative-runs", Config{Runs: -1}, "negative Runs"},
+		{"negative-faults-per-run", Config{FaultsPerRun: -2}, "negative FaultsPerRun"},
+		{"negative-window", Config{Window: -5}, "negative fault window"},
+		{"negative-max-clocks", Config{MaxClocks: -1}, "negative MaxClocks"},
+		{"negative-max-exemplars", Config{MaxExemplars: -3}, "negative MaxExemplars"},
+		{"empty-classes", Config{Classes: []Class{}}, "Classes is empty"},
+		{"unknown-class", Config{Classes: []Class{DelayJitter, Class(99)}}, "unknown fault class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Campaign(sys, bus, tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCampaignExemplarRetention: exemplars are the first K runs of each
+// outcome by run index, bounded by MaxExemplars, and consistent with
+// Totals.
+func TestCampaignExemplarRetention(t *testing.T) {
+	sys, bus, ref := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake, Robust: true})
+	rep, err := Campaign(sys, bus, Config{
+		Runs: 100, Seed: 5, AbortVars: ref.AbortKeys(), MaxExemplars: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, exs := range rep.Exemplars {
+		if len(exs) > 3 {
+			t.Errorf("%s: %d exemplars retained, want <= 3", o, len(exs))
+		}
+		want := rep.Totals[o]
+		if want > 3 {
+			want = 3
+		}
+		if len(exs) != want {
+			t.Errorf("%s: %d exemplars for %d total runs, want %d", o, len(exs), rep.Totals[o], want)
+		}
+		for i := 1; i < len(exs); i++ {
+			if exs[i-1].Run >= exs[i].Run {
+				t.Errorf("%s: exemplar runs out of order: %d then %d", o, exs[i-1].Run, exs[i].Run)
+			}
+			if exs[i].Outcome != o {
+				t.Errorf("exemplar under %s has outcome %s", o, exs[i].Outcome)
+			}
+		}
 	}
 }
 
@@ -249,10 +379,8 @@ func TestCampaignRobustNeverCorrupts(t *testing.T) {
 		t.Fatal(err)
 	}
 	if n := rep.Totals[Corrupted]; n > 0 {
-		for _, rr := range rep.Runs {
-			if rr.Outcome == Corrupted {
-				t.Errorf("run %d corrupted under %v (err=%q)", rr.Run, rr.Faults, rr.Err)
-			}
+		for _, rr := range rep.Exemplars[Corrupted] {
+			t.Errorf("run %d corrupted under %v (err=%q)", rr.Run, rr.Faults, rr.Err)
 		}
 		t.Fatalf("%d corrupted runs on the hardened+parity protocol", n)
 	}

@@ -25,6 +25,62 @@ import (
 // GOMAXPROCS substitution clamps to 1 so the loop always makes
 // progress instead of spawning zero goroutines and hanging the wait.
 func For(n, workers int, fn func(i int)) {
+	forRange(n, workers, fn)
+}
+
+// ForChunks runs fn(lo, hi) over consecutive index blocks covering
+// [0, n): fn is invoked once per chunk with 0 <= lo < hi <= n, chunks
+// are disjoint and together cover the range exactly. Million-index
+// loops (fault campaigns, seed sweeps) dispatch per block instead of
+// per index, so the per-iteration scheduling cost is amortized over
+// `chunk` items and workers touch contiguous memory.
+//
+// chunk <= 0 picks a default that yields several chunks per worker
+// (dynamic scheduling still balances uneven chunks) and at least 1.
+// The same degenerate-input guarantees as For apply: n <= 0 is an
+// empty range, and any workers value is usable. Chunk *contents* run
+// in ascending index order within fn, and callers that write per-chunk
+// slots indexed by lo/chunk get deterministic output at any worker
+// count.
+func ForChunks(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w <= 0 {
+			w = 1
+		}
+		chunk = n / (8 * w)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nchunks := (n + chunk - 1) / chunk
+	forRange(nchunks, workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// DefaultWorkers reports the worker count a workers <= 0 argument
+// resolves to (GOMAXPROCS, floored at 1), for callers that size
+// per-worker state such as chunk partitions.
+func DefaultWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 0 {
+		return w
+	}
+	return 1
+}
+
+func forRange(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}

@@ -40,6 +40,90 @@ func TestForEmptyAndTiny(t *testing.T) {
 	}
 }
 
+// TestForChunksCoversRangeExactly pins the chunk contract: blocks are
+// disjoint, ascending within a block, and together cover [0, n) exactly
+// — including the ragged final block when chunk does not divide n.
+func TestForChunksCoversRangeExactly(t *testing.T) {
+	cases := []struct {
+		name           string
+		n, workers     int
+		chunk          int
+		wantChunkCalls int // -1: don't check
+	}{
+		{"exact-multiple", 1000, 4, 100, 10},
+		{"ragged-tail", 1001, 4, 100, 11},
+		{"chunk-of-one", 17, 4, 1, 17},
+		{"chunk-larger-than-n", 5, 4, 100, 1},
+		{"chunk-equals-n", 64, 4, 64, 1},
+		{"auto-chunk", 10000, 4, 0, -1},
+		{"auto-chunk-tiny-n", 3, 8, 0, -1},
+		{"zero-workers", 1000, 0, 128, -1},
+		{"negative-workers", 257, -9, 64, -1},
+		{"single-worker", 500, 1, 33, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := make([]int32, tc.n)
+			var calls atomic.Int32
+			ForChunks(tc.n, tc.workers, tc.chunk, func(lo, hi int) {
+				calls.Add(1)
+				if lo < 0 || hi > tc.n || lo >= hi {
+					t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, tc.n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("index %d covered %d times", i, c)
+				}
+			}
+			if tc.wantChunkCalls >= 0 && int(calls.Load()) != tc.wantChunkCalls {
+				t.Fatalf("fn called %d times, want %d", calls.Load(), tc.wantChunkCalls)
+			}
+		})
+	}
+}
+
+// TestForChunksGuards: degenerate inputs are empty ranges or clamped,
+// exactly like For — the call must return without invoking fn for
+// n <= 0 and must not hang for any workers/chunk combination.
+func TestForChunksGuards(t *testing.T) {
+	ForChunks(0, 4, 16, func(lo, hi int) { t.Fatal("fn ran for n=0") })
+	ForChunks(-3, 0, 0, func(lo, hi int) { t.Fatal("fn ran for n<0") })
+	ForChunks(-1, -1, -1, func(lo, hi int) { t.Fatal("fn ran for n<0") })
+	ran := 0
+	ForChunks(1, 1, -5, func(lo, hi int) { ran += hi - lo })
+	if ran != 1 {
+		t.Fatalf("negative chunk: covered %d indices, want 1", ran)
+	}
+}
+
+// TestForChunksDeterministicSlots: per-chunk slot writes keyed by chunk
+// index are identical at any worker count.
+func TestForChunksDeterministicSlots(t *testing.T) {
+	const n, chunk = 1000, 64
+	shard := func(workers int) []int {
+		out := make([]int, (n+chunk-1)/chunk)
+		ForChunks(n, workers, chunk, func(lo, hi int) {
+			sum := 0
+			for i := lo; i < hi; i++ {
+				sum += i * i
+			}
+			out[lo/chunk] = sum
+		})
+		return out
+	}
+	a, b := shard(1), shard(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d: serial %d parallel %d", i, a[i], b[i])
+		}
+	}
+}
+
 // TestForGuards pins the degenerate-input contract: negative and zero
 // ranges are empty (never hang, never call fn), and any worker count —
 // zero, negative, or absurdly large — still visits every index exactly

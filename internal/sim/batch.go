@@ -1,0 +1,952 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Engine is a reusable, pooled simulator for one system: behaviors are
+// compiled to flat programs and every variable is resolved to a dense
+// slot index once, at construction; each Run then borrows a runner from
+// an internal pool, resets its slot arrays from shared immutable
+// templates, and executes the delta-cycle loop inline — no goroutines,
+// no channels, no per-run maps. Fault campaigns run the same system
+// 10⁵–10⁷ times, which is exactly the regime where sim.New's per-run
+// setup (goroutine + resume channel per process, fresh map tables)
+// dominates wall time.
+//
+// An Engine run is bit-identical to the classic kernel on everything a
+// caller can observe except Result.Steps: Clocks, Deltas, ProcessEnd,
+// Finals, SignalEvents, the OnEvent/Mutate/Schedule hook sequences, and
+// error strings all match (batch_test.go enforces this). Steps counts
+// executed *instructions* of the compiled program rather than source
+// statements, so its value differs; the MaxStepsPerSlice runaway guard
+// correspondingly trips on instruction counts.
+//
+// Engine is safe for concurrent Run calls: runners are pooled and each
+// call uses its own.
+type Engine struct {
+	sys *spec.System
+
+	sigVars []*spec.Variable
+	sigInit []Value
+	sigIdx  map[*spec.Variable]int
+
+	sharedVars []*spec.Variable
+	sharedInit []Value
+	sharedIdx  map[*spec.Variable]int
+
+	// finalKeys/finalSlots precompute the Result.Finals map: the
+	// "Module.Var" key and shared-slot index of every module variable,
+	// so building a run's result concatenates no strings.
+	finalKeys  []string
+	finalSlots []int
+
+	// recEscapes/bufUnsafe collect the compiler's container-escape
+	// analysis; sigBufOK marks the record signals whose containers
+	// provably never leave the kernel, so runners may drive them
+	// through reusable double buffers instead of allocating a fresh
+	// record per partial store.
+	recEscapes map[*spec.Variable]bool
+	arrEscapes map[*spec.Variable]bool
+	bufUnsafe  bool
+	sigBufOK   []bool
+
+	// sigRecFields holds each record signal's declared field list (nil
+	// for non-records). A committed value whose RecordType.Fields IS
+	// this slice (pointer-equal) provably has the declared layout, so
+	// per-read field-index and field-name guards can be settled once per
+	// commit instead of once per evaluation (bsignal.curFields).
+	sigRecFields [][]spec.Field
+
+	progs []*bprogram
+	pool  sync.Pool
+}
+
+// NewEngine compiles the system for pooled execution. It returns an
+// error if the system does not validate or uses a construct the batch
+// compiler cannot lower faithfully (recursive procedures, non-lvalue
+// assignment targets); callers should fall back to New, whose
+// interpreter handles every construct with runtime checks.
+func NewEngine(sys *spec.System) (*Engine, error) {
+	if errs := sys.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("sim: invalid system: %w", errs[0])
+	}
+	e := &Engine{
+		sys:        sys,
+		sigIdx:     make(map[*spec.Variable]int),
+		sharedIdx:  make(map[*spec.Variable]int),
+		recEscapes: make(map[*spec.Variable]bool),
+		arrEscapes: make(map[*spec.Variable]bool),
+	}
+	addVar := func(v *spec.Variable) {
+		if v.Kind == spec.KindSignal {
+			e.sigIdx[v] = len(e.sigVars)
+			e.sigVars = append(e.sigVars, v)
+			e.sigInit = append(e.sigInit, InitialValue(v))
+		} else {
+			e.sharedIdx[v] = len(e.sharedVars)
+			e.sharedVars = append(e.sharedVars, v)
+			e.sharedInit = append(e.sharedInit, InitialValue(v))
+		}
+	}
+	for _, g := range sys.Globals {
+		addVar(g)
+	}
+	for _, m := range sys.Modules {
+		for _, v := range m.Variables {
+			addVar(v)
+		}
+	}
+	for _, m := range sys.Modules {
+		for _, v := range m.Variables {
+			if idx, ok := e.sharedIdx[v]; ok {
+				e.finalKeys = append(e.finalKeys, m.Name+"."+v.Name)
+				e.finalSlots = append(e.finalSlots, idx)
+			}
+		}
+	}
+	for _, b := range sys.Behaviors() {
+		prog, err := e.compile(b)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch compile: %w", err)
+		}
+		e.progs = append(e.progs, prog)
+	}
+	e.sigRecFields = make([][]spec.Field, len(e.sigVars))
+	for i, v := range e.sigVars {
+		if rt, ok := v.Type.(spec.RecordType); ok && len(rt.Fields) > 0 {
+			e.sigRecFields[i] = rt.Fields
+		}
+	}
+	e.sigBufOK = make([]bool, len(e.sigVars))
+	for i, v := range e.sigVars {
+		if e.bufUnsafe {
+			break
+		}
+		if rt, ok := v.Type.(spec.RecordType); ok && !e.recEscapes[v] && len(rt.Fields) > 0 {
+			e.sigBufOK[i] = true
+		}
+	}
+	// Element stores into never-aliased array variables may mutate the
+	// container in place once the run owns it; decided only now, because
+	// a shared array could escape in a behavior compiled later.
+	if !e.bufUnsafe {
+		for _, prog := range e.progs {
+			for i := range prog.code {
+				in := &prog.code[i]
+				if in.op != bopAssign || in.lref.sp == slotSignal || len(in.path) == 0 || in.path[0].kind != 0 {
+					continue
+				}
+				if _, ok := in.base.Type.(spec.ArrayType); ok && !e.arrEscapes[in.base] {
+					in.aOwn = true
+				}
+			}
+		}
+	}
+	e.pool.New = func() any { return newRunner(e) }
+	return e, nil
+}
+
+// System returns the system the engine was compiled for.
+func (e *Engine) System() *spec.System { return e.sys }
+
+// Run executes the system once under cfg, exactly like New(sys,
+// cfg).Run() but on a pooled runner. Configurations with a cost model
+// need the interpreter's statement-level lag accounting and are
+// delegated to the classic kernel.
+func (e *Engine) Run(cfg Config) (*Result, error) {
+	if cfg.Cost != nil {
+		s, err := New(e.sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run()
+	}
+	r := e.pool.Get().(*runner)
+	r.reset(cfg)
+	res, err := r.run()
+	e.pool.Put(r)
+	return res, err
+}
+
+// bsignal is the runner-side storage of one signal slot.
+type bsignal struct {
+	current Value
+	// curFields caches current's field slice when current is a
+	// RecordVal in the signal's exact declared layout (see
+	// Engine.sigRecFields); nil otherwise. Readers holding a
+	// compile-time field index may index it directly — the layout
+	// check already happened at commit.
+	curFields []Value
+	pending   Value // nil if no update scheduled this delta
+	events    int64
+	// skipMutate marks a pending update that came from a Mutation's
+	// delayed re-commit, which must not pass through Config.Mutate
+	// again.
+	skipMutate bool
+	// muteHook is set when a Mutation returned SkipSig: the hook
+	// promised to never touch this signal, so flush stops calling it
+	// for the rest of the run (cleared by reset).
+	muteHook bool
+	// pendingOwned marks a pending value whose top-level container was
+	// freshly built by this run's own partial store (applyPath) and has
+	// never been visible outside the runner: until flush hands it to
+	// hooks or commits it, further single-level field stores may mutate
+	// it in place instead of rebuilding the record. Handshake processes
+	// drive individual bus record fields every delta, so this turns the
+	// kernel's dominant allocation into a slot write.
+	pendingOwned bool
+}
+
+// recFieldsOf returns v's field slice when v is a RecordVal whose type
+// holds exactly the declared field list (pointer-equal slice), nil
+// otherwise. Pointer equality proves the layout: every compile-time
+// index and name derived from the declared type is valid for v.
+func recFieldsOf(decl []spec.Field, v Value) []Value {
+	if decl == nil {
+		return nil
+	}
+	if rv, ok := v.(RecordVal); ok && len(rv.Type.Fields) > 0 && len(decl) > 0 && &rv.Type.Fields[0] == &decl[0] && len(rv.Fields) == len(decl) {
+		return rv.Fields
+	}
+	return nil
+}
+
+func (s *bsignal) effective() Value {
+	if s.pending != nil {
+		return s.pending
+	}
+	return s.current
+}
+
+// recBuf is one reusable record container for a buffered signal: the
+// mutable fields slice and its pre-boxed RecordVal, so a buffered store
+// allocates nothing at all.
+type recBuf struct {
+	fields []Value
+	val    Value
+}
+
+// bdelayed is a signal value a Mutation deferred to a later clock.
+type bdelayed struct {
+	at   int64
+	idx  int32
+	val  Value
+	base Value
+}
+
+// bproc is one compiled process within a runner.
+type bproc struct {
+	r      *runner
+	prog   *bprogram
+	ev     Evaluator
+	locals []Value
+	pc     int32
+	state  procState
+	err    error
+	endAt  int64
+	// wait state, valid while state == stateWaiting:
+	wMeta     *waitMeta
+	wDeadline int64 // -1: none
+	wForever  bool
+	wHasCheck bool
+	// inWait marks that the next exec resumes a suspended wait (assign
+	// the timeout flag, advance past the instruction).
+	inWait     bool
+	timedOut   bool
+	sliceSteps int64
+	// stack is the reusable operand stack for compiled expressions.
+	stack []Value
+	// localOwn marks local slots whose container this run built itself
+	// (copy-on-write store); eligible aOwn stores then mutate in place.
+	localOwn []bool
+}
+
+// runner is one pooled run context. All slices are sized once at
+// construction; reset re-fills them from the engine's immutable
+// templates, so repeated runs allocate only what evaluation itself
+// allocates.
+type runner struct {
+	e   *Engine
+	cfg Config
+
+	sig     []bsignal
+	shared  []Value
+	procs   []*bproc
+	dirty   []int32
+	delayed []bdelayed
+
+	// recBufs double-buffers eligible record signals (Engine.sigBufOK):
+	// a pending value is always built in the buffer that is not the
+	// current value, so the committed container is never overwritten.
+	// useBufs gates them per run: an OnEvent hook receives committed
+	// values and may legitimately retain them, which buffer recycling
+	// would corrupt.
+	recBufs [][2]recBuf
+	useBufs bool
+
+	// sharedOwn is localOwn for the shared slots (module variables).
+	sharedOwn []bool
+
+	// changedAt stamps the flush in which each signal last changed;
+	// stamps are monotonic across runs so reset never needs to clear it.
+	changedAt []int64
+	stamp     int64
+
+	runnableBuf []int32
+
+	now      int64
+	deltas   int64
+	steps    int64
+	graceEnd int64
+}
+
+func newRunner(e *Engine) *runner {
+	r := &runner{
+		e:         e,
+		sig:       make([]bsignal, len(e.sigVars)),
+		shared:    make([]Value, len(e.sharedVars)),
+		sharedOwn: make([]bool, len(e.sharedVars)),
+		changedAt: make([]int64, len(e.sigVars)),
+		graceEnd:  -1,
+	}
+	r.recBufs = make([][2]recBuf, len(e.sigVars))
+	for i, ok := range e.sigBufOK {
+		if !ok {
+			continue
+		}
+		rt := e.sigVars[i].Type.(spec.RecordType)
+		for k := 0; k < 2; k++ {
+			f := make([]Value, len(rt.Fields))
+			r.recBufs[i][k] = recBuf{fields: f, val: RecordVal{Type: rt, Fields: f}}
+		}
+	}
+	for _, prog := range e.progs {
+		p := &bproc{
+			r: r, prog: prog,
+			locals:    make([]Value, len(prog.locals)),
+			localOwn:  make([]bool, len(prog.locals)),
+			stack:     make([]Value, 0, prog.maxStack),
+			wDeadline: -1,
+		}
+		p.ev = Evaluator{Lookup: p.lookup, Fail: p.evFail}
+		r.procs = append(r.procs, p)
+	}
+	return r
+}
+
+// reset restores the runner to the system's initial state. Initial
+// values are shared with the engine's templates (and between runs):
+// runtime updates either build new containers (applyPath, persistent
+// bit vectors) or mutate in place only containers the ownership flags
+// prove this run built itself, so templates are never mutated. What survives a reset:
+// the compiled programs, the slot arrays' capacity, the evaluator
+// closures, and the changedAt stamps (monotonic, so stale marks never
+// match). What is re-derived: all values, scheduling state, and time.
+func (r *runner) reset(cfg Config) {
+	if cfg.MaxClocks <= 0 {
+		cfg.MaxClocks = 10_000_000
+	}
+	if cfg.MaxStepsPerSlice <= 0 {
+		cfg.MaxStepsPerSlice = 5_000_000
+	}
+	r.cfg = cfg
+	r.useBufs = cfg.OnEvent == nil
+	for i := range r.sig {
+		r.sig[i] = bsignal{current: r.e.sigInit[i], curFields: recFieldsOf(r.e.sigRecFields[i], r.e.sigInit[i])}
+	}
+	copy(r.shared, r.e.sharedInit)
+	// Slot containers now come from the engine's shared templates; no
+	// slot owns its container until a copy-on-write store replaces it.
+	for i := range r.sharedOwn {
+		r.sharedOwn[i] = false
+	}
+	for _, p := range r.procs {
+		copy(p.locals, p.prog.localInit)
+		for i := range p.localOwn {
+			p.localOwn[i] = false
+		}
+		p.pc = 0
+		p.state = stateReady
+		p.err = nil
+		p.endAt = 0
+		p.wMeta = nil
+		p.wDeadline = -1
+		p.wForever = false
+		p.wHasCheck = false
+		p.inWait = false
+		p.timedOut = false
+		p.sliceSteps = 0
+	}
+	r.dirty = r.dirty[:0]
+	r.delayed = r.delayed[:0]
+	r.now = 0
+	r.deltas = 0
+	r.steps = 0
+	r.graceEnd = -1
+}
+
+// run is the delta-cycle loop — a direct port of kernel.run with the
+// goroutine ping-pong replaced by inline stepProc calls.
+func (r *runner) run() (*Result, error) {
+	runnable := r.runnableBuf[:0]
+	for i := range r.procs {
+		runnable = append(runnable, int32(i))
+	}
+	defer func() { r.runnableBuf = runnable[:0] }()
+	for {
+		// Delta cycles.
+		for len(runnable) > 0 {
+			r.deltas++
+			if r.deltas > maxDeltas {
+				return nil, fmt.Errorf("sim: exceeded %d delta cycles at clock %d (livelock?)", int64(maxDeltas), r.now)
+			}
+			insertionSortInt32(runnable)
+			r.reorder(runnable)
+			for _, pi := range runnable {
+				if err := r.stepProc(r.procs[pi]); err != nil {
+					return nil, err
+				}
+			}
+			runnable = runnable[:0]
+			if r.flush() {
+				runnable = r.wake(runnable)
+			}
+		}
+
+		if r.foregroundDone() {
+			if r.graceEnd < 0 {
+				r.graceEnd = r.now + graceClocks
+			}
+		}
+
+		next := int64(-1)
+		for _, p := range r.procs {
+			if p.state == stateWaiting && !p.wForever && p.wDeadline >= 0 {
+				if next < 0 || p.wDeadline < next {
+					next = p.wDeadline
+				}
+			}
+		}
+		for i := range r.delayed {
+			if next < 0 || r.delayed[i].at < next {
+				next = r.delayed[i].at
+			}
+		}
+		if r.graceEnd >= 0 && (next < 0 || next > r.graceEnd) {
+			return r.result(), nil
+		}
+		if next < 0 {
+			return nil, r.deadlock()
+		}
+		if next > r.cfg.MaxClocks {
+			return nil, fmt.Errorf("sim: exceeded MaxClocks=%d at clock %d", r.cfg.MaxClocks, r.now)
+		}
+		r.now = next
+		if r.applyDelayed() {
+			if r.flush() {
+				runnable = r.wake(runnable)
+			}
+		}
+		for i, p := range r.procs {
+			if p.state == stateWaiting && !p.wForever && p.wDeadline == r.now {
+				p.timedOut = p.wHasCheck && !p.condBool(p.wMeta.funtil, p.wMeta.cuntil, p.wMeta.w.Until)
+				p.state = stateReady
+				runnable = append(runnable, int32(i))
+			}
+		}
+	}
+}
+
+// reorder applies the Config.Schedule hook, matching kernel.reorder.
+func (r *runner) reorder(runnable []int32) {
+	if r.cfg.Schedule == nil || len(runnable) < 2 {
+		return
+	}
+	names := make([]string, len(runnable))
+	for i, pi := range runnable {
+		names[i] = r.procs[pi].prog.beh.Name
+	}
+	rank := make(map[string]int, len(runnable))
+	for _, n := range r.cfg.Schedule(r.now, names) {
+		if _, ok := rank[n]; !ok {
+			rank[n] = len(rank)
+		}
+	}
+	sort.SliceStable(runnable, func(i, j int) bool {
+		ri, iok := rank[r.procs[runnable[i]].prog.beh.Name]
+		rj, jok := rank[r.procs[runnable[j]].prog.beh.Name]
+		if iok != jok {
+			return iok
+		}
+		return iok && ri < rj
+	})
+}
+
+func (r *runner) stepProc(p *bproc) error {
+	p.sliceSteps = 0
+	p.exec()
+	if p.state == stateError {
+		return fmt.Errorf("sim: process %s failed at clock %d: %w", p.prog.beh.Name, r.now, p.err)
+	}
+	return nil
+}
+
+// flush applies pending signal updates (kernel.flush), stamping changed
+// slots for wake; reports whether any event fired.
+func (r *runner) flush() bool {
+	r.stamp++
+	any := false
+	for _, idx := range r.dirty {
+		s := &r.sig[idx]
+		if s.pending == nil {
+			continue
+		}
+		if r.cfg.Mutate != nil && !s.skipMutate && !s.muteHook {
+			m := r.cfg.Mutate(r.now, r.e.sigVars[idx], s.current, s.pending)
+			if m.Now == nil && m.Later == nil {
+				if m.Done {
+					r.cfg.Mutate = nil
+				}
+				if m.SkipSig {
+					s.muteHook = true
+				}
+			}
+			if m.Now != nil {
+				s.pending = m.Now
+			}
+			if m.Later != nil && m.Delay > 0 {
+				r.delayed = append(r.delayed, bdelayed{
+					at: r.now + m.Delay, idx: idx, val: m.Later, base: s.pending.Copy(),
+				})
+			}
+		}
+		s.skipMutate = false
+		// The pending value is about to be committed (visible via hooks
+		// and reads) or dropped; either way it is no longer private.
+		s.pendingOwned = false
+		if !s.pending.Equal(s.current) {
+			s.current = s.pending
+			s.curFields = recFieldsOf(r.e.sigRecFields[idx], s.current)
+			s.events++
+			s.pending = nil
+			r.changedAt[idx] = r.stamp
+			any = true
+			if r.cfg.OnEvent != nil {
+				r.cfg.OnEvent(r.now, r.e.sigVars[idx], s.current)
+			}
+			continue
+		}
+		s.pending = nil
+	}
+	r.dirty = r.dirty[:0]
+	return any
+}
+
+// wake appends the processes woken by the last flush's events
+// (kernel.wakeOnEvents).
+func (r *runner) wake(runnable []int32) []int32 {
+	for i, p := range r.procs {
+		if p.state != stateWaiting || p.wForever {
+			continue
+		}
+		hit := false
+		for _, si := range p.wMeta.sensIdx {
+			if r.changedAt[si] == r.stamp {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		if p.wHasCheck && !p.condBool(p.wMeta.funtil, p.wMeta.cuntil, p.wMeta.w.Until) {
+			continue
+		}
+		p.timedOut = false
+		p.state = stateReady
+		runnable = append(runnable, int32(i))
+	}
+	return runnable
+}
+
+// applyDelayed commits due delayed updates (kernel.applyDelayed).
+func (r *runner) applyDelayed() bool {
+	applied := false
+	rest := r.delayed[:0]
+	for _, d := range r.delayed {
+		if d.at > r.now {
+			rest = append(rest, d)
+			continue
+		}
+		s := &r.sig[d.idx]
+		if s.pending == nil {
+			r.dirty = append(r.dirty, d.idx)
+		}
+		s.pending = mergeDelayed(s.effective(), d.base, d.val)
+		s.skipMutate = true
+		s.pendingOwned = false
+		applied = true
+	}
+	r.delayed = rest
+	return applied
+}
+
+// schedule registers a pending signal update for the current delta
+// (kernel.schedule).
+func (r *runner) schedule(idx int32, val Value) {
+	s := &r.sig[idx]
+	if s.pending == nil {
+		r.dirty = append(r.dirty, idx)
+	}
+	s.pending = val
+}
+
+func (r *runner) foregroundDone() bool {
+	for _, p := range r.procs {
+		if !p.prog.beh.Server && p.state != stateFinished && p.state != stateError {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) deadlock() error {
+	var waiting []string
+	for _, p := range r.procs {
+		if p.state != stateWaiting {
+			continue
+		}
+		name := p.prog.beh.Name
+		if p.prog.beh.Server {
+			name += " (server)"
+		}
+		m := p.wMeta
+		waiting = append(waiting, fmt.Sprintf("%s: %s",
+			name, formatWait(m.sensNames, p.wHasCheck, m.condStr, p.wDeadline, p.wForever)))
+	}
+	bus := busStateOf(r.e.sys, func(v *spec.Variable) (Value, bool) {
+		idx, ok := r.e.sigIdx[v]
+		if !ok {
+			return nil, false
+		}
+		return r.sig[idx].current, true
+	})
+	return &DeadlockError{Now: r.now, Waiting: waiting, Bus: bus}
+}
+
+func (r *runner) result() *Result {
+	res := &Result{
+		Clocks: r.now,
+		Deltas: r.deltas,
+		Steps:  r.steps,
+		Finals: make(map[string]Value, len(r.e.finalKeys)),
+	}
+	// Values are immutable at runtime, so the Result can share them with
+	// the (about to be re-pooled) runner without copying.
+	for i, key := range r.e.finalKeys {
+		res.Finals[key] = r.shared[r.e.finalSlots[i]]
+	}
+	if r.cfg.FinalsOnly {
+		return res
+	}
+	res.ProcessEnd = make(map[string]int64, len(r.procs))
+	res.SignalEvents = make(map[string]int64, len(r.e.sigVars))
+	for _, p := range r.procs {
+		if !p.prog.beh.Server && p.state == stateFinished {
+			res.ProcessEnd[p.prog.beh.Name] = p.endAt
+		}
+	}
+	for i, v := range r.e.sigVars {
+		res.SignalEvents[v.Name] = r.sig[i].events
+	}
+	return res
+}
+
+// ---- process execution ----
+
+func (p *bproc) failf(format string, args ...any) {
+	fail("process "+p.prog.beh.Name+": "+format, args...)
+}
+
+func (p *bproc) evFail(format string, args ...any) {
+	fail("process "+p.prog.beh.Name+": "+format, args...)
+}
+
+// lookup resolves a variable read against the program's slot table,
+// with the interpreter's error for never-initialized scratch slots.
+func (p *bproc) lookup(v *spec.Variable) Value {
+	ref, ok := p.prog.res[v]
+	if !ok {
+		// Every compiled expression was scanned, so its variables are
+		// resolved; this is reachable only from hook-supplied expressions.
+		p.failf("variable %s not in scope", v.Name)
+	}
+	switch ref.sp {
+	case slotShared:
+		return p.r.shared[ref.idx]
+	case slotSignal:
+		return p.r.sig[ref.idx].current
+	}
+	val := p.locals[ref.idx]
+	if val == nil {
+		p.failf("variable %s not in scope", v.Name)
+	}
+	return val
+}
+
+// exec runs the process until it suspends, finishes or fails, starting
+// from the program counter it last yielded at.
+func (p *bproc) exec() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if se, ok := rec.(simError); ok {
+				p.state = stateError
+				p.err = se.err
+			} else {
+				p.state = stateError
+				p.err = fmt.Errorf("internal fault: %v", rec)
+			}
+		}
+	}()
+	code := p.prog.code
+	if p.inWait {
+		p.inWait = false
+		m := code[p.pc].wait
+		p.wMeta = nil
+		p.wDeadline = -1
+		p.wForever = false
+		p.wHasCheck = false
+		if m.timedOut != nil {
+			p.setStorage(m.timedOutRef, m.timedOut, BoolVal{V: p.timedOut})
+		}
+		p.pc++
+	}
+	for {
+		p.sliceSteps++
+		p.r.steps++
+		if p.sliceSteps > p.r.cfg.MaxStepsPerSlice {
+			// Counts compiled instructions, not source statements, so the
+			// reported number differs from the classic kernel's.
+			fail("process %s executed %d statements without yielding (runaway zero-delay loop?)",
+				p.prog.beh.Name, p.sliceSteps)
+		}
+		in := &code[p.pc]
+		switch in.op {
+		case bopAssign:
+			p.execAssign(in)
+			p.pc++
+		case bopBranch:
+			if p.condBool(in.fcond, in.ccond, in.cond) {
+				p.pc++
+			} else {
+				p.pc = in.target
+			}
+		case bopJump:
+			p.pc = in.target
+		case bopClear:
+			p.locals[in.slot] = in.clearVal
+			p.pc++
+		case bopWait:
+			if p.execWait(in.wait) {
+				p.pc++
+				continue
+			}
+			p.state = stateWaiting
+			p.inWait = true
+			return
+		default: // bopEnd
+			p.state = stateFinished
+			p.endAt = p.r.now
+			return
+		}
+	}
+}
+
+// execAssign evaluates the right-hand side and stores it, replicating
+// interp.go's assign: signal targets are delta-scheduled (partial
+// stores build on the pending value), variable targets update in place,
+// and a plain store to a never-initialized scratch slot fails "not
+// writable" like the interpreter's missing storage cell.
+func (p *bproc) execAssign(in *binstr) {
+	val := p.evalExpr(in.crhs, in.rhs)
+	ref := in.lref
+	if ref.sp == slotSignal {
+		s := &p.r.sig[ref.idx]
+		if len(in.path) == 0 {
+			p.r.schedule(ref.idx, Coerce(val, in.base.Type))
+			// A plain store's value may be shared (interned box, another
+			// variable's container) — never mutable in place.
+			s.pendingOwned = false
+			return
+		}
+		if a := &in.path[0]; len(in.path) == 1 && a.kind == 1 {
+			if s.pending != nil && s.pendingOwned {
+				if rv, ok := s.pending.(RecordVal); ok {
+					i := int(a.fieldIdx)
+					if i < 0 || i >= len(rv.Type.Fields) || rv.Type.Fields[i].Name != a.field {
+						i = rv.FieldIndex(a.field)
+					}
+					if i >= 0 {
+						rv.Fields[i] = Coerce(val, rv.Type.Fields[i].Type)
+						return
+					}
+					// Unknown field: fall through so applyPath raises the
+					// interpreter's exact error.
+				}
+			} else if s.pending == nil && p.r.useBufs {
+				// First field store of this delta on a buffer-eligible
+				// signal: build the pending value in the recycled buffer
+				// that is not the current container, copying the committed
+				// fields and overwriting the target — an allocation-free
+				// equivalent of applyPath's rebuild. curFields is the
+				// commit-time proof that current has the declared layout,
+				// which also validates the compile-time field hint (both
+				// derive from the same declared type).
+				if flds := s.curFields; flds != nil {
+					if bufs := &p.r.recBufs[ref.idx]; bufs[0].fields != nil && len(flds) == len(bufs[0].fields) {
+						if i := int(a.fieldIdx); i >= 0 && i < len(flds) {
+							k := 0
+							if &flds[0] == &bufs[0].fields[0] {
+								k = 1
+							}
+							copy(bufs[k].fields, flds)
+							bufs[k].fields[i] = Coerce(val, p.r.e.sigRecFields[ref.idx][i].Type)
+							p.r.schedule(ref.idx, bufs[k].val)
+							s.pendingOwned = true
+							return
+						}
+					}
+				}
+			}
+		}
+		p.r.schedule(ref.idx, p.ev.applyPath(s.effective(), in.path, val))
+		s.pendingOwned = true
+		return
+	}
+	if len(in.path) == 0 {
+		if ref.sp == slotLocal && !in.create && p.locals[ref.idx] == nil {
+			p.failf("variable %s not writable", in.base.Name)
+		}
+		p.setRaw(ref, Coerce(val, in.base.Type))
+		// A whole store may install a container shared with another
+		// variable; the slot no longer owns it.
+		p.setOwn(ref, false)
+		return
+	}
+	cur := p.getRaw(ref)
+	if cur == nil {
+		p.failf("variable %s not writable", in.base.Name)
+	}
+	if in.aOwn && p.ownSlot(ref) {
+		if av, ok := cur.(ArrayVal); ok {
+			// The slot owns its container and the escape analysis proved
+			// no read ever exposes it: mutate the element in place —
+			// applyPath's rebuild without the per-store container copy.
+			a := &in.path[0]
+			idx := int(asInt(p.ev.Eval(a.index))) - av.Lo
+			if idx < 0 || idx >= len(av.Elems) {
+				p.ev.fail("store index %d out of range (len %d)", idx+av.Lo, len(av.Elems))
+			}
+			if len(in.path) == 1 {
+				av.Elems[idx] = coerceLeafLike(val, av.Elems[idx])
+			} else {
+				av.Elems[idx] = p.ev.applyPath(av.Elems[idx], in.path[1:], val)
+			}
+			return
+		}
+	}
+	p.setRaw(ref, p.ev.applyPath(cur, in.path, val))
+	if in.aOwn {
+		p.setOwn(ref, true)
+	}
+}
+
+// ownSlot reports whether a non-signal slot's container was built by
+// this run (so eligible stores may mutate it in place).
+func (p *bproc) ownSlot(ref slotRef) bool {
+	if ref.sp == slotShared {
+		return p.r.sharedOwn[ref.idx]
+	}
+	return p.localOwn[ref.idx]
+}
+
+func (p *bproc) setOwn(ref slotRef, own bool) {
+	if ref.sp == slotShared {
+		p.r.sharedOwn[ref.idx] = own
+	} else {
+		p.localOwn[ref.idx] = own
+	}
+}
+
+func (p *bproc) getRaw(ref slotRef) Value {
+	if ref.sp == slotShared {
+		return p.r.shared[ref.idx]
+	}
+	return p.locals[ref.idx]
+}
+
+func (p *bproc) setRaw(ref slotRef, val Value) {
+	if ref.sp == slotShared {
+		p.r.shared[ref.idx] = val
+	} else {
+		p.locals[ref.idx] = val
+	}
+}
+
+// setStorage writes a setLocal-style target (timeout flag), coercing to
+// the variable's declared type like the interpreter.
+func (p *bproc) setStorage(ref slotRef, v *spec.Variable, val Value) {
+	p.setRaw(ref, Coerce(val, v.Type))
+}
+
+// execWait replicates interp.go's execWait. It reports true when the
+// process continues without suspending (immediate-check hit), false
+// when it suspends with the wait state recorded on the process.
+func (p *bproc) execWait(m *waitMeta) bool {
+	s := m.w
+	if m.badOn != nil {
+		p.failf("wait on non-signal %s", m.badOn.Name)
+	}
+	if s.Until != nil {
+		if p.condBool(m.funtil, m.cuntil, s.Until) {
+			if m.timedOut != nil {
+				p.setStorage(m.timedOutRef, m.timedOut, BoolVal{V: false})
+			}
+			return true
+		}
+		if m.noSense {
+			p.failf("wait until %s has no signal sensitivity and no timeout", s.Until)
+		}
+	}
+	p.wDeadline = -1
+	if s.HasFor {
+		if s.For < 0 {
+			p.failf("negative wait duration %d", s.For)
+		}
+		p.wDeadline = p.r.now + s.For
+	}
+	p.wMeta = m
+	p.wForever = m.forever
+	p.wHasCheck = s.Until != nil
+	return false
+}
+
+// insertionSortInt32 sorts a small id slice ascending; runnable sets
+// are at most the process count, where insertion sort beats sort.Slice
+// and allocates nothing.
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

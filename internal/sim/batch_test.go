@@ -1,0 +1,592 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/protogen"
+	"repro/internal/spec"
+)
+
+// batchTrace captures everything a run exposes, rendered to strings so
+// traces from the two kernels compare directly. Steps is deliberately
+// absent: the batch kernel counts compiled instructions, the classic
+// kernel counts source statements (see batch.go).
+type batchTrace struct {
+	events     []string
+	clocks     int64
+	deltas     int64
+	finals     map[string]string
+	sigEvents  map[string]int64
+	processEnd map[string]int64
+	err        string
+	buildErr   string
+}
+
+func traceClassic(sys *spec.System, cfg Config) batchTrace {
+	var tr batchTrace
+	cfg.OnEvent = func(now int64, sig *spec.Variable, val Value) {
+		tr.events = append(tr.events, fmt.Sprintf("t=%d %s=%s", now, sig.Name, val))
+	}
+	s, err := New(sys, cfg)
+	if err != nil {
+		tr.buildErr = err.Error()
+		return tr
+	}
+	res, err := s.Run()
+	tr.fill(res, err)
+	return tr
+}
+
+func traceEngine(e *Engine, cfg Config) batchTrace {
+	var tr batchTrace
+	cfg.OnEvent = func(now int64, sig *spec.Variable, val Value) {
+		tr.events = append(tr.events, fmt.Sprintf("t=%d %s=%s", now, sig.Name, val))
+	}
+	res, err := e.Run(cfg)
+	tr.fill(res, err)
+	return tr
+}
+
+func (tr *batchTrace) fill(res *Result, err error) {
+	if err != nil {
+		tr.err = err.Error()
+		return
+	}
+	tr.clocks = res.Clocks
+	tr.deltas = res.Deltas
+	tr.finals = make(map[string]string, len(res.Finals))
+	for k, v := range res.Finals {
+		tr.finals[k] = v.String()
+	}
+	tr.sigEvents = res.SignalEvents
+	tr.processEnd = res.ProcessEnd
+}
+
+func diffTraces(a, b batchTrace) string {
+	if a.buildErr != b.buildErr {
+		return fmt.Sprintf("build: %q vs %q", a.buildErr, b.buildErr)
+	}
+	if a.err != b.err {
+		return fmt.Sprintf("outcome: %q vs %q", a.err, b.err)
+	}
+	for i := 0; i < len(a.events) && i < len(b.events); i++ {
+		if a.events[i] != b.events[i] {
+			return fmt.Sprintf("event %d: %q vs %q", i, a.events[i], b.events[i])
+		}
+	}
+	if len(a.events) != len(b.events) {
+		return fmt.Sprintf("event count: %d vs %d", len(a.events), len(b.events))
+	}
+	if a.clocks != b.clocks {
+		return fmt.Sprintf("clocks: %d vs %d", a.clocks, b.clocks)
+	}
+	if a.deltas != b.deltas {
+		return fmt.Sprintf("deltas: %d vs %d", a.deltas, b.deltas)
+	}
+	for _, pair := range []struct {
+		name string
+		x, y map[string]string
+	}{{"finals", a.finals, b.finals}} {
+		for k, v := range pair.x {
+			if pair.y[k] != v {
+				return fmt.Sprintf("%s[%s]: %q vs %q", pair.name, k, v, pair.y[k])
+			}
+		}
+		if len(pair.x) != len(pair.y) {
+			return fmt.Sprintf("%s size: %d vs %d", pair.name, len(pair.x), len(pair.y))
+		}
+	}
+	for _, pair := range []struct {
+		name string
+		x, y map[string]int64
+	}{{"signal events", a.sigEvents, b.sigEvents}, {"process end", a.processEnd, b.processEnd}} {
+		for k, v := range pair.x {
+			if pair.y[k] != v {
+				return fmt.Sprintf("%s[%s]: %d vs %d", pair.name, k, v, pair.y[k])
+			}
+		}
+		if len(pair.x) != len(pair.y) {
+			return fmt.Sprintf("%s size: %d vs %d", pair.name, len(pair.x), len(pair.y))
+		}
+	}
+	return ""
+}
+
+// checkEquivalent runs the system under both kernels (building cfg
+// fresh per run, since hooks may be stateful) and fails on the first
+// observable difference. It also runs the engine a second time on the
+// same pooled runner to pin the reset invariant.
+func checkEquivalent(t *testing.T, sys *spec.System, mkCfg func() Config) {
+	t.Helper()
+	e, err := NewEngine(sys)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	classic := traceClassic(sys, mkCfg())
+	pooled := traceEngine(e, mkCfg())
+	if d := diffTraces(classic, pooled); d != "" {
+		t.Fatalf("pooled kernel diverges from classic: %s", d)
+	}
+	again := traceEngine(e, mkCfg())
+	if d := diffTraces(classic, again); d != "" {
+		t.Fatalf("second pooled run diverges (reset leak): %s", d)
+	}
+}
+
+// batchScenarios exercises every construct the compiler lowers.
+func batchScenarios() map[string]*spec.System {
+	scenarios := make(map[string]*spec.System)
+
+	{
+		// Straight-line arithmetic into a shared variable.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		out := m.AddVariable(spec.NewVar("out", spec.Integer))
+		x := b.AddVar("x", spec.Integer)
+		b.Body = []spec.Stmt{
+			spec.AssignVar(spec.Ref(x), spec.Int(5)),
+			spec.AssignVar(spec.Ref(x), spec.Add(spec.Ref(x), spec.Int(37))),
+			spec.AssignVar(spec.Ref(out), spec.Ref(x)),
+		}
+		scenarios["straight-line"] = sys
+	}
+	{
+		// For over an array, loop variable clobbered by the body (the
+		// iteration count must not change), nested if/elif/else, while
+		// with exit.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		mem := m.AddVariable(spec.NewVar("mem", spec.Array(8, spec.Integer)))
+		tag := m.AddVariable(spec.NewVar("tag", spec.Integer))
+		n := m.AddVariable(spec.NewVar("n", spec.Integer))
+		i := b.AddVar("i", spec.Integer)
+		b.Body = []spec.Stmt{
+			&spec.For{Var: i, From: spec.Int(0), To: spec.Int(7), Body: []spec.Stmt{
+				spec.AssignVar(spec.At(spec.Ref(mem), spec.Ref(i)), spec.Mul(spec.Ref(i), spec.Ref(i))),
+				spec.AssignVar(spec.Ref(i), spec.Int(99)), // clobber
+			}},
+			&spec.If{
+				Cond: spec.Eq(spec.Ref(i), spec.Int(99)),
+				Then: []spec.Stmt{spec.AssignVar(spec.Ref(tag), spec.Int(1))},
+				Elifs: []spec.ElseIf{{
+					Cond: spec.Eq(spec.Ref(i), spec.Int(7)),
+					Body: []spec.Stmt{spec.AssignVar(spec.Ref(tag), spec.Int(2))},
+				}},
+				Else: []spec.Stmt{spec.AssignVar(spec.Ref(tag), spec.Int(3))},
+			},
+			&spec.While{Cond: spec.Le(spec.Ref(n), spec.Int(100)), Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(n), spec.Add(spec.Ref(n), spec.Int(7))),
+				&spec.If{Cond: spec.Gt(spec.Ref(n), spec.Int(50)), Then: []spec.Stmt{&spec.Exit{}}},
+			}},
+		}
+		scenarios["loops-and-branches"] = sys
+	}
+	{
+		// Procedures: in/out/inout copy-in/out, locals, exit directly in a
+		// procedure body (the interpreter treats it as return: copy-out
+		// still runs), return from inside a loop in a procedure.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		r1 := m.AddVariable(spec.NewVar("r1", spec.Integer))
+		r2 := m.AddVariable(spec.NewVar("r2", spec.Integer))
+
+		pa := spec.NewVar("a", spec.Integer)
+		pb := spec.NewVar("bb", spec.Integer)
+		tmp := spec.NewVar("tmp", spec.Integer)
+		proc := &spec.Procedure{
+			Name:   "addmul",
+			Params: []spec.Param{{Var: pa, Mode: spec.ModeIn}, {Var: pb, Mode: spec.ModeInOut}},
+			Locals: []*spec.Variable{tmp},
+			Body: []spec.Stmt{
+				spec.AssignVar(spec.Ref(tmp), spec.Mul(spec.Ref(pa), spec.Int(2))),
+				&spec.If{Cond: spec.Gt(spec.Ref(pa), spec.Int(10)), Then: []spec.Stmt{
+					spec.AssignVar(spec.Ref(pb), spec.Int(-1)),
+					&spec.Exit{}, // unwinds the call, copy-out still runs
+				}},
+				spec.AssignVar(spec.Ref(pb), spec.Add(spec.Ref(pb), spec.Ref(tmp))),
+			},
+		}
+		qx := spec.NewVar("x", spec.Integer)
+		k := spec.NewVar("k", spec.Integer)
+		proc2 := &spec.Procedure{
+			Name:   "findfirst",
+			Params: []spec.Param{{Var: qx, Mode: spec.ModeOut}},
+			Body: []spec.Stmt{
+				&spec.For{Var: k, From: spec.Int(1), To: spec.Int(100), Body: []spec.Stmt{
+					&spec.If{Cond: spec.Ge(spec.Mul(spec.Ref(k), spec.Ref(k)), spec.Int(30)), Then: []spec.Stmt{
+						spec.AssignVar(spec.Ref(qx), spec.Ref(k)),
+						&spec.Return{},
+					}},
+				}},
+			},
+		}
+		b.Procedures = []*spec.Procedure{proc, proc2}
+		b.Body = []spec.Stmt{
+			spec.AssignVar(spec.Ref(r1), spec.Int(3)),
+			&spec.Call{Proc: proc, Args: []spec.Expr{spec.Int(4), spec.Ref(r1)}},  // r1 = 3+8
+			&spec.Call{Proc: proc, Args: []spec.Expr{spec.Int(11), spec.Ref(r1)}}, // exit path: r1 = -1
+			&spec.Call{Proc: proc2, Args: []spec.Expr{spec.Ref(r2)}},              // r2 = 6
+		}
+		scenarios["procedures"] = sys
+	}
+	{
+		// Signal delta semantics plus timed waits.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		sig := sys.AddGlobal(spec.NewSignal("S", spec.Integer))
+		seen := m.AddVariable(spec.NewVar("seen", spec.Integer))
+		after := m.AddVariable(spec.NewVar("after", spec.Integer))
+		b.Body = []spec.Stmt{
+			spec.AssignSig(spec.Ref(sig), spec.Int(7)),
+			spec.AssignVar(spec.Ref(seen), spec.Ref(sig)), // still 0
+			spec.WaitFor(1),
+			spec.AssignVar(spec.Ref(after), spec.Ref(sig)), // now 7
+			spec.WaitFor(41),
+		}
+		scenarios["delta-semantics"] = sys
+	}
+	{
+		// Two-process four-phase handshake: wait until, wake ordering,
+		// record of events.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		m2 := sys.AddModule("m2")
+		prod := m.AddBehavior(spec.NewBehavior("prod"))
+		cons := m2.AddBehavior(spec.NewBehavior("cons"))
+		req := sys.AddGlobal(spec.NewSignal("REQ", spec.Bit))
+		ack := sys.AddGlobal(spec.NewSignal("ACK", spec.Bit))
+		data := sys.AddGlobal(spec.NewSignal("DATA", spec.BitVector(8)))
+		sum := m2.AddVariable(spec.NewVar("sum", spec.Integer))
+		one, zero := spec.VecString("1"), spec.VecString("0")
+		i := prod.AddVar("i", spec.Integer)
+		prod.Body = []spec.Stmt{
+			&spec.For{Var: i, From: spec.Int(1), To: spec.Int(3), Body: []spec.Stmt{
+				spec.AssignSig(spec.Ref(data), spec.ToVec(spec.Ref(i), 8)),
+				spec.AssignSig(spec.Ref(req), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(ack), one)),
+				spec.AssignSig(spec.Ref(req), zero),
+				spec.WaitUntil(spec.Eq(spec.Ref(ack), zero)),
+			}},
+		}
+		j := cons.AddVar("j", spec.Integer)
+		cons.Body = []spec.Stmt{
+			&spec.For{Var: j, From: spec.Int(1), To: spec.Int(3), Body: []spec.Stmt{
+				spec.WaitUntil(spec.Eq(spec.Ref(req), one)),
+				spec.AssignVar(spec.Ref(sum), spec.Add(spec.Ref(sum), spec.ToInt(spec.Ref(data)))),
+				spec.AssignSig(spec.Ref(ack), one),
+				spec.WaitUntil(spec.Eq(spec.Ref(req), zero)),
+				spec.AssignSig(spec.Ref(ack), zero),
+			}},
+		}
+		scenarios["handshake"] = sys
+	}
+	{
+		// Bounded waits: both the expired and the satisfied TimedOut path.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		src := m.AddBehavior(spec.NewBehavior("SRC"))
+		sig := sys.AddGlobal(spec.NewSignal("S", spec.Bit))
+		first := m.AddVariable(spec.NewVar("first", spec.Integer))
+		second := m.AddVariable(spec.NewVar("second", spec.Integer))
+		tmo := b.AddVar("tmo", spec.Bool)
+		record := func(dst *spec.Variable) spec.Stmt {
+			return &spec.If{
+				Cond: spec.Ref(tmo),
+				Then: []spec.Stmt{spec.AssignVar(spec.Ref(dst), spec.Int(1))},
+				Else: []spec.Stmt{spec.AssignVar(spec.Ref(dst), spec.Int(2))},
+			}
+		}
+		b.Body = []spec.Stmt{
+			spec.WaitUntilFor(spec.Eq(spec.Ref(sig), spec.VecString("1")), 10, tmo),
+			record(first),
+			spec.WaitUntilFor(spec.Eq(spec.Ref(sig), spec.VecString("1")), 1000, tmo),
+			record(second),
+		}
+		src.Body = []spec.Stmt{
+			spec.WaitFor(20),
+			spec.AssignSig(spec.Ref(sig), spec.VecString("1")),
+		}
+		scenarios["timed-out-flag"] = sys
+	}
+	{
+		// Immediate-check wait until (no suspend) and wait on.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		w := m.AddBehavior(spec.NewBehavior("WATCH"))
+		sig := sys.AddGlobal(spec.NewSignal("S", spec.Bit))
+		okv := m.AddVariable(spec.NewVar("ok", spec.Integer))
+		wok := m.AddVariable(spec.NewVar("wok", spec.Integer))
+		b.Body = []spec.Stmt{
+			spec.AssignSig(spec.Ref(sig), spec.VecString("1")),
+			spec.WaitFor(1),
+			spec.WaitUntil(spec.Eq(spec.Ref(sig), spec.VecString("1"))), // already true
+			spec.AssignVar(spec.Ref(okv), spec.Int(1)),
+		}
+		w.Body = []spec.Stmt{
+			spec.WaitOn(sig),
+			spec.AssignVar(spec.Ref(wok), spec.Int(1)),
+		}
+		scenarios["immediate-and-on"] = sys
+	}
+	{
+		// Slices and record-signal field updates in one delta.
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("B"))
+		rec := spec.RecordType{Name: "wires", Fields: []spec.Field{
+			{Name: "A", Type: spec.Bit},
+			{Name: "D", Type: spec.BitVector(8)},
+		}}
+		sig := sys.AddGlobal(spec.NewSignal("S", rec))
+		got := m.AddVariable(spec.NewVar("got", spec.BitVector(8)))
+		vec := m.AddVariable(spec.NewVar("vec", spec.BitVector(16)))
+		b.Body = []spec.Stmt{
+			spec.AssignSig(spec.FieldOf(spec.Ref(sig), "A"), spec.VecString("1")),
+			spec.AssignSig(spec.FieldOf(spec.Ref(sig), "D"), spec.ToVec(spec.Int(0xAB), 8)),
+			spec.WaitFor(1),
+			spec.AssignVar(spec.Ref(got), spec.FieldOf(spec.Ref(sig), "D")),
+			spec.AssignVar(spec.Ref(vec), spec.ToVec(spec.Int(0xF0F0), 16)),
+			spec.AssignVar(spec.SliceBits(spec.Ref(vec), 7, 0), spec.ToVec(spec.Int(0x0F), 8)),
+		}
+		scenarios["records-and-slices"] = sys
+	}
+	{
+		// PQ, the paper's Fig. 3 system (unrefined: timed stagger only).
+		sys, _ := buildPQ()
+		scenarios["pq-original"] = sys
+	}
+	for _, pc := range []struct {
+		name string
+		cfg  protogen.Config
+	}{
+		{"pq-full", protogen.Config{Protocol: spec.FullHandshake}},
+		{"pq-half", protogen.Config{Protocol: spec.HalfHandshake}},
+		{"pq-robust", protogen.Config{Protocol: spec.FullHandshake, Robust: true}},
+		{"pq-robust-parity", protogen.Config{Protocol: spec.FullHandshake, Robust: true, Parity: true}},
+		{"pq-arbitrated", protogen.Config{Protocol: spec.FullHandshake, Robust: true, Arbitrate: true}},
+	} {
+		sys, bus := buildPQ()
+		if _, err := protogen.Generate(sys, bus, pc.cfg); err != nil {
+			panic(err)
+		}
+		scenarios[pc.name] = sys
+	}
+	return scenarios
+}
+
+// TestEngineMatchesClassic is the tentpole's bit-exactness claim: on
+// every scenario the pooled kernel's run is observably identical to the
+// classic kernel's, including on a reused runner.
+func TestEngineMatchesClassic(t *testing.T) {
+	for name, sys := range batchScenarios() {
+		t.Run(name, func(t *testing.T) {
+			checkEquivalent(t, sys, func() Config { return Config{} })
+		})
+	}
+}
+
+// TestEngineMatchesClassicUnderMutation drives the refined PQ system
+// with a stateful Mutate hook (suppress the first DONE-window change,
+// re-commit it 10 clocks later) plus a Schedule hook — the exact shape
+// a fault campaign uses.
+func TestEngineMatchesClassicUnderMutation(t *testing.T) {
+	sys, bus := buildPQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake, Robust: true}); err != nil {
+		t.Fatal(err)
+	}
+	mkCfg := func() Config {
+		fired := false
+		return Config{
+			Mutate: func(now int64, s *spec.Variable, old, next Value) Mutation {
+				if fired || now < 3 {
+					return Mutation{}
+				}
+				fired = true
+				return Mutation{Now: old.Copy(), Later: next.Copy(), Delay: 10}
+			},
+			Schedule: func(now int64, runnable []string) []string {
+				// Reverse the default order: equivalence must hold for any
+				// deterministic schedule.
+				out := make([]string, len(runnable))
+				for i, n := range runnable {
+					out[len(runnable)-1-i] = n
+				}
+				return out
+			},
+		}
+	}
+	checkEquivalent(t, sys, mkCfg)
+}
+
+// TestEngineMatchesClassicErrors: failure paths must agree to the exact
+// error string — deadlock reports (including wait descriptions and bus
+// state) and the MaxClocks budget.
+func TestEngineMatchesClassicErrors(t *testing.T) {
+	t.Run("deadlock", func(t *testing.T) {
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("stuck"))
+		srv := m.AddBehavior(spec.NewBehavior("srv"))
+		srv.Server = true
+		rec := spec.RecordType{Name: "wires", Fields: []spec.Field{
+			{Name: "A", Type: spec.Bit},
+			{Name: "DATA", Type: spec.BitVector(8)},
+		}}
+		sig := sys.AddGlobal(spec.NewSignal("BUSY", rec))
+		b.Body = []spec.Stmt{
+			spec.AssignSig(spec.FieldOf(spec.Ref(sig), "A"), spec.VecString("1")),
+			spec.WaitUntilFor(spec.Eq(spec.FieldOf(spec.Ref(sig), "DATA"), spec.ToVec(spec.Int(9), 8)), 0, nil),
+		}
+		srv.Body = []spec.Stmt{&spec.Wait{}} // wait forever
+		checkEquivalent(t, sys, func() Config { return Config{} })
+	})
+	t.Run("max-clocks", func(t *testing.T) {
+		b := spec.NewBehavior("slow")
+		b.Body = []spec.Stmt{&spec.Loop{Body: []spec.Stmt{spec.WaitFor(1000)}}}
+		checkEquivalent(t, oneModuleSystem(b), func() Config { return Config{MaxClocks: 5000} })
+	})
+	t.Run("runtime-fault", func(t *testing.T) {
+		sys := spec.NewSystem("t")
+		m := sys.AddModule("m")
+		b := m.AddBehavior(spec.NewBehavior("oob"))
+		mem := m.AddVariable(spec.NewVar("mem", spec.Array(4, spec.Integer)))
+		b.Body = []spec.Stmt{
+			spec.AssignVar(spec.At(spec.Ref(mem), spec.Int(9)), spec.Int(1)),
+		}
+		checkEquivalent(t, sys, func() Config { return Config{} })
+	})
+	t.Run("runaway", func(t *testing.T) {
+		// Step counts differ by design, so only the error *kind* is
+		// compared here, not the string.
+		b := spec.NewBehavior("spin")
+		b.Body = []spec.Stmt{&spec.Loop{Body: []spec.Stmt{&spec.Null{}}}}
+		sys := oneModuleSystem(b)
+		e, err := NewEngine(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(Config{MaxStepsPerSlice: 1000}); err == nil || !strings.Contains(err.Error(), "without yielding") {
+			t.Fatalf("err = %v, want runaway detection", err)
+		}
+	})
+}
+
+// TestEngineConcurrentRuns: one Engine, many goroutines — every run
+// must be independent and identical (the campaign scheduler relies on
+// this).
+func TestEngineConcurrentRuns(t *testing.T) {
+	sys, bus := buildPQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceEngine(e, Config{})
+	var wg sync.WaitGroup
+	diffs := make([]string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				if d := diffTraces(want, traceEngine(e, Config{})); d != "" {
+					diffs[g] = d
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, d := range diffs {
+		if d != "" {
+			t.Fatalf("goroutine %d diverged: %s", g, d)
+		}
+	}
+}
+
+// TestEngineAllocsPerRun pins the pooled kernel's per-run allocation
+// count on the hardened PQ protocol. The pool exists so campaign runs
+// allocate only what evaluation itself allocates (values, Result maps)
+// — measured ~28 allocs/run (small-vector and box interning, owned
+// in-place containers, compiled conditions) against ~3150 on the
+// classic kernel. The bound has headroom for runtime jitter but
+// catches a regression back to per-run rebuilds or goroutine setup.
+func TestEngineAllocsPerRun(t *testing.T) {
+	sys, bus := buildPQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake, Robust: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool so the first runner's construction is not counted.
+	if _, err := e.Run(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.Run(Config{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 80 {
+		t.Errorf("pooled kernel allocates %.0f allocs/run, want <= 80", allocs)
+	}
+}
+
+// TestEngineRejectsRecursion: the batch compiler inlines calls, so a
+// recursive procedure must be a construction error (the caller then
+// falls back to the classic kernel, which bounds recursion at runtime).
+func TestEngineRejectsRecursion(t *testing.T) {
+	sys := spec.NewSystem("t")
+	m := sys.AddModule("m")
+	b := m.AddBehavior(spec.NewBehavior("B"))
+	pn := spec.NewVar("n", spec.Integer)
+	proc := &spec.Procedure{Name: "rec", Params: []spec.Param{{Var: pn, Mode: spec.ModeIn}}}
+	proc.Body = []spec.Stmt{
+		&spec.Call{Proc: proc, Args: []spec.Expr{spec.Ref(pn)}},
+	}
+	b.Procedures = []*spec.Procedure{proc}
+	b.Body = []spec.Stmt{&spec.Call{Proc: proc, Args: []spec.Expr{spec.Int(1)}}}
+	if _, err := NewEngine(sys); err == nil || !strings.Contains(err.Error(), "recurses") {
+		t.Fatalf("NewEngine = %v, want recursion rejection", err)
+	}
+}
+
+// TestEngineCostFallback: a cost model needs the interpreter's lag
+// accounting; Engine.Run must transparently produce the classic
+// kernel's result.
+func TestEngineCostFallback(t *testing.T) {
+	sys, bus := buildPQ()
+	if _, err := protogen.Generate(sys, bus, protogen.Config{Protocol: spec.FullHandshake}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := estimate.DefaultModel()
+	mkCfg := func() Config {
+		return Config{Cost: &model}
+	}
+	classic := traceClassic(sys, mkCfg())
+	pooled := traceEngine(e, mkCfg())
+	if d := diffTraces(classic, pooled); d != "" {
+		t.Fatalf("cost-model fallback diverges: %s", d)
+	}
+	if classic.clocks == 0 {
+		t.Fatal("cost model charged no clocks; fallback not exercised")
+	}
+}

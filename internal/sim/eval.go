@@ -62,15 +62,49 @@ func boxVec(v bits.Vector) Value {
 	return VecVal{V: v}
 }
 
+// smallIntBox and boolBox intern the scalar boxes the same way: loop
+// counters, handshake word counts and comparison results dominate
+// evaluated scalars, and boxing each one is an allocation on the
+// kernel's hottest path.
+const (
+	smallIntLo = -4
+	smallIntHi = 1024
+)
+
+var (
+	smallIntBox [smallIntHi - smallIntLo + 1]Value
+	boolBox     = [2]Value{BoolVal{V: false}, BoolVal{V: true}}
+)
+
+func init() {
+	for i := range smallIntBox {
+		smallIntBox[i] = IntVal{V: int64(i + smallIntLo)}
+	}
+}
+
+func boxInt(v int64) Value {
+	if v >= smallIntLo && v <= smallIntHi {
+		return smallIntBox[v-smallIntLo]
+	}
+	return IntVal{V: v}
+}
+
+func boxBool(b bool) Value {
+	if b {
+		return boolBox[1]
+	}
+	return boolBox[0]
+}
+
 // Eval evaluates an expression against the current variable values.
 func (ev *Evaluator) Eval(e spec.Expr) Value {
 	switch e := e.(type) {
 	case *spec.IntLit:
-		return IntVal{V: e.Value}
+		return boxInt(e.Value)
 	case *spec.VecLit:
 		return boxVec(e.Value)
 	case *spec.BoolLit:
-		return BoolVal{V: e.Value}
+		return boxBool(e.Value)
 	case *spec.VarRef:
 		return ev.Lookup(e.Var)
 	case *spec.Index:
@@ -115,13 +149,13 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 		case spec.OpNot:
 			switch x := x.(type) {
 			case BoolVal:
-				return BoolVal{V: !x.V}
+				return boxBool(!x.V)
 			case VecVal:
 				return boxVec(x.V.Not())
 			}
 			ev.fail("not on %s", x)
 		case spec.OpNeg:
-			return IntVal{V: -asInt(x)}
+			return boxInt(-asInt(x))
 		}
 		ev.fail("unknown unary op %s", e.Op)
 	case *spec.Conv:
@@ -129,15 +163,15 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 		switch to := e.To.(type) {
 		case spec.IntegerType:
 			if xv, ok := x.(VecVal); ok && e.Signed {
-				return IntVal{V: xv.V.Int64()}
+				return boxInt(xv.V.Int64())
 			}
-			return IntVal{V: asInt(x)}
+			return boxInt(asInt(x))
 		case spec.BitVectorType:
 			return boxVec(asVec(x, to.Width))
 		case spec.BitType:
 			return boxVec(asVec(x, 1))
 		case spec.BoolType:
-			return BoolVal{V: asBool(x)}
+			return boxBool(asBool(x))
 		}
 		ev.fail("unsupported conversion to %s", e.To)
 	}
@@ -148,14 +182,21 @@ func (ev *Evaluator) Eval(e spec.Expr) Value {
 func (ev *Evaluator) evalBinary(e *spec.Binary) Value {
 	x := ev.Eval(e.X)
 	y := ev.Eval(e.Y)
-	switch e.Op {
+	return ev.applyBinary(e.Op, x, y)
+}
+
+// applyBinary applies a binary operator to already-evaluated operands;
+// the compiled expression evaluator shares it with the tree walker so
+// both produce identical values and identical failure messages.
+func (ev *Evaluator) applyBinary(op spec.Op, x, y Value) Value {
+	switch op {
 	case spec.OpAnd, spec.OpOr:
 		if xb, ok := x.(BoolVal); ok {
 			yb := asBool(y)
-			if e.Op == spec.OpAnd {
-				return BoolVal{V: xb.V && yb}
+			if op == spec.OpAnd {
+				return boxBool(xb.V && yb)
 			}
-			return BoolVal{V: xb.V || yb}
+			return boxBool(xb.V || yb)
 		}
 	}
 
@@ -163,48 +204,48 @@ func (ev *Evaluator) evalBinary(e *spec.Binary) Value {
 	xv, xIsVec := x.(VecVal)
 	yv, yIsVec := y.(VecVal)
 	if xIsVec || yIsVec {
-		return ev.evalVecBinary(e.Op, x, y, xv, yv, xIsVec, yIsVec)
+		return ev.evalVecBinary(op, x, y, xv, yv, xIsVec, yIsVec)
 	}
 
 	// Integer / boolean arithmetic.
 	a, b := asInt(x), asInt(y)
-	switch e.Op {
+	switch op {
 	case spec.OpAdd:
-		return IntVal{V: a + b}
+		return boxInt(a + b)
 	case spec.OpSub:
-		return IntVal{V: a - b}
+		return boxInt(a - b)
 	case spec.OpMul:
-		return IntVal{V: a * b}
+		return boxInt(a * b)
 	case spec.OpDiv:
 		if b == 0 {
 			ev.fail("division by zero")
 		}
-		return IntVal{V: a / b}
+		return boxInt(a / b)
 	case spec.OpMod:
 		if b == 0 {
 			ev.fail("mod by zero")
 		}
-		return IntVal{V: a % b}
+		return boxInt(a % b)
 	case spec.OpEq:
-		return BoolVal{V: a == b}
+		return boxBool(a == b)
 	case spec.OpNeq:
-		return BoolVal{V: a != b}
+		return boxBool(a != b)
 	case spec.OpLt:
-		return BoolVal{V: a < b}
+		return boxBool(a < b)
 	case spec.OpLe:
-		return BoolVal{V: a <= b}
+		return boxBool(a <= b)
 	case spec.OpGt:
-		return BoolVal{V: a > b}
+		return boxBool(a > b)
 	case spec.OpGe:
-		return BoolVal{V: a >= b}
+		return boxBool(a >= b)
 	case spec.OpShl:
-		return IntVal{V: a << uint(b)}
+		return boxInt(a << uint(b))
 	case spec.OpShr:
-		return IntVal{V: a >> uint(b)}
+		return boxInt(a >> uint(b))
 	case spec.OpXor:
-		return IntVal{V: a ^ b}
+		return boxInt(a ^ b)
 	}
-	ev.fail("unsupported integer op %s", e.Op)
+	ev.fail("unsupported integer op %s", op)
 	return nil
 }
 
@@ -237,17 +278,17 @@ func (ev *Evaluator) evalVecBinary(op spec.Op, x, y Value, xv, yv VecVal, xIsVec
 	case spec.OpXor:
 		return boxVec(a.Xor(b))
 	case spec.OpEq:
-		return BoolVal{V: a.Equal(b)}
+		return boxBool(a.Equal(b))
 	case spec.OpNeq:
-		return BoolVal{V: !a.Equal(b)}
+		return boxBool(!a.Equal(b))
 	case spec.OpLt:
-		return BoolVal{V: a.CompareUnsigned(b) < 0}
+		return boxBool(a.CompareUnsigned(b) < 0)
 	case spec.OpLe:
-		return BoolVal{V: a.CompareUnsigned(b) <= 0}
+		return boxBool(a.CompareUnsigned(b) <= 0)
 	case spec.OpGt:
-		return BoolVal{V: a.CompareUnsigned(b) > 0}
+		return boxBool(a.CompareUnsigned(b) > 0)
 	case spec.OpGe:
-		return BoolVal{V: a.CompareUnsigned(b) >= 0}
+		return boxBool(a.CompareUnsigned(b) >= 0)
 	case spec.OpMul, spec.OpDiv, spec.OpMod:
 		if width > 64 {
 			ev.fail("%s on vectors wider than 64 bits", op)
@@ -294,13 +335,13 @@ func vecWidthOr(v Value, def int) int {
 func Coerce(v Value, t spec.Type) Value {
 	switch t := t.(type) {
 	case spec.IntegerType:
-		return IntVal{V: asInt(v)}
+		return boxInt(asInt(v))
 	case spec.BitVectorType:
 		return boxVec(asVec(v, t.Width))
 	case spec.BitType:
 		return boxVec(asVec(v, 1))
 	case spec.BoolType:
-		return BoolVal{V: asBool(v)}
+		return boxBool(asBool(v))
 	}
 	return v
 }
@@ -325,6 +366,11 @@ type accessor struct {
 	field  string    // record field, or
 	hi, lo spec.Expr // slice bounds
 	kind   int       // 0 index, 1 field, 2 slice
+	// fieldIdx is a static index hint for kind 1, or -1. applyPath
+	// validates it against the runtime record type before trusting it,
+	// so it can only skip the name scan, never change which field a
+	// store hits.
+	fieldIdx int32
 }
 
 func flattenLValue(lhs spec.Expr) (*spec.Variable, []accessor) {
@@ -341,7 +387,7 @@ func flattenLValue(lhs spec.Expr) (*spec.Variable, []accessor) {
 			path = append(path, accessor{kind: 0, index: l.Index})
 			lhs = l.Arr
 		case *spec.FieldRef:
-			path = append(path, accessor{kind: 1, field: l.Field})
+			path = append(path, accessor{kind: 1, field: l.Field, fieldIdx: -1})
 			lhs = l.X
 		case *spec.SliceExpr:
 			path = append(path, accessor{kind: 2, hi: l.Hi, lo: l.Lo})
@@ -398,7 +444,10 @@ func (ev *Evaluator) applyPath(cur Value, path []accessor, val Value) Value {
 		if !ok {
 			ev.fail("field store into non-record")
 		}
-		i := rv.FieldIndex(a.field)
+		i := int(a.fieldIdx)
+		if i < 0 || i >= len(rv.Type.Fields) || rv.Type.Fields[i].Name != a.field {
+			i = rv.FieldIndex(a.field)
+		}
 		if i < 0 {
 			ev.fail("store to unknown field %s", a.field)
 		}
@@ -435,9 +484,9 @@ func coerceLeafLike(val Value, like Value) Value {
 	case VecVal:
 		return boxVec(asVec(val, like.V.Width()))
 	case IntVal:
-		return IntVal{V: asInt(val)}
+		return boxInt(asInt(val))
 	case BoolVal:
-		return BoolVal{V: asBool(val)}
+		return boxBool(asBool(val))
 	}
 	return val
 }

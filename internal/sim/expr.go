@@ -1,0 +1,643 @@
+package sim
+
+import (
+	"repro/internal/bits"
+	"repro/internal/spec"
+)
+
+// This file compiles expressions into flat postfix programs for the
+// batch kernel. The tree-walking Evaluator costs an interface dispatch,
+// a type switch and a map-backed variable lookup per node; at millions
+// of runs per campaign that walk dominates the whole simulator. A
+// compiled expression replaces it with a loop over a few preresolved
+// ops and a reusable value stack.
+//
+// Faithfulness rules the design:
+//
+//   - Operand order is the tree walk's order (left to right), so a
+//     failing operand fails at the same point in the run.
+//   - The interpreter checks that an indexed value is an array *before*
+//     evaluating the index; xCheckArr reproduces that early check.
+//   - Every op that can fail carries its originating spec node so the
+//     failure message renders the same expression text the interpreter
+//     would print.
+//   - Value computation is shared, not duplicated: binary operators go
+//     through the same applyBinary the tree walker uses, and the
+//     conversion/slice/field semantics are copied line for line.
+//
+// A construct the compiler does not handle simply yields a nil cexpr
+// and the kernel falls back to the tree walker for that expression.
+
+type copKind uint8
+
+const (
+	xConst copKind = iota
+	xLoadLocal
+	xLoadShared
+	xLoadSignal
+	xCheckArr // verify the indexed value is an array before the index runs
+	xIndex
+	xSlice  // dynamic bounds: pops lo, hi, x
+	xSliceC // static bounds: pops x
+	xField
+	xBinary
+	xNot
+	xNeg
+	xConv
+)
+
+// cop is one postfix op. Fields are a union keyed by kind.
+type cop struct {
+	kind copKind
+	val  Value          // xConst
+	idx  int32          // load slot; xField static index hint (-1 unknown); xSliceC hi
+	lo   int32          // xSliceC lo
+	op   spec.Op        // xBinary
+	v    *spec.Variable // loads: variable, for not-in-scope errors
+	name string         // xField: field name
+	to   spec.Type      // xConv target
+	sgn  bool           // xConv signed
+	orig spec.Expr      // originating node for failure messages
+}
+
+// cexpr is a compiled expression: postfix ops evaluated over a stack.
+// depth is its maximum operand-stack depth, known statically; the
+// process stack is pre-sized to the program's deepest expression so
+// evaluation never grows it.
+type cexpr struct {
+	ops   []cop
+	depth int
+}
+
+// exprBuilder accumulates ops for one expression.
+type exprBuilder struct {
+	prog *bprogram
+	ops  []cop
+	ok   bool
+}
+
+// compileExpr compiles e against the program's resolved slots; every
+// variable e references must already have been through scanExpr. A nil
+// return means the expression uses a construct the compiler does not
+// lower; the kernel keeps the spec tree and walks it instead.
+func (c *bcompiler) compileExpr(e spec.Expr) *cexpr {
+	b := &exprBuilder{prog: c.prog, ok: true}
+	b.emit(e)
+	if !b.ok {
+		return nil
+	}
+	ce := &cexpr{ops: b.ops}
+	d := 0
+	for i := range ce.ops {
+		switch ce.ops[i].kind {
+		case xConst, xLoadLocal, xLoadShared, xLoadSignal:
+			d++
+		case xIndex, xBinary:
+			d--
+		case xSlice:
+			d -= 2
+		}
+		if d > ce.depth {
+			ce.depth = d
+		}
+	}
+	if ce.depth > c.prog.maxStack {
+		c.prog.maxStack = ce.depth
+	}
+	return ce
+}
+
+func (b *exprBuilder) push(op cop) { b.ops = append(b.ops, op) }
+
+func (b *exprBuilder) emit(e spec.Expr) {
+	switch e := e.(type) {
+	case *spec.IntLit:
+		b.push(cop{kind: xConst, val: boxInt(e.Value)})
+	case *spec.VecLit:
+		b.push(cop{kind: xConst, val: boxVec(e.Value)})
+	case *spec.BoolLit:
+		b.push(cop{kind: xConst, val: boxBool(e.Value)})
+	case *spec.VarRef:
+		ref, ok := b.prog.res[e.Var]
+		if !ok {
+			// scanExpr resolves everything; an unresolved variable means
+			// the expression was never scanned — refuse, don't guess.
+			b.ok = false
+			return
+		}
+		switch ref.sp {
+		case slotShared:
+			b.push(cop{kind: xLoadShared, idx: ref.idx})
+		case slotSignal:
+			b.push(cop{kind: xLoadSignal, idx: ref.idx})
+		default:
+			b.push(cop{kind: xLoadLocal, idx: ref.idx, v: e.Var})
+		}
+	case *spec.Index:
+		b.emit(e.Arr)
+		b.push(cop{kind: xCheckArr, orig: e})
+		b.emit(e.Index)
+		b.push(cop{kind: xIndex, orig: e})
+	case *spec.SliceExpr:
+		b.emit(e.X)
+		hi, hok := e.Hi.(*spec.IntLit)
+		lo, lok := e.Lo.(*spec.IntLit)
+		if hok && lok {
+			b.push(cop{kind: xSliceC, idx: int32(hi.Value), lo: int32(lo.Value), orig: e})
+		} else {
+			b.emit(e.Hi)
+			b.emit(e.Lo)
+			b.push(cop{kind: xSlice, orig: e})
+		}
+	case *spec.FieldRef:
+		b.emit(e.X)
+		fi := int32(-1)
+		if rt, ok := staticExprType(e.X).(spec.RecordType); ok {
+			for i := range rt.Fields {
+				if rt.Fields[i].Name == e.Field {
+					fi = int32(i)
+					break
+				}
+			}
+		}
+		b.push(cop{kind: xField, idx: fi, name: e.Field, orig: e})
+	case *spec.Binary:
+		b.emit(e.X)
+		b.emit(e.Y)
+		b.push(cop{kind: xBinary, op: e.Op})
+	case *spec.Unary:
+		b.emit(e.X)
+		switch e.Op {
+		case spec.OpNot:
+			b.push(cop{kind: xNot})
+		case spec.OpNeg:
+			b.push(cop{kind: xNeg})
+		default:
+			b.ok = false
+		}
+	case *spec.Conv:
+		b.emit(e.X)
+		b.push(cop{kind: xConv, to: e.To, sgn: e.Signed, orig: e})
+	default:
+		b.ok = false
+	}
+}
+
+// staticExprType infers an expression's type where the spec makes it
+// knowable at compile time; nil means unknown. Used only for hints
+// (static field indices) that are re-validated at runtime, so a stale
+// or wrong inference can never change behavior.
+func staticExprType(e spec.Expr) spec.Type {
+	switch e := e.(type) {
+	case *spec.VarRef:
+		return e.Var.Type
+	case *spec.FieldRef:
+		if rt, ok := staticExprType(e.X).(spec.RecordType); ok {
+			return rt.FieldType(e.Field)
+		}
+	case *spec.Index:
+		if at, ok := staticExprType(e.Arr).(spec.ArrayType); ok {
+			return at.Elem
+		}
+	}
+	return nil
+}
+
+// evalExpr evaluates via the compiled form when one exists, else the
+// tree walker.
+func (p *bproc) evalExpr(ce *cexpr, e spec.Expr) Value {
+	if ce != nil {
+		return p.evalC(ce)
+	}
+	return p.ev.Eval(e)
+}
+
+// evalC runs a compiled expression on the process's reusable stack.
+// Failure messages match the tree walker's byte for byte (batch_test.go
+// cross-checks error strings against the classic kernel).
+func (p *bproc) evalC(ce *cexpr) Value {
+	st := p.stack[:0] // pre-sized to the program's deepest expression
+	ops := ce.ops
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case xConst:
+			st = append(st, op.val)
+		case xLoadLocal:
+			v := p.locals[op.idx]
+			if v == nil {
+				p.evFail("variable %s not in scope", op.v.Name)
+			}
+			st = append(st, v)
+		case xLoadShared:
+			st = append(st, p.r.shared[op.idx])
+		case xLoadSignal:
+			st = append(st, p.r.sig[op.idx].current)
+		case xCheckArr:
+			if _, ok := st[len(st)-1].(ArrayVal); !ok {
+				p.evFail("indexing non-array %s", op.orig.(*spec.Index).Arr)
+			}
+		case xIndex:
+			n := len(st)
+			av := st[n-2].(ArrayVal) // xCheckArr already verified
+			idx := int(asInt(st[n-1])) - av.Lo
+			if idx < 0 || idx >= len(av.Elems) {
+				p.evFail("index %d out of range for %s (len %d)", idx+av.Lo, op.orig.(*spec.Index).Arr, len(av.Elems))
+			}
+			st[n-2] = av.Elems[idx]
+			st = st[:n-1]
+		case xSlice:
+			n := len(st)
+			xv, ok := st[n-3].(VecVal)
+			if !ok {
+				p.evFail("slicing non-vector %s", op.orig.(*spec.SliceExpr).X)
+			}
+			hi := int(asInt(st[n-2]))
+			lo := int(asInt(st[n-1]))
+			if lo < 0 || hi >= xv.V.Width() || hi < lo {
+				p.evFail("slice (%d downto %d) out of range for %s", hi, lo, op.orig.(*spec.SliceExpr).X)
+			}
+			st[n-3] = boxVec(xv.V.Slice(hi, lo))
+			st = st[:n-2]
+		case xSliceC:
+			n := len(st)
+			xv, ok := st[n-1].(VecVal)
+			if !ok {
+				p.evFail("slicing non-vector %s", op.orig.(*spec.SliceExpr).X)
+			}
+			hi, lo := int(op.idx), int(op.lo)
+			if lo < 0 || hi >= xv.V.Width() || hi < lo {
+				p.evFail("slice (%d downto %d) out of range for %s", hi, lo, op.orig.(*spec.SliceExpr).X)
+			}
+			st[n-1] = boxVec(xv.V.Slice(hi, lo))
+		case xField:
+			n := len(st)
+			rv, ok := st[n-1].(RecordVal)
+			if !ok {
+				p.evFail("field access on non-record %s", op.orig.(*spec.FieldRef).X)
+			}
+			fi := int(op.idx)
+			if fi < 0 || fi >= len(rv.Type.Fields) || rv.Type.Fields[fi].Name != op.name {
+				fi = rv.FieldIndex(op.name)
+			}
+			if fi < 0 {
+				p.evFail("no field %s on %s", op.name, op.orig.(*spec.FieldRef).X)
+			}
+			st[n-1] = rv.Fields[fi]
+		case xBinary:
+			n := len(st)
+			x, y := st[n-2], st[n-1]
+			var v Value
+			// Inline the dominant operand shapes; everything else (and
+			// every mismatch, which may need to fail) goes through the
+			// shared applyBinary so results and errors stay identical.
+			switch op.op {
+			case spec.OpAdd:
+				if xi, ok := x.(IntVal); ok {
+					if yi, ok := y.(IntVal); ok {
+						v = boxInt(xi.V + yi.V)
+					}
+				}
+			case spec.OpSub:
+				if xi, ok := x.(IntVal); ok {
+					if yi, ok := y.(IntVal); ok {
+						v = boxInt(xi.V - yi.V)
+					}
+				}
+			case spec.OpEq:
+				if xv, ok := x.(VecVal); ok {
+					if yv, ok := y.(VecVal); ok && xv.V.Width() == yv.V.Width() {
+						v = boxBool(xv.V.Equal(yv.V))
+					}
+				}
+			case spec.OpNeq:
+				if xv, ok := x.(VecVal); ok {
+					if yv, ok := y.(VecVal); ok && xv.V.Width() == yv.V.Width() {
+						v = boxBool(!xv.V.Equal(yv.V))
+					}
+				}
+			}
+			if v == nil {
+				v = p.ev.applyBinary(op.op, x, y)
+			}
+			st[n-2] = v
+			st = st[:n-1]
+		case xNot:
+			n := len(st)
+			switch x := st[n-1].(type) {
+			case BoolVal:
+				st[n-1] = boxBool(!x.V)
+			case VecVal:
+				st[n-1] = boxVec(x.V.Not())
+			default:
+				p.evFail("not on %s", st[n-1])
+			}
+		case xNeg:
+			n := len(st)
+			st[n-1] = boxInt(-asInt(st[n-1]))
+		case xConv:
+			n := len(st)
+			x := st[n-1]
+			switch to := op.to.(type) {
+			case spec.IntegerType:
+				if xv, ok := x.(VecVal); ok && op.sgn {
+					st[n-1] = boxInt(xv.V.Int64())
+				} else {
+					st[n-1] = boxInt(asInt(x))
+				}
+			case spec.BitVectorType:
+				st[n-1] = boxVec(asVec(x, to.Width))
+			case spec.BitType:
+				st[n-1] = boxVec(asVec(x, 1))
+			case spec.BoolType:
+				st[n-1] = boxBool(asBool(x))
+			default:
+				p.evFail("unsupported conversion to %s", op.to)
+			}
+		}
+	}
+	return st[0]
+}
+
+// fillPathHints walks an lvalue's accessor path alongside the base
+// variable's static type and records the field index each record step
+// resolves to. applyPath re-validates hints against the runtime record
+// type, so hints only ever save the name scan — they cannot redirect a
+// store.
+func fillPathHints(path []accessor, base spec.Type) {
+	t := base
+	for i := range path {
+		a := &path[i]
+		switch a.kind {
+		case 0:
+			if at, ok := t.(spec.ArrayType); ok {
+				t = at.Elem
+			} else {
+				t = nil
+			}
+		case 1:
+			if rt, ok := t.(spec.RecordType); ok {
+				t = nil
+				for j := range rt.Fields {
+					if rt.Fields[j].Name == a.field {
+						a.fieldIdx = int32(j)
+						t = rt.Fields[j].Type
+						break
+					}
+				}
+			} else {
+				t = nil
+			}
+		case 2:
+			t = nil
+		}
+	}
+}
+
+// ---- fast boolean conditions ----
+//
+// Branch and wait conditions are re-evaluated far more often than any
+// other expression: wake re-checks a waiting process's until condition
+// on every flush that touches its sensitivity. The generated protocols
+// use a tiny condition grammar — record-signal fields compared to
+// literals, boolean flags, integer counters against constants, glued by
+// and/or/not — which evaluates without boxing a single Value. fcond is
+// that grammar compiled; any node outside it (or any runtime shape the
+// static types did not predict) makes evalF report no answer and the
+// caller re-evaluates generically, so failures and exotic cases keep
+// the interpreter's exact behavior.
+
+type fcondKind uint8
+
+const (
+	fAnd fcondKind = iota
+	fOr
+	fNot
+	fConst
+	fBoolVar   // boolean-typed variable read
+	fCmpSigVec // record signal field (vector) vs vector literal, Eq/Neq
+	fCmpInt    // integer variable vs integer literal
+)
+
+type fcond struct {
+	kind fcondKind
+	a, b *fcond
+
+	bval bool // fConst
+
+	ref slotRef // fBoolVar, fCmpInt
+
+	sig   int32       // fCmpSigVec: signal slot
+	fi    int32       // fCmpSigVec: field index
+	fname string      // fCmpSigVec: field name guard
+	vec   bits.Vector // fCmpSigVec: literal
+	neg   bool        // fCmpSigVec: Neq
+
+	op   spec.Op // fCmpInt comparison
+	ival int64   // fCmpInt literal
+}
+
+// compileCond compiles a condition into the fast grammar, or nil.
+func (c *bcompiler) compileCond(e spec.Expr) *fcond {
+	switch e := e.(type) {
+	case *spec.BoolLit:
+		return &fcond{kind: fConst, bval: e.Value}
+	case *spec.VarRef:
+		if _, ok := e.Var.Type.(spec.BoolType); !ok {
+			return nil
+		}
+		ref, ok := c.prog.res[e.Var]
+		if !ok {
+			return nil
+		}
+		return &fcond{kind: fBoolVar, ref: ref}
+	case *spec.Unary:
+		if e.Op != spec.OpNot {
+			return nil
+		}
+		a := c.compileCond(e.X)
+		if a == nil {
+			return nil
+		}
+		return &fcond{kind: fNot, a: a}
+	case *spec.Binary:
+		switch e.Op {
+		case spec.OpAnd, spec.OpOr:
+			a := c.compileCond(e.X)
+			if a == nil {
+				return nil
+			}
+			b := c.compileCond(e.Y)
+			if b == nil {
+				return nil
+			}
+			k := fAnd
+			if e.Op == spec.OpOr {
+				k = fOr
+			}
+			return &fcond{kind: k, a: a, b: b}
+		case spec.OpEq, spec.OpNeq:
+			if f := c.compileSigVecCmp(e); f != nil {
+				return f
+			}
+			return c.compileIntCmp(e)
+		case spec.OpLt, spec.OpLe, spec.OpGt, spec.OpGe:
+			return c.compileIntCmp(e)
+		}
+	}
+	return nil
+}
+
+// compileSigVecCmp matches sig.FIELD = "lit" (or /=) where the field's
+// declared width equals the literal's, so the generic evaluator's width
+// alignment is an identity and plain vector equality is exact.
+func (c *bcompiler) compileSigVecCmp(e *spec.Binary) *fcond {
+	fr, ok := e.X.(*spec.FieldRef)
+	if !ok {
+		return nil
+	}
+	vl, ok := e.Y.(*spec.VecLit)
+	if !ok {
+		return nil
+	}
+	vr, ok := fr.X.(*spec.VarRef)
+	if !ok {
+		return nil
+	}
+	ref, ok := c.prog.res[vr.Var]
+	if !ok || ref.sp != slotSignal {
+		return nil
+	}
+	rt, ok := vr.Var.Type.(spec.RecordType)
+	if !ok {
+		return nil
+	}
+	for i := range rt.Fields {
+		if rt.Fields[i].Name != fr.Field {
+			continue
+		}
+		if rt.Fields[i].Type.BitWidth() != vl.Value.Width() {
+			return nil
+		}
+		return &fcond{
+			kind: fCmpSigVec, sig: ref.idx, fi: int32(i),
+			fname: fr.Field, vec: vl.Value, neg: e.Op == spec.OpNeq,
+		}
+	}
+	return nil
+}
+
+// compileIntCmp matches intvar OP intlit.
+func (c *bcompiler) compileIntCmp(e *spec.Binary) *fcond {
+	vr, ok := e.X.(*spec.VarRef)
+	if !ok {
+		return nil
+	}
+	if _, ok := vr.Var.Type.(spec.IntegerType); !ok {
+		return nil
+	}
+	il, ok := e.Y.(*spec.IntLit)
+	if !ok {
+		return nil
+	}
+	ref, ok := c.prog.res[vr.Var]
+	if !ok {
+		return nil
+	}
+	return &fcond{kind: fCmpInt, ref: ref, op: e.Op, ival: il.Value}
+}
+
+// evalF evaluates a fast condition; ok=false means a runtime shape the
+// compile-time typing did not predict (nil scratch local, coerced
+// container, odd width) and the caller must evaluate generically. Both
+// operands of and/or evaluate regardless of the first's value, exactly
+// like the tree walker.
+func (p *bproc) evalF(f *fcond) (val, ok bool) {
+	switch f.kind {
+	case fAnd:
+		av, ok := p.evalF(f.a)
+		if !ok {
+			return false, false
+		}
+		bv, ok := p.evalF(f.b)
+		return av && bv, ok
+	case fOr:
+		av, ok := p.evalF(f.a)
+		if !ok {
+			return false, false
+		}
+		bv, ok := p.evalF(f.b)
+		return av || bv, ok
+	case fNot:
+		av, ok := p.evalF(f.a)
+		return !av, ok
+	case fConst:
+		return f.bval, true
+	case fBoolVar:
+		bv, ok := p.loadRaw(f.ref).(BoolVal)
+		return bv.V, ok
+	case fCmpSigVec:
+		// The commit-time layout check (curFields) already validated the
+		// compile-time field index; the slow re-validating path only
+		// runs for values outside the declared layout.
+		sg := &p.r.sig[f.sig]
+		if flds := sg.curFields; flds != nil {
+			vv, ok := flds[f.fi].(VecVal)
+			if !ok || vv.V.Width() != f.vec.Width() {
+				return false, false
+			}
+			return vv.V.Equal(f.vec) != f.neg, true
+		}
+		rv, ok := sg.current.(RecordVal)
+		if !ok || int(f.fi) >= len(rv.Fields) || int(f.fi) >= len(rv.Type.Fields) || rv.Type.Fields[f.fi].Name != f.fname {
+			return false, false
+		}
+		vv, ok := rv.Fields[f.fi].(VecVal)
+		if !ok || vv.V.Width() != f.vec.Width() {
+			return false, false
+		}
+		return vv.V.Equal(f.vec) != f.neg, true
+	case fCmpInt:
+		iv, ok := p.loadRaw(f.ref).(IntVal)
+		if !ok {
+			return false, false
+		}
+		switch f.op {
+		case spec.OpEq:
+			return iv.V == f.ival, true
+		case spec.OpNeq:
+			return iv.V != f.ival, true
+		case spec.OpLt:
+			return iv.V < f.ival, true
+		case spec.OpLe:
+			return iv.V <= f.ival, true
+		case spec.OpGt:
+			return iv.V > f.ival, true
+		case spec.OpGe:
+			return iv.V >= f.ival, true
+		}
+	}
+	return false, false
+}
+
+// loadRaw reads a slot without scope checks; callers type-assert and
+// fall back to the generic (checking, failing) path on nil.
+func (p *bproc) loadRaw(ref slotRef) Value {
+	switch ref.sp {
+	case slotShared:
+		return p.r.shared[ref.idx]
+	case slotSignal:
+		return p.r.sig[ref.idx].current
+	}
+	return p.locals[ref.idx]
+}
+
+// condBool evaluates a condition, preferring the fast form.
+func (p *bproc) condBool(f *fcond, ce *cexpr, e spec.Expr) bool {
+	if f != nil {
+		if v, ok := p.evalF(f); ok {
+			return v
+		}
+	}
+	return asBool(p.evalExpr(ce, e))
+}

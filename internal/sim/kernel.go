@@ -32,7 +32,10 @@ type Config struct {
 	// or delay wire transitions (see internal/fault). The hook must be
 	// deterministic for reproducible runs (VerifyDeterministic replays a
 	// run twice and reports divergence); it is never invoked for the
-	// delayed re-commits it schedules itself.
+	// delayed re-commits it schedules itself. The hook must not retain
+	// old or next (or their containers) past the call — the batch
+	// kernel recycles record containers between deltas; Copy what must
+	// outlive the hook, as Mutation.Later merging does.
 	Mutate func(now int64, sig *spec.Variable, old, next Value) Mutation
 	// Schedule, when non-nil, reorders the runnable processes of each
 	// delta cycle. It receives the behavior names in the default
@@ -42,6 +45,12 @@ type Config struct {
 	// interleaving (see internal/verify). Like Mutate, it must be
 	// deterministic for reproducible runs.
 	Schedule func(now int64, runnable []string) []string
+	// FinalsOnly skips building Result.ProcessEnd and
+	// Result.SignalEvents (both left nil) for callers that consume only
+	// Clocks/Deltas/Steps/Finals — fault campaigns classify millions of
+	// transient Results and the unread maps dominate their per-run
+	// allocation.
+	FinalsOnly bool
 }
 
 // Mutation is the outcome of a Config.Mutate call.
@@ -58,6 +67,18 @@ type Mutation struct {
 	// moved during the delay.
 	Later Value
 	Delay int64
+	// Done promises the hook will never mutate again this run (every
+	// scheduled fault fired or expired); the kernel stops calling it.
+	// Purely an optimization: a hook that keeps returning empty
+	// Mutations without Done behaves identically, just slower. Done
+	// must not accompany a mutation — it is only honored on a call
+	// that returned no Now and no Later.
+	Done bool
+	// SkipSig promises the hook will never mutate THIS signal for the
+	// rest of the run; the kernel stops calling it for commits of this
+	// signal only. Like Done, purely an optimization and only honored
+	// on a call that returned no Now and no Later.
+	SkipSig bool
 }
 
 // Result summarizes a completed simulation.
@@ -158,6 +179,9 @@ type signalState struct {
 	// delayed re-commit, which must not pass through Config.Mutate
 	// again.
 	skipMutate bool
+	// muteHook is set when a Mutation returned SkipSig: the hook
+	// promised to never touch this signal, so flush stops calling it.
+	muteHook bool
 }
 
 // delayedUpdate is a signal value a Mutation deferred to a later clock.
@@ -438,8 +462,16 @@ func (k *kernel) flush() []*signalState {
 		if s.pending == nil {
 			continue
 		}
-		if k.cfg.Mutate != nil && !s.skipMutate {
+		if k.cfg.Mutate != nil && !s.skipMutate && !s.muteHook {
 			m := k.cfg.Mutate(k.now, s.v, s.current, s.pending)
+			if m.Now == nil && m.Later == nil {
+				if m.Done {
+					k.cfg.Mutate = nil
+				}
+				if m.SkipSig {
+					s.muteHook = true
+				}
+			}
 			if m.Now != nil {
 				s.pending = m.Now
 			}
@@ -534,16 +566,30 @@ func (k *kernel) deadlock() error {
 // generated buses) field by field, control lines first, for deadlock
 // diagnostics.
 func (k *kernel) busState() []string {
-	globals := append([]*spec.Variable{}, k.sys.Globals...)
+	return busStateOf(k.sys, func(v *spec.Variable) (Value, bool) {
+		s, ok := k.signals[v]
+		if !ok {
+			return nil, false
+		}
+		return s.current, true
+	})
+}
+
+// busStateOf is the kernel-independent bus renderer: get reports the
+// current value of a signal variable, or ok=false if v is not a signal.
+// Both the classic and the pooled kernel build their DeadlockError bus
+// dumps through it so the diagnostics stay byte-identical.
+func busStateOf(sys *spec.System, get func(v *spec.Variable) (Value, bool)) []string {
+	globals := append([]*spec.Variable{}, sys.Globals...)
 	sort.Slice(globals, func(i, j int) bool { return globals[i].Name < globals[j].Name })
 	var out []string
 	for _, g := range globals {
-		s, ok := k.signals[g]
+		cur, ok := get(g)
 		if !ok {
 			continue
 		}
 		n := g.Name
-		rv, ok := s.current.(RecordVal)
+		rv, ok := cur.(RecordVal)
 		if !ok {
 			continue
 		}
@@ -568,23 +614,26 @@ func (k *kernel) busState() []string {
 
 func (k *kernel) result() *Result {
 	res := &Result{
-		Clocks:       k.now,
-		Deltas:       k.deltas,
-		Steps:        k.steps,
-		ProcessEnd:   make(map[string]int64),
-		Finals:       make(map[string]Value),
-		SignalEvents: make(map[string]int64),
-	}
-	for _, p := range k.procs {
-		if !p.beh.Server && p.state == stateFinished {
-			res.ProcessEnd[p.beh.Name] = p.endAt
-		}
+		Clocks: k.now,
+		Deltas: k.deltas,
+		Steps:  k.steps,
+		Finals: make(map[string]Value),
 	}
 	for _, m := range k.sys.Modules {
 		for _, v := range m.Variables {
 			if val, ok := k.shared[v]; ok {
 				res.Finals[m.Name+"."+v.Name] = val.Copy()
 			}
+		}
+	}
+	if k.cfg.FinalsOnly {
+		return res
+	}
+	res.ProcessEnd = make(map[string]int64)
+	res.SignalEvents = make(map[string]int64)
+	for _, p := range k.procs {
+		if !p.beh.Server && p.state == stateFinished {
+			res.ProcessEnd[p.beh.Name] = p.endAt
 		}
 	}
 	for v, s := range k.signals {
@@ -646,21 +695,30 @@ func (p *process) yield(w waitSpec) {
 }
 
 func (p *process) describeWait(w waitSpec) string {
-	var parts []string
+	var names []string
 	if len(w.sensitivity) > 0 {
-		names := make([]string, len(w.sensitivity))
+		names = make([]string, len(w.sensitivity))
 		for i, s := range w.sensitivity {
 			names[i] = s.Name
 		}
-		parts = append(parts, "on "+strings.Join(names, ","))
 	}
-	if w.check != nil {
-		parts = append(parts, "until "+w.condStr)
+	return formatWait(names, w.check != nil, w.condStr, w.deadline, w.forever)
+}
+
+// formatWait renders a suspended wait for deadlock diagnostics; shared
+// by both kernels so the DeadlockError text is identical.
+func formatWait(sens []string, hasCheck bool, condStr string, deadline int64, forever bool) string {
+	var parts []string
+	if len(sens) > 0 {
+		parts = append(parts, "on "+strings.Join(sens, ","))
 	}
-	if w.deadline >= 0 {
-		parts = append(parts, fmt.Sprintf("for t=%d", w.deadline))
+	if hasCheck {
+		parts = append(parts, "until "+condStr)
 	}
-	if w.forever {
+	if deadline >= 0 {
+		parts = append(parts, fmt.Sprintf("for t=%d", deadline))
+	}
+	if forever {
 		parts = append(parts, "forever")
 	}
 	return strings.Join(parts, " ")

@@ -1,0 +1,576 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// This file compiles behaviors into flat programs for the pooled batch
+// kernel (batch.go). The classic kernel (kernel.go) interprets the
+// statement tree directly and suspends processes by blocking their
+// goroutines; that costs one goroutine plus two channel handoffs per
+// delta-cycle step, and a fresh set of frame maps per run — fine for a
+// single simulation, ruinous for fault campaigns that need millions of
+// short runs. Compilation flattens control flow so that a process's
+// entire continuation is a single program counter, which lets a plain
+// in-loop scheduler suspend and resume processes with an integer store,
+// and resolves every variable to a dense slot index so a run needs no
+// per-run maps at all.
+//
+// The compiler must preserve the tree interpreter's semantics exactly —
+// the batch kernel's runs are required to be bit-identical to the
+// classic kernel's (see batch_test.go, and the pooled-vs-unpooled
+// campaign cross-check in internal/fault). Where the interpreter is
+// subtle — for-loop counters survive body writes to the loop variable;
+// `exit` outside a loop unwinds the enclosing procedure like `return`
+// (the call's copy-out still runs); scratch variables come into scope
+// on first setLocal-style write — the lowering reproduces it statement
+// by statement. The constructs it cannot reproduce (recursive
+// procedures, non-lvalue assignment targets) are compile errors, and
+// NewEngine's caller falls back to the classic kernel, which handles
+// them at runtime.
+
+// bop is the instruction set of a compiled behavior.
+type bop uint8
+
+const (
+	bopAssign bop = iota // evaluate rhs, store into the lvalue
+	bopBranch            // fall through when cond holds, else jump to target
+	bopJump              // jump to target
+	bopClear             // local slot := zero value (procedure activation entry)
+	bopWait              // suspend per waitMeta
+	bopEnd               // process finished
+)
+
+// slotSpace says which storage array a resolved variable lives in.
+type slotSpace uint8
+
+const (
+	slotLocal slotSpace = iota
+	slotShared
+	slotSignal
+)
+
+// slotRef is a resolved variable: storage space plus dense index.
+type slotRef struct {
+	sp  slotSpace
+	idx int32
+}
+
+// binstr is one compiled instruction.
+type binstr struct {
+	op     bop
+	target int32 // bopBranch (taken when cond is false), bopJump
+	cond   spec.Expr
+	ccond  *cexpr // compiled cond; nil falls back to the tree walker
+	fcond  *fcond // fast boolean form; nil falls back to ccond/cond
+
+	// bopAssign: the lvalue pre-flattened to base slot + accessor path,
+	// so the runtime store is a slot write (plain) or one applyPath
+	// rebuild (indexed/field/slice), with no per-statement closures.
+	rhs  spec.Expr
+	crhs *cexpr // compiled rhs; nil falls back to the tree walker
+	base *spec.Variable
+	lref slotRef
+	// aOwn marks an element store into an array variable whose container
+	// the escape analysis proved unaliased; once the run owns the
+	// container (first copy-on-write store), such stores mutate it in
+	// place. Set in a post-pass over all compiled programs, because a
+	// shared array could escape in another behavior.
+	aOwn bool
+	path []accessor
+	// create marks compiler-synthesized assigns with the interpreter's
+	// setLocal semantics (loop counters, wait timeout flags, parameter
+	// copy-in): they may initialize a scratch local, where an ordinary
+	// assignment to a never-written scratch variable fails "not
+	// writable".
+	create bool
+
+	wait *waitMeta // bopWait
+
+	// bopClear: slot re-initialized to clearVal (an immutable zero-value
+	// template shared by every activation and every pooled run).
+	slot     int32
+	clearVal Value
+}
+
+// waitMeta is the precomputed static part of a wait statement: the
+// sensitivity list in the interpreter's order (the `on` signals, then
+// the signals read by the `until` condition), the rendered condition,
+// and the failure cases the interpreter detects at runtime.
+type waitMeta struct {
+	w *spec.Wait
+	// sensNames are the sensitivity names for deadlock descriptions —
+	// including condition signals absent from the system, which the
+	// interpreter lists even though they can never fire.
+	sensNames []string
+	// sensIdx are the signal slots that can actually wake the process.
+	sensIdx []int32
+	condStr string
+	// cuntil is the compiled until condition; nil falls back to the
+	// tree walker. funtil is its fast boolean form, when it has one.
+	cuntil *cexpr
+	funtil *fcond
+	// badOn, when non-nil, is the first non-signal variable in the `on`
+	// list; executing the wait fails exactly like the interpreter.
+	badOn *spec.Variable
+	// noSense marks a `wait until` with no sensitivity and no timeout:
+	// legal if the condition holds immediately, a runtime error
+	// otherwise (matching execWait).
+	noSense bool
+	forever bool
+	// timedOut, when non-nil, receives the timeout flag on resume.
+	timedOut    *spec.Variable
+	timedOutRef slotRef
+}
+
+// bprogram is one behavior compiled for the batch kernel. It is
+// immutable after compilation and shared by every runner of an Engine.
+type bprogram struct {
+	beh  *spec.Behavior
+	code []binstr
+	// locals are this process's dense variable slots: declared behavior
+	// variables (localInit holds their initial values), inlined
+	// procedure parameters and locals (initialized per activation by the
+	// compiled copy-in/clear prologue), and scratch variables — nil in
+	// localInit and at reset, like the interpreter's created-on-first-
+	// set frame entries; reading a still-nil slot fails "not in scope".
+	locals    []*spec.Variable
+	localInit []Value
+	// res resolves every variable the program can touch to its slot.
+	res   map[*spec.Variable]slotRef
+	temps int
+	// maxStack is the deepest operand stack any compiled expression of
+	// this program needs; the runner pre-sizes bproc.stack with it.
+	maxStack int
+}
+
+// scope is one enclosing loop or inlined call during compilation. Exit
+// jumps to the end of the innermost scope of either kind (a loop ends
+// at its bottom; the interpreter swallows ctrlExit at the call
+// boundary, so exiting a call is returning from it). Return jumps to
+// the end of the innermost call scope, skipping loops.
+type scope struct {
+	isCall  bool
+	patches []int
+}
+
+// bcompiler compiles one behavior against an Engine's global layout.
+type bcompiler struct {
+	e       *Engine
+	prog    *bprogram
+	scopes  []scope
+	endRefs []int // jumps to the final bopEnd
+	active  map[*spec.Procedure]bool
+	err     error
+}
+
+func (e *Engine) compile(beh *spec.Behavior) (*bprogram, error) {
+	prog := &bprogram{
+		beh: beh,
+		res: make(map[*spec.Variable]slotRef),
+	}
+	c := &bcompiler{e: e, prog: prog, active: make(map[*spec.Procedure]bool)}
+	for _, v := range beh.Variables {
+		c.addLocal(v, InitialValue(v))
+	}
+	c.stmts(beh.Body)
+	end := c.emit(binstr{op: bopEnd})
+	for _, at := range c.endRefs {
+		prog.code[at].target = int32(end)
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("behavior %s: %w", beh.Name, c.err)
+	}
+	return prog, nil
+}
+
+func (c *bcompiler) emit(i binstr) int {
+	c.prog.code = append(c.prog.code, i)
+	return len(c.prog.code) - 1
+}
+
+func (c *bcompiler) here() int32 { return int32(len(c.prog.code)) }
+
+func (c *bcompiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// addLocal registers a local slot; init is nil for activation-scoped
+// and scratch slots.
+func (c *bcompiler) addLocal(v *spec.Variable, init Value) slotRef {
+	if ref, ok := c.prog.res[v]; ok {
+		return ref
+	}
+	ref := slotRef{sp: slotLocal, idx: int32(len(c.prog.locals))}
+	c.prog.res[v] = ref
+	c.prog.locals = append(c.prog.locals, v)
+	c.prog.localInit = append(c.prog.localInit, init)
+	return ref
+}
+
+// resolve maps a variable to its slot, mirroring the interpreter's
+// lookup order: process frames first (our local slots), then module
+// variables and non-signal globals, then signals. A variable known
+// nowhere becomes a scratch local, nil until first written — reading it
+// fails "not in scope" at runtime exactly like the interpreter.
+func (c *bcompiler) resolve(v *spec.Variable) slotRef {
+	if ref, ok := c.prog.res[v]; ok {
+		return ref
+	}
+	if idx, ok := c.e.sharedIdx[v]; ok {
+		ref := slotRef{sp: slotShared, idx: int32(idx)}
+		c.prog.res[v] = ref
+		return ref
+	}
+	if idx, ok := c.e.sigIdx[v]; ok {
+		ref := slotRef{sp: slotSignal, idx: int32(idx)}
+		c.prog.res[v] = ref
+		return ref
+	}
+	return c.addLocal(v, nil)
+}
+
+// resolveStorage resolves a setLocal-style target (loop variable,
+// timeout flag): locals, then shared storage, never signals — matching
+// the interpreter's storageCell order with frame-creation fallback.
+func (c *bcompiler) resolveStorage(v *spec.Variable) slotRef {
+	if ref, ok := c.prog.res[v]; ok {
+		return ref
+	}
+	if idx, ok := c.e.sharedIdx[v]; ok {
+		ref := slotRef{sp: slotShared, idx: int32(idx)}
+		c.prog.res[v] = ref
+		return ref
+	}
+	return c.addLocal(v, nil)
+}
+
+// scanExpr resolves every variable an expression references so runtime
+// lookups are single map hits into the program's resolution table.
+func (c *bcompiler) scanExpr(e spec.Expr) {
+	spec.WalkExpr(e, func(x spec.Expr) bool {
+		if r, ok := x.(*spec.VarRef); ok {
+			c.resolve(r.Var)
+		}
+		return true
+	})
+}
+
+// markEscapes records variables whose whole container an expression
+// can observe. A record-typed signal escapes when a VarRef appears
+// anywhere but the X of a FieldRef: a field read extracts one immutable
+// leaf and discards the container, so signals only ever read field-wise
+// can be driven through reusable buffers (see execAssign); any other
+// appearance could copy the container into a variable or a Result,
+// which must never alias a buffer the kernel will overwrite. Likewise
+// an array-typed variable escapes when a VarRef appears anywhere but
+// the Arr of an Index: an element read extracts one immutable value, so
+// arrays only ever read element-wise have provably unaliased containers
+// and element stores may mutate them in place once the run owns the
+// container. Unknown node kinds poison the whole engine (bufUnsafe)
+// rather than guess.
+func (c *bcompiler) markEscapes(e spec.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *spec.IntLit, *spec.VecLit, *spec.BoolLit:
+	case *spec.VarRef:
+		if e.Var.Kind == spec.KindSignal {
+			if _, ok := e.Var.Type.(spec.RecordType); ok {
+				c.e.recEscapes[e.Var] = true
+			}
+		}
+		if _, ok := e.Var.Type.(spec.ArrayType); ok {
+			c.e.arrEscapes[e.Var] = true
+		}
+	case *spec.FieldRef:
+		if _, ok := e.X.(*spec.VarRef); ok {
+			return
+		}
+		c.markEscapes(e.X)
+	case *spec.Index:
+		if _, ok := e.Arr.(*spec.VarRef); !ok {
+			c.markEscapes(e.Arr)
+		}
+		c.markEscapes(e.Index)
+	case *spec.SliceExpr:
+		c.markEscapes(e.X)
+		c.markEscapes(e.Hi)
+		c.markEscapes(e.Lo)
+	case *spec.Binary:
+		c.markEscapes(e.X)
+		c.markEscapes(e.Y)
+	case *spec.Unary:
+		c.markEscapes(e.X)
+	case *spec.Conv:
+		c.markEscapes(e.X)
+	default:
+		c.e.bufUnsafe = true
+	}
+}
+
+func (c *bcompiler) newTemp(name string) *spec.Variable {
+	v := spec.NewVar(fmt.Sprintf("__%s_%d", name, c.prog.temps), spec.Integer)
+	c.prog.temps++
+	c.addLocal(v, nil)
+	return v
+}
+
+func (c *bcompiler) stmts(list []spec.Stmt) {
+	for _, s := range list {
+		if c.err != nil {
+			return
+		}
+		c.stmt(s)
+	}
+}
+
+func (c *bcompiler) stmt(s spec.Stmt) {
+	switch s := s.(type) {
+	case *spec.Assign:
+		c.compileAssign(s.LHS, s.RHS, false)
+	case *spec.If:
+		c.compileIf(s)
+	case *spec.For:
+		c.compileFor(s)
+	case *spec.While:
+		c.compileWhile(s)
+	case *spec.Loop:
+		c.compileLoop(s)
+	case *spec.Exit:
+		c.jumpOut(false)
+	case *spec.Return:
+		c.jumpOut(true)
+	case *spec.Wait:
+		c.compileWait(s)
+	case *spec.Call:
+		c.compileCall(s)
+	case *spec.Null:
+		// nothing
+	default:
+		c.fail("cannot compile %T", s)
+	}
+}
+
+// jumpOut emits the forward jump for Exit (callsOnly=false: innermost
+// loop or call scope) or Return (callsOnly=true: innermost call scope);
+// with no matching scope both end the behavior.
+func (c *bcompiler) jumpOut(callsOnly bool) {
+	j := c.emit(binstr{op: bopJump})
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if callsOnly && !c.scopes[i].isCall {
+			continue
+		}
+		c.scopes[i].patches = append(c.scopes[i].patches, j)
+		return
+	}
+	c.endRefs = append(c.endRefs, j)
+}
+
+// popScope patches the scope's collected jumps to land here.
+func (c *bcompiler) popScope() {
+	top := len(c.scopes) - 1
+	for _, j := range c.scopes[top].patches {
+		c.prog.code[j].target = c.here()
+	}
+	c.scopes = c.scopes[:top]
+}
+
+func (c *bcompiler) compileAssign(lhs, rhs spec.Expr, create bool) {
+	base, path := flattenLValue(lhs)
+	if base == nil {
+		// The interpreter fails at runtime only if the statement is
+		// reached; the compiler cannot tell a reachable bad store from a
+		// dead one, so it refuses the behavior and the classic kernel
+		// (via fallback) produces the faithful runtime error.
+		c.fail("assignment to non-lvalue %s", lhs)
+		return
+	}
+	c.scanExpr(rhs)
+	c.scanExpr(lhs)
+	c.markEscapes(rhs)
+	for _, a := range path {
+		c.markEscapes(a.index)
+		c.markEscapes(a.hi)
+		c.markEscapes(a.lo)
+	}
+	var ref slotRef
+	if create {
+		ref = c.resolveStorage(base)
+	} else {
+		ref = c.resolve(base)
+	}
+	fillPathHints(path, base.Type)
+	c.emit(binstr{op: bopAssign, rhs: rhs, crhs: c.compileExpr(rhs), base: base, lref: ref, path: path, create: create})
+}
+
+func (c *bcompiler) compileIf(s *spec.If) {
+	var toEnd []int
+	arm := func(cond spec.Expr, body []spec.Stmt, last bool) {
+		c.scanExpr(cond)
+		c.markEscapes(cond)
+		br := c.emit(binstr{op: bopBranch, cond: cond, ccond: c.compileExpr(cond), fcond: c.compileCond(cond)})
+		c.stmts(body)
+		if !last {
+			toEnd = append(toEnd, c.emit(binstr{op: bopJump}))
+		}
+		c.prog.code[br].target = c.here()
+	}
+	lastArm := len(s.Elifs)
+	arm(s.Cond, s.Then, lastArm == 0 && len(s.Else) == 0)
+	for i, e := range s.Elifs {
+		arm(e.Cond, e.Body, i == lastArm-1 && len(s.Else) == 0)
+	}
+	c.stmts(s.Else)
+	for _, j := range toEnd {
+		c.prog.code[j].target = c.here()
+	}
+}
+
+// compileFor reproduces the interpreter's for loop exactly: From and To
+// are evaluated once into hidden integer counters before the first
+// iteration, and the loop variable is (re)assigned from the hidden
+// counter at the top of every iteration — a body that writes the loop
+// variable does not change the iteration count.
+func (c *bcompiler) compileFor(s *spec.For) {
+	i := c.newTemp("i")
+	to := c.newTemp("to")
+	c.compileAssign(spec.Ref(i), s.From, true)
+	c.compileAssign(spec.Ref(to), s.To, true)
+	head := c.here()
+	forCond := spec.Le(spec.Ref(i), spec.Ref(to))
+	br := c.emit(binstr{op: bopBranch, cond: forCond, ccond: c.compileExpr(forCond), fcond: c.compileCond(forCond)})
+	c.compileAssign(spec.Ref(s.Var), spec.Ref(i), true)
+	c.scopes = append(c.scopes, scope{})
+	c.stmts(s.Body)
+	c.compileAssign(spec.Ref(i), spec.Add(spec.Ref(i), spec.Int(1)), true)
+	c.emit(binstr{op: bopJump, target: head})
+	c.prog.code[br].target = c.here()
+	c.popScope()
+}
+
+func (c *bcompiler) compileWhile(s *spec.While) {
+	head := c.here()
+	c.scanExpr(s.Cond)
+	c.markEscapes(s.Cond)
+	br := c.emit(binstr{op: bopBranch, cond: s.Cond, ccond: c.compileExpr(s.Cond), fcond: c.compileCond(s.Cond)})
+	c.scopes = append(c.scopes, scope{})
+	c.stmts(s.Body)
+	c.emit(binstr{op: bopJump, target: head})
+	c.prog.code[br].target = c.here()
+	c.popScope()
+}
+
+func (c *bcompiler) compileLoop(s *spec.Loop) {
+	head := c.here()
+	c.scopes = append(c.scopes, scope{})
+	c.stmts(s.Body)
+	c.emit(binstr{op: bopJump, target: head})
+	c.popScope()
+}
+
+func (c *bcompiler) compileWait(s *spec.Wait) {
+	m := &waitMeta{w: s}
+	for _, v := range s.On {
+		if idx, ok := c.e.sigIdx[v]; ok {
+			m.sensNames = append(m.sensNames, v.Name)
+			m.sensIdx = append(m.sensIdx, int32(idx))
+		} else if m.badOn == nil {
+			m.badOn = v
+		}
+	}
+	if s.Until != nil {
+		c.scanExpr(s.Until)
+		c.markEscapes(s.Until)
+		m.cuntil = c.compileExpr(s.Until)
+		m.funtil = c.compileCond(s.Until)
+		m.condStr = s.Until.String()
+		for _, v := range spec.SignalsRead(s.Until) {
+			// The interpreter lists every signal the condition reads in
+			// the sensitivity (and so in deadlock descriptions), but only
+			// system signals generate events and can wake the process.
+			m.sensNames = append(m.sensNames, v.Name)
+			if idx, ok := c.e.sigIdx[v]; ok {
+				m.sensIdx = append(m.sensIdx, int32(idx))
+			}
+		}
+		if len(m.sensNames) == 0 && !s.HasFor {
+			m.noSense = true
+		}
+	}
+	if len(m.sensNames) == 0 && s.Until == nil && !s.HasFor {
+		m.forever = true
+	}
+	if s.TimedOut != nil {
+		m.timedOut = s.TimedOut
+		m.timedOutRef = c.resolveStorage(s.TimedOut)
+	}
+	c.emit(binstr{op: bopWait, wait: m})
+}
+
+// batchCallDepth bounds static call nesting. The batch compiler inlines
+// calls, so recursion (and pathological nesting) must be rejected at
+// compile time; the classic kernel's runtime guard handles it after the
+// fallback.
+const batchCallDepth = 64
+
+// compileCall inlines the procedure: copy-in assignments for in/inout
+// parameters, zero-cleared out parameters and locals, the body (with
+// Return lowered to a jump past it), then copy-out assignments — in
+// exactly the interpreter's frame-setup order. Distinct call sites
+// share the procedure's slots, which is safe because every activation
+// re-initializes each one on entry.
+func (c *bcompiler) compileCall(s *spec.Call) {
+	proc := s.Proc
+	if proc == nil {
+		c.fail("call to nil procedure")
+		return
+	}
+	if len(s.Args) != len(proc.Params) {
+		c.fail("call %s arity mismatch", proc.Name)
+		return
+	}
+	if c.active[proc] {
+		c.fail("procedure %s recurses; the batch compiler inlines calls", proc.Name)
+		return
+	}
+	if len(c.active) >= batchCallDepth {
+		c.fail("procedure nesting exceeds %d", batchCallDepth)
+		return
+	}
+	c.active[proc] = true
+	defer delete(c.active, proc)
+
+	for _, prm := range proc.Params {
+		c.addLocal(prm.Var, nil)
+	}
+	for _, l := range proc.Locals {
+		c.addLocal(l, nil)
+	}
+	for i, prm := range proc.Params {
+		switch prm.Mode {
+		case spec.ModeIn, spec.ModeInOut:
+			c.compileAssign(spec.Ref(prm.Var), s.Args[i], true)
+		default:
+			ref := c.prog.res[prm.Var]
+			c.emit(binstr{op: bopClear, slot: ref.idx, clearVal: ZeroValue(prm.Var.Type)})
+		}
+	}
+	for _, l := range proc.Locals {
+		ref := c.prog.res[l]
+		c.emit(binstr{op: bopClear, slot: ref.idx, clearVal: ZeroValue(l.Type)})
+	}
+	c.scopes = append(c.scopes, scope{isCall: true})
+	c.stmts(proc.Body)
+	c.popScope()
+	for i, prm := range proc.Params {
+		if prm.Mode == spec.ModeOut || prm.Mode == spec.ModeInOut {
+			c.compileAssign(s.Args[i], spec.Ref(prm.Var), false)
+		}
+	}
+}

@@ -1,19 +1,31 @@
-// Command bench measures the model checker's exploration throughput
-// (states/sec), allocation footprint (bytes and allocs per stored
-// state) and wall time on the reference PQ workloads, and records the
-// numbers in BENCH_verify.json so the performance trajectory across PRs
-// stays on the record. By default a run is appended to an existing
-// file; -fresh overwrites it.
+// Command bench measures the repo's two heavy inner loops on the
+// reference PQ workloads and records the numbers so the performance
+// trajectory across PRs stays on the record:
+//
+//   - suite "verify" (default): model-checker exploration throughput
+//     (states/sec), allocation footprint (bytes and allocs per stored
+//     state) and wall time, appended to BENCH_verify.json.
+//   - suite "fault": fault-campaign throughput (runs/sec), allocation
+//     footprint (bytes and allocs per run) and the outcome histogram,
+//     appended to BENCH_fault.json. The robust-unpooled scenario runs
+//     the same campaign on the classic goroutine-per-process kernel,
+//     so each record carries its own pooled-vs-classic speedup
+//     evidence.
+//
+// By default a run is appended to an existing file; -fresh overwrites.
 //
 // Usage:
 //
 //	go run ./tools/bench -label pr5-binary-codec [-o BENCH_verify.json]
+//	go run ./tools/bench -suite fault -label pr6-batch -runs 100000
 //
-//	-label L   run label recorded in the file (default "dev")
-//	-o FILE    output file (default BENCH_verify.json)
-//	-fresh     overwrite the file instead of appending
-//	-reps N    repetitions per scenario; best wall time wins (default 3)
-//	-j N       exploration workers (0 = all CPUs)
+//	-label L    run label recorded in the file (default "dev")
+//	-suite S    verify | fault (default verify)
+//	-o FILE     output file (default BENCH_<suite>.json)
+//	-fresh      overwrite the file instead of appending
+//	-reps N     repetitions per scenario; best wall time wins (default 3)
+//	-j N        worker goroutines (0 = all CPUs); -workers is an alias
+//	-runs N     faulty runs per fault-suite scenario (default 100000)
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/spec"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -43,22 +56,40 @@ type Measurement struct {
 	Incomplete     string  `json:"incomplete,omitempty"`
 }
 
-// Run is one invocation of this tool: a labelled set of measurements.
-type Run struct {
-	Label     string        `json:"label"`
-	GoVersion string        `json:"goVersion"`
-	CPUs      int           `json:"cpus"`
-	Workers   int           `json:"workers"`
-	Scenarios []Measurement `json:"scenarios"`
+// FaultMeasurement is one fault-suite scenario's record.
+type FaultMeasurement struct {
+	Scenario     string  `json:"scenario"`
+	Runs         int     `json:"runs"`
+	WallMS       float64 `json:"wallMs"`
+	RunsPerSec   float64 `json:"runsPerSec"`
+	BytesPerRun  float64 `json:"bytesPerRun"`
+	AllocsPerRun float64 `json:"allocsPerRun"`
+	// Outcome histogram over the campaign's faulty runs.
+	Survived       int `json:"survived"`
+	AbortedCleanly int `json:"abortedCleanly"`
+	Corrupted      int `json:"corrupted"`
+	Deadlocked     int `json:"deadlocked"`
 }
 
-// File is the committed BENCH_verify.json shape.
+// Run is one invocation of this tool: a labelled set of measurements.
+type Run struct {
+	Label     string             `json:"label"`
+	GoVersion string             `json:"goVersion"`
+	CPUs      int                `json:"cpus"`
+	Workers   int                `json:"workers"`
+	Scenarios []Measurement      `json:"scenarios,omitempty"`
+	Fault     []FaultMeasurement `json:"fault,omitempty"`
+}
+
+// File is the committed BENCH_verify.json / BENCH_fault.json shape.
 type File struct {
 	Comment string `json:"comment"`
 	Runs    []Run  `json:"runs"`
 }
 
 const fileComment = "Model-checker performance trajectory; append a run with: go run ./tools/bench -label <pr-label>"
+
+const faultFileComment = "Fault-campaign performance trajectory; append a run with: go run ./tools/bench -suite fault -label <pr-label>"
 
 // scenario builds a fresh refined system (protogen mutates the input
 // spec, so each measurement synthesizes from scratch) plus the checker
@@ -99,6 +130,95 @@ func scenarios() []scenario {
 	}
 }
 
+// faultScenario builds a fresh refined system plus the bus and abort
+// keys a campaign needs. Each measurement synthesizes from scratch for
+// the same reason the verify scenarios do: protogen mutates the spec.
+type faultScenario struct {
+	name     string
+	unpooled bool
+	build    func(workers int) (*spec.System, *spec.Bus, []string, error)
+}
+
+func faultPQ(parity bool, workers int) (*spec.System, *spec.Bus, []string, error) {
+	sys, _ := workloads.PQ()
+	rep, err := core.Synthesize(sys, core.Options{
+		Robust:  true,
+		Parity:  parity,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(rep.Buses) == 0 {
+		return nil, nil, nil, fmt.Errorf("synthesis produced no bus")
+	}
+	br := rep.Buses[0]
+	var abortVars []string
+	if br.Ref != nil {
+		abortVars = br.Ref.AbortKeys()
+	}
+	return sys, br.Bus, abortVars, nil
+}
+
+func faultScenarios() []faultScenario {
+	robust := func(w int) (*spec.System, *spec.Bus, []string, error) {
+		return faultPQ(false, w)
+	}
+	parity := func(w int) (*spec.System, *spec.Bus, []string, error) {
+		return faultPQ(true, w)
+	}
+	return []faultScenario{
+		{"robust-pooled", false, robust},
+		{"robust-parity-pooled", false, parity},
+		// Same campaign on the classic goroutine-per-process kernel:
+		// the pooled/unpooled runs-per-sec ratio is the speedup of the
+		// batch engine, measured in the same process on the same seeds.
+		{"robust-unpooled", true, robust},
+	}
+}
+
+func measureFault(sc faultScenario, runs, workers, reps int) (FaultMeasurement, error) {
+	best := FaultMeasurement{Scenario: sc.name}
+	for r := 0; r < reps; r++ {
+		sys, bus, abortVars, err := sc.build(workers)
+		if err != nil {
+			return best, fmt.Errorf("%s: synthesis: %w", sc.name, err)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		rep, err := fault.Campaign(sys, bus, fault.Config{
+			Runs:      runs,
+			Seed:      1,
+			AbortVars: abortVars,
+			Workers:   workers,
+			Unpooled:  sc.unpooled,
+		})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return best, fmt.Errorf("%s: campaign: %w", sc.name, err)
+		}
+		m := FaultMeasurement{
+			Scenario:       sc.name,
+			Runs:           rep.Runs,
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			RunsPerSec:     float64(rep.Runs) / wall.Seconds(),
+			BytesPerRun:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rep.Runs),
+			AllocsPerRun:   float64(m1.Mallocs-m0.Mallocs) / float64(rep.Runs),
+			Survived:       rep.Totals[fault.Survived],
+			AbortedCleanly: rep.Totals[fault.AbortedCleanly],
+			Corrupted:      rep.Totals[fault.Corrupted],
+			Deadlocked:     rep.Totals[fault.Deadlocked],
+		}
+		if r == 0 || m.WallMS < best.WallMS {
+			best = m
+		}
+	}
+	return best, nil
+}
+
 func measure(sc scenario, workers, reps int) (Measurement, error) {
 	best := Measurement{Scenario: sc.name}
 	for r := 0; r < reps; r++ {
@@ -136,39 +256,70 @@ func measure(sc scenario, workers, reps int) (Measurement, error) {
 
 func main() {
 	label := flag.String("label", "dev", "run label recorded in the output file")
-	out := flag.String("o", "BENCH_verify.json", "output file")
+	suite := flag.String("suite", "verify", "benchmark suite: verify | fault")
+	out := flag.String("o", "", "output file (default BENCH_<suite>.json)")
 	fresh := flag.Bool("fresh", false, "overwrite the output file instead of appending")
 	reps := flag.Int("reps", 3, "repetitions per scenario (best wall time wins)")
-	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs)")
+	var workers int
+	flag.IntVar(&workers, "j", 0, "worker goroutines (0 = all CPUs)")
+	flag.IntVar(&workers, "workers", 0, "alias for -j")
+	runs := flag.Int("runs", 100_000, "faulty runs per fault-suite scenario")
 	flag.Parse()
 
 	run := Run{
 		Label:     *label,
 		GoVersion: runtime.Version(),
 		CPUs:      runtime.NumCPU(),
-		Workers:   *workers,
+		Workers:   workers,
 	}
-	for _, sc := range scenarios() {
-		m, err := measure(sc, *workers, *reps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+	comment := fileComment
+	file := *out
+	switch *suite {
+	case "verify":
+		if file == "" {
+			file = "BENCH_verify.json"
 		}
-		fmt.Printf("%-18s %7d states %8d transitions %9.1f ms %10.0f states/s %8.0f B/state %6.1f allocs/state\n",
-			m.Scenario, m.States, m.Transitions, m.WallMS, m.StatesPerSec, m.BytesPerState, m.AllocsPerState)
-		run.Scenarios = append(run.Scenarios, m)
+		for _, sc := range scenarios() {
+			m, err := measure(sc, workers, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-18s %7d states %8d transitions %9.1f ms %10.0f states/s %8.0f B/state %6.1f allocs/state\n",
+				m.Scenario, m.States, m.Transitions, m.WallMS, m.StatesPerSec, m.BytesPerState, m.AllocsPerState)
+			run.Scenarios = append(run.Scenarios, m)
+		}
+	case "fault":
+		if file == "" {
+			file = "BENCH_fault.json"
+		}
+		comment = faultFileComment
+		for _, sc := range faultScenarios() {
+			m, err := measureFault(sc, *runs, workers, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-22s %8d runs %9.1f ms %9.0f runs/s %8.0f B/run %7.1f allocs/run  %d/%d/%d/%d surv/abort/corr/dead\n",
+				m.Scenario, m.Runs, m.WallMS, m.RunsPerSec, m.BytesPerRun, m.AllocsPerRun,
+				m.Survived, m.AbortedCleanly, m.Corrupted, m.Deadlocked)
+			run.Fault = append(run.Fault, m)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want verify or fault)\n", *suite)
+		os.Exit(1)
 	}
 
 	var f File
 	if !*fresh {
-		if data, err := os.ReadFile(*out); err == nil {
+		if data, err := os.ReadFile(file); err == nil {
 			if err := json.Unmarshal(data, &f); err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %s exists but is not parseable (%v); use -fresh to overwrite\n", *out, err)
+				fmt.Fprintf(os.Stderr, "bench: %s exists but is not parseable (%v); use -fresh to overwrite\n", file, err)
 				os.Exit(1)
 			}
 		}
 	}
-	f.Comment = fileComment
+	f.Comment = comment
 	f.Runs = append(f.Runs, run)
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
@@ -176,9 +327,9 @@ func main() {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(file, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("recorded run %q in %s\n", *label, *out)
+	fmt.Printf("recorded run %q in %s\n", *label, file)
 }
