@@ -10,6 +10,10 @@
 //	protocheck [flags] [spec.sys]
 //
 //	-protocol P   full | half (default full handshake)
+//	-workload W   built-in workload when no spec file is given:
+//	              pq (default) | pq-solo (PQ without the staggered Q
+//	              accessor — small enough for exhaustive verdicts on
+//	              hardened variants)
 //	-robust       harden the protocol (bounded waits, retransmission)
 //	-parity       with -robust: PAR/NACK parity lines
 //	-timeout N    with -robust: handshake timeout in clocks
@@ -21,6 +25,12 @@
 //	-depth N      search depth bound (0 = states bound only)
 //	-states N     stored-states bound (0 = checker default)
 //	-j N          exploration workers (0 = all CPUs; verdict identical)
+//	-repair       on violations, run the counterexample-guided repair
+//	              loop (internal/repair): classify each counterexample,
+//	              re-generate with targeted hardening knobs, re-verify;
+//	              prints the iteration log, and -expect judges the final
+//	              (post-repair) verdict
+//	-repair-budget N  bound repair iterations (0 = grammar size + 1)
 //	-cex FILE     write the first counterexample's replay as VCD
 //	-expect E     none | no-deadlock | deadlock | any: exit 0 iff the
 //	              verdict matches (default none — a clean report;
@@ -49,6 +59,7 @@ import (
 
 func main() {
 	protoName := flag.String("protocol", "full", "protocol: full | half")
+	workload := flag.String("workload", "pq", "built-in workload when no spec file is given: pq | pq-solo")
 	robust := flag.Bool("robust", false, "harden the protocol: bounded waits, retransmission, watchdogs")
 	parity := flag.Bool("parity", false, "with -robust: add PAR/NACK parity lines")
 	timeoutClocks := flag.Int64("timeout", 0, "with -robust: handshake timeout in clocks (0 = default)")
@@ -59,6 +70,8 @@ func main() {
 	depth := flag.Int("depth", 0, "search depth bound (0 = states bound only)")
 	states := flag.Int("states", 0, "stored-states bound (0 = checker default)")
 	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
+	repairFlag := flag.Bool("repair", false, "on violations, run the counterexample-guided repair loop")
+	repairBudget := flag.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
 	cexPath := flag.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
 	expect := flag.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the check to this file")
@@ -85,7 +98,15 @@ func main() {
 		}
 		sys = parsed
 	} else {
-		sys, _ = workloads.PQ()
+		switch *workload {
+		case "pq":
+			sys, _ = workloads.PQ()
+		case "pq-solo":
+			sys, _ = workloads.PQSolo()
+		default:
+			fmt.Fprintf(os.Stderr, "protocheck: unknown -workload %q (want pq | pq-solo)\n", *workload)
+			os.Exit(2)
+		}
 	}
 
 	opts := core.Options{
@@ -107,13 +128,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, err := core.Synthesize(sys, opts)
-	if err != nil {
-		fatal(err)
-	}
-	var abortVars []string
-	for _, br := range rep.Buses {
-		abortVars = append(abortVars, br.Ref.AbortKeys()...)
+	if *repairFlag {
+		opts.Repair = true
+		opts.RepairBudget = *repairBudget
+		opts.VerifyDepth = *depth
+		opts.VerifyStates = *states
+		opts.VerifyDrops = *drops
 	}
 
 	if *cpuProfile != "" {
@@ -130,13 +150,33 @@ func main() {
 		defer f.Close()
 	}
 
-	vr, err := verify.Check(sys, verify.Config{
-		MaxDepth:  *depth,
-		MaxStates: *states,
-		MaxDrops:  *drops,
-		Workers:   *workers,
-		AbortVars: abortVars,
-	})
+	// With -repair, verification runs inside Synthesize (the repair loop
+	// re-generates and re-checks per iteration); without it, the check
+	// runs here on the refined system.
+	rep, err := core.Synthesize(sys, opts)
+	if err != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		fatal(err)
+	}
+	var vr *verify.Report
+	if *repairFlag {
+		vr = rep.Verify
+		fmt.Print(rep.Repair.Format())
+	} else {
+		var abortVars []string
+		for _, br := range rep.Buses {
+			abortVars = append(abortVars, br.Ref.AbortKeys()...)
+		}
+		vr, err = verify.Check(sys, verify.Config{
+			MaxDepth:  *depth,
+			MaxStates: *states,
+			MaxDrops:  *drops,
+			Workers:   *workers,
+			AbortVars: abortVars,
+		})
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}

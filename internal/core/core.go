@@ -21,6 +21,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/partition"
 	"repro/internal/protogen"
+	"repro/internal/repair"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
@@ -68,6 +69,19 @@ type Options struct {
 	// VerifyDrops is the model checker's wire-fault budget: how many
 	// strobe transitions may be dropped along any one explored path.
 	VerifyDrops int
+	// VerifyStates bounds the model checker's stored states (0 = the
+	// checker's default).
+	VerifyStates int
+	// Repair runs the counterexample-guided repair loop (internal/repair)
+	// when verification finds violations: the flow re-generates the
+	// protocols with targeted hardening knobs until the properties hold
+	// or the repair grammar is exhausted, and the refined system is the
+	// final (possibly repaired) variant. Implies Verify; the Report's
+	// Repair field carries the iteration trace and Verify the final
+	// verdict.
+	Repair bool
+	// RepairBudget bounds repair iterations (0 = repair.DefaultBudget).
+	RepairBudget int
 }
 
 // BusReport describes the synthesis of one bus.
@@ -88,8 +102,12 @@ type Report struct {
 	Buses []BusReport
 	// Estimator is the estimator used, for follow-up queries.
 	Estimator *estimate.Estimator
-	// Verify is the model-checking report (nil unless Options.Verify).
+	// Verify is the model-checking report (nil unless Options.Verify or
+	// Options.Repair). With Repair it is the final iteration's report —
+	// the verdict on the system actually delivered.
 	Verify *verify.Report
+	// Repair is the repair loop's result (nil unless Options.Repair).
+	Repair *repair.Result
 }
 
 // Synthesize runs the full interface-synthesis flow on the system,
@@ -156,18 +174,72 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 		rep.Buses = append(rep.Buses, br)
 	}
 
-	// Step 4: refine each bus at its selected width.
-	for i := range rep.Buses {
-		br := &rep.Buses[i]
-		ref, err := protogen.Generate(sys, br.Bus, protogen.Config{
+	// baseCfg is the protocol-generation config for one bus; the repair
+	// loop mutates copies of it.
+	baseCfg := func(busName string) protogen.Config {
+		return protogen.Config{
 			Protocol:      opts.Bus.Protocol,
-			BusSignalName: opts.BusSignalPrefix + br.Bus.Name,
+			BusSignalName: opts.BusSignalPrefix + busName,
 			Arbitrate:     opts.Arbitrate,
 			Robust:        opts.Robust,
 			Parity:        opts.Parity,
 			TimeoutClocks: opts.TimeoutClocks,
 			MaxRetries:    opts.MaxRetries,
-		})
+		}
+	}
+	vcfg := verify.Config{
+		MaxDepth:  opts.VerifyDepth,
+		MaxStates: opts.VerifyStates,
+		MaxDrops:  opts.VerifyDrops,
+		Workers:   opts.Workers,
+	}
+
+	// Optional repair mode replaces steps 4-5: verify each candidate
+	// refinement on a fresh clone (protocol generation rewrites behavior
+	// bodies in place) and let the CEGIS loop harden the generation
+	// config until the properties hold. The winning config then refines
+	// the caller's system, keeping Synthesize's mutate-in-place contract.
+	if opts.Repair {
+		build := func(cfg protogen.Config) (*spec.System, []string, error) {
+			c := spec.Clone(sys)
+			var aborts []string
+			for _, bus := range c.Buses {
+				bcfg := cfg
+				bcfg.BusSignalName = opts.BusSignalPrefix + bus.Name
+				ref, err := protogen.Generate(c, bus, bcfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				aborts = append(aborts, ref.AbortKeys()...)
+			}
+			return c, aborts, nil
+		}
+		rres, err := repair.Run(build, baseCfg(""), repair.Config{Verify: vcfg, Budget: opts.RepairBudget})
+		if err != nil {
+			return nil, fmt.Errorf("core: repair: %w", err)
+		}
+		rep.Repair = rres
+		rep.Verify = rres.Report
+		for i := range rep.Buses {
+			br := &rep.Buses[i]
+			bcfg := rres.Config
+			bcfg.BusSignalName = opts.BusSignalPrefix + br.Bus.Name
+			ref, err := protogen.Generate(sys, br.Bus, bcfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: bus %s: %w", br.Bus.Name, err)
+			}
+			br.Ref = ref
+		}
+		if errs := sys.Validate(); len(errs) > 0 {
+			return nil, fmt.Errorf("core: refined system invalid: %w", errs[0])
+		}
+		return rep, nil
+	}
+
+	// Step 4: refine each bus at its selected width.
+	for i := range rep.Buses {
+		br := &rep.Buses[i]
+		ref, err := protogen.Generate(sys, br.Bus, baseCfg(br.Bus.Name))
 		if err != nil {
 			return nil, fmt.Errorf("core: bus %s: %w", br.Bus.Name, err)
 		}
@@ -182,16 +254,11 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 	// introduced by robust refinement excuse cleanly-aborted runs from
 	// the delivery check.
 	if opts.Verify {
-		var abortVars []string
+		abortCfg := vcfg
 		for _, br := range rep.Buses {
-			abortVars = append(abortVars, br.Ref.AbortKeys()...)
+			abortCfg.AbortVars = append(abortCfg.AbortVars, br.Ref.AbortKeys()...)
 		}
-		vr, err := verify.Check(sys, verify.Config{
-			MaxDepth:  opts.VerifyDepth,
-			MaxDrops:  opts.VerifyDrops,
-			Workers:   opts.Workers,
-			AbortVars: abortVars,
-		})
+		vr, err := verify.Check(sys, abortCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: verify: %w", err)
 		}

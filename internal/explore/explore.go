@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/par"
+	"repro/internal/protogen"
+	"repro/internal/repair"
 	"repro/internal/spec"
 	"repro/internal/verify"
 )
@@ -44,10 +46,17 @@ type Point struct {
 	// channel, in gates.
 	InterfaceArea float64
 	// Verdict is the model-checking report for this point, nil until
-	// Annotate has run. A clean verdict upgrades the point from
-	// "estimated feasible" to "verified free of deadlocks, driver
-	// conflicts and delivery faults" within the checked bounds.
+	// Annotate or AnnotateRepair has run. A clean verdict upgrades the
+	// point from "estimated feasible" to "verified free of deadlocks,
+	// driver conflicts and delivery faults" within the checked bounds.
+	// Under AnnotateRepair it is the final (post-repair) iteration's
+	// report — the verdict on the variant the point would actually ship.
 	Verdict *verify.Report
+	// Repair is the CEGIS repair trace for this point, nil unless
+	// AnnotateRepair ran. A point that only verifies clean after repair
+	// carries the applied mutations here; Verified treats it as verified
+	// because Verdict describes the repaired variant.
+	Repair *repair.Result
 }
 
 // Space is the evaluated design space.
@@ -206,8 +215,41 @@ func Annotate(points []Point, workers int, build func(Point) (*spec.System, []st
 	return errors.Join(errs...)
 }
 
+// AnnotateRepair model-checks candidate points like Annotate but runs
+// each point through the CEGIS repair loop (internal/repair): a point
+// whose base refinement violates the checked properties is re-generated
+// with targeted hardening mutations until the properties hold or the
+// grammar is exhausted. build must return, for every call, the point's
+// base generation config and a repair.Builder producing a fresh refined
+// system for any mutated config (protocol generation rewrites behavior
+// bodies in place). Each point's Verdict is the final iteration's
+// report and Repair the full trace, so Verified keeps points that ship
+// clean only after repair. budget bounds iterations per point (0 =
+// repair.DefaultBudget).
+//
+// Like Annotate, each point's checks run serially unless AnnotateRepair
+// itself is serial — the outer fan-out already saturates the CPUs.
+func AnnotateRepair(points []Point, workers int, build func(Point) (repair.Builder, protogen.Config), cfg verify.Config, budget int) error {
+	if workers != 1 {
+		cfg.Workers = 1
+	}
+	errs := make([]error, len(points))
+	par.For(len(points), workers, func(i int) {
+		builder, base := build(points[i])
+		res, err := repair.Run(builder, base, repair.Config{Verify: cfg, Budget: budget})
+		if err != nil {
+			errs[i] = fmt.Errorf("explore: point (width %d, %s): repair: %w", points[i].Width, points[i].Protocol, err)
+			return
+		}
+		points[i].Verdict = res.Report
+		points[i].Repair = res
+	})
+	return errors.Join(errs...)
+}
+
 // Verified filters points down to those whose model-checking verdict is
-// clean: annotated, search complete, no violations.
+// clean: annotated, search complete, no violations. Points annotated
+// through AnnotateRepair qualify on their post-repair verdict.
 func Verified(points []Point) []Point {
 	var out []Point
 	for _, p := range points {

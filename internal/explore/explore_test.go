@@ -7,6 +7,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/flc"
 	"repro/internal/protogen"
+	"repro/internal/repair"
 	"repro/internal/spec"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -486,5 +487,64 @@ func TestAnnotateAndVerified(t *testing.T) {
 	ok := Verified(sp.Points)
 	if len(ok) != 1 || ok[0].Protocol != spec.FullHandshake {
 		t.Fatalf("Verified kept %d point(s), want exactly the full-handshake one:\n%s", len(ok), Format(ok))
+	}
+}
+
+// TestAnnotateRepairUpgradesRobustPoints: under a 1-drop wire-fault
+// budget no PQSolo sweep point verifies clean as generated — the plain
+// handshakes wedge or corrupt, and even the hardened variants carry the
+// lost-ack window. AnnotateRepair must repair exactly the hardened
+// points (the grammar targets the robust machinery), leave the trace on
+// the point, and hand Verified their post-repair verdicts.
+func TestAnnotateRepairUpgradesRobustPoints(t *testing.T) {
+	sys, bus := workloads.PQSolo()
+	est := estimate.New(sys.Channels)
+	sp, err := Sweep(bus.Channels, est, Config{MinWidth: 8, MaxWidth: 8, IncludeRobust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (full, full+robust, full+parity, half at width 8)", len(sp.Points))
+	}
+	build := func(p Point) (repair.Builder, protogen.Config) {
+		base := protogen.Config{Protocol: p.Protocol, Robust: p.Robust, Parity: p.Parity}
+		if p.Robust {
+			base.TimeoutClocks = 8
+			base.MaxRetries = 2
+		}
+		return func(cfg protogen.Config) (*spec.System, []string, error) {
+			fresh, fbus := workloads.PQSolo()
+			fbus.Width = p.Width
+			ref, err := protogen.Generate(fresh, fbus, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return fresh, ref.AbortKeys(), nil
+		}, base
+	}
+	if err := AnnotateRepair(sp.Points, 0, build, verify.Config{MaxDrops: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sp.Points {
+		if p.Verdict == nil || p.Repair == nil {
+			t.Fatalf("point %d not annotated with a repair trace", i)
+		}
+	}
+	ok := Verified(sp.Points)
+	if len(ok) != 2 {
+		t.Fatalf("Verified kept %d point(s), want the two hardened ones:\n%s", len(ok), Format(sp.Points))
+	}
+	for _, p := range ok {
+		if !p.Robust {
+			t.Fatalf("unhardened point survived a 1-drop budget: %+v", p)
+		}
+		if !p.Repair.Verified() || len(p.Repair.Mutations) == 0 {
+			t.Fatalf("hardened point not verified through repair:\n%s", p.Repair.Format())
+		}
+	}
+	for _, p := range sp.Points {
+		if !p.Robust && !p.Repair.ExhaustedGrammar {
+			t.Fatalf("unhardened point should exhaust the repair grammar:\n%s", p.Repair.Format())
+		}
 	}
 }

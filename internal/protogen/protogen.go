@@ -85,6 +85,47 @@ type Config struct {
 	// triggering retransmission. Requires Robust and the full handshake
 	// (the only protocol with a receiver-to-sender feedback path).
 	Parity bool
+
+	// The remaining knobs form the bounded repair grammar applied by
+	// internal/repair: each closes one failure window the model checker
+	// can exhibit in the hardened sequences. They are orthogonal and may
+	// be combined freely.
+
+	// CommitAck moves a write server's variable commit from after the
+	// whole transaction into the final word's latch, before that word's
+	// DONE rises. The accessor's last acknowledgement then confirms a
+	// commit that has already happened, closing the lost-ack two-generals
+	// window (DESIGN.md §5d): if the final strobe fall is lost and the
+	// server's bounded wait aborts the tail of the handshake, the data is
+	// already durable, and a retransmission merely re-commits the same
+	// message (idempotent). Requires Robust and the full handshake.
+	CommitAck bool
+	// ReleaseStale lets a server's drain phase release a START strobe
+	// that has been stuck high for a full timeout (the accessor's fall
+	// event was lost on the wire): the dispatcher drives START to '0' —
+	// deasserting a strobe is a release either side may perform — and
+	// flushes one clock, restoring the bus to an armable state instead
+	// of cycling drain timeouts forever (the watchdog lasso). Requires
+	// Robust and the full handshake.
+	ReleaseStale bool
+	// AckSeq adds a SEQ line carrying the word-index parity of each
+	// accessor-driven word; servers accept a word only when SEQ matches
+	// the index they expect, so a stale strobe left over from the
+	// previous word cannot be mistaken for the next one (word-framing
+	// desynchronization). Requires Robust and the full handshake.
+	AckSeq bool
+	// EpochResync adds an EPOCH line pulsed alongside RST on every
+	// retransmission; server bail-out conditions watch both lines, so a
+	// resynchronization survives the loss of either edge within a
+	// one-drop budget (dual-rail resync). Requires Robust and the full
+	// handshake.
+	EpochResync bool
+	// TurnFlush appends a one-clock flush after the half handshake's
+	// server-driven data phase lowers START, so the pending fall commits
+	// before the server re-arms and the accessor opens its next
+	// transaction — closing the read-turnaround driver contention
+	// (DESIGN.md §5d). Requires the half handshake.
+	TurnFlush bool
 }
 
 // Default hardening parameters, used when Config.Robust is set and the
@@ -112,6 +153,9 @@ func (c Config) Validate() error {
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("protogen: negative MaxRetries %d", c.MaxRetries)
 	}
+	if c.TurnFlush && c.Protocol != spec.HalfHandshake {
+		return fmt.Errorf("protogen: TurnFlush repairs the half handshake's read turnaround: meaningless on %s", c.Protocol)
+	}
 	if !c.Robust {
 		switch {
 		case c.Parity:
@@ -120,6 +164,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("protogen: TimeoutClocks requires Robust")
 		case c.MaxRetries != 0:
 			return fmt.Errorf("protogen: MaxRetries requires Robust")
+		}
+		if name := c.firstRetryKnob(); name != "" {
+			return fmt.Errorf("protogen: %s repairs the hardened retransmission sequences: requires Robust", name)
 		}
 		return nil
 	}
@@ -133,8 +180,27 @@ func (c Config) Validate() error {
 		if c.MaxRetries != 0 {
 			return fmt.Errorf("protogen: half handshake gives the sender no acknowledgement to miss: retransmission is inexpressible (Robust adds only the server watchdog)")
 		}
+		if name := c.firstRetryKnob(); name != "" {
+			return fmt.Errorf("protogen: %s repairs the full handshake's retransmission machinery (RST, retry loops): inexpressible on the half handshake", name)
+		}
 	}
 	return nil
+}
+
+// firstRetryKnob names the first set repair knob that presupposes the
+// full-handshake retransmission machinery, or "" when none is set.
+func (c Config) firstRetryKnob() string {
+	switch {
+	case c.CommitAck:
+		return "CommitAck"
+	case c.ReleaseStale:
+		return "ReleaseStale"
+	case c.AckSeq:
+		return "AckSeq"
+	case c.EpochResync:
+		return "EpochResync"
+	}
+	return ""
 }
 
 // ArbiterPolicy enumerates generated arbiter grant policies.
@@ -244,6 +310,8 @@ func Generate(sys *spec.System, bus *spec.Bus, cfg Config) (*Refinement, error) 
 	bus.Protocol = cfg.Protocol
 	bus.Robust = cfg.Robust
 	bus.Parity = cfg.Parity
+	bus.AckSeq = cfg.AckSeq && g.robustRetry()
+	bus.EpochResync = cfg.EpochResync && g.robustRetry()
 
 	// Step 2: ID assignment.
 	g.assignIDs()
@@ -317,6 +385,12 @@ func (g *generator) declareBus() {
 	}
 	if g.robustRetry() {
 		fields = append(fields, spec.Field{Name: "RST", Type: spec.Bit})
+		if g.cfg.AckSeq {
+			fields = append(fields, spec.Field{Name: "SEQ", Type: spec.Bit})
+		}
+		if g.cfg.EpochResync {
+			fields = append(fields, spec.Field{Name: "EPOCH", Type: spec.Bit})
+		}
 	}
 	if g.cfg.Parity {
 		fields = append(fields, spec.Field{Name: "PAR", Type: spec.Bit}, spec.Field{Name: "NACK", Type: spec.Bit})
@@ -564,13 +638,22 @@ func (g *generator) serverSendWordStmts(word spec.Expr) []spec.Stmt {
 			spec.WaitUntil(spec.Eq(g.busField("START"), zero)),
 		}
 	case spec.HalfHandshake:
-		return []spec.Stmt{
+		stmts := []spec.Stmt{
 			spec.AssignSig(g.busField("DATA"), g.padToBus(word)),
 			spec.WaitFor(1),
 			spec.AssignSig(g.busField("START"), one),
 			spec.WaitFor(1),
 			spec.AssignSig(g.busField("START"), zero),
 		}
+		if g.cfg.TurnFlush {
+			// Flush the pending START fall before the server re-arms:
+			// without it the fall is still uncommitted when the
+			// dispatcher re-checks the strobe and the accessor opens its
+			// next transaction, and the two drivers collide on START
+			// (the read-turnaround contention of DESIGN.md §5d).
+			stmts = append(stmts, spec.WaitFor(1))
+		}
+		return stmts
 	default:
 		return []spec.Stmt{
 			spec.AssignSig(g.busField("DATA"), g.padToBus(word)),
@@ -842,12 +925,12 @@ func (g *generator) finishServers() {
 			// variable process: wait out the current bus word so the
 			// dispatcher does not spin on the still-asserted strobe.
 			if g.cfg.Protocol == spec.FullHandshake || g.cfg.Protocol == spec.HalfHandshake {
-				waitOut := spec.Eq(g.busField("START"), spec.VecString("0"))
+				waitOut := spec.Expr(spec.Eq(g.busField("START"), spec.VecString("0")))
 				if g.cfg.Robust {
 					// Hardened: a stuck foreign strobe must not wedge
 					// this server forever.
 					if g.robustRetry() {
-						waitOut = spec.LogicalOr(waitOut, spec.Eq(g.busField("RST"), one))
+						waitOut = g.orRST(waitOut)
 					}
 					ifStmt.Else = []spec.Stmt{spec.WaitUntilFor(waitOut, g.timeout(), nil)}
 				} else {
@@ -884,9 +967,24 @@ func (g *generator) finishServers() {
 			// whose strobe is stuck high while the accessor is mid-way
 			// through, silently desynchronizing the word framing.
 			drained := server.AddVar("stale", spec.Bool)
+			arm := &spec.If{Cond: spec.Not(spec.Ref(drained)), Then: []spec.Stmt{trigger, dispatch}}
+			if g.cfg.ReleaseStale {
+				// The strobe has been stuck high for a full timeout: the
+				// accessor's fall event was lost on the wire and nobody
+				// else will ever lower it. Deasserting a strobe to zero
+				// is a release either side may perform; doing it here
+				// restores an armable bus instead of cycling drain
+				// timeouts forever. A fresh strobe clobbered by this
+				// release recovers through the accessor's own
+				// timeout-and-retransmit path.
+				arm.Else = []spec.Stmt{
+					spec.AssignSig(g.busField("START"), spec.VecString("0")),
+					spec.WaitFor(1),
+				}
+			}
 			loop = append(loop,
 				spec.WaitUntilFor(spec.Eq(g.busField("START"), spec.VecString("0")), g.timeout(), drained),
-				&spec.If{Cond: spec.Not(spec.Ref(drained)), Then: []spec.Stmt{trigger, dispatch}},
+				arm,
 			)
 		} else {
 			loop = append(loop, trigger, dispatch)

@@ -161,26 +161,72 @@ func (g *generator) hardenServeProc(p *spec.Procedure) {
 }
 
 // abortWatch is the server-side bail-out condition after a bounded wait:
-// the wait expired, or the accessor is pulsing RST to resynchronize.
+// the wait expired, or the accessor is pulsing RST (or, with
+// EpochResync, EPOCH) to resynchronize.
 func (g *generator) abortWatch(tmo *spec.Variable) spec.Expr {
-	return spec.LogicalOr(spec.Ref(tmo), spec.Eq(g.busField("RST"), spec.VecString("1")))
+	return g.orRST(spec.Ref(tmo))
 }
 
-// orRST widens a server wait condition to also wake on the RST pulse.
+// orRST widens a server wait condition to also wake on the RST pulse —
+// and, with EpochResync, on the EPOCH pulse mirroring it, so the resync
+// survives the loss of either edge.
 func (g *generator) orRST(cond spec.Expr) spec.Expr {
-	return spec.LogicalOr(cond, spec.Eq(g.busField("RST"), spec.VecString("1")))
+	cond = spec.LogicalOr(cond, spec.Eq(g.busField("RST"), spec.VecString("1")))
+	if g.cfg.EpochResync {
+		cond = spec.LogicalOr(cond, spec.Eq(g.busField("EPOCH"), spec.VecString("1")))
+	}
+	return cond
 }
 
 // resyncStmts emits the accessor's RST pulse opening a retransmission:
 // long enough (two clocks high) that every bounded server wait observes
-// it, followed by one clock of recovery.
+// it, followed by one clock of recovery. With EpochResync the EPOCH
+// line pulses in lockstep, so dropping one of the two rise events still
+// resynchronizes every server.
 func (g *generator) resyncStmts() []spec.Stmt {
-	return []spec.Stmt{
+	stmts := []spec.Stmt{
 		spec.AssignSig(g.busField("RST"), spec.VecString("1")),
+	}
+	if g.cfg.EpochResync {
+		stmts = append(stmts, spec.AssignSig(g.busField("EPOCH"), spec.VecString("1")))
+	}
+	stmts = append(stmts,
 		spec.WaitFor(2),
 		spec.AssignSig(g.busField("RST"), spec.VecString("0")),
-		spec.WaitFor(1),
+	)
+	if g.cfg.EpochResync {
+		stmts = append(stmts, spec.AssignSig(g.busField("EPOCH"), spec.VecString("0")))
 	}
+	return append(stmts, spec.WaitFor(1))
+}
+
+// seqBit is the SEQ line value for accessor-driven word idx: the word
+// index's parity.
+func seqBit(idx int) spec.Expr {
+	if idx%2 == 1 {
+		return spec.VecString("1")
+	}
+	return spec.VecString("0")
+}
+
+// seqDrive emits the accessor's SEQ assignment for word idx (nil slice
+// without AckSeq). It lands in the same delta batch as the START rise,
+// so the server observes both together.
+func (g *generator) seqDrive(idx int) []spec.Stmt {
+	if !g.cfg.AckSeq {
+		return nil
+	}
+	return []spec.Stmt{spec.AssignSig(g.busField("SEQ"), seqBit(idx))}
+}
+
+// seqMatch narrows a server's word-idx accept condition to the matching
+// SEQ parity (nil without AckSeq): a stale strobe left over from the
+// previous word carries the wrong parity and is not re-served.
+func (g *generator) seqMatch(idx int) spec.Expr {
+	if !g.cfg.AckSeq {
+		return nil
+	}
+	return spec.Eq(g.busField("SEQ"), seqBit(idx))
 }
 
 // retryLoop wraps the per-word transfer groups of one transaction in the
@@ -240,7 +286,7 @@ func (g *generator) abortStmts(c *spec.Channel, ok *spec.Variable) []spec.Stmt {
 //	  wait until B.DONE = '0' for T -> tmo;
 //	  if tmo then ok := false; end if;
 //	end if;
-func (g *generator) robustSendWordStmts(c *spec.Channel, word spec.Expr, ok, tmo *spec.Variable) []spec.Stmt {
+func (g *generator) robustSendWordStmts(c *spec.Channel, idx int, word spec.Expr, ok, tmo *spec.Variable) []spec.Stmt {
 	one := spec.VecString("1")
 	zero := spec.VecString("0")
 	waitCond := spec.Eq(g.busField("DONE"), one)
@@ -256,6 +302,7 @@ func (g *generator) robustSendWordStmts(c *spec.Channel, word spec.Expr, ok, tmo
 	if g.cfg.Parity {
 		stmts = append(stmts, spec.AssignSig(g.busField("PAR"), g.driveParity(word, c)))
 	}
+	stmts = append(stmts, g.seqDrive(idx)...)
 	stmts = append(stmts,
 		spec.AssignSig(g.busField("START"), one),
 		spec.WaitUntilFor(waitCond, g.timeout(), tmo),
@@ -283,10 +330,10 @@ func (g *generator) robustSendWordStmts(c *spec.Channel, word spec.Expr, ok, tmo
 // accessor-driven word: the baseline sequence with every wait bounded,
 // watching RST, and bailing to the dispatch loop on any anomaly. With
 // parity, a corrupted word is answered on NACK instead of DONE.
-func (g *generator) robustServeWordStmts(c *spec.Channel, latch []spec.Stmt, tmo *spec.Variable) []spec.Stmt {
+func (g *generator) robustServeWordStmts(c *spec.Channel, idx int, latch []spec.Stmt, tmo *spec.Variable) []spec.Stmt {
 	one := spec.VecString("1")
 	zero := spec.VecString("0")
-	startHigh := andOpt(spec.Eq(g.busField("START"), one), g.idMatches(c))
+	startHigh := andOpt(andOpt(spec.Eq(g.busField("START"), one), g.idMatches(c)), g.seqMatch(idx))
 	startLow := spec.Eq(g.busField("START"), zero)
 	stmts := []spec.Stmt{
 		spec.WaitUntilFor(g.orRST(startHigh), g.timeout(), tmo),
@@ -428,8 +475,8 @@ func (g *generator) buildRobustSendProc(c *spec.Channel) *spec.Procedure {
 		body = append(body, spec.AssignVar(spec.Ref(msg), spec.Ref(txdata)))
 	}
 	var words [][]spec.Stmt
-	for _, span := range wordSpans(mBits, g.bus.Width) {
-		words = append(words, g.robustSendWordStmts(c, spec.SliceBits(spec.Ref(msg), span[0], span[1]), ok, tmo))
+	for i, span := range wordSpans(mBits, g.bus.Width) {
+		words = append(words, g.robustSendWordStmts(c, i, spec.SliceBits(spec.Ref(msg), span[0], span[1]), ok, tmo))
 	}
 	body = append(body, g.retryLoop(c, ok, attempt, words)...)
 	body = append(body, g.abortStmts(c, ok)...)
@@ -458,11 +505,11 @@ func (g *generator) buildRobustReceiveProc(c *spec.Channel) *spec.Procedure {
 
 	var words [][]spec.Stmt
 	if addrBits > 0 {
-		for _, span := range wordSpans(addrBits, g.bus.Width) {
-			words = append(words, g.robustSendWordStmts(c, spec.SliceBits(spec.Ref(addr), span[0], span[1]), ok, tmo))
+		for i, span := range wordSpans(addrBits, g.bus.Width) {
+			words = append(words, g.robustSendWordStmts(c, i, spec.SliceBits(spec.Ref(addr), span[0], span[1]), ok, tmo))
 		}
 	} else {
-		words = append(words, g.robustSendWordStmts(c, spec.Vec(bits.New(min(g.bus.Width, 1))), ok, tmo))
+		words = append(words, g.robustSendWordStmts(c, 0, spec.Vec(bits.New(min(g.bus.Width, 1))), ok, tmo))
 	}
 	for _, span := range wordSpans(dataBits, g.bus.Width) {
 		w := span[0] - span[1] + 1
@@ -492,8 +539,20 @@ func (g *generator) buildRobustServeWriteProc(c *spec.Channel) *spec.Procedure {
 	tmo := spec.NewVar("tmo", spec.Bool)
 	p.Locals = append(p.Locals, msg, tmo)
 
+	var commit []spec.Stmt
+	if addrBits > 0 {
+		addrSlice := spec.SliceBits(spec.Ref(msg), mBits-1, dataBits)
+		dataSlice := spec.SliceBits(spec.Ref(msg), dataBits-1, 0)
+		elem := c.Var.Type.(spec.ArrayType).Elem
+		commit = []spec.Stmt{spec.AssignVar(
+			spec.At(spec.Ref(c.Var), spec.ToInt(addrSlice)), g.coerceToVar(dataSlice, elem))}
+	} else {
+		commit = []spec.Stmt{spec.AssignVar(spec.Ref(c.Var), g.coerceToVar(spec.Ref(msg), c.Var.Type))}
+	}
+
 	var body []spec.Stmt
-	for _, span := range wordSpans(mBits, g.bus.Width) {
+	spans := wordSpans(mBits, g.bus.Width)
+	for i, span := range spans {
 		w := span[0] - span[1] + 1
 		latch := []spec.Stmt{
 			spec.AssignVar(
@@ -501,16 +560,19 @@ func (g *generator) buildRobustServeWriteProc(c *spec.Channel) *spec.Procedure {
 				spec.SliceBits(g.busField("DATA"), w-1, 0),
 			),
 		}
-		body = append(body, g.robustServeWordStmts(c, latch, tmo)...)
+		if g.cfg.CommitAck && i == len(spans)-1 {
+			// Ack-of-ack commit: the variable commits inside the final
+			// word's latch, before that word's DONE rises. The closing
+			// handshake then acknowledges a commit that already
+			// happened — losing it can abort only the wire etiquette,
+			// never the data — and a whole-transaction retransmission
+			// re-latches and re-commits the identical message.
+			latch = append(latch, commit...)
+		}
+		body = append(body, g.robustServeWordStmts(c, i, latch, tmo)...)
 	}
-	if addrBits > 0 {
-		addrSlice := spec.SliceBits(spec.Ref(msg), mBits-1, dataBits)
-		dataSlice := spec.SliceBits(spec.Ref(msg), dataBits-1, 0)
-		elem := c.Var.Type.(spec.ArrayType).Elem
-		body = append(body, spec.AssignVar(
-			spec.At(spec.Ref(c.Var), spec.ToInt(addrSlice)), g.coerceToVar(dataSlice, elem)))
-	} else {
-		body = append(body, spec.AssignVar(spec.Ref(c.Var), g.coerceToVar(spec.Ref(msg), c.Var.Type)))
+	if !g.cfg.CommitAck {
+		body = append(body, commit...)
 	}
 	p.Body = body
 	return p
@@ -527,7 +589,7 @@ func (g *generator) buildRobustServeReadProc(c *spec.Channel) *spec.Procedure {
 	if addrBits > 0 {
 		addrBuf := spec.NewVar("addrbuf", spec.BitVector(addrBits))
 		p.Locals = append(p.Locals, addrBuf)
-		for _, span := range wordSpans(addrBits, g.bus.Width) {
+		for i, span := range wordSpans(addrBits, g.bus.Width) {
 			w := span[0] - span[1] + 1
 			latch := []spec.Stmt{
 				spec.AssignVar(
@@ -535,11 +597,11 @@ func (g *generator) buildRobustServeReadProc(c *spec.Channel) *spec.Procedure {
 					spec.SliceBits(g.busField("DATA"), w-1, 0),
 				),
 			}
-			body = append(body, g.robustServeWordStmts(c, latch, tmo)...)
+			body = append(body, g.robustServeWordStmts(c, i, latch, tmo)...)
 		}
 		value = spec.At(spec.Ref(c.Var), spec.ToInt(spec.Ref(addrBuf)))
 	} else {
-		body = append(body, g.robustServeWordStmts(c, nil, tmo)...)
+		body = append(body, g.robustServeWordStmts(c, 0, nil, tmo)...)
 		value = spec.Ref(c.Var)
 	}
 

@@ -1,0 +1,72 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/protogen"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// FuzzRepairMutations drives random subsets of the repair grammar over
+// random base configurations and asserts the grammar's safety contract:
+// any sequence of Applicable mutations leaves the config valid
+// (Config.Validate accepts it), the generator still synthesizes a
+// refined system from it, and that system still builds an executable
+// simulation. The committed corpus pins the combinations the repair
+// loop actually reaches (the headline CommitAck+ReleaseStale pair, the
+// full robust knob set, TurnFlush on the half handshake).
+func FuzzRepairMutations(f *testing.F) {
+	// mask selects grammar members by bit index; the remaining arguments
+	// shape the base config.
+	f.Add(byte(0x03), false, true, byte(8), byte(2), false)  // headline repair
+	f.Add(byte(0x1f), false, true, byte(8), byte(2), true)   // whole grammar, parity on
+	f.Add(byte(0x10), true, false, byte(0), byte(0), false)  // TurnFlush on the half handshake
+	f.Add(byte(0x00), false, true, byte(16), byte(3), false) // no mutations
+	f.Add(byte(0x0c), false, true, byte(4), byte(1), false)  // AckSeq+EpochResync
+	f.Fuzz(func(t *testing.T, mask byte, half, robust bool, timeout, retries byte, parity bool) {
+		cfg := protogen.Config{Protocol: spec.FullHandshake, Robust: robust, Parity: parity}
+		if half {
+			cfg.Protocol = spec.HalfHandshake
+		}
+		if robust {
+			cfg.TimeoutClocks = int64(timeout%32) + 4
+			cfg.MaxRetries = int(retries % 4)
+		}
+		if cfg.Validate() != nil {
+			t.Skip("invalid base config")
+		}
+		for _, m := range Grammar() {
+			if mask&(1<<uint(m)) == 0 {
+				continue
+			}
+			if m.Applicable(cfg) {
+				m.Apply(&cfg)
+				if !m.Applied(cfg) {
+					t.Fatalf("%s not applied after Apply", m)
+				}
+			} else {
+				// An inapplicable mutation must stay inapplicable as a
+				// no-op: applying it anyway must be what Validate rejects.
+				probe := cfg
+				m.Apply(&probe)
+				if probe.Validate() == nil {
+					t.Fatalf("%s reported inapplicable on a config it validates against: %+v", m, cfg)
+				}
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("applicable mutations composed into an invalid config %+v: %v", cfg, err)
+		}
+		sys, abortKeys, err := pqSoloBuilder()(cfg)
+		if err != nil {
+			t.Fatalf("mutated config %+v no longer synthesizes: %v", cfg, err)
+		}
+		if cfg.Robust && cfg.Protocol == spec.FullHandshake && len(abortKeys) == 0 {
+			t.Fatalf("robust generation lost its abort counters: %+v", cfg)
+		}
+		if _, err := sim.New(sys, sim.Config{}); err != nil {
+			t.Fatalf("refined system under %+v is not executable: %v", cfg, err)
+		}
+	})
+}

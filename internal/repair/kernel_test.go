@@ -1,0 +1,140 @@
+package repair
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// cexTrace captures one simulator replay of a counterexample, rendered
+// to strings so the two kernels compare directly. Steps is deliberately
+// absent (the kernels count executed work differently); everything
+// observable — the full event stream, time, final state — must match.
+type cexTrace struct {
+	events     []string
+	clocks     int64
+	deltas     int64
+	finals     map[string]string
+	sigEvents  map[string]int64
+	processEnd map[string]int64
+	err        string
+	buildErr   string
+}
+
+func (tr *cexTrace) fill(res *sim.Result, err error) {
+	if err != nil {
+		tr.err = err.Error()
+		return
+	}
+	tr.clocks = res.Clocks
+	tr.deltas = res.Deltas
+	tr.finals = make(map[string]string, len(res.Finals))
+	for k, v := range res.Finals {
+		tr.finals[k] = v.String()
+	}
+	tr.sigEvents = res.SignalEvents
+	tr.processEnd = res.ProcessEnd
+}
+
+func traceClassic(sys *spec.System, cfg sim.Config) cexTrace {
+	var tr cexTrace
+	cfg.OnEvent = func(now int64, sig *spec.Variable, val sim.Value) {
+		tr.events = append(tr.events, fmt.Sprintf("t=%d %s=%s", now, sig.Name, val))
+	}
+	s, err := sim.New(sys, cfg)
+	if err != nil {
+		tr.buildErr = err.Error()
+		return tr
+	}
+	res, err := s.Run()
+	tr.fill(res, err)
+	return tr
+}
+
+func traceBatch(e *sim.Engine, cfg sim.Config) cexTrace {
+	var tr cexTrace
+	cfg.OnEvent = func(now int64, sig *spec.Variable, val sim.Value) {
+		tr.events = append(tr.events, fmt.Sprintf("t=%d %s=%s", now, sig.Name, val))
+	}
+	res, err := e.Run(cfg)
+	tr.fill(res, err)
+	return tr
+}
+
+func diffTraces(a, b cexTrace) string {
+	if a.buildErr != b.buildErr {
+		return fmt.Sprintf("build: %q vs %q", a.buildErr, b.buildErr)
+	}
+	if a.err != b.err {
+		return fmt.Sprintf("outcome: %q vs %q", a.err, b.err)
+	}
+	for i := 0; i < len(a.events) && i < len(b.events); i++ {
+		if a.events[i] != b.events[i] {
+			return fmt.Sprintf("event %d: %q vs %q", i, a.events[i], b.events[i])
+		}
+	}
+	if len(a.events) != len(b.events) {
+		return fmt.Sprintf("event count: %d vs %d", len(a.events), len(b.events))
+	}
+	if a.clocks != b.clocks {
+		return fmt.Sprintf("clocks: %d vs %d", a.clocks, b.clocks)
+	}
+	if a.deltas != b.deltas {
+		return fmt.Sprintf("deltas: %d vs %d", a.deltas, b.deltas)
+	}
+	for k, v := range a.finals {
+		if b.finals[k] != v {
+			return fmt.Sprintf("finals[%s]: %q vs %q", k, v, b.finals[k])
+		}
+	}
+	if len(a.finals) != len(b.finals) {
+		return fmt.Sprintf("finals size: %d vs %d", len(a.finals), len(b.finals))
+	}
+	for _, pair := range []struct {
+		name string
+		x, y map[string]int64
+	}{{"signal events", a.sigEvents, b.sigEvents}, {"process end", a.processEnd, b.processEnd}} {
+		for k, v := range pair.x {
+			if pair.y[k] != v {
+				return fmt.Sprintf("%s[%s]: %d vs %d", pair.name, k, v, pair.y[k])
+			}
+		}
+		if len(pair.x) != len(pair.y) {
+			return fmt.Sprintf("%s size: %d vs %d", pair.name, len(pair.x), len(pair.y))
+		}
+	}
+	return ""
+}
+
+// TestRepairCexCrossKernel replays every counterexample the repair loop
+// produced — faulty, scheduled interleavings at the edge of the
+// protocol's behavior — through both simulator kernels and diffs the
+// complete observable traces. Repair counterexamples are exactly the
+// adversarial inputs most likely to expose a kernel divergence, so the
+// loop doubles as a differential test generator. The configuration is
+// rebuilt per run: the attached fault injector is stateful.
+func TestRepairCexCrossKernel(t *testing.T) {
+	res := runLostAck(t)
+	if len(res.Counterexamples) == 0 {
+		t.Fatal("repair loop produced no counterexamples")
+	}
+	for i, c := range res.Counterexamples {
+		e, err := sim.NewEngine(c.System())
+		if err != nil {
+			t.Fatalf("cex %d: NewEngine: %v", i, err)
+		}
+		classic := traceClassic(c.System(), c.SimConfig())
+		batch := traceBatch(e, c.SimConfig())
+		if d := diffTraces(classic, batch); d != "" {
+			t.Fatalf("cex %d (%s): batch kernel diverges from classic: %s", i, c.Kind, d)
+		}
+		// Second batch run on the same pooled engine: replaying the same
+		// faults must not leak injector or runner state.
+		again := traceBatch(e, c.SimConfig())
+		if d := diffTraces(classic, again); d != "" {
+			t.Fatalf("cex %d (%s): second batch run diverges (reset leak): %s", i, c.Kind, d)
+		}
+	}
+}

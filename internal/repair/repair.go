@@ -1,0 +1,429 @@
+// Package repair closes the loop between the model checker and protocol
+// generation: counterexample-guided inductive synthesis (CEGIS) over a
+// bounded grammar of protogen hardening knobs.
+//
+// The checker (internal/verify) found real failure windows in the
+// generated protocols — most prominently the lost-ack two-generals
+// window of the robust full handshake (DESIGN.md §5d): drop the
+// accessor's final START fall and the serving process's bounded wait
+// expires after the data words arrived but before the commit, while the
+// DONE fall its abort path releases is indistinguishable to the
+// accessor from a success acknowledgement. Silent corruption, plus a
+// stuck-high strobe that leaves the watchdogs cycling drain timeouts
+// forever (a bounded-response lasso).
+//
+// Instead of hand-hardening, Run iterates: verify at the configured
+// drop budget, classify each counterexample into a failure mode,
+// apply the first applicable unapplied mutation from that mode's
+// candidate list, regenerate from a fresh template, re-verify. The loop
+// ends when the properties hold (Repaired), the grammar has nothing
+// left to offer (ExhaustedGrammar), or the iteration budget runs out.
+//
+// The loop inherits the checker's determinism: verdicts and violation
+// order are byte-identical at any worker count, and classification and
+// candidate selection are pure functions of them, so the mutation
+// sequence and iteration count are worker-invariant too.
+package repair
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/protogen"
+	"repro/internal/spec"
+	"repro/internal/verify"
+)
+
+// Mutation is one member of the bounded repair grammar: a protogen
+// hardening knob the loop may switch on.
+type Mutation int
+
+// The repair grammar, in canonical order.
+const (
+	// CommitAck moves the write server's commit into the final word's
+	// latch (ack-of-ack commit): the closing handshake acknowledges a
+	// commit that already happened, so losing it cannot lose data.
+	CommitAck Mutation = iota
+	// ReleaseStale lets a server's drain phase release a START strobe
+	// stuck high for a full timeout, breaking the watchdog lasso.
+	ReleaseStale
+	// AckSeq adds a SEQ word-parity line so stale strobes cannot be
+	// mistaken for the next word (sequence-numbered acks).
+	AckSeq
+	// EpochResync pulses an EPOCH line alongside RST so a resync
+	// survives the loss of either edge (epoch bits on RST resync).
+	EpochResync
+	// TurnFlush flushes the half handshake's server-driven START fall
+	// before the server re-arms, closing the read-turnaround contention.
+	TurnFlush
+
+	numMutations
+)
+
+func (m Mutation) String() string {
+	switch m {
+	case CommitAck:
+		return "CommitAck"
+	case ReleaseStale:
+		return "ReleaseStale"
+	case AckSeq:
+		return "AckSeq"
+	case EpochResync:
+		return "EpochResync"
+	case TurnFlush:
+		return "TurnFlush"
+	}
+	return fmt.Sprintf("Mutation(%d)", int(m))
+}
+
+// Grammar lists every mutation in canonical order.
+func Grammar() []Mutation {
+	out := make([]Mutation, numMutations)
+	for i := range out {
+		out[i] = Mutation(i)
+	}
+	return out
+}
+
+// Apply switches the mutation's knob on in the generation config.
+func (m Mutation) Apply(c *protogen.Config) {
+	switch m {
+	case CommitAck:
+		c.CommitAck = true
+	case ReleaseStale:
+		c.ReleaseStale = true
+	case AckSeq:
+		c.AckSeq = true
+	case EpochResync:
+		c.EpochResync = true
+	case TurnFlush:
+		c.TurnFlush = true
+	}
+}
+
+// Applied reports whether the mutation's knob is already on.
+func (m Mutation) Applied(c protogen.Config) bool {
+	switch m {
+	case CommitAck:
+		return c.CommitAck
+	case ReleaseStale:
+		return c.ReleaseStale
+	case AckSeq:
+		return c.AckSeq
+	case EpochResync:
+		return c.EpochResync
+	case TurnFlush:
+		return c.TurnFlush
+	}
+	return false
+}
+
+// Applicable reports whether applying the mutation to the config yields
+// a combination protogen can express (Config.Validate accepts it).
+func (m Mutation) Applicable(c protogen.Config) bool {
+	m.Apply(&c)
+	return c.Validate() == nil
+}
+
+// Mode classifies a counterexample's failure mode; each mode has an
+// ordered candidate list of grammar mutations targeting it.
+type Mode int
+
+// Failure modes.
+const (
+	// ModeUnknown: no targeted diagnosis; every applicable mutation is a
+	// candidate, in grammar order.
+	ModeUnknown Mode = iota
+	// ModeLostAck: silent corruption under a drop budget on the hardened
+	// full handshake — the lost-ack commit race.
+	ModeLostAck
+	// ModeLasso: a bounded-response cycle in the hardened machinery —
+	// watchdogs cycling drain timeouts around a stuck strobe.
+	ModeLasso
+	// ModeTurnaround: half-handshake driver contention at the read
+	// turnaround.
+	ModeTurnaround
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLostAck:
+		return "lost-ack"
+	case ModeLasso:
+		return "lasso"
+	case ModeTurnaround:
+		return "turnaround"
+	}
+	return "unknown"
+}
+
+// Classify diagnoses one violation against the config that generated
+// the system it was found on.
+func Classify(v *verify.Violation, cfg protogen.Config) Mode {
+	robustFull := cfg.Robust && cfg.Protocol == spec.FullHandshake
+	switch v.Kind {
+	case verify.Corruption:
+		if robustFull && v.Cex != nil && len(v.Cex.Drops) > 0 {
+			return ModeLostAck
+		}
+	case verify.Livelock:
+		if cfg.Robust {
+			return ModeLasso
+		}
+	case verify.DriverConflict:
+		if cfg.Protocol == spec.HalfHandshake {
+			return ModeTurnaround
+		}
+	}
+	return ModeUnknown
+}
+
+// Candidates returns the mode's mutation candidates in preference
+// order. ModeUnknown falls back to the whole grammar.
+func Candidates(m Mode) []Mutation {
+	switch m {
+	case ModeLostAck:
+		return []Mutation{CommitAck, AckSeq, EpochResync}
+	case ModeLasso:
+		return []Mutation{ReleaseStale, EpochResync}
+	case ModeTurnaround:
+		return []Mutation{TurnFlush}
+	}
+	return Grammar()
+}
+
+// Builder regenerates a refined system from a generation config —
+// typically spec.Clone of an unrefined template followed by
+// protogen.Generate — returning the system and the abort-counter finals
+// keys the delivery check must excuse. Each call must start from a
+// fresh template: Generate refines in place.
+type Builder func(cfg protogen.Config) (*spec.System, []string, error)
+
+// Config parameterizes the repair loop.
+type Config struct {
+	// Verify is the per-iteration model-checking budget (drop budget,
+	// state bound, workers). AbortVars is overwritten each iteration
+	// with the Builder's keys.
+	Verify verify.Config
+	// Budget bounds verify iterations (initial check included); 0 means
+	// DefaultBudget.
+	Budget int
+}
+
+// DefaultBudget allows the initial check plus one iteration per grammar
+// member: the loop applies each mutation at most once, so more
+// iterations cannot exist.
+const DefaultBudget = int(numMutations) + 1
+
+// IterViolation is one violation observed during an iteration, with its
+// diagnosis.
+type IterViolation struct {
+	Kind    string `json:"kind"`
+	Mode    string `json:"mode"`
+	Message string `json:"message"`
+}
+
+// Iteration records one CEGIS turn for the machine-readable trace.
+type Iteration struct {
+	Index int `json:"index"`
+	// Active lists the mutations in effect for this iteration's
+	// generation, in application order.
+	Active []string `json:"active,omitempty"`
+	// States and Incomplete summarize the verify run.
+	States     int  `json:"states"`
+	Incomplete bool `json:"incomplete,omitempty"`
+	// Clean reports no violations were found (exhaustively so unless
+	// Incomplete).
+	Clean      bool            `json:"clean"`
+	Violations []IterViolation `json:"violations,omitempty"`
+	// Classified is the failure mode that drove the mutation choice and
+	// Applied the mutation chosen for the next iteration; empty on the
+	// final iteration.
+	Classified string `json:"classified,omitempty"`
+	Applied    string `json:"applied,omitempty"`
+}
+
+// Result is the outcome of a repair loop.
+type Result struct {
+	// Repaired reports the final iteration found no violations within
+	// the verify bounds; Exhaustive additionally reports the search was
+	// complete, making the verdict a proof rather than a bounded sweep.
+	Repaired   bool
+	Exhaustive bool
+	// ExhaustedGrammar reports the loop stopped because no unapplied
+	// applicable mutation targeted the remaining violations.
+	ExhaustedGrammar bool
+	// Mutations lists the applied mutations in application order.
+	Mutations []Mutation
+	// Config is the final generation config (base plus Mutations).
+	Config protogen.Config
+	// System and Report are the final iteration's refined system and
+	// verify report.
+	System *spec.System
+	Report *verify.Report
+	// Iterations is the machine-readable repair trace.
+	Iterations []Iteration
+	// Counterexamples collects every counterexample observed across all
+	// iterations, in discovery order (verification fodder: each replays
+	// deterministically through the simulator kernels).
+	Counterexamples []*verify.Counterexample
+}
+
+// Verified reports a fully proven repair: no violations and a complete
+// search.
+func (r *Result) Verified() bool { return r.Repaired && r.Exhaustive }
+
+// Run executes the CEGIS loop from the base generation config.
+func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	res := &Result{Config: base}
+	cur := base
+	for iter := 0; iter < budget; iter++ {
+		sys, abortVars, err := build(cur)
+		if err != nil {
+			return nil, fmt.Errorf("repair: iteration %d: generate: %w", iter, err)
+		}
+		vcfg := cfg.Verify
+		vcfg.AbortVars = abortVars
+		rep, err := verify.Check(sys, vcfg)
+		if err != nil {
+			return nil, fmt.Errorf("repair: iteration %d: verify: %w", iter, err)
+		}
+		res.System, res.Report, res.Config = sys, rep, cur
+
+		it := Iteration{
+			Index:      iter,
+			Active:     mutationNames(res.Mutations),
+			States:     rep.States,
+			Incomplete: rep.Incomplete,
+			Clean:      len(rep.Violations) == 0,
+		}
+		for i := range rep.Violations {
+			v := &rep.Violations[i]
+			it.Violations = append(it.Violations, IterViolation{
+				Kind:    v.Kind.String(),
+				Mode:    Classify(v, cur).String(),
+				Message: v.Message,
+			})
+			if v.Cex != nil {
+				res.Counterexamples = append(res.Counterexamples, v.Cex)
+			}
+		}
+
+		if len(rep.Violations) == 0 {
+			res.Repaired = true
+			res.Exhaustive = !rep.Incomplete
+			res.Iterations = append(res.Iterations, it)
+			return res, nil
+		}
+
+		// Pick the next mutation: first violation (BFS order — the
+		// shallowest failure) whose mode still has an unapplied,
+		// applicable candidate.
+		chosen, mode, found := pick(rep.Violations, cur)
+		if !found {
+			res.ExhaustedGrammar = true
+			res.Iterations = append(res.Iterations, it)
+			return res, nil
+		}
+		it.Classified = mode.String()
+		it.Applied = chosen.String()
+		res.Iterations = append(res.Iterations, it)
+		chosen.Apply(&cur)
+		res.Mutations = append(res.Mutations, chosen)
+	}
+	return res, nil
+}
+
+// pick scans violations in report order for the first with an
+// unapplied, applicable candidate mutation.
+func pick(violations []verify.Violation, cur protogen.Config) (Mutation, Mode, bool) {
+	for i := range violations {
+		mode := Classify(&violations[i], cur)
+		for _, cand := range Candidates(mode) {
+			if cand.Applied(cur) || !cand.Applicable(cur) {
+				continue
+			}
+			return cand, mode, true
+		}
+	}
+	return 0, ModeUnknown, false
+}
+
+func mutationNames(ms []Mutation) []string {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// TraceJSON renders the iteration trace as indented JSON — the
+// machine-readable repair log.
+func (r *Result) TraceJSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Repaired         bool        `json:"repaired"`
+		Exhaustive       bool        `json:"exhaustive"`
+		ExhaustedGrammar bool        `json:"exhausted_grammar,omitempty"`
+		Mutations        []string    `json:"mutations"`
+		Iterations       []Iteration `json:"iterations"`
+	}{
+		Repaired:         r.Repaired,
+		Exhaustive:       r.Exhaustive,
+		ExhaustedGrammar: r.ExhaustedGrammar,
+		Mutations:        mutationNames(r.Mutations),
+		Iterations:       r.Iterations,
+	}, "", "  ")
+}
+
+// Format renders the human-readable iteration log.
+func (r *Result) Format() string {
+	var b strings.Builder
+	for _, it := range r.Iterations {
+		label := "base"
+		if len(it.Active) > 0 {
+			label = "+" + strings.Join(it.Active, " +")
+		}
+		switch {
+		case it.Clean && !it.Incomplete:
+			fmt.Fprintf(&b, "iter %d [%s]: clean — %d states, exhaustive\n", it.Index, label, it.States)
+		case it.Clean:
+			fmt.Fprintf(&b, "iter %d [%s]: no violation within bounds — %d states, incomplete\n", it.Index, label, it.States)
+		default:
+			kinds := make([]string, len(it.Violations))
+			for i, v := range it.Violations {
+				kinds[i] = v.Kind
+			}
+			fmt.Fprintf(&b, "iter %d [%s]: %d violation(s) [%s] — %d states\n",
+				it.Index, label, len(it.Violations), strings.Join(kinds, ", "), it.States)
+			if it.Applied != "" {
+				fmt.Fprintf(&b, "        classified %s -> apply %s\n", it.Classified, it.Applied)
+			}
+		}
+	}
+	switch {
+	case r.Verified():
+		fmt.Fprintf(&b, "repaired with %s: properties hold exhaustively\n", joinOr(mutationNames(r.Mutations), "no mutations"))
+	case r.Repaired:
+		fmt.Fprintf(&b, "repaired with %s: no violation within bounds (incomplete search)\n", joinOr(mutationNames(r.Mutations), "no mutations"))
+	case r.ExhaustedGrammar:
+		b.WriteString("repair grammar exhausted: violations remain\n")
+	default:
+		b.WriteString("iteration budget exhausted: violations remain\n")
+	}
+	return b.String()
+}
+
+func joinOr(names []string, empty string) string {
+	if len(names) == 0 {
+		return empty
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,294 @@
+package repair
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/protogen"
+	"repro/internal/spec"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+// builderFor returns a Builder regenerating from a fresh clone of the
+// given unrefined template on every call (protogen refines in place).
+func builderFor(template *spec.System) Builder {
+	return func(cfg protogen.Config) (*spec.System, []string, error) {
+		sys := spec.Clone(template)
+		ref, err := protogen.Generate(sys, sys.Buses[0], cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys, ref.AbortKeys(), nil
+	}
+}
+
+func pqSoloBuilder() Builder {
+	sys, _ := workloads.PQSolo()
+	return builderFor(sys)
+}
+
+// robustBase mirrors the verify test suite's hardened configuration:
+// small timers keep the state space tight without changing the
+// protocol's shape.
+func robustBase() protogen.Config {
+	return protogen.Config{
+		Protocol: spec.FullHandshake, Robust: true,
+		TimeoutClocks: 8, MaxRetries: 2,
+	}
+}
+
+// runLostAck runs (once, cached) the headline repair: hardened PQSolo
+// at drop budget 1. Several tests consume the same deterministic run.
+func runLostAck(t *testing.T) *Result {
+	t.Helper()
+	lostAckOnce.Do(func() {
+		lostAckRes, lostAckErr = Run(pqSoloBuilder(), robustBase(), Config{
+			Verify: verify.Config{MaxDrops: 1},
+		})
+	})
+	if lostAckErr != nil {
+		t.Fatal(lostAckErr)
+	}
+	return lostAckRes
+}
+
+var (
+	lostAckOnce sync.Once
+	lostAckRes  *Result
+	lostAckErr  error
+)
+
+// TestRepairLostAckWindow is the headline: the robust protocol silently
+// corrupts at drop budget 1 (DESIGN.md §5d); the CEGIS loop must
+// converge to an exhaustively clean variant, and the path there is
+// forced — CommitAck alone leaves the watchdog lasso, ReleaseStale
+// alone leaves the corruption — so the loop genuinely needs both.
+func TestRepairLostAckWindow(t *testing.T) {
+	res := runLostAck(t)
+	if !res.Verified() {
+		t.Fatalf("repair did not converge to a proven-clean variant:\n%s", res.Format())
+	}
+	if len(res.Mutations) != 2 || res.Mutations[0] != CommitAck || res.Mutations[1] != ReleaseStale {
+		t.Fatalf("expected the forced two-step repair [CommitAck ReleaseStale], got %v", res.Mutations)
+	}
+	if len(res.Iterations) != 3 {
+		t.Fatalf("expected 3 iterations (base, +CommitAck, +both), got %d:\n%s", len(res.Iterations), res.Format())
+	}
+	if !res.Config.CommitAck || !res.Config.ReleaseStale {
+		t.Fatalf("final config missing applied knobs: %+v", res.Config)
+	}
+	// Iteration 0 must diagnose the corruption as the lost-ack mode.
+	it0 := res.Iterations[0]
+	if it0.Clean || it0.Applied != "CommitAck" {
+		t.Fatalf("iteration 0 should find violations and apply CommitAck: %+v", it0)
+	}
+	foundLostAck := false
+	for _, v := range it0.Violations {
+		if v.Mode == "lost-ack" {
+			foundLostAck = true
+		}
+	}
+	if !foundLostAck {
+		t.Fatalf("iteration 0 violations not classified lost-ack: %+v", it0.Violations)
+	}
+	// Iteration 1: the residual lasso.
+	it1 := res.Iterations[1]
+	if it1.Clean || it1.Classified != "lasso" || it1.Applied != "ReleaseStale" {
+		t.Fatalf("iteration 1 should classify the lasso and apply ReleaseStale: %+v", it1)
+	}
+	// Final iteration clean, exhaustive, with a sane state count.
+	last := res.Iterations[2]
+	if !last.Clean || last.Incomplete || last.States < 1000 {
+		t.Fatalf("final iteration not exhaustively clean: %+v", last)
+	}
+	// Every pre-repair counterexample was collected for replay.
+	if len(res.Counterexamples) == 0 {
+		t.Fatal("no counterexamples collected across iterations")
+	}
+	if _, err := res.TraceJSON(); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+}
+
+// TestRepairTurnaroundConflict: the half handshake's read-turnaround
+// driver contention (a fault-free finding) classifies as turnaround and
+// TurnFlush eliminates it. The repair is honest rather than total: with
+// the contention gone the checker exposes the unacknowledged pulse the
+// half handshake can still miss — a delivery hazard no knob fixes
+// (the full handshake's ack is the fix) — and the loop must report the
+// grammar exhausted instead of claiming success.
+func TestRepairTurnaroundConflict(t *testing.T) {
+	sys, _ := workloads.PQ()
+	res, err := Run(builderFor(sys), protogen.Config{Protocol: spec.HalfHandshake}, Config{
+		Verify: verify.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mutations) != 1 || res.Mutations[0] != TurnFlush {
+		t.Fatalf("expected the single repair step [TurnFlush], got %v:\n%s", res.Mutations, res.Format())
+	}
+	it0 := res.Iterations[0]
+	if it0.Classified != "turnaround" || it0.Applied != "TurnFlush" {
+		t.Fatalf("contention not classified turnaround: %+v", it0)
+	}
+	conflicts := 0
+	for _, v := range it0.Violations {
+		if v.Kind == verify.DriverConflict.String() {
+			conflicts++
+		}
+	}
+	if conflicts == 0 {
+		t.Fatalf("base iteration found no driver conflict: %+v", it0.Violations)
+	}
+	// After TurnFlush every driver conflict is gone; what remains is the
+	// missed-pulse delivery hazard, outside the grammar.
+	last := res.Iterations[len(res.Iterations)-1]
+	for _, v := range last.Violations {
+		if v.Kind == verify.DriverConflict.String() {
+			t.Fatalf("driver conflict survived TurnFlush: %+v", last.Violations)
+		}
+	}
+	if res.Repaired || !res.ExhaustedGrammar {
+		t.Fatalf("loop should report grammar exhaustion on the residual hazard:\n%s", res.Format())
+	}
+}
+
+// TestRepairGrammarExhausted: the baseline (non-robust) full handshake
+// deadlocks under a 1-drop budget; no grammar member is applicable
+// without Robust, so the loop must stop immediately and say so.
+func TestRepairGrammarExhausted(t *testing.T) {
+	res, err := Run(pqSoloBuilder(), protogen.Config{Protocol: spec.FullHandshake}, Config{
+		Verify: verify.Config{MaxDrops: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired || !res.ExhaustedGrammar {
+		t.Fatalf("expected grammar exhaustion on the unhardened baseline:\n%s", res.Format())
+	}
+	if len(res.Iterations) != 1 || len(res.Mutations) != 0 {
+		t.Fatalf("expected a single iteration with no mutations, got %d/%v", len(res.Iterations), res.Mutations)
+	}
+}
+
+// TestRepairCleanBaseNoIterations: a system with nothing wrong repairs
+// trivially in one iteration with no mutations.
+func TestRepairCleanBaseNoIterations(t *testing.T) {
+	res, err := Run(pqSoloBuilder(), protogen.Config{Protocol: spec.FullHandshake}, Config{
+		Verify: verify.Config{}, // no drop budget: fault-free baseline is clean
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified() || len(res.Mutations) != 0 || len(res.Iterations) != 1 {
+		t.Fatalf("fault-free baseline should verify clean untouched:\n%s", res.Format())
+	}
+}
+
+// TestRepairWorkerInvariance pins the loop's determinism: the repaired
+// spec and the full iteration trace are byte-identical at any verify
+// worker count, matching the invariance guarantees of verify and the
+// fault campaigns.
+func TestRepairWorkerInvariance(t *testing.T) {
+	type digest struct {
+		trace    string
+		format   string
+		spec     string
+		states   int
+		iters    int
+		repaired bool
+	}
+	run := func(workers int) digest {
+		res, err := Run(pqSoloBuilder(), robustBase(), Config{
+			Verify: verify.Config{MaxDrops: 1, Workers: workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tj, err := res.TraceJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var specText bytes.Buffer
+		for _, b := range res.System.Behaviors() {
+			specText.WriteString(b.Name + "\n" + spec.FormatStmts(b.Body, "  "))
+			for _, p := range b.Procedures {
+				specText.WriteString(p.Name + "\n" + spec.FormatStmts(p.Body, "  "))
+			}
+		}
+		return digest{
+			trace: string(tj), format: res.Format(), spec: specText.String(),
+			states: res.Report.States, iters: len(res.Iterations), repaired: res.Repaired,
+		}
+	}
+	base := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		if got != base {
+			t.Fatalf("repair loop not worker-invariant at %d workers:\nbase: %+v\ngot:  %+v", workers, base, got)
+		}
+	}
+}
+
+// TestClassify pins the classifier's mode table.
+func TestClassify(t *testing.T) {
+	robust := robustBase()
+	half := protogen.Config{Protocol: spec.HalfHandshake}
+	baseline := protogen.Config{Protocol: spec.FullHandshake}
+	cases := []struct {
+		name string
+		v    verify.Violation
+		cfg  protogen.Config
+		want Mode
+	}{
+		{"livelock-robust", verify.Violation{Kind: verify.Livelock}, robust, ModeLasso},
+		{"livelock-baseline", verify.Violation{Kind: verify.Livelock}, baseline, ModeUnknown},
+		{"conflict-half", verify.Violation{Kind: verify.DriverConflict}, half, ModeTurnaround},
+		{"conflict-full", verify.Violation{Kind: verify.DriverConflict}, baseline, ModeUnknown},
+		{"deadlock", verify.Violation{Kind: verify.Deadlock}, robust, ModeUnknown},
+		// Corruption without a dropped transition (no cex) stays unknown:
+		// the lost-ack diagnosis is specifically about a lost strobe.
+		{"corruption-no-drop", verify.Violation{Kind: verify.Corruption}, robust, ModeUnknown},
+	}
+	for _, tc := range cases {
+		if got := Classify(&tc.v, tc.cfg); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMutationKnobs pins Apply/Applied/Applicable over the grammar.
+func TestMutationKnobs(t *testing.T) {
+	robust := robustBase()
+	half := protogen.Config{Protocol: spec.HalfHandshake}
+	for _, m := range Grammar() {
+		if m.Applied(robust) {
+			t.Errorf("%s applied on a fresh config", m)
+		}
+		c := robust
+		m.Apply(&c)
+		if !m.Applied(c) {
+			t.Errorf("%s not applied after Apply", m)
+		}
+	}
+	// Applicability split: the four full-handshake knobs on robust-full,
+	// TurnFlush on half.
+	for _, m := range []Mutation{CommitAck, ReleaseStale, AckSeq, EpochResync} {
+		if !m.Applicable(robust) {
+			t.Errorf("%s should be applicable on robust full handshake", m)
+		}
+		if m.Applicable(half) {
+			t.Errorf("%s should not be applicable on the half handshake", m)
+		}
+	}
+	if TurnFlush.Applicable(robust) {
+		t.Error("TurnFlush should not be applicable on the full handshake")
+	}
+	if !TurnFlush.Applicable(half) {
+		t.Error("TurnFlush should be applicable on the half handshake")
+	}
+}

@@ -1,0 +1,272 @@
+package spec
+
+// Clone returns a deep copy of the system: modules, behaviors,
+// procedures, variables, statements, expressions, channels, buses and
+// globals are all fresh nodes, with internal cross-references (a VarRef
+// inside a body pointing at a behavior-local variable, a channel's
+// Accessor, a bus's Channels) remapped onto the copies.
+//
+// Protocol generation refines a system in place — it rewrites accessor
+// bodies, attaches server processes and declares bus signals — so any
+// flow that wants to generate several protocol variants from one
+// template (the repair loop, core's Repair mode) must clone the
+// unrefined template before each Generate call.
+//
+// Two deliberate sharings: Type values are copied as values (RecordType
+// field slices are duplicated so a later in-place edit cannot alias),
+// and bits.Vector values are shared, matching the immutability
+// convention used across sim and verify.
+func Clone(sys *System) *System {
+	if sys == nil {
+		return nil
+	}
+	c := &cloner{
+		mods:  make(map[*Module]*Module),
+		behs:  make(map[*Behavior]*Behavior),
+		procs: make(map[*Procedure]*Procedure),
+		vars:  make(map[*Variable]*Variable),
+		chans: make(map[*Channel]*Channel),
+	}
+	out := &System{Name: sys.Name}
+
+	// Phase 1: allocate every named node so cross-references resolve no
+	// matter the declaration order (a dispatcher body may call another
+	// behavior's procedure; a channel may name an accessor declared
+	// later).
+	for _, m := range sys.Modules {
+		nm := &Module{Name: m.Name}
+		c.mods[m] = nm
+		out.Modules = append(out.Modules, nm)
+	}
+	for _, m := range sys.Modules {
+		nm := c.mods[m]
+		for _, v := range m.Variables {
+			nv := c.variable(v)
+			nv.Owner = nm
+			nm.Variables = append(nm.Variables, nv)
+		}
+		for _, b := range m.Behaviors {
+			nb := &Behavior{Name: b.Name, Server: b.Server, Owner: nm}
+			c.behs[b] = nb
+			nm.Behaviors = append(nm.Behaviors, nb)
+			for _, v := range b.Variables {
+				nb.Variables = append(nb.Variables, c.variable(v))
+			}
+			for _, p := range b.Procedures {
+				np := &Procedure{Name: p.Name}
+				c.procs[p] = np
+				nb.Procedures = append(nb.Procedures, np)
+			}
+		}
+	}
+	for _, g := range sys.Globals {
+		out.Globals = append(out.Globals, c.variable(g))
+	}
+	for _, ch := range sys.Channels {
+		nch := &Channel{
+			Name:           ch.Name,
+			Accessor:       c.behs[ch.Accessor],
+			Var:            c.variable(ch.Var),
+			Dir:            ch.Dir,
+			ID:             ch.ID,
+			IDBits:         ch.IDBits,
+			Accesses:       ch.Accesses,
+			LifetimeClocks: ch.LifetimeClocks,
+		}
+		c.chans[ch] = nch
+		out.Channels = append(out.Channels, nch)
+	}
+
+	// Phase 2: fill bodies now that every referent exists.
+	for _, m := range sys.Modules {
+		for _, b := range m.Behaviors {
+			nb := c.behs[b]
+			for i, p := range b.Procedures {
+				np := nb.Procedures[i]
+				for _, prm := range p.Params {
+					np.Params = append(np.Params, Param{Var: c.variable(prm.Var), Mode: prm.Mode})
+				}
+				for _, l := range p.Locals {
+					np.Locals = append(np.Locals, c.variable(l))
+				}
+				np.Body = c.stmts(p.Body)
+				np.Channel = c.chans[p.Channel]
+			}
+			nb.Body = c.stmts(b.Body)
+		}
+	}
+	for _, b := range sys.Buses {
+		nb := &Bus{
+			Name:        b.Name,
+			Width:       b.Width,
+			Protocol:    b.Protocol,
+			Record:      cloneRecord(b.Record),
+			Signal:      c.variable(b.Signal),
+			Arbitrated:  b.Arbitrated,
+			Robust:      b.Robust,
+			Parity:      b.Parity,
+			AckSeq:      b.AckSeq,
+			EpochResync: b.EpochResync,
+		}
+		for _, ch := range b.Channels {
+			nb.Channels = append(nb.Channels, c.chans[ch])
+		}
+		out.Buses = append(out.Buses, nb)
+	}
+	return out
+}
+
+type cloner struct {
+	mods  map[*Module]*Module
+	behs  map[*Behavior]*Behavior
+	procs map[*Procedure]*Procedure
+	vars  map[*Variable]*Variable
+	chans map[*Channel]*Channel
+}
+
+// variable clones lazily: variables not registered on any declaration
+// list (ad-hoc loop counters, timeout flags) are still remapped
+// consistently the first time a statement mentions them.
+func (c *cloner) variable(v *Variable) *Variable {
+	if v == nil {
+		return nil
+	}
+	if nv, ok := c.vars[v]; ok {
+		return nv
+	}
+	nv := &Variable{
+		Name: v.Name,
+		Type: cloneType(v.Type),
+		Kind: v.Kind,
+	}
+	c.vars[v] = nv // register before Init in case of (degenerate) self-reference
+	nv.Init = c.expr(v.Init)
+	if v.InitArray != nil {
+		nv.InitArray = append(nv.InitArray[:0:0], v.InitArray...)
+	}
+	if v.Owner != nil {
+		nv.Owner = c.mods[v.Owner]
+	}
+	return nv
+}
+
+func (c *cloner) stmts(list []Stmt) []Stmt {
+	if list == nil {
+		return nil
+	}
+	out := make([]Stmt, len(list))
+	for i, s := range list {
+		out[i] = c.stmt(s)
+	}
+	return out
+}
+
+func (c *cloner) stmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Assign:
+		return &Assign{Kind: s.Kind, LHS: c.expr(s.LHS), RHS: c.expr(s.RHS)}
+	case *If:
+		ns := &If{Cond: c.expr(s.Cond), Then: c.stmts(s.Then), Else: c.stmts(s.Else)}
+		for _, e := range s.Elifs {
+			ns.Elifs = append(ns.Elifs, ElseIf{Cond: c.expr(e.Cond), Body: c.stmts(e.Body)})
+		}
+		return ns
+	case *For:
+		return &For{Var: c.variable(s.Var), From: c.expr(s.From), To: c.expr(s.To), Body: c.stmts(s.Body)}
+	case *While:
+		return &While{Cond: c.expr(s.Cond), Body: c.stmts(s.Body)}
+	case *Loop:
+		return &Loop{Body: c.stmts(s.Body)}
+	case *Exit:
+		return &Exit{}
+	case *Wait:
+		ns := &Wait{Until: c.expr(s.Until), For: s.For, HasFor: s.HasFor, TimedOut: c.variable(s.TimedOut)}
+		for _, v := range s.On {
+			ns.On = append(ns.On, c.variable(v))
+		}
+		return ns
+	case *Call:
+		ns := &Call{Proc: c.procedure(s.Proc)}
+		for _, a := range s.Args {
+			ns.Args = append(ns.Args, c.expr(a))
+		}
+		return ns
+	case *Return:
+		return &Return{}
+	case *Null:
+		return &Null{}
+	case nil:
+		return nil
+	default:
+		panic("spec.Clone: unknown statement type " + s.String())
+	}
+}
+
+// procedure resolves through the memo; a Call naming a procedure that is
+// not attached to any behavior (never happens in generated systems) is
+// cloned shallowly on demand so the reference at least stays consistent.
+func (c *cloner) procedure(p *Procedure) *Procedure {
+	if p == nil {
+		return nil
+	}
+	if np, ok := c.procs[p]; ok {
+		return np
+	}
+	np := &Procedure{Name: p.Name}
+	c.procs[p] = np
+	for _, prm := range p.Params {
+		np.Params = append(np.Params, Param{Var: c.variable(prm.Var), Mode: prm.Mode})
+	}
+	for _, l := range p.Locals {
+		np.Locals = append(np.Locals, c.variable(l))
+	}
+	np.Body = c.stmts(p.Body)
+	np.Channel = c.chans[p.Channel]
+	return np
+}
+
+func (c *cloner) expr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		return &IntLit{Value: e.Value, Typ: cloneType(e.Typ)}
+	case *VecLit:
+		return &VecLit{Value: e.Value}
+	case *BoolLit:
+		return &BoolLit{Value: e.Value}
+	case *VarRef:
+		return &VarRef{Var: c.variable(e.Var)}
+	case *Index:
+		return &Index{Arr: c.expr(e.Arr), Index: c.expr(e.Index)}
+	case *SliceExpr:
+		return &SliceExpr{X: c.expr(e.X), Hi: c.expr(e.Hi), Lo: c.expr(e.Lo), Width: e.Width}
+	case *FieldRef:
+		return &FieldRef{X: c.expr(e.X), Field: e.Field}
+	case *Binary:
+		return &Binary{Op: e.Op, X: c.expr(e.X), Y: c.expr(e.Y)}
+	case *Unary:
+		return &Unary{Op: e.Op, X: c.expr(e.X)}
+	case *Conv:
+		return &Conv{X: c.expr(e.X), To: cloneType(e.To), Signed: e.Signed}
+	case nil:
+		return nil
+	default:
+		panic("spec.Clone: unknown expression type " + e.String())
+	}
+}
+
+// cloneType copies type values. Most types are plain values; RecordType
+// carries a Fields slice that must not alias the original.
+func cloneType(t Type) Type {
+	if r, ok := t.(RecordType); ok {
+		return cloneRecord(r)
+	}
+	return t
+}
+
+func cloneRecord(r RecordType) RecordType {
+	nr := RecordType{Name: r.Name}
+	if r.Fields != nil {
+		nr.Fields = append(nr.Fields[:0:0], r.Fields...)
+	}
+	return nr
+}

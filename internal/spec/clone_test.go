@@ -1,0 +1,169 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// buildCloneFixture assembles a small system that touches every
+// statement and expression node, procedure params/locals, module and
+// behavior variables, globals, channels and a bus record.
+func buildCloneFixture() *System {
+	sys := NewSystem("fix")
+	m1 := sys.AddModule("m1")
+	m2 := sys.AddModule("m2")
+
+	mem := m2.AddVariable(NewVar("MEM", Array(4, BitVector(8))))
+	mem.InitArray = []bits.Vector{bits.FromUint(1, 8), bits.FromUint(2, 8)}
+
+	b := m1.AddBehavior(NewBehavior("A"))
+	i := b.AddVar("I", Integer)
+	tmo := b.AddVar("TMO", Bool)
+	d := b.AddVar("D", BitVector(8))
+
+	rec := RecordType{Name: "BusRec", Fields: []Field{{Name: "START", Type: Bit}, {Name: "DATA", Type: BitVector(8)}}}
+	busSig := sys.AddGlobal(NewSignal("B", rec))
+
+	p := b.AddProc(&Procedure{Name: "SendCH0"})
+	arg := NewVar("V", BitVector(8))
+	p.Params = []Param{{Var: arg, Mode: ModeIn}}
+	loc := NewVar("OK", Bool)
+	p.Locals = []*Variable{loc}
+	p.Body = []Stmt{
+		AssignSig(FieldOf(Ref(busSig), "DATA"), SliceBits(Ref(arg), 7, 0)),
+		AssignVar(Ref(loc), Eq(FieldOf(Ref(busSig), "START"), VecString("1"))),
+		WaitUntilFor(Not(Ref(loc)), 8, tmo),
+		&If{
+			Cond:  Ref(tmo),
+			Then:  []Stmt{&Return{}},
+			Elifs: []ElseIf{{Cond: Ref(loc), Body: []Stmt{&Null{}}}},
+			Else:  []Stmt{&Exit{}},
+		},
+	}
+
+	b.Body = []Stmt{
+		&For{Var: i, From: Int(0), To: Int(3), Body: []Stmt{
+			AssignVar(At(Ref(mem), Ref(i)), ToVec(Add(ToInt(Ref(d)), Int(1)), 8)),
+			CallProc(p, Ref(d)),
+		}},
+		&While{Cond: Lt(Ref(i), Int(2)), Body: []Stmt{WaitFor(1)}},
+		&Loop{Body: []Stmt{WaitOn(busSig), &Exit{}}},
+		WaitUntil(Neq(Ref(d), Vec(bits.FromUint(0, 8)))),
+	}
+
+	ch := sys.AddChannel(&Channel{Name: "CH0", Accessor: b, Var: mem, Dir: Write, ID: bits.FromUint(1, 2), IDBits: 2, Accesses: 4})
+	p.Channel = ch
+	sys.Buses = append(sys.Buses, &Bus{
+		Name: "B", Channels: []*Channel{ch}, Width: 8, Protocol: FullHandshake,
+		Record: rec, Signal: busSig, Robust: true,
+	})
+	return sys
+}
+
+func TestCloneStructurallyEqual(t *testing.T) {
+	orig := buildCloneFixture()
+	cp := Clone(orig)
+
+	if cp == orig {
+		t.Fatal("Clone returned the same pointer")
+	}
+	ob, cb := orig.Modules[0].Behaviors[0], cp.Modules[0].Behaviors[0]
+	if got, want := FormatStmts(cb.Body, ""), FormatStmts(ob.Body, ""); got != want {
+		t.Errorf("cloned behavior body differs:\n got %q\nwant %q", got, want)
+	}
+	if got, want := FormatStmts(cb.Procedures[0].Body, ""), FormatStmts(ob.Procedures[0].Body, ""); got != want {
+		t.Errorf("cloned procedure body differs:\n got %q\nwant %q", got, want)
+	}
+	if !cp.Buses[0].Record.Equal(orig.Buses[0].Record) {
+		t.Error("cloned bus record type differs")
+	}
+}
+
+func TestCloneRemapsReferences(t *testing.T) {
+	orig := buildCloneFixture()
+	cp := Clone(orig)
+
+	ob, cb := orig.Modules[0].Behaviors[0], cp.Modules[0].Behaviors[0]
+	if cb == ob {
+		t.Fatal("behavior not cloned")
+	}
+	if cb.Owner != cp.Modules[0] {
+		t.Error("behavior Owner not remapped to cloned module")
+	}
+
+	// The For loop variable reference inside the body must resolve to
+	// the clone's variable, not the original's.
+	cf := cb.Body[0].(*For)
+	of := ob.Body[0].(*For)
+	if cf.Var == of.Var {
+		t.Error("loop variable shared between clone and original")
+	}
+	if cf.Var != cb.Variables[0] {
+		t.Error("loop variable not remapped onto the cloned behavior's declaration")
+	}
+	idx := cf.Body[0].(*Assign).LHS.(*Index)
+	if idx.Arr.(*VarRef).Var != cp.Modules[1].Variables[0] {
+		t.Error("MEM reference not remapped onto cloned module variable")
+	}
+	if idx.Arr.(*VarRef).Var.Owner != cp.Modules[1] {
+		t.Error("cloned MEM Owner not remapped")
+	}
+
+	// Call statements must target the cloned procedure.
+	call := cf.Body[1].(*Call)
+	if call.Proc != cb.Procedures[0] {
+		t.Error("Call.Proc not remapped onto cloned procedure")
+	}
+	if call.Proc.Channel != cp.Channels[0] {
+		t.Error("Procedure.Channel not remapped onto cloned channel")
+	}
+
+	// Bounded-wait TimedOut flag and wait-on sensitivity lists.
+	w := cb.Procedures[0].Body[2].(*Wait)
+	if w.TimedOut != cb.Variables[1] {
+		t.Error("Wait.TimedOut not remapped")
+	}
+	loop := cb.Body[2].(*Loop)
+	if loop.Body[0].(*Wait).On[0] != cp.Globals[0] {
+		t.Error("Wait.On not remapped onto cloned global signal")
+	}
+
+	// Channel and bus endpoints.
+	if cp.Channels[0].Accessor != cb || cp.Channels[0].Var != cp.Modules[1].Variables[0] {
+		t.Error("channel endpoints not remapped")
+	}
+	if cp.Buses[0].Channels[0] != cp.Channels[0] {
+		t.Error("bus channel list not remapped")
+	}
+	if cp.Buses[0].Signal != cp.Globals[0] {
+		t.Error("bus signal not remapped onto cloned global")
+	}
+}
+
+func TestCloneIsolatesMutation(t *testing.T) {
+	orig := buildCloneFixture()
+	before := FormatStmts(orig.Modules[0].Behaviors[0].Body, "")
+	beforeRec := orig.Buses[0].Record.String()
+
+	cp := Clone(orig)
+	cb := cp.Modules[0].Behaviors[0]
+	cb.Body = append(cb.Body, &Null{})
+	cb.Body[0].(*For).Body[0] = &Null{}
+	cp.Buses[0].Record.Fields[0].Name = "MUTATED"
+	cp.Modules[1].Variables[0].InitArray[0] = bits.FromUint(99, 8)
+	cp.Globals[0].Name = "MUTATED"
+
+	if got := FormatStmts(orig.Modules[0].Behaviors[0].Body, ""); got != before {
+		t.Errorf("mutating clone changed original body:\n got %q\nwant %q", got, before)
+	}
+	if got := orig.Buses[0].Record.String(); got != beforeRec {
+		t.Errorf("mutating clone record changed original: %q", got)
+	}
+	if orig.Modules[1].Variables[0].InitArray[0].Uint64() != 1 {
+		t.Error("mutating clone InitArray changed original")
+	}
+	if orig.Globals[0].Name != "B" {
+		t.Error("mutating clone global changed original")
+	}
+}

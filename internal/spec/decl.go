@@ -328,6 +328,12 @@ type Bus struct {
 	Robust bool
 	// Parity records that the bus carries PAR/NACK parity lines.
 	Parity bool
+	// AckSeq records that the bus carries a SEQ word-parity line
+	// (protogen repair grammar: sequence-numbered acks).
+	AckSeq bool
+	// EpochResync records that the bus carries an EPOCH line pulsed
+	// alongside RST (protogen repair grammar: dual-rail resync).
+	EpochResync bool
 }
 
 // IDBits reports the number of ID lines needed to address the bus's
@@ -346,6 +352,12 @@ func (b *Bus) TotalLines() int {
 	n := b.Width + b.Protocol.ControlLines() + b.IDBits()
 	if b.Robust && b.Protocol == FullHandshake {
 		n++ // RST
+		if b.AckSeq {
+			n++ // SEQ
+		}
+		if b.EpochResync {
+			n++ // EPOCH
+		}
 	}
 	if b.Parity {
 		n += 2 // PAR, NACK

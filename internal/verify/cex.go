@@ -180,6 +180,17 @@ func (c *Counterexample) mkCfg() sim.Config {
 	return cfg
 }
 
+// SimConfig returns a fresh simulator configuration reproducing the
+// counterexample: the dropped transitions as event-scheduled DropEvent
+// faults and the trace's process order as the scheduling priority. Each
+// call builds a new configuration (the attached fault injector is
+// stateful), so callers replaying through several kernels get
+// independent instances.
+func (c *Counterexample) SimConfig() sim.Config { return c.mkCfg() }
+
+// System returns the refined system the counterexample was found on.
+func (c *Counterexample) System() *spec.System { return c.sys }
+
 // Replay drives the counterexample through the simulator: the dropped
 // transitions become event-scheduled DropEvent faults and the trace's
 // process order becomes the scheduling priority. The replay is first

@@ -144,34 +144,10 @@ func TestBaselineDroppedStrobeDeadlock(t *testing.T) {
 	}
 }
 
-// pOnlyPQ strips the staggered Q accessor from the PQ workload: P's
-// three transactions keep the multi-channel dispatch, retransmission
-// and RST machinery, but the 500-clock stagger counter — which
-// multiplies every retry-timer phase into a distinct state — is gone,
-// so the robust protocol is provable exhaustively.
+// pOnlyPQ is workloads.PQSolo: PQ with the staggered Q accessor
+// stripped, keeping the robust protocol provable exhaustively.
 func pOnlyPQ() (*spec.System, *spec.Bus) {
-	sys, bus := workloads.PQ()
-	for _, m := range sys.Modules {
-		kept := m.Behaviors[:0]
-		for _, b := range m.Behaviors {
-			if b.Name != "Q" {
-				kept = append(kept, b)
-			}
-		}
-		m.Behaviors = kept
-	}
-	drop := func(chans []*spec.Channel) []*spec.Channel {
-		kept := chans[:0]
-		for _, c := range chans {
-			if c.Name != "CH3" {
-				kept = append(kept, c)
-			}
-		}
-		return kept
-	}
-	sys.Channels = drop(sys.Channels)
-	bus.Channels = drop(bus.Channels)
-	return sys, bus
+	return workloads.PQSolo()
 }
 
 // TestRobustSurvivesDropBudget: the hardened protocol must be provably

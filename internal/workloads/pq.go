@@ -46,3 +46,35 @@ func PQ() (*spec.System, *spec.Bus) {
 	sys.Buses = append(sys.Buses, bus)
 	return sys, bus
 }
+
+// PQSolo strips the staggered Q accessor (and its CH3 channel) from the
+// PQ workload. P's three transactions keep the multi-channel dispatch,
+// retransmission and RST machinery, but the 500-clock stagger counter —
+// which multiplies every retry-timer phase into a distinct model-checker
+// state — is gone, so hardened variants are provable exhaustively. The
+// model checker and the repair loop use it whenever they need a
+// complete verdict rather than a bounded sweep.
+func PQSolo() (*spec.System, *spec.Bus) {
+	sys, bus := PQ()
+	for _, m := range sys.Modules {
+		kept := m.Behaviors[:0]
+		for _, b := range m.Behaviors {
+			if b.Name != "Q" {
+				kept = append(kept, b)
+			}
+		}
+		m.Behaviors = kept
+	}
+	drop := func(chans []*spec.Channel) []*spec.Channel {
+		kept := chans[:0]
+		for _, c := range chans {
+			if c.Name != "CH3" {
+				kept = append(kept, c)
+			}
+		}
+		return kept
+	}
+	sys.Channels = drop(sys.Channels)
+	bus.Channels = drop(bus.Channels)
+	return sys, bus
+}
