@@ -46,6 +46,22 @@
 //	                bound only)
 //	-verify-drops N wire-fault budget: how many strobe transitions may
 //	                be dropped along any explored path (0 = fault-free)
+//	-repair         on violations, run the counterexample-guided repair
+//	                loop on the parsed spec: classify each counterexample,
+//	                re-generate the protocols with targeted hardening
+//	                knobs — escalating through arbitration mutations up to
+//	                protocol reselection, each escalation priced through
+//	                the estimator — and re-verify until the properties
+//	                hold or the grammar is exhausted; prints the iteration
+//	                trace, emits the repaired refinement, and implies
+//	                -verify
+//	-repair-budget N  bound repair iterations (0 = grammar size + 1)
+//	-repair-tiers N   cap repair escalation: 1 local knobs only, 2 adds
+//	                arbitration mutations, 3 allows protocol reselection
+//	                (0 = full ladder)
+//	-expect E       judge the (post-repair) verdict instead of the plain
+//	                exit-1-on-violation rule: none | no-deadlock |
+//	                deadlock | any; exit 0 iff the verdict matches
 //	-cex FILE       with -verify: dump the first counterexample's
 //	                simulator replay as a VCD waveform to FILE
 package main
@@ -67,6 +83,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/vcd"
+	"repro/internal/verify"
 	"repro/internal/vhdlgen"
 )
 
@@ -142,6 +159,10 @@ func main() {
 	doVerify := flag.Bool("verify", false, "model-check the refined system for deadlocks, conflicts, liveness and delivery")
 	verifyDepth := flag.Int("verify-depth", 0, "with -verify: search depth bound (0 = states bound only)")
 	verifyDrops := flag.Int("verify-drops", 0, "with -verify: dropped-transition budget per path (0 = fault-free)")
+	doRepair := flag.Bool("repair", false, "on violations, run the counterexample-guided repair loop (implies -verify)")
+	repairBudget := flag.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
+	repairTiers := flag.Int("repair-tiers", 0, "cap repair escalation: 1 local knobs, 2 +arbitration, 3 +protocol reselection (0 = full ladder)")
+	expect := flag.String("expect", "", "judge the (post-repair) verdict: none | no-deadlock | deadlock | any")
 	cexPath := flag.String("cex", "", "with -verify: write the first counterexample's replay waveform to this VCD file")
 	var constraints constraintFlags
 	flag.Var(&constraints, "constraint", "designer constraint (repeatable)")
@@ -150,6 +171,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ifsyn [flags] spec.sys")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	switch *expect {
+	case "", "none", "no-deadlock", "deadlock", "any":
+	default:
+		fmt.Fprintf(os.Stderr, "ifsyn: unknown -expect %q (want none | no-deadlock | deadlock | any)\n", *expect)
 		os.Exit(2)
 	}
 
@@ -210,9 +237,15 @@ func main() {
 		Verify:        *doVerify,
 		VerifyDepth:   *verifyDepth,
 		VerifyDrops:   *verifyDrops,
+		Repair:        *doRepair,
+		RepairBudget:  *repairBudget,
+		RepairTiers:   *repairTiers,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rep.Repair != nil {
+		fmt.Fprint(os.Stderr, rep.Repair.Format())
 	}
 
 	if *summary {
@@ -334,6 +367,32 @@ func main() {
 					fmt.Fprintf(os.Stderr, "counterexample waveform written to %s\n", *cexPath)
 				}
 			}
+		}
+		if *expect != "" {
+			// With -repair the judged report is the final iteration's —
+			// the verdict on the repaired refinement actually emitted.
+			deadlocked := false
+			for _, v := range rep.Verify.Violations {
+				if v.Kind == verify.Deadlock {
+					deadlocked = true
+				}
+			}
+			ok := false
+			switch *expect {
+			case "none":
+				ok = rep.Verify.Clean()
+			case "no-deadlock":
+				ok = !deadlocked
+			case "deadlock":
+				ok = deadlocked
+			case "any":
+				ok = len(rep.Verify.Violations) > 0
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "verdict does not match -expect %s\n", *expect)
+				os.Exit(1)
+			}
+		} else if len(rep.Verify.Violations) > 0 {
 			os.Exit(1)
 		}
 	}

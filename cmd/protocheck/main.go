@@ -31,6 +31,11 @@
 //	              prints the iteration log, and -expect judges the final
 //	              (post-repair) verdict
 //	-repair-budget N  bound repair iterations (0 = grammar size + 1)
+//	-repair-tiers N   cap repair escalation (0 = full ladder): 1 keeps
+//	              the local tier-1 knobs, 2 adds the arbitration
+//	              mutations, 3 allows protocol reselection — each
+//	              escalation is priced through the estimator in the
+//	              printed trace
 //	-cex FILE     write the first counterexample's replay as VCD
 //	-expect E     none | no-deadlock | deadlock | any: exit 0 iff the
 //	              verdict matches (default none — a clean report;
@@ -72,6 +77,7 @@ func main() {
 	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
 	repairFlag := flag.Bool("repair", false, "on violations, run the counterexample-guided repair loop")
 	repairBudget := flag.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
+	repairTiers := flag.Int("repair-tiers", 0, "cap repair escalation: 1 local knobs, 2 +arbitration, 3 +protocol reselection (0 = full ladder)")
 	cexPath := flag.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
 	expect := flag.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the check to this file")
@@ -131,6 +137,7 @@ func main() {
 	if *repairFlag {
 		opts.Repair = true
 		opts.RepairBudget = *repairBudget
+		opts.RepairTiers = *repairTiers
 		opts.VerifyDepth = *depth
 		opts.VerifyStates = *states
 		opts.VerifyDrops = *drops

@@ -82,6 +82,13 @@ type Options struct {
 	Repair bool
 	// RepairBudget bounds repair iterations (0 = repair.DefaultBudget).
 	RepairBudget int
+	// RepairTiers caps how far the repair loop may escalate (0 =
+	// repair.MaxTier): 1 restricts it to the local tier-1 knobs, 2 adds
+	// the arbitration mutations, 3 allows protocol reselection. Each
+	// escalation is taken only after every cheaper tier is exhausted,
+	// and a tier-3 reselection is priced through the estimator in the
+	// repair trace.
+	RepairTiers int
 }
 
 // BusReport describes the synthesis of one bus.
@@ -214,7 +221,23 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 			}
 			return c, aborts, nil
 		}
-		rres, err := repair.Run(build, baseCfg(""), repair.Config{Verify: vcfg, Budget: opts.RepairBudget})
+		// Price tier-3 protocol reselections against the first bus (the
+		// default grouping is single-bus): the trace then reports the
+		// pin/area/performance cost of every escalation it takes.
+		var cost *repair.CostModel
+		if len(rep.Buses) > 0 {
+			cost = &repair.CostModel{
+				Channels: rep.Buses[0].Bus.Channels,
+				Width:    rep.Buses[0].Bus.Width,
+				Est:      rep.Estimator,
+			}
+		}
+		rres, err := repair.Run(build, baseCfg(""), repair.Config{
+			Verify:  vcfg,
+			Budget:  opts.RepairBudget,
+			MaxTier: opts.RepairTiers,
+			Cost:    cost,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: repair: %w", err)
 		}

@@ -214,6 +214,64 @@ func (m AreaModel) BusArea(bus *spec.Bus) float64 {
 	return float64(bus.TotalLines()) * m.DriverGates * float64(len(modules))
 }
 
+// interfaceIDBits is the ID-line count of an n-channel bus.
+func interfaceIDBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return spec.AddrBits(n)
+}
+
+// InterfaceArea estimates a candidate bus interface without running
+// protocol generation: drivers for every line on both sides, plus one
+// word-handshake FSM state set per bus word of each channel's message.
+// It prices explore's sweep points and the repair loop's
+// protocol-selection escalations from the same model.
+func InterfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m AreaModel) float64 {
+	lines := w + p.ControlLines() + interfaceIDBits(len(channels))
+	area := float64(lines) * m.DriverGates * 2
+	for _, c := range channels {
+		words := (c.MessageBits() + w - 1) / w
+		// ~5 FSM states per word on each side of the transfer.
+		area += float64(words) * 10 * m.StateGates
+	}
+	return area
+}
+
+// HardeningArea estimates what the robust machinery adds on top of
+// InterfaceArea: drivers for the extra wires (RST on the full
+// handshake, PAR/NACK with parity), retry/timeout control states per
+// word on each side, a timeout counter and retry counter per channel
+// side, and the parity XOR trees. Zero when robust is false.
+func HardeningArea(channels []*spec.Channel, w int, p spec.Protocol, robust, parity bool, m AreaModel) float64 {
+	if !robust {
+		return 0
+	}
+	extra := 0
+	if p == spec.FullHandshake {
+		extra++ // RST
+	}
+	if parity {
+		extra += 2 // PAR, NACK
+	}
+	area := float64(extra) * m.DriverGates * 2
+	idb := interfaceIDBits(len(channels))
+	for _, c := range channels {
+		words := (c.MessageBits() + w - 1) / w
+		// ~4 extra states per word side: bounded-wait expiry branches,
+		// NACK paths, resync handling.
+		area += float64(words) * 8 * m.StateGates
+		// Timeout (log2 T ~ 5 bits) and retry (2 bits) counters per
+		// side.
+		area += 2 * 7 * m.RegBitGates
+		if parity {
+			// An XOR tree over DATA+ID on each side.
+			area += 2 * float64(w+idb-1) * m.LogicBitGates
+		}
+	}
+	return area
+}
+
 // SystemArea estimates every module of a system plus its buses,
 // returning per-module reports and the grand total.
 func (m AreaModel) SystemArea(sys *spec.System) (map[string]AreaReport, float64) {

@@ -161,7 +161,8 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 				pt.WorstExec = t
 			}
 		}
-		pt.InterfaceArea = interfaceArea(channels, w, p, area) + hardeningArea(channels, w, v, area)
+		pt.InterfaceArea = estimate.InterfaceArea(channels, w, p, area) +
+			estimate.HardeningArea(channels, w, p, v.robust, v.parity, area)
 		sp.Points[i] = pt
 	})
 	return sp, nil
@@ -218,25 +219,37 @@ func Annotate(points []Point, workers int, build func(Point) (*spec.System, []st
 // AnnotateRepair model-checks candidate points like Annotate but runs
 // each point through the CEGIS repair loop (internal/repair): a point
 // whose base refinement violates the checked properties is re-generated
-// with targeted hardening mutations until the properties hold or the
+// with targeted hardening mutations — escalating through rcfg's tier
+// ladder up to protocol reselection — until the properties hold or the
 // grammar is exhausted. build must return, for every call, the point's
 // base generation config and a repair.Builder producing a fresh refined
 // system for any mutated config (protocol generation rewrites behavior
 // bodies in place). Each point's Verdict is the final iteration's
 // report and Repair the full trace, so Verified keeps points that ship
-// clean only after repair. budget bounds iterations per point (0 =
-// repair.DefaultBudget).
+// clean only after repair.
+//
+// rcfg.Verify carries the checked bounds, rcfg.Budget/MaxTier the
+// loop's limits. When rcfg.Cost is set, its Width is overridden per
+// point, so an escalated point's trace prices the reselection in the
+// same pins/area/exec-time units the sweep reports: the frontier entry
+// the point abandoned versus the one repair moved it to.
 //
 // Like Annotate, each point's checks run serially unless AnnotateRepair
 // itself is serial — the outer fan-out already saturates the CPUs.
-func AnnotateRepair(points []Point, workers int, build func(Point) (repair.Builder, protogen.Config), cfg verify.Config, budget int) error {
+func AnnotateRepair(points []Point, workers int, build func(Point) (repair.Builder, protogen.Config), rcfg repair.Config) error {
 	if workers != 1 {
-		cfg.Workers = 1
+		rcfg.Verify.Workers = 1
 	}
 	errs := make([]error, len(points))
 	par.For(len(points), workers, func(i int) {
 		builder, base := build(points[i])
-		res, err := repair.Run(builder, base, repair.Config{Verify: cfg, Budget: budget})
+		c := rcfg
+		if c.Cost != nil {
+			cm := *c.Cost
+			cm.Width = points[i].Width
+			c.Cost = &cm
+		}
+		res, err := repair.Run(builder, base, c)
 		if err != nil {
 			errs[i] = fmt.Errorf("explore: point (width %d, %s): repair: %w", points[i].Width, points[i].Protocol, err)
 			return
@@ -296,46 +309,6 @@ func idBits(n int) int {
 		return 0
 	}
 	return spec.AddrBits(n)
-}
-
-// interfaceArea estimates the per-point interface cost without running
-// protocol generation: drivers for every line on both sides, plus one
-// word-handshake FSM state set per bus word of each channel's message.
-func interfaceArea(channels []*spec.Channel, w int, p spec.Protocol, m estimate.AreaModel) float64 {
-	lines := w + p.ControlLines() + idBits(len(channels))
-	area := float64(lines) * m.DriverGates * 2
-	for _, c := range channels {
-		words := (c.MessageBits() + w - 1) / w
-		// ~5 FSM states per word on each side of the transfer.
-		area += float64(words) * 10 * m.StateGates
-	}
-	return area
-}
-
-// hardeningArea estimates what the robust machinery adds: drivers for
-// the extra wires, retry/timeout control states per word on each side,
-// a timeout counter and retry counter per channel side, and the parity
-// XOR trees.
-func hardeningArea(channels []*spec.Channel, w int, v variant, m estimate.AreaModel) float64 {
-	if !v.robust {
-		return 0
-	}
-	area := float64(v.extraPins()) * m.DriverGates * 2
-	idb := idBits(len(channels))
-	for _, c := range channels {
-		words := (c.MessageBits() + w - 1) / w
-		// ~4 extra states per word side: bounded-wait expiry branches,
-		// NACK paths, resync handling.
-		area += float64(words) * 8 * m.StateGates
-		// Timeout (log2 T ~ 5 bits) and retry (2 bits) counters per
-		// side.
-		area += 2 * 7 * m.RegBitGates
-		if v.parity {
-			// An XOR tree over DATA+ID on each side.
-			area += 2 * float64(w+idb-1) * m.LogicBitGates
-		}
-	}
-	return area
 }
 
 // Pareto returns the non-dominated points: no other point is at least

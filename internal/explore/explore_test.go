@@ -493,9 +493,12 @@ func TestAnnotateAndVerified(t *testing.T) {
 // TestAnnotateRepairUpgradesRobustPoints: under a 1-drop wire-fault
 // budget no PQSolo sweep point verifies clean as generated — the plain
 // handshakes wedge or corrupt, and even the hardened variants carry the
-// lost-ack window. AnnotateRepair must repair exactly the hardened
-// points (the grammar targets the robust machinery), leave the trace on
-// the point, and hand Verified their post-repair verdicts.
+// lost-ack window. AnnotateRepair must repair the hardened points with
+// tier-1 knobs, escalate the half-handshake point through the tier-3
+// protocol reselection (pricing the move in the sweep's own units),
+// leave each trace on its point, and hand Verified the post-repair
+// verdicts. Only the plain full handshake — unhardened, nothing to
+// escalate to — exhausts the grammar.
 func TestAnnotateRepairUpgradesRobustPoints(t *testing.T) {
 	sys, bus := workloads.PQSolo()
 	est := estimate.New(sys.Channels)
@@ -522,7 +525,11 @@ func TestAnnotateRepairUpgradesRobustPoints(t *testing.T) {
 			return fresh, ref.AbortKeys(), nil
 		}, base
 	}
-	if err := AnnotateRepair(sp.Points, 0, build, verify.Config{MaxDrops: 1}, 0); err != nil {
+	rcfg := repair.Config{
+		Verify: verify.Config{MaxDrops: 1},
+		Cost:   &repair.CostModel{Channels: bus.Channels, Est: est},
+	}
+	if err := AnnotateRepair(sp.Points, 0, build, rcfg); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range sp.Points {
@@ -531,20 +538,47 @@ func TestAnnotateRepairUpgradesRobustPoints(t *testing.T) {
 		}
 	}
 	ok := Verified(sp.Points)
-	if len(ok) != 2 {
-		t.Fatalf("Verified kept %d point(s), want the two hardened ones:\n%s", len(ok), Format(sp.Points))
+	if len(ok) != 3 {
+		t.Fatalf("Verified kept %d point(s), want the two hardened ones plus the escalated half handshake:\n%s", len(ok), Format(sp.Points))
 	}
 	for _, p := range ok {
-		if !p.Robust {
-			t.Fatalf("unhardened point survived a 1-drop budget: %+v", p)
-		}
 		if !p.Repair.Verified() || len(p.Repair.Mutations) == 0 {
-			t.Fatalf("hardened point not verified through repair:\n%s", p.Repair.Format())
+			t.Fatalf("surviving point not verified through repair:\n%s", p.Repair.Format())
+		}
+		if p.Robust {
+			if p.Repair.FinalTier != 1 {
+				t.Fatalf("hardened point escalated to tier %d, tier-1 knobs should suffice:\n%s", p.Repair.FinalTier, p.Repair.Format())
+			}
+			continue
+		}
+		// The surviving unhardened point is the half handshake, upgraded
+		// by the tier-3 reselection; its trace must price the move in the
+		// sweep's units against this point's width.
+		if p.Protocol != spec.HalfHandshake {
+			t.Fatalf("unhardened non-half point survived a 1-drop budget: %+v", p)
+		}
+		if p.Repair.FinalTier != 3 || !p.Repair.Config.Robust || p.Repair.Config.Protocol != spec.FullHandshake {
+			t.Fatalf("half point did not escalate to the robust full handshake:\n%s", p.Repair.Format())
+		}
+		var cost *repair.EscalationCost
+		for _, it := range p.Repair.Iterations {
+			if it.Cost != nil {
+				cost = it.Cost
+			}
+		}
+		if cost == nil {
+			t.Fatalf("escalated point carries no priced reselection:\n%s", p.Repair.Format())
+		}
+		if cost.PinsFrom != p.Pins {
+			t.Fatalf("escalation priced from %d pins, sweep point has %d", cost.PinsFrom, p.Pins)
+		}
+		if cost.PinsTo <= cost.PinsFrom || cost.AreaTo <= cost.AreaFrom || cost.WorstExecTo <= cost.WorstExecFrom {
+			t.Fatalf("reselection price not an upgrade cost: %+v", cost)
 		}
 	}
 	for _, p := range sp.Points {
-		if !p.Robust && !p.Repair.ExhaustedGrammar {
-			t.Fatalf("unhardened point should exhaust the repair grammar:\n%s", p.Repair.Format())
+		if !p.Robust && p.Protocol == spec.FullHandshake && !p.Repair.ExhaustedGrammar {
+			t.Fatalf("plain full-handshake point should exhaust the repair grammar:\n%s", p.Repair.Format())
 		}
 	}
 }

@@ -114,6 +114,17 @@ func (g *generator) wrapArbitration(b *spec.Behavior, body []spec.Stmt) []spec.S
 	return append(out, g.releaseStmts(i)...)
 }
 
+// grantHoldStmts emits the extra held clock between the granted
+// accessor's REQ fall and the GVALID deassert when Config.GrantHold is
+// set: the grant outlives the request by one clock, covering the
+// owner's commit/release edges before the bus can be re-granted.
+func (g *generator) grantHoldStmts() []spec.Stmt {
+	if !g.cfg.GrantHold {
+		return nil
+	}
+	return []spec.Stmt{spec.WaitFor(1)}
+}
+
 // buildArbiter generates the ARBITER process under the configured grant
 // policy. It is attached to the module owning the first channel's
 // variable (the bus's home module) and marked Server.
@@ -136,18 +147,44 @@ func (g *generator) buildPriorityArbiter() *spec.Behavior {
 	arb := spec.NewBehavior(g.bus.Name + "arbiter")
 	arb.Server = true
 
+	// Bus parking needs the last owner's index; the priority policy has
+	// no other use for it. GRANT resets to index 0, so last starts at 0.
+	var last *spec.Variable
+	if g.cfg.BusPark {
+		last = arb.AddVar("last", spec.Integer)
+	}
+
 	anyReq := spec.Neq(g.busField("REQ"), spec.Vec(bits.New(n)))
 
 	// Priority chain: lowest request index wins.
 	arm := func(i int) []spec.Stmt {
-		return []spec.Stmt{
+		grant := []spec.Stmt{
 			spec.AssignSig(g.busField("GRANT"), spec.Vec(bits.FromUint(uint64(i), grantW))),
 			spec.WaitFor(1), // grant setup clock
+		}
+		var stmts []spec.Stmt
+		if g.cfg.BusPark {
+			// Parked fast path: the GRANT lines still select the last
+			// owner, so a re-request from it skips the assignment and the
+			// setup clock.
+			stmts = append(stmts, &spec.If{
+				Cond: spec.Neq(spec.Ref(last), spec.Int(int64(i))),
+				Then: grant,
+			})
+		} else {
+			stmts = append(stmts, grant...)
+		}
+		stmts = append(stmts,
 			spec.AssignSig(g.busField("GVALID"), one),
 			spec.WaitUntil(spec.Eq(spec.SliceBits(g.busField("REQ"), i, i), zero)),
-			spec.AssignSig(g.busField("GVALID"), zero),
-			spec.WaitFor(1), // bus turnaround clock
+		)
+		stmts = append(stmts, g.grantHoldStmts()...)
+		stmts = append(stmts, spec.AssignSig(g.busField("GVALID"), zero))
+		if g.cfg.BusPark {
+			stmts = append(stmts, spec.AssignVar(spec.Ref(last), spec.Int(int64(i))))
 		}
+		stmts = append(stmts, spec.WaitFor(1)) // bus turnaround clock
+		return stmts
 	}
 	dispatch := &spec.If{
 		Cond: spec.Eq(spec.SliceBits(g.busField("REQ"), 0, 0), one),
@@ -203,6 +240,33 @@ func (g *generator) buildRoundRobinArbiter() *spec.Behavior {
 	reqBit := &spec.SliceExpr{X: g.busField("REQ"), Hi: spec.Ref(idx), Lo: spec.Ref(idx), Width: 1}
 	anyReq := spec.Neq(g.busField("REQ"), spec.Vec(bits.New(n)))
 
+	grant := []spec.Stmt{
+		spec.AssignSig(g.busField("GRANT"), spec.ToVec(spec.Ref(idx), grantW)),
+		spec.WaitFor(1),
+	}
+	var open []spec.Stmt
+	if g.cfg.BusPark {
+		// Parked fast path: when the rotation lands back on the last
+		// owner, the GRANT lines already select it — skip the assignment
+		// and its setup clock.
+		open = append(open, &spec.If{
+			Cond: spec.Neq(spec.Ref(idx), spec.Ref(last)),
+			Then: grant,
+		})
+	} else {
+		open = append(open, grant...)
+	}
+	armBody := append(open,
+		spec.AssignSig(g.busField("GVALID"), one),
+		spec.WaitUntil(spec.Eq(reqBit, zero)),
+	)
+	armBody = append(armBody, g.grantHoldStmts()...)
+	armBody = append(armBody,
+		spec.AssignSig(g.busField("GVALID"), zero),
+		spec.AssignVar(spec.Ref(last), spec.Ref(idx)),
+		spec.WaitFor(1),
+		&spec.Exit{},
+	)
 	scan := &spec.While{
 		Cond: spec.Le(spec.Ref(k), spec.Int(int64(n))),
 		Body: []spec.Stmt{
@@ -210,16 +274,7 @@ func (g *generator) buildRoundRobinArbiter() *spec.Behavior {
 				spec.Bin(spec.OpMod, spec.Add(spec.Ref(last), spec.Ref(k)), spec.Int(int64(n)))),
 			&spec.If{
 				Cond: spec.Eq(reqBit, one),
-				Then: []spec.Stmt{
-					spec.AssignSig(g.busField("GRANT"), spec.ToVec(spec.Ref(idx), grantW)),
-					spec.WaitFor(1),
-					spec.AssignSig(g.busField("GVALID"), one),
-					spec.WaitUntil(spec.Eq(reqBit, zero)),
-					spec.AssignSig(g.busField("GVALID"), zero),
-					spec.AssignVar(spec.Ref(last), spec.Ref(idx)),
-					spec.WaitFor(1),
-					&spec.Exit{},
-				},
+				Then: armBody,
 			},
 			spec.AssignVar(spec.Ref(k), spec.Add(spec.Ref(k), spec.Int(1))),
 		},

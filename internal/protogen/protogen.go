@@ -85,6 +85,20 @@ type Config struct {
 	// triggering retransmission. Requires Robust and the full handshake
 	// (the only protocol with a receiver-to-sender feedback path).
 	Parity bool
+	// GrantHold makes the arbiter hold GVALID one extra clock after the
+	// granted accessor's REQ falls, so the grant covers the transaction's
+	// commit/release window: the master keeps the bus until its closing
+	// edge has propagated, and a competing requester cannot be granted
+	// into a bus whose previous owner is still driving its release.
+	// Requires Arbitrate.
+	GrantHold bool
+	// BusPark parks the grant on the last bus owner: when the same
+	// accessor re-requests, the arbiter skips the GRANT assignment and
+	// its setup clock (the lines already select that owner) and re-raises
+	// GVALID directly. Retries and back-to-back transactions from one
+	// master re-acquire the bus without paying re-arbitration latency.
+	// Requires Arbitrate.
+	BusPark bool
 
 	// The remaining knobs form the bounded repair grammar applied by
 	// internal/repair: each closes one failure window the model checker
@@ -146,6 +160,14 @@ const (
 func (c Config) Validate() error {
 	if c.Arbitrate && c.Protocol == spec.HardwiredPort {
 		return fmt.Errorf("protogen: hardwired ports are point-to-point wires with a single accessor: nothing to arbitrate")
+	}
+	if !c.Arbitrate {
+		switch {
+		case c.GrantHold:
+			return fmt.Errorf("protogen: GrantHold extends the arbiter's grant policy: requires Arbitrate")
+		case c.BusPark:
+			return fmt.Errorf("protogen: BusPark extends the arbiter's grant policy: requires Arbitrate")
+		}
 	}
 	if c.TimeoutClocks < 0 {
 		return fmt.Errorf("protogen: negative TimeoutClocks %d", c.TimeoutClocks)

@@ -13,19 +13,26 @@ import (
 // any sequence of Applicable mutations leaves the config valid
 // (Config.Validate accepts it), the generator still synthesizes a
 // refined system from it, and that system still builds an executable
-// simulation. The committed corpus pins the combinations the repair
-// loop actually reaches (the headline CommitAck+ReleaseStale pair, the
-// full robust knob set, TurnFlush on the half handshake).
+// simulation. An inapplicable mutation must be either a guarded no-op
+// (the protocol-selection escalation on a config that already selected
+// the full handshake) or exactly what Validate rejects. The committed
+// corpus pins the combinations the repair loop actually reaches: the
+// headline CommitAck+ReleaseStale pair, the full grammar with
+// arbitration and parity, TurnFlush on the half handshake, the tier-2
+// arbitration pair, and the escalating TurnFlush→SelectFullHandshake
+// path.
 func FuzzRepairMutations(f *testing.F) {
 	// mask selects grammar members by bit index; the remaining arguments
 	// shape the base config.
-	f.Add(byte(0x03), false, true, byte(8), byte(2), false)  // headline repair
-	f.Add(byte(0x1f), false, true, byte(8), byte(2), true)   // whole grammar, parity on
-	f.Add(byte(0x10), true, false, byte(0), byte(0), false)  // TurnFlush on the half handshake
-	f.Add(byte(0x00), false, true, byte(16), byte(3), false) // no mutations
-	f.Add(byte(0x0c), false, true, byte(4), byte(1), false)  // AckSeq+EpochResync
-	f.Fuzz(func(t *testing.T, mask byte, half, robust bool, timeout, retries byte, parity bool) {
-		cfg := protogen.Config{Protocol: spec.FullHandshake, Robust: robust, Parity: parity}
+	f.Add(byte(0x03), false, true, byte(8), byte(2), false, false)  // headline repair
+	f.Add(byte(0xff), false, true, byte(8), byte(2), true, true)    // whole grammar, parity + arbitration
+	f.Add(byte(0x10), true, false, byte(0), byte(0), false, false)  // TurnFlush on the half handshake
+	f.Add(byte(0x00), false, true, byte(16), byte(3), false, false) // no mutations
+	f.Add(byte(0x0c), false, true, byte(4), byte(1), false, false)  // AckSeq+EpochResync
+	f.Add(byte(0x60), false, true, byte(8), byte(2), false, true)   // GrantHold+BusPark (tier 2)
+	f.Add(byte(0x90), true, false, byte(0), byte(0), false, false)  // TurnFlush then escalation (tier 3)
+	f.Fuzz(func(t *testing.T, mask byte, half, robust bool, timeout, retries byte, parity, arbitrate bool) {
+		cfg := protogen.Config{Protocol: spec.FullHandshake, Robust: robust, Parity: parity, Arbitrate: arbitrate}
 		if half {
 			cfg.Protocol = spec.HalfHandshake
 		}
@@ -47,11 +54,13 @@ func FuzzRepairMutations(f *testing.F) {
 				}
 			} else {
 				// An inapplicable mutation must stay inapplicable as a
-				// no-op: applying it anyway must be what Validate rejects.
+				// no-op: either Apply changes nothing (a guarded
+				// escalation whose precondition fails), or applying it
+				// anyway is what Validate rejects.
 				probe := cfg
 				m.Apply(&probe)
-				if probe.Validate() == nil {
-					t.Fatalf("%s reported inapplicable on a config it validates against: %+v", m, cfg)
+				if probe != cfg && probe.Validate() == nil {
+					t.Fatalf("%s reported inapplicable on a config it mutates and validates against: %+v", m, cfg)
 				}
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/spec"
+	"repro/internal/verify"
 )
 
 // cexTrace captures one simulator replay of a counterexample, rendered
@@ -113,14 +114,18 @@ func diffTraces(a, b cexTrace) string {
 // protocol's behavior — through both simulator kernels and diffs the
 // complete observable traces. Repair counterexamples are exactly the
 // adversarial inputs most likely to expose a kernel divergence, so the
-// loop doubles as a differential test generator. The configuration is
+// loop doubles as a differential test generator. Both cached runs feed
+// it: the lost-ack repair (one protocol shape) and the escalating run,
+// whose counterexamples span the half handshake, the flushed half
+// handshake, and the reselected full handshake. The configuration is
 // rebuilt per run: the attached fault injector is stateful.
 func TestRepairCexCrossKernel(t *testing.T) {
-	res := runLostAck(t)
-	if len(res.Counterexamples) == 0 {
-		t.Fatal("repair loop produced no counterexamples")
+	cexes := append([]*verify.Counterexample{}, runLostAck(t).Counterexamples...)
+	cexes = append(cexes, runEscalation(t).Counterexamples...)
+	if len(cexes) == 0 {
+		t.Fatal("repair loops produced no counterexamples")
 	}
-	for i, c := range res.Counterexamples {
+	for i, c := range cexes {
 		e, err := sim.NewEngine(c.System())
 		if err != nil {
 			t.Fatalf("cex %d: NewEngine: %v", i, err)

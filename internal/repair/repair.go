@@ -19,10 +19,34 @@
 // ends when the properties hold (Repaired), the grammar has nothing
 // left to offer (ExhaustedGrammar), or the iteration budget runs out.
 //
+// The grammar is a tiered, cost-aware escalation ladder:
+//
+//   - Tier 1 — local knobs (CommitAck … TurnFlush): extra clocks, extra
+//     lines, reordered commits. Nearly free in area and time, so the
+//     loop always tries them first.
+//   - Tier 2 — arbitration policy (GrantHold, BusPark): changes to the
+//     generated arbiter's grant machinery for multi-master buses. More
+//     invasive (they alter the bus acquisition timing every transaction
+//     pays), so they are only reached once tier 1 has nothing left for
+//     the remaining violations.
+//   - Tier 3 — protocol selection (SelectFullHandshake): abandoning the
+//     half handshake for the full handshake. This is the only mutation
+//     that changes *which* protocol ships rather than hardening the one
+//     selected, and it moves the design to a different point of the
+//     explore cost frontier (more control lines, two clocks per word,
+//     retransmission hardware) — so it is last, and when Config.Cost is
+//     set the iteration trace carries the estimate-priced area/pin/time
+//     delta of the swap.
+//
+// The ladder starts at tier 1; when no violation's candidate list has
+// an unapplied applicable mutation at or below the current tier, the
+// loop escalates instead of giving up, up to Config.MaxTier. Only when
+// the top tier is exhausted does it report ExhaustedGrammar.
+//
 // The loop inherits the checker's determinism: verdicts and violation
-// order are byte-identical at any worker count, and classification and
-// candidate selection are pure functions of them, so the mutation
-// sequence and iteration count are worker-invariant too.
+// order are byte-identical at any worker count, and classification,
+// candidate selection and escalation are pure functions of them, so the
+// mutation sequence and iteration count are worker-invariant too.
 package repair
 
 import (
@@ -30,6 +54,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/estimate"
 	"repro/internal/protogen"
 	"repro/internal/spec"
 	"repro/internal/verify"
@@ -57,8 +82,32 @@ const (
 	// TurnFlush flushes the half handshake's server-driven START fall
 	// before the server re-arms, closing the read-turnaround contention.
 	TurnFlush
+	// GrantHold (tier 2) makes the arbiter hold the grant one clock past
+	// the owner's REQ fall, covering the transaction's commit/release
+	// edges before the bus can be re-granted.
+	GrantHold
+	// BusPark (tier 2) parks the grant on the last bus owner so retries
+	// and back-to-back transactions skip the re-arbitration latency.
+	BusPark
+	// SelectFullHandshake (tier 3) re-runs protocol selection: the half
+	// handshake becomes the robust full handshake. The missed-pulse
+	// hazard — a dropped START pulse the receiver can never detect — is
+	// unfixable without an acknowledgement wire, so when the local
+	// grammar is exhausted the loop swaps the protocol itself, at the
+	// cost the escalation trace prices.
+	SelectFullHandshake
 
 	numMutations
+)
+
+// Escalation hardening parameters: when SelectFullHandshake escalates a
+// config whose timers are unset, it picks these over the larger protogen
+// defaults. Smaller timers mean cheaper timeout counters and a state
+// space the checker can exhaust (the 8/2 full-handshake configuration is
+// the one PR 7 proved clean at drop budget 1).
+const (
+	EscalateTimeoutClocks = 8
+	EscalateMaxRetries    = 2
 )
 
 func (m Mutation) String() string {
@@ -73,9 +122,30 @@ func (m Mutation) String() string {
 		return "EpochResync"
 	case TurnFlush:
 		return "TurnFlush"
+	case GrantHold:
+		return "GrantHold"
+	case BusPark:
+		return "BusPark"
+	case SelectFullHandshake:
+		return "SelectFullHandshake"
 	}
 	return fmt.Sprintf("Mutation(%d)", int(m))
 }
+
+// Tier places the mutation on the escalation ladder: 1 local knobs,
+// 2 arbitration policy, 3 protocol selection.
+func (m Mutation) Tier() int {
+	switch m {
+	case GrantHold, BusPark:
+		return 2
+	case SelectFullHandshake:
+		return 3
+	}
+	return 1
+}
+
+// MaxTier is the top of the escalation ladder.
+const MaxTier = 3
 
 // Grammar lists every mutation in canonical order.
 func Grammar() []Mutation {
@@ -87,6 +157,10 @@ func Grammar() []Mutation {
 }
 
 // Apply switches the mutation's knob on in the generation config.
+// SelectFullHandshake is the one non-monotonic member: it rewrites the
+// protocol choice itself — half handshake to robust full handshake,
+// clearing the now-inexpressible TurnFlush and defaulting unset timers
+// to the escalation constants — and is a no-op on any other protocol.
 func (m Mutation) Apply(c *protogen.Config) {
 	switch m {
 	case CommitAck:
@@ -99,6 +173,23 @@ func (m Mutation) Apply(c *protogen.Config) {
 		c.EpochResync = true
 	case TurnFlush:
 		c.TurnFlush = true
+	case GrantHold:
+		c.GrantHold = true
+	case BusPark:
+		c.BusPark = true
+	case SelectFullHandshake:
+		if c.Protocol != spec.HalfHandshake {
+			return
+		}
+		c.Protocol = spec.FullHandshake
+		c.Robust = true
+		c.TurnFlush = false
+		if c.TimeoutClocks == 0 {
+			c.TimeoutClocks = EscalateTimeoutClocks
+		}
+		if c.MaxRetries == 0 {
+			c.MaxRetries = EscalateMaxRetries
+		}
 	}
 }
 
@@ -115,13 +206,25 @@ func (m Mutation) Applied(c protogen.Config) bool {
 		return c.EpochResync
 	case TurnFlush:
 		return c.TurnFlush
+	case GrantHold:
+		return c.GrantHold
+	case BusPark:
+		return c.BusPark
+	case SelectFullHandshake:
+		return c.Protocol == spec.FullHandshake && c.Robust
 	}
 	return false
 }
 
 // Applicable reports whether applying the mutation to the config yields
-// a combination protogen can express (Config.Validate accepts it).
+// a combination protogen can express (Config.Validate accepts it) while
+// actually changing it — SelectFullHandshake only acts on the half
+// handshake, so on every other protocol it is inapplicable rather than
+// a valid no-op.
 func (m Mutation) Applicable(c protogen.Config) bool {
+	if m == SelectFullHandshake && c.Protocol != spec.HalfHandshake {
+		return false
+	}
 	m.Apply(&c)
 	return c.Validate() == nil
 }
@@ -144,6 +247,18 @@ const (
 	// ModeTurnaround: half-handshake driver contention at the read
 	// turnaround.
 	ModeTurnaround
+	// ModeArbitration: a driver conflict on an arbitrated bus — two
+	// masters colliding across a grant boundary. The grant machinery,
+	// not the word handshake, is what failed, so the candidates are the
+	// tier-2 arbitration mutations (with TurnFlush as the tier-1 opener
+	// for arbitrated half handshakes, whose turnaround contention looks
+	// identical from the checker's seat).
+	ModeArbitration
+	// ModeMissedPulse: the half handshake losing a strobe pulse under a
+	// drop budget. The receiver has no acknowledgement wire on which to
+	// miss the word, so no local knob can close this window — the only
+	// candidate is protocol selection.
+	ModeMissedPulse
 )
 
 func (m Mode) String() string {
@@ -154,6 +269,10 @@ func (m Mode) String() string {
 		return "lasso"
 	case ModeTurnaround:
 		return "turnaround"
+	case ModeArbitration:
+		return "arbitration"
+	case ModeMissedPulse:
+		return "missed-pulse"
 	}
 	return "unknown"
 }
@@ -162,16 +281,30 @@ func (m Mode) String() string {
 // the system it was found on.
 func Classify(v *verify.Violation, cfg protogen.Config) Mode {
 	robustFull := cfg.Robust && cfg.Protocol == spec.FullHandshake
+	dropped := v.Cex != nil && len(v.Cex.Drops) > 0
 	switch v.Kind {
 	case verify.Corruption:
-		if robustFull && v.Cex != nil && len(v.Cex.Drops) > 0 {
+		if robustFull && dropped {
 			return ModeLostAck
+		}
+		if cfg.Protocol == spec.HalfHandshake && dropped {
+			return ModeMissedPulse
+		}
+	case verify.Deadlock:
+		// A deadlock the drop budget provokes on the half handshake is
+		// the same missed pulse seen from the other side: the server
+		// armed on a strobe that never arrives.
+		if cfg.Protocol == spec.HalfHandshake && dropped {
+			return ModeMissedPulse
 		}
 	case verify.Livelock:
 		if cfg.Robust {
 			return ModeLasso
 		}
 	case verify.DriverConflict:
+		if cfg.Arbitrate {
+			return ModeArbitration
+		}
 		if cfg.Protocol == spec.HalfHandshake {
 			return ModeTurnaround
 		}
@@ -188,7 +321,11 @@ func Candidates(m Mode) []Mutation {
 	case ModeLasso:
 		return []Mutation{ReleaseStale, EpochResync}
 	case ModeTurnaround:
-		return []Mutation{TurnFlush}
+		return []Mutation{TurnFlush, SelectFullHandshake}
+	case ModeArbitration:
+		return []Mutation{TurnFlush, GrantHold, BusPark}
+	case ModeMissedPulse:
+		return []Mutation{SelectFullHandshake}
 	}
 	return Grammar()
 }
@@ -209,6 +346,103 @@ type Config struct {
 	// Budget bounds verify iterations (initial check included); 0 means
 	// DefaultBudget.
 	Budget int
+	// MaxTier caps the escalation ladder: 1 restricts the loop to the
+	// local knobs (PR 7 behavior), 2 adds the arbitration mutations,
+	// 3 adds protocol selection. 0 means the full ladder (MaxTier).
+	MaxTier int
+	// Cost, when set, prices protocol-selection escalations: the
+	// iteration applying SelectFullHandshake carries the estimate-costed
+	// pin/area/time delta between the abandoned and the selected
+	// protocol, so callers (explore.AnnotateRepair, the CLIs) can report
+	// what the repaired point costs on the design-space frontier instead
+	// of silently swapping protocols.
+	Cost *CostModel
+}
+
+// CostModel prices a candidate bus implementation for the escalation
+// trace. Channels must come from the pre-refinement specification (the
+// estimator memoizes statement walks of the original bodies).
+type CostModel struct {
+	// Channels is the bus's channel group, pre-refinement.
+	Channels []*spec.Channel
+	// Width is the selected bus width.
+	Width int
+	// Est, when set, adds worst-case accessor execution times to the
+	// delta; without it the cost covers pins and area only.
+	Est *estimate.Estimator
+	// Area is the area model; the zero value means the default model.
+	Area estimate.AreaModel
+}
+
+// EscalationCost is the priced delta of a protocol-selection mutation:
+// the bus implementation the loop abandoned versus the one it selected,
+// in the same units the explore sweep reports (pins, interface gates,
+// worst accessor clocks).
+type EscalationCost struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// PinsFrom/PinsTo count bus wires (data + control + ID + hardening).
+	PinsFrom int `json:"pins_from"`
+	PinsTo   int `json:"pins_to"`
+	// AreaFrom/AreaTo estimate interface gates (drivers + transfer FSMs
+	// + hardening machinery).
+	AreaFrom float64 `json:"area_from"`
+	AreaTo   float64 `json:"area_to"`
+	// WorstExecFrom/WorstExecTo are the slowest accessor's estimated
+	// execution clocks; zero when the cost model has no estimator.
+	WorstExecFrom int64 `json:"worst_exec_from,omitempty"`
+	WorstExecTo   int64 `json:"worst_exec_to,omitempty"`
+}
+
+// price evaluates one side of the escalation delta.
+func (cm *CostModel) price(cfg protogen.Config) (pins int, area float64, worst int64) {
+	p := cfg.Protocol
+	m := cm.Area
+	if m == (estimate.AreaModel{}) {
+		m = estimate.DefaultAreaModel()
+	}
+	idb := 0
+	if n := len(cm.Channels); n > 1 {
+		idb = spec.AddrBits(n)
+	}
+	pins = cm.Width + p.ControlLines() + idb
+	if cfg.Robust && p == spec.FullHandshake {
+		pins++ // RST
+	}
+	if cfg.Parity {
+		pins += 2 // PAR, NACK
+	}
+	if cfg.Arbitrate {
+		accs := map[*spec.Behavior]bool{}
+		for _, c := range cm.Channels {
+			accs[c.Accessor] = true
+		}
+		pins += protogen.ArbitrationLines(len(accs))
+	}
+	area = estimate.InterfaceArea(cm.Channels, cm.Width, p, m) +
+		estimate.HardeningArea(cm.Channels, cm.Width, p, cfg.Robust, cfg.Parity, m)
+	if cm.Est != nil {
+		seen := map[*spec.Behavior]bool{}
+		for _, c := range cm.Channels {
+			if seen[c.Accessor] {
+				continue
+			}
+			seen[c.Accessor] = true
+			if t := cm.Est.ExecTime(c.Accessor, cm.Width, p); t > worst {
+				worst = t
+			}
+		}
+	}
+	return pins, area, worst
+}
+
+// delta prices a protocol-selection escalation from one generation
+// config to another.
+func (cm *CostModel) delta(from, to protogen.Config) *EscalationCost {
+	c := &EscalationCost{From: from.Protocol.String(), To: to.Protocol.String()}
+	c.PinsFrom, c.AreaFrom, c.WorstExecFrom = cm.price(from)
+	c.PinsTo, c.AreaTo, c.WorstExecTo = cm.price(to)
+	return c
 }
 
 // DefaultBudget allows the initial check plus one iteration per grammar
@@ -242,6 +476,16 @@ type Iteration struct {
 	// final iteration.
 	Classified string `json:"classified,omitempty"`
 	Applied    string `json:"applied,omitempty"`
+	// Tier is the escalation-ladder tier in effect when the mutation was
+	// chosen (after any escalation this iteration performed); Escalated
+	// reports the tier was raised during this iteration because the
+	// lower tiers had nothing left for the remaining violations.
+	Tier      int  `json:"tier,omitempty"`
+	Escalated bool `json:"escalated,omitempty"`
+	// Cost is the estimate-priced delta of a protocol-selection
+	// mutation, present only when Applied is SelectFullHandshake and the
+	// loop was configured with a cost model.
+	Cost *EscalationCost `json:"cost,omitempty"`
 }
 
 // Result is the outcome of a repair loop.
@@ -256,6 +500,9 @@ type Result struct {
 	ExhaustedGrammar bool
 	// Mutations lists the applied mutations in application order.
 	Mutations []Mutation
+	// FinalTier is the highest escalation-ladder tier the loop reached
+	// (1 when the local knobs sufficed).
+	FinalTier int
 	// Config is the final generation config (base plus Mutations).
 	Config protogen.Config
 	// System and Report are the final iteration's refined system and
@@ -280,8 +527,13 @@ func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
-	res := &Result{Config: base}
+	maxTier := cfg.MaxTier
+	if maxTier <= 0 || maxTier > MaxTier {
+		maxTier = MaxTier
+	}
+	res := &Result{Config: base, FinalTier: 1}
 	cur := base
+	tier := 1
 	for iter := 0; iter < budget; iter++ {
 		sys, abortVars, err := build(cur)
 		if err != nil {
@@ -323,8 +575,19 @@ func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
 
 		// Pick the next mutation: first violation (BFS order — the
 		// shallowest failure) whose mode still has an unapplied,
-		// applicable candidate.
-		chosen, mode, found := pick(rep.Violations, cur)
+		// applicable candidate at or below the current ladder tier.
+		// When a tier is exhausted, escalate instead of giving up —
+		// ExhaustedGrammar is only honest once the top tier has nothing
+		// left either.
+		chosen, mode, found := pick(rep.Violations, cur, tier)
+		for !found && tier < maxTier {
+			tier++
+			it.Escalated = true
+			chosen, mode, found = pick(rep.Violations, cur, tier)
+		}
+		if tier > res.FinalTier {
+			res.FinalTier = tier
+		}
 		if !found {
 			res.ExhaustedGrammar = true
 			res.Iterations = append(res.Iterations, it)
@@ -332,20 +595,25 @@ func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
 		}
 		it.Classified = mode.String()
 		it.Applied = chosen.String()
-		res.Iterations = append(res.Iterations, it)
+		it.Tier = tier
+		prev := cur
 		chosen.Apply(&cur)
+		if chosen == SelectFullHandshake && cfg.Cost != nil {
+			it.Cost = cfg.Cost.delta(prev, cur)
+		}
+		res.Iterations = append(res.Iterations, it)
 		res.Mutations = append(res.Mutations, chosen)
 	}
 	return res, nil
 }
 
 // pick scans violations in report order for the first with an
-// unapplied, applicable candidate mutation.
-func pick(violations []verify.Violation, cur protogen.Config) (Mutation, Mode, bool) {
+// unapplied, applicable candidate mutation at or below the ladder tier.
+func pick(violations []verify.Violation, cur protogen.Config, tier int) (Mutation, Mode, bool) {
 	for i := range violations {
 		mode := Classify(&violations[i], cur)
 		for _, cand := range Candidates(mode) {
-			if cand.Applied(cur) || !cand.Applicable(cur) {
+			if cand.Tier() > tier || cand.Applied(cur) || !cand.Applicable(cur) {
 				continue
 			}
 			return cand, mode, true
@@ -372,12 +640,14 @@ func (r *Result) TraceJSON() ([]byte, error) {
 		Repaired         bool        `json:"repaired"`
 		Exhaustive       bool        `json:"exhaustive"`
 		ExhaustedGrammar bool        `json:"exhausted_grammar,omitempty"`
+		FinalTier        int         `json:"final_tier"`
 		Mutations        []string    `json:"mutations"`
 		Iterations       []Iteration `json:"iterations"`
 	}{
 		Repaired:         r.Repaired,
 		Exhaustive:       r.Exhaustive,
 		ExhaustedGrammar: r.ExhaustedGrammar,
+		FinalTier:        r.FinalTier,
 		Mutations:        mutationNames(r.Mutations),
 		Iterations:       r.Iterations,
 	}, "", "  ")
@@ -403,8 +673,20 @@ func (r *Result) Format() string {
 			}
 			fmt.Fprintf(&b, "iter %d [%s]: %d violation(s) [%s] — %d states\n",
 				it.Index, label, len(it.Violations), strings.Join(kinds, ", "), it.States)
+			if it.Escalated && it.Applied != "" {
+				fmt.Fprintf(&b, "        escalated to tier %d: lower tiers exhausted for the remaining violations\n", it.Tier)
+			}
 			if it.Applied != "" {
-				fmt.Fprintf(&b, "        classified %s -> apply %s\n", it.Classified, it.Applied)
+				fmt.Fprintf(&b, "        classified %s -> apply %s (tier %d)\n", it.Classified, it.Applied, it.Tier)
+			}
+			if it.Cost != nil {
+				c := it.Cost
+				fmt.Fprintf(&b, "        reselect %s -> %s: pins %d -> %d, interface gates %.0f -> %.0f",
+					c.From, c.To, c.PinsFrom, c.PinsTo, c.AreaFrom, c.AreaTo)
+				if c.WorstExecFrom != 0 || c.WorstExecTo != 0 {
+					fmt.Fprintf(&b, ", worst exec %d -> %d clocks", c.WorstExecFrom, c.WorstExecTo)
+				}
+				b.WriteString("\n")
 			}
 		}
 	}
@@ -414,7 +696,7 @@ func (r *Result) Format() string {
 	case r.Repaired:
 		fmt.Fprintf(&b, "repaired with %s: no violation within bounds (incomplete search)\n", joinOr(mutationNames(r.Mutations), "no mutations"))
 	case r.ExhaustedGrammar:
-		b.WriteString("repair grammar exhausted: violations remain\n")
+		fmt.Fprintf(&b, "repair grammar exhausted at tier %d: violations remain\n", r.FinalTier)
 	default:
 		b.WriteString("iteration budget exhausted: violations remain\n")
 	}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/estimate"
+	"repro/internal/fault"
 	"repro/internal/protogen"
 	"repro/internal/spec"
 	"repro/internal/verify"
@@ -115,15 +117,19 @@ func TestRepairLostAckWindow(t *testing.T) {
 
 // TestRepairTurnaroundConflict: the half handshake's read-turnaround
 // driver contention (a fault-free finding) classifies as turnaround and
-// TurnFlush eliminates it. The repair is honest rather than total: with
-// the contention gone the checker exposes the unacknowledged pulse the
-// half handshake can still miss — a delivery hazard no knob fixes
-// (the full handshake's ack is the fix) — and the loop must report the
-// grammar exhausted instead of claiming success.
+// TurnFlush eliminates it. With the ladder capped at tier 1 (PR 7's
+// grammar) the repair is honest rather than total: with the contention
+// gone the checker exposes the unacknowledged pulse the half handshake
+// can still miss — a delivery hazard no local knob fixes (the full
+// handshake's ack is the fix) — and the loop must report the grammar
+// exhausted instead of claiming success. TestRepairEscalatesHalfPQ
+// covers the uncapped ladder, where protocol selection closes exactly
+// this hazard.
 func TestRepairTurnaroundConflict(t *testing.T) {
 	sys, _ := workloads.PQ()
 	res, err := Run(builderFor(sys), protogen.Config{Protocol: spec.HalfHandshake}, Config{
-		Verify: verify.Config{},
+		Verify:  verify.Config{},
+		MaxTier: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +161,119 @@ func TestRepairTurnaroundConflict(t *testing.T) {
 	if res.Repaired || !res.ExhaustedGrammar {
 		t.Fatalf("loop should report grammar exhaustion on the residual hazard:\n%s", res.Format())
 	}
+	if res.FinalTier != 1 {
+		t.Fatalf("capped ladder escalated to tier %d", res.FinalTier)
+	}
 }
+
+// TestRepairEscalatesHalfPQ is this PR's headline: the same half
+// handshake that TestRepairTurnaroundConflict leaves in honest
+// ExhaustedGrammar now repairs end-to-end under the full escalation
+// ladder. TurnFlush (tier 1) removes the turnaround contention; the
+// residual missed-pulse corruption has no tier-1 or tier-2 candidate,
+// so the loop escalates to tier 3 and SelectFullHandshake swaps the
+// protocol for the robust full handshake — after which the familiar
+// lost-ack window and watchdog lasso surface and the tier-1 knobs
+// finish the job. The final variant is the configuration PR 7 proved:
+// exhaustively clean at drop budget 1.
+func TestRepairEscalatesHalfPQ(t *testing.T) {
+	res := runEscalation(t)
+	if !res.Verified() {
+		t.Fatalf("escalating repair did not converge to a proven-clean variant:\n%s", res.Format())
+	}
+	want := []Mutation{TurnFlush, SelectFullHandshake, CommitAck, ReleaseStale}
+	if len(res.Mutations) != len(want) {
+		t.Fatalf("mutations = %v, want %v:\n%s", res.Mutations, want, res.Format())
+	}
+	for i, m := range want {
+		if res.Mutations[i] != m {
+			t.Fatalf("mutations = %v, want %v", res.Mutations, want)
+		}
+	}
+	if res.FinalTier != 3 {
+		t.Fatalf("FinalTier = %d, want 3", res.FinalTier)
+	}
+	// The escalating iteration carries the tier jump and the priced
+	// protocol swap.
+	var esc *Iteration
+	for i := range res.Iterations {
+		if res.Iterations[i].Applied == SelectFullHandshake.String() {
+			esc = &res.Iterations[i]
+		}
+	}
+	if esc == nil {
+		t.Fatalf("no iteration applied SelectFullHandshake:\n%s", res.Format())
+	}
+	if !esc.Escalated || esc.Tier != 3 {
+		t.Fatalf("selection iteration not marked as a tier-3 escalation: %+v", esc)
+	}
+	if esc.Cost == nil {
+		t.Fatalf("selection iteration carries no escalation cost: %+v", esc)
+	}
+	c := esc.Cost
+	if c.From != spec.HalfHandshake.String() || c.To != spec.FullHandshake.String() {
+		t.Fatalf("cost delta names %s -> %s, want half -> full handshake", c.From, c.To)
+	}
+	// The full handshake costs strictly more wires and gates — that is
+	// the price the trace exists to report.
+	if c.PinsTo <= c.PinsFrom || c.AreaTo <= c.AreaFrom {
+		t.Fatalf("escalation cost not strictly increasing: %+v", c)
+	}
+	if c.WorstExecFrom <= 0 || c.WorstExecTo <= 0 {
+		t.Fatalf("cost model with estimator reported no exec times: %+v", c)
+	}
+	// The selected config is the 8/2 robust full handshake PR 7 proved,
+	// plus the tier-1 repairs; TurnFlush was cleared with the protocol
+	// that needed it.
+	fc := res.Config
+	if fc.Protocol != spec.FullHandshake || !fc.Robust ||
+		fc.TimeoutClocks != EscalateTimeoutClocks || fc.MaxRetries != EscalateMaxRetries {
+		t.Fatalf("escalated config is not the 8/2 robust full handshake: %+v", fc)
+	}
+	if fc.TurnFlush {
+		t.Fatalf("TurnFlush survived the protocol swap: %+v", fc)
+	}
+	if !fc.CommitAck || !fc.ReleaseStale {
+		t.Fatalf("tier-1 repairs missing from the escalated config: %+v", fc)
+	}
+	// Exhaustively clean, and the counterexample pool covers the
+	// pre-escalation hazard for the regression replays.
+	last := res.Iterations[len(res.Iterations)-1]
+	if !last.Clean || last.Incomplete || last.States < 1000 {
+		t.Fatalf("final iteration not exhaustively clean: %+v", last)
+	}
+	if len(res.Counterexamples) == 0 {
+		t.Fatal("no counterexamples collected across iterations")
+	}
+}
+
+// runEscalation runs (once, cached) the escalating repair: half
+// handshake PQSolo at drop budget 1 under the full ladder, with a cost
+// model priced off the pre-refinement channels.
+func runEscalation(t *testing.T) *Result {
+	t.Helper()
+	escalationOnce.Do(func() {
+		sys, bus := workloads.PQSolo()
+		escalationRes, escalationErr = Run(builderFor(sys), protogen.Config{Protocol: spec.HalfHandshake}, Config{
+			Verify: verify.Config{MaxDrops: 1},
+			Cost: &CostModel{
+				Channels: bus.Channels,
+				Width:    8,
+				Est:      estimate.New(sys.Channels),
+			},
+		})
+	})
+	if escalationErr != nil {
+		t.Fatal(escalationErr)
+	}
+	return escalationRes
+}
+
+var (
+	escalationOnce sync.Once
+	escalationRes  *Result
+	escalationErr  error
+)
 
 // TestRepairGrammarExhausted: the baseline (non-robust) full handshake
 // deadlocks under a 1-drop budget; no grammar member is applicable
@@ -192,7 +310,10 @@ func TestRepairCleanBaseNoIterations(t *testing.T) {
 // TestRepairWorkerInvariance pins the loop's determinism: the repaired
 // spec and the full iteration trace are byte-identical at any verify
 // worker count, matching the invariance guarantees of verify and the
-// fault campaigns.
+// fault campaigns. The escalating scenario covers the ladder itself —
+// tier escalation and protocol selection are pure functions of the
+// (worker-invariant) verify reports, so the whole trace including the
+// cost delta must not move.
 func TestRepairWorkerInvariance(t *testing.T) {
 	type digest struct {
 		trace    string
@@ -201,9 +322,10 @@ func TestRepairWorkerInvariance(t *testing.T) {
 		states   int
 		iters    int
 		repaired bool
+		tier     int
 	}
-	run := func(workers int) digest {
-		res, err := Run(pqSoloBuilder(), robustBase(), Config{
+	run := func(base protogen.Config, workers int) digest {
+		res, err := Run(pqSoloBuilder(), base, Config{
 			Verify: verify.Config{MaxDrops: 1, Workers: workers},
 		})
 		if err != nil {
@@ -223,13 +345,23 @@ func TestRepairWorkerInvariance(t *testing.T) {
 		return digest{
 			trace: string(tj), format: res.Format(), spec: specText.String(),
 			states: res.Report.States, iters: len(res.Iterations), repaired: res.Repaired,
+			tier: res.FinalTier,
 		}
 	}
-	base := run(1)
-	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		got := run(workers)
-		if got != base {
-			t.Fatalf("repair loop not worker-invariant at %d workers:\nbase: %+v\ngot:  %+v", workers, base, got)
+	scenarios := []struct {
+		name string
+		base protogen.Config
+	}{
+		{"lost-ack", robustBase()},
+		{"escalating", protogen.Config{Protocol: spec.HalfHandshake}},
+	}
+	for _, sc := range scenarios {
+		base := run(sc.base, 1)
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			got := run(sc.base, workers)
+			if got != base {
+				t.Fatalf("%s repair loop not worker-invariant at %d workers:\nbase: %+v\ngot:  %+v", sc.name, workers, base, got)
+			}
 		}
 	}
 }
@@ -239,21 +371,41 @@ func TestClassify(t *testing.T) {
 	robust := robustBase()
 	half := protogen.Config{Protocol: spec.HalfHandshake}
 	baseline := protogen.Config{Protocol: spec.FullHandshake}
-	cases := []struct {
+	type tcase struct {
 		name string
 		v    verify.Violation
 		cfg  protogen.Config
 		want Mode
-	}{
-		{"livelock-robust", verify.Violation{Kind: verify.Livelock}, robust, ModeLasso},
-		{"livelock-baseline", verify.Violation{Kind: verify.Livelock}, baseline, ModeUnknown},
-		{"conflict-half", verify.Violation{Kind: verify.DriverConflict}, half, ModeTurnaround},
-		{"conflict-full", verify.Violation{Kind: verify.DriverConflict}, baseline, ModeUnknown},
-		{"deadlock", verify.Violation{Kind: verify.Deadlock}, robust, ModeUnknown},
+	}
+	var cases []tcase
+	arbFull := baseline
+	arbFull.Arbitrate = true
+	arbHalf := half
+	arbHalf.Arbitrate = true
+	dropCex := &verify.Counterexample{Drops: []fault.Fault{{Class: fault.DropEvent}}}
+	cases = append(cases,
+		tcase{"livelock-robust", verify.Violation{Kind: verify.Livelock}, robust, ModeLasso},
+		tcase{"livelock-baseline", verify.Violation{Kind: verify.Livelock}, baseline, ModeUnknown},
+		tcase{"conflict-half", verify.Violation{Kind: verify.DriverConflict}, half, ModeTurnaround},
+		tcase{"conflict-full", verify.Violation{Kind: verify.DriverConflict}, baseline, ModeUnknown},
+		tcase{"deadlock", verify.Violation{Kind: verify.Deadlock}, robust, ModeUnknown},
 		// Corruption without a dropped transition (no cex) stays unknown:
 		// the lost-ack diagnosis is specifically about a lost strobe.
-		{"corruption-no-drop", verify.Violation{Kind: verify.Corruption}, robust, ModeUnknown},
-	}
+		tcase{"corruption-no-drop", verify.Violation{Kind: verify.Corruption}, robust, ModeUnknown},
+		// Arbitration-shaped conflicts: a driver conflict on an arbitrated
+		// bus diagnoses to the grant machinery regardless of protocol —
+		// tier-2 mutations are chosen by diagnosis, not grammar position.
+		tcase{"conflict-arb-full", verify.Violation{Kind: verify.DriverConflict}, arbFull, ModeArbitration},
+		tcase{"conflict-arb-half", verify.Violation{Kind: verify.DriverConflict}, arbHalf, ModeArbitration},
+		// The missed pulse: a drop-provoked corruption or deadlock on the
+		// half handshake, whose only fix is protocol selection.
+		tcase{"corruption-drop-half", verify.Violation{Kind: verify.Corruption, Cex: dropCex}, half, ModeMissedPulse},
+		tcase{"deadlock-drop-half", verify.Violation{Kind: verify.Deadlock, Cex: dropCex}, half, ModeMissedPulse},
+		tcase{"deadlock-no-drop-half", verify.Violation{Kind: verify.Deadlock}, half, ModeUnknown},
+		// On the robust full handshake the same drop-provoked corruption
+		// stays the lost-ack diagnosis.
+		tcase{"corruption-drop-robust", verify.Violation{Kind: verify.Corruption, Cex: dropCex}, robust, ModeLostAck},
+	)
 	for _, tc := range cases {
 		if got := Classify(&tc.v, tc.cfg); got != tc.want {
 			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
@@ -266,10 +418,20 @@ func TestMutationKnobs(t *testing.T) {
 	robust := robustBase()
 	half := protogen.Config{Protocol: spec.HalfHandshake}
 	for _, m := range Grammar() {
+		if m == SelectFullHandshake {
+			// Protocol selection is satisfied, not "off", on a robust
+			// full-handshake base: the full handshake is already the
+			// selected protocol, so the loop must never pick it there.
+			if !m.Applied(robust) {
+				t.Errorf("%s not already satisfied on the robust full handshake", m)
+			}
+			continue
+		}
 		if m.Applied(robust) {
 			t.Errorf("%s applied on a fresh config", m)
 		}
 		c := robust
+		c.Arbitrate = true // admits the tier-2 knobs; harmless elsewhere
 		m.Apply(&c)
 		if !m.Applied(c) {
 			t.Errorf("%s not applied after Apply", m)
@@ -290,5 +452,50 @@ func TestMutationKnobs(t *testing.T) {
 	}
 	if !TurnFlush.Applicable(half) {
 		t.Error("TurnFlush should be applicable on the half handshake")
+	}
+	// Tier-2 arbitration knobs need an arbitrated bus.
+	arb := robust
+	arb.Arbitrate = true
+	arbHalf := half
+	arbHalf.Arbitrate = true
+	for _, m := range []Mutation{GrantHold, BusPark} {
+		if m.Applicable(robust) || m.Applicable(half) {
+			t.Errorf("%s should not be applicable without Arbitrate", m)
+		}
+		if !m.Applicable(arb) || !m.Applicable(arbHalf) {
+			t.Errorf("%s should be applicable on arbitrated buses", m)
+		}
+		if m.Tier() != 2 {
+			t.Errorf("%s tier = %d, want 2", m, m.Tier())
+		}
+	}
+	// Protocol selection: only the half handshake escalates, and the
+	// result is the 8/2 robust full handshake with TurnFlush cleared.
+	if SelectFullHandshake.Tier() != 3 {
+		t.Errorf("SelectFullHandshake tier = %d, want 3", SelectFullHandshake.Tier())
+	}
+	if SelectFullHandshake.Applicable(robust) {
+		t.Error("SelectFullHandshake should not be applicable when the full handshake is already selected")
+	}
+	if !SelectFullHandshake.Applicable(half) {
+		t.Error("SelectFullHandshake should be applicable on the half handshake")
+	}
+	sel := half
+	sel.TurnFlush = true
+	SelectFullHandshake.Apply(&sel)
+	if sel.Protocol != spec.FullHandshake || !sel.Robust || sel.TurnFlush {
+		t.Fatalf("escalated config malformed: %+v", sel)
+	}
+	if sel.TimeoutClocks != EscalateTimeoutClocks || sel.MaxRetries != EscalateMaxRetries {
+		t.Fatalf("escalation did not default the 8/2 timers: %+v", sel)
+	}
+	if err := sel.Validate(); err != nil {
+		t.Fatalf("escalated config does not validate: %v", err)
+	}
+	// Pre-set timers survive the swap.
+	timed := protogen.Config{Protocol: spec.HalfHandshake, Robust: true, TimeoutClocks: 12}
+	SelectFullHandshake.Apply(&timed)
+	if timed.TimeoutClocks != 12 || timed.MaxRetries != EscalateMaxRetries {
+		t.Fatalf("escalation clobbered preset timers: %+v", timed)
 	}
 }

@@ -11,6 +11,12 @@
 //     the same campaign on the classic goroutine-per-process kernel,
 //     so each record carries its own pooled-vs-classic speedup
 //     evidence.
+//   - suite "repair": end-to-end CEGIS repair trajectories on the
+//     exhaustively-provable PQSolo workload, appended to
+//     BENCH_repair.json: iterations, applied mutations, escalation
+//     tier, states verified across all iterations and wall time, for
+//     both the tier-1 lost-ack repair and the escalating half-handshake
+//     run that reselects the protocol.
 //
 // By default a run is appended to an existing file; -fresh overwrites.
 //
@@ -18,9 +24,10 @@
 //
 //	go run ./tools/bench -label pr5-binary-codec [-o BENCH_verify.json]
 //	go run ./tools/bench -suite fault -label pr6-batch -runs 100000
+//	go run ./tools/bench -suite repair -label pr8-escalation
 //
 //	-label L    run label recorded in the file (default "dev")
-//	-suite S    verify | fault (default verify)
+//	-suite S    verify | fault | repair (default verify)
 //	-o FILE     output file (default BENCH_<suite>.json)
 //	-fresh      overwrite the file instead of appending
 //	-reps N     repetitions per scenario; best wall time wins (default 3)
@@ -34,10 +41,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/fault"
+	"repro/internal/protogen"
+	"repro/internal/repair"
 	"repro/internal/spec"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -71,14 +82,35 @@ type FaultMeasurement struct {
 	Deadlocked     int `json:"deadlocked"`
 }
 
+// RepairMeasurement is one repair-suite scenario's record.
+type RepairMeasurement struct {
+	Scenario string `json:"scenario"`
+	// Iterations is the number of verify-classify-regenerate turns the
+	// loop took (including the final clean verification).
+	Iterations int `json:"iterations"`
+	// Mutations lists the applied grammar members in order.
+	Mutations []string `json:"mutations"`
+	// FinalTier is the highest escalation tier the loop reached.
+	FinalTier int `json:"finalTier"`
+	// StatesTotal sums the model checker's stored states across every
+	// iteration — the loop's whole verification workload; StatesFinal is
+	// the final (clean) iteration alone.
+	StatesTotal int `json:"statesTotal"`
+	StatesFinal int `json:"statesFinal"`
+	WallMS      float64 `json:"wallMs"`
+	// Exhaustive reports whether the final verdict completed its search.
+	Exhaustive bool `json:"exhaustive"`
+}
+
 // Run is one invocation of this tool: a labelled set of measurements.
 type Run struct {
-	Label     string             `json:"label"`
-	GoVersion string             `json:"goVersion"`
-	CPUs      int                `json:"cpus"`
-	Workers   int                `json:"workers"`
-	Scenarios []Measurement      `json:"scenarios,omitempty"`
-	Fault     []FaultMeasurement `json:"fault,omitempty"`
+	Label     string              `json:"label"`
+	GoVersion string              `json:"goVersion"`
+	CPUs      int                 `json:"cpus"`
+	Workers   int                 `json:"workers"`
+	Scenarios []Measurement       `json:"scenarios,omitempty"`
+	Fault     []FaultMeasurement  `json:"fault,omitempty"`
+	Repair    []RepairMeasurement `json:"repair,omitempty"`
 }
 
 // File is the committed BENCH_verify.json / BENCH_fault.json shape.
@@ -90,6 +122,8 @@ type File struct {
 const fileComment = "Model-checker performance trajectory; append a run with: go run ./tools/bench -label <pr-label>"
 
 const faultFileComment = "Fault-campaign performance trajectory; append a run with: go run ./tools/bench -suite fault -label <pr-label>"
+
+const repairFileComment = "CEGIS repair trajectory; append a run with: go run ./tools/bench -suite repair -label <pr-label>"
 
 // scenario builds a fresh refined system (protogen mutates the input
 // spec, so each measurement synthesizes from scratch) plus the checker
@@ -219,6 +253,80 @@ func measureFault(sc faultScenario, runs, workers, reps int) (FaultMeasurement, 
 	return best, nil
 }
 
+// repairScenario names a base generation config the repair loop starts
+// from; every scenario runs on PQSolo at drop budget 1 so the final
+// verdict is exhaustive.
+type repairScenario struct {
+	name string
+	base protogen.Config
+}
+
+func repairScenarios() []repairScenario {
+	return []repairScenario{
+		// The headline tier-1 repair: the hardened protocol's lost-ack
+		// window closes with local knobs.
+		{"robust-solo-drop1", protogen.Config{
+			Protocol: spec.FullHandshake, Robust: true,
+			TimeoutClocks: 8, MaxRetries: 2,
+		}},
+		// The escalating run: no local knob fixes the half handshake's
+		// missed-pulse hazard, so the loop climbs to the tier-3 protocol
+		// reselection.
+		{"half-solo-drop1", protogen.Config{Protocol: spec.HalfHandshake}},
+	}
+}
+
+func measureRepair(sc repairScenario, workers, reps int) (RepairMeasurement, error) {
+	best := RepairMeasurement{Scenario: sc.name}
+	for r := 0; r < reps; r++ {
+		sys, bus := workloads.PQSolo()
+		builder := func(cfg protogen.Config) (*spec.System, []string, error) {
+			fresh := spec.Clone(sys)
+			ref, err := protogen.Generate(fresh, fresh.Buses[0], cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return fresh, ref.AbortKeys(), nil
+		}
+		start := time.Now()
+		res, err := repair.Run(builder, sc.base, repair.Config{
+			Verify: verify.Config{MaxDrops: 1, Workers: workers},
+			Cost: &repair.CostModel{
+				Channels: bus.Channels,
+				Width:    bus.Width,
+				Est:      estimate.New(sys.Channels),
+			},
+		})
+		wall := time.Since(start)
+		if err != nil {
+			return best, fmt.Errorf("%s: repair: %w", sc.name, err)
+		}
+		if !res.Verified() {
+			return best, fmt.Errorf("%s: repair did not converge:\n%s", sc.name, res.Format())
+		}
+		m := RepairMeasurement{
+			Scenario:   sc.name,
+			Iterations: len(res.Iterations),
+			FinalTier:  res.FinalTier,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			Exhaustive: res.Report.IncompleteReason == "",
+		}
+		for _, mu := range res.Mutations {
+			m.Mutations = append(m.Mutations, mu.String())
+		}
+		for _, it := range res.Iterations {
+			m.StatesTotal += it.States
+		}
+		if n := len(res.Iterations); n > 0 {
+			m.StatesFinal = res.Iterations[n-1].States
+		}
+		if r == 0 || m.WallMS < best.WallMS {
+			best = m
+		}
+	}
+	return best, nil
+}
+
 func measure(sc scenario, workers, reps int) (Measurement, error) {
 	best := Measurement{Scenario: sc.name}
 	for r := 0; r < reps; r++ {
@@ -256,7 +364,7 @@ func measure(sc scenario, workers, reps int) (Measurement, error) {
 
 func main() {
 	label := flag.String("label", "dev", "run label recorded in the output file")
-	suite := flag.String("suite", "verify", "benchmark suite: verify | fault")
+	suite := flag.String("suite", "verify", "benchmark suite: verify | fault | repair")
 	out := flag.String("o", "", "output file (default BENCH_<suite>.json)")
 	fresh := flag.Bool("fresh", false, "overwrite the output file instead of appending")
 	reps := flag.Int("reps", 3, "repetitions per scenario (best wall time wins)")
@@ -305,8 +413,24 @@ func main() {
 				m.Survived, m.AbortedCleanly, m.Corrupted, m.Deadlocked)
 			run.Fault = append(run.Fault, m)
 		}
+	case "repair":
+		if file == "" {
+			file = "BENCH_repair.json"
+		}
+		comment = repairFileComment
+		for _, sc := range repairScenarios() {
+			m, err := measureRepair(sc, workers, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-18s %2d iterations  tier %d  %7d states total %7d final %9.1f ms  %s\n",
+				m.Scenario, m.Iterations, m.FinalTier, m.StatesTotal, m.StatesFinal, m.WallMS,
+				strings.Join(m.Mutations, "+"))
+			run.Repair = append(run.Repair, m)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want verify or fault)\n", *suite)
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want verify, fault or repair)\n", *suite)
 		os.Exit(1)
 	}
 
