@@ -36,6 +36,11 @@
 //	              mutations, 3 allows protocol reselection — each
 //	              escalation is priced through the estimator in the
 //	              printed trace
+//	-json         machine-readable output: one JSON document with the
+//	              spec hash, the verdict (internal/serve's VerifyJSON
+//	              shape — the same one the ifsynd daemon returns) and,
+//	              with -repair, the repair trace; replaces the text
+//	              report, exit codes unchanged
 //	-cex FILE     write the first counterexample's replay as VCD
 //	-expect E     none | no-deadlock | deadlock | any: exit 0 iff the
 //	              verdict matches (default none — a clean report;
@@ -49,60 +54,97 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/hdl"
+	"repro/internal/serve"
 	"repro/internal/spec"
 	"repro/internal/verify"
 	"repro/internal/workloads"
 )
 
 func main() {
-	protoName := flag.String("protocol", "full", "protocol: full | half")
-	workload := flag.String("workload", "pq", "built-in workload when no spec file is given: pq | pq-solo")
-	robust := flag.Bool("robust", false, "harden the protocol: bounded waits, retransmission, watchdogs")
-	parity := flag.Bool("parity", false, "with -robust: add PAR/NACK parity lines")
-	timeoutClocks := flag.Int64("timeout", 0, "with -robust: handshake timeout in clocks (0 = default)")
-	retries := flag.Int("retries", 0, "with -robust: retransmission budget (0 = default)")
-	arbitrate := flag.Bool("arbitrate", false, "add REQ/GRANT bus arbitration")
-	width := flag.Int("width", 0, "force bus width (0 = run bus generation)")
-	drops := flag.Int("drops", 0, "dropped-transition budget per explored path")
-	depth := flag.Int("depth", 0, "search depth bound (0 = states bound only)")
-	states := flag.Int("states", 0, "stored-states bound (0 = checker default)")
-	workers := flag.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
-	repairFlag := flag.Bool("repair", false, "on violations, run the counterexample-guided repair loop")
-	repairBudget := flag.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
-	repairTiers := flag.Int("repair-tiers", 0, "cap repair escalation: 1 local knobs, 2 +arbitration, 3 +protocol reselection (0 = full ladder)")
-	cexPath := flag.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
-	expect := flag.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the check to this file")
-	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the check to this file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: protocheck [flags] [spec.sys]")
-		flag.PrintDefaults()
-		os.Exit(2)
+// jsonVerdict is protocheck -json's output document. Verify and Repair
+// reuse internal/serve's response shapes, so CI and scripts parse one
+// vocabulary whether the verdict came from the CLI or the daemon.
+type jsonVerdict struct {
+	Workload string `json:"workload,omitempty"`
+	SpecFile string `json:"spec_file,omitempty"`
+	SpecHash string `json:"spec_hash"`
+	Expect   string `json:"expect"`
+	// Match reports whether the verdict satisfied -expect (the exit
+	// status says the same thing; this keeps parsed output self-contained).
+	Match  bool              `json:"match"`
+	Verify *serve.VerifyJSON `json:"verify"`
+	Repair *serve.RepairJSON `json:"repair,omitempty"`
+	Replay string            `json:"replay,omitempty"`
+}
+
+// run is main, testably: flags from args, output on the writers, exit
+// status returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("protocheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	protoName := fs.String("protocol", "full", "protocol: full | half")
+	workload := fs.String("workload", "pq", "built-in workload when no spec file is given: pq | pq-solo")
+	robust := fs.Bool("robust", false, "harden the protocol: bounded waits, retransmission, watchdogs")
+	parity := fs.Bool("parity", false, "with -robust: add PAR/NACK parity lines")
+	timeoutClocks := fs.Int64("timeout", 0, "with -robust: handshake timeout in clocks (0 = default)")
+	retries := fs.Int("retries", 0, "with -robust: retransmission budget (0 = default)")
+	arbitrate := fs.Bool("arbitrate", false, "add REQ/GRANT bus arbitration")
+	width := fs.Int("width", 0, "force bus width (0 = run bus generation)")
+	drops := fs.Int("drops", 0, "dropped-transition budget per explored path")
+	depth := fs.Int("depth", 0, "search depth bound (0 = states bound only)")
+	states := fs.Int("states", 0, "stored-states bound (0 = checker default)")
+	workers := fs.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
+	repairFlag := fs.Bool("repair", false, "on violations, run the counterexample-guided repair loop")
+	repairBudget := fs.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
+	repairTiers := fs.Int("repair-tiers", 0, "cap repair escalation: 1 local knobs, 2 +arbitration, 3 +protocol reselection (0 = full ladder)")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON document instead of the text report")
+	cexPath := fs.String("cex", "", "write the first counterexample's replay waveform to this VCD file")
+	expect := fs.String("expect", "none", "expected verdict: none | no-deadlock | deadlock | any")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the check to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile taken after the check to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "protocheck:", err)
+		return 2
+	}
+
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: protocheck [flags] [spec.sys]")
+		fs.PrintDefaults()
+		return 2
 	}
 	switch *expect {
 	case "none", "no-deadlock", "deadlock", "any":
 	default:
-		fmt.Fprintf(os.Stderr, "protocheck: unknown -expect %q (want none | no-deadlock | deadlock | any)\n", *expect)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "protocheck: unknown -expect %q (want none | no-deadlock | deadlock | any)\n", *expect)
+		return 2
 	}
 
+	out := jsonVerdict{Expect: *expect}
 	var sys *spec.System
-	if flag.NArg() == 1 {
-		parsed, err := hdl.ParseFile(flag.Arg(0))
+	if fs.NArg() == 1 {
+		parsed, err := hdl.ParseFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		sys = parsed
+		out.SpecFile = fs.Arg(0)
 	} else {
 		switch *workload {
 		case "pq":
@@ -110,10 +152,12 @@ func main() {
 		case "pq-solo":
 			sys, _ = workloads.PQSolo()
 		default:
-			fmt.Fprintf(os.Stderr, "protocheck: unknown -workload %q (want pq | pq-solo)\n", *workload)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "protocheck: unknown -workload %q (want pq | pq-solo)\n", *workload)
+			return 2
 		}
+		out.Workload = *workload
 	}
+	out.SpecHash = spec.Hash(sys).String()
 
 	opts := core.Options{
 		ForceWidth:    *width,
@@ -130,8 +174,8 @@ func main() {
 	case "half":
 		opts.Bus.Protocol = spec.HalfHandshake
 	default:
-		fmt.Fprintf(os.Stderr, "protocheck: unknown -protocol %q (want full | half)\n", *protoName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "protocheck: unknown -protocol %q (want full | half)\n", *protoName)
+		return 2
 	}
 
 	if *repairFlag {
@@ -146,15 +190,14 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			fatal(err)
+			return fatal(err)
 		}
-		// fatal uses os.Exit, which skips defers — stop explicitly on
-		// both outcomes so the profile always flushes.
 		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	// With -repair, verification runs inside Synthesize (the repair loop
@@ -162,15 +205,15 @@ func main() {
 	// runs here on the refined system.
 	rep, err := core.Synthesize(sys, opts)
 	if err != nil {
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
-		}
-		fatal(err)
+		return fatal(err)
 	}
 	var vr *verify.Report
 	if *repairFlag {
 		vr = rep.Verify
-		fmt.Print(rep.Repair.Format())
+		out.Repair = serve.NewRepairJSON(rep.Repair)
+		if !*jsonOut {
+			fmt.Fprint(stdout, rep.Repair.Format())
+		}
 	} else {
 		var abortVars []string
 		for _, br := range rep.Buses {
@@ -183,28 +226,28 @@ func main() {
 			Workers:   *workers,
 			AbortVars: abortVars,
 		})
-	}
-	if *cpuProfile != "" {
-		pprof.StopCPUProfile()
-	}
-	if err != nil {
-		fatal(err)
+		if err != nil {
+			return fatal(err)
+		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		runtime.GC() // flush the allocation accounting before snapshotting
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
-			fatal(err)
+			return fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
-	fmt.Print(vr.Format())
+	out.Verify = serve.NewVerifyJSON(vr)
+	if !*jsonOut {
+		fmt.Fprint(stdout, vr.Format())
+	}
 
 	deadlocked := false
 	for _, v := range vr.Violations {
@@ -216,23 +259,28 @@ func main() {
 		v := vr.Violations[0]
 		if v.Cex != nil {
 			if r, err := v.Cex.Replay(); err == nil {
-				fmt.Printf("replay of [1]: %s\n", r.Outcome)
-			} else {
-				fmt.Printf("replay of [1] failed: %v\n", err)
+				out.Replay = fmt.Sprint(r.Outcome)
+				if !*jsonOut {
+					fmt.Fprintf(stdout, "replay of [1]: %s\n", r.Outcome)
+				}
+			} else if !*jsonOut {
+				fmt.Fprintf(stdout, "replay of [1] failed: %v\n", err)
 			}
 			if *cexPath != "" {
 				f, err := os.Create(*cexPath)
 				if err != nil {
-					fatal(err)
+					return fatal(err)
 				}
 				if err := v.Cex.WriteVCD(f); err != nil {
 					f.Close()
-					fatal(err)
+					return fatal(err)
 				}
 				if err := f.Close(); err != nil {
-					fatal(err)
+					return fatal(err)
 				}
-				fmt.Printf("counterexample waveform written to %s\n", *cexPath)
+				if !*jsonOut {
+					fmt.Fprintf(stdout, "counterexample waveform written to %s\n", *cexPath)
+				}
 			}
 		}
 	}
@@ -248,13 +296,19 @@ func main() {
 	case "any":
 		ok = len(vr.Violations) > 0
 	}
-	if !ok {
-		fmt.Printf("verdict does not match -expect %s\n", *expect)
-		os.Exit(1)
+	out.Match = ok
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			return fatal(err)
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "protocheck:", err)
-	os.Exit(2)
+	if !ok {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "verdict does not match -expect %s\n", *expect)
+		}
+		return 1
+	}
+	return 0
 }

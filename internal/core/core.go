@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/busgen"
@@ -89,6 +90,12 @@ type Options struct {
 	// and a tier-3 reselection is priced through the estimator in the
 	// repair trace.
 	RepairTiers int
+	// VerifyProgress, when non-nil, observes the model checker's BFS:
+	// called after each merged layer with the stored-state count and
+	// depth (see verify.Config.Progress). Observation only — it cannot
+	// change any result, which is why it is excluded from JSON encodings
+	// and from the serve layer's cache key.
+	VerifyProgress func(states, depth int) `json:"-"`
 }
 
 // BusReport describes the synthesis of one bus.
@@ -119,7 +126,24 @@ type Report struct {
 
 // Synthesize runs the full interface-synthesis flow on the system,
 // mutating it into its refined form.
+//
+// Synthesize is re-entrant: concurrent calls on distinct systems (clone
+// a shared spec first — the flow mutates its input) share no state, and
+// their reports are byte-identical to serial runs at any worker count.
 func Synthesize(sys *spec.System, opts Options) (*Report, error) {
+	return SynthesizeCtx(context.Background(), sys, opts)
+}
+
+// SynthesizeCtx is Synthesize with cooperative cancellation: the ctx
+// reaches the verify BFS and the repair loop, so an abandoned request
+// stops burning workers mid-search instead of completing the flow. A
+// canceled call returns ctx.Err() (possibly wrapped) and a nil report;
+// the input system may have been partially refined — cancellation is
+// for requests whose system is about to be discarded.
+func SynthesizeCtx(ctx context.Context, sys *spec.System, opts Options) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if errs := sys.Validate(); len(errs) > 0 {
 		return nil, fmt.Errorf("core: invalid input system: %w", errs[0])
 	}
@@ -199,6 +223,7 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 		MaxStates: opts.VerifyStates,
 		MaxDrops:  opts.VerifyDrops,
 		Workers:   opts.Workers,
+		Progress:  opts.VerifyProgress,
 	}
 
 	// Optional repair mode replaces steps 4-5: verify each candidate
@@ -232,7 +257,7 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 				Est:      rep.Estimator,
 			}
 		}
-		rres, err := repair.Run(build, baseCfg(""), repair.Config{
+		rres, err := repair.RunCtx(ctx, build, baseCfg(""), repair.Config{
 			Verify:  vcfg,
 			Budget:  opts.RepairBudget,
 			MaxTier: opts.RepairTiers,
@@ -281,7 +306,7 @@ func Synthesize(sys *spec.System, opts Options) (*Report, error) {
 		for _, br := range rep.Buses {
 			abortCfg.AbortVars = append(abortCfg.AbortVars, br.Ref.AbortKeys()...)
 		}
-		vr, err := verify.Check(sys, abortCfg)
+		vr, err := verify.CheckCtx(ctx, sys, abortCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: verify: %w", err)
 		}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/vhdlgen"
+	"repro/internal/workloads"
+)
+
+// synthesisFingerprint renders everything observable about one
+// synthesis run: the refined system's emitted VHDL plus the verify
+// verdict, as bytes, so runs can be compared for exact equality.
+func synthesisFingerprint(t *testing.T, sys *spec.System, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(vhdlgen.Emit(sys))
+	if rep.Verify != nil {
+		b, err := json.Marshal(struct {
+			Clean       bool
+			States      int
+			Transitions int64
+			Depth       int
+			Violations  int
+		}{rep.Verify.Clean(), rep.Verify.States, rep.Verify.Transitions, rep.Verify.Depth, len(rep.Verify.Violations)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// TestSynthesizeReentrant is satellite 4's engine half: two Synthesize
+// runs on cloned specs, concurrently, must produce byte-identical
+// refinements and verdicts — the property that lets the daemon run
+// jobs in parallel and content-address their results. Run under
+// -race, this also proves the engine shares no mutable state across
+// concurrent invocations.
+func TestSynthesizeReentrant(t *testing.T) {
+	base, _ := workloads.PQ()
+	const runs = 4
+	systems := make([]*spec.System, runs)
+	for i := range systems {
+		systems[i] = spec.Clone(base)
+	}
+
+	opts := Options{Verify: true, VerifyDrops: 1, Workers: 2}
+	fingerprints := make([][]byte, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := SynthesizeCtx(context.Background(), systems[i], opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fingerprints[i] = synthesisFingerprint(t, systems[i], rep)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < runs; i++ {
+		if !bytes.Equal(fingerprints[0], fingerprints[i]) {
+			t.Fatalf("concurrent run %d diverged from run 0 (%d vs %d bytes)", i, len(fingerprints[i]), len(fingerprints[0]))
+		}
+	}
+
+	// The concurrent runs must also match a sequential run: concurrency
+	// invisible in the result, not merely self-consistent.
+	seq := spec.Clone(base)
+	rep, err := SynthesizeCtx(context.Background(), seq, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprints[0], synthesisFingerprint(t, seq, rep)) {
+		t.Fatal("concurrent result differs from sequential result")
+	}
+}
+
+// TestSynthesizeCancel: a canceled context aborts synthesis mid-verify
+// with ctx.Err() and no partial report — the contract that keeps
+// canceled runs out of the daemon's cache.
+func TestSynthesizeCancel(t *testing.T) {
+	sys, _ := workloads.PQ()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the verify progress hook: deterministic — the
+	// run is provably mid-exploration when the cancel lands.
+	opts := Options{
+		Verify: true, VerifyDrops: 1,
+		VerifyProgress: func(states, depth int) { cancel() },
+	}
+	rep, err := SynthesizeCtx(ctx, sys, opts)
+	if err == nil {
+		t.Fatal("canceled synthesis returned no error")
+	}
+	if ctx.Err() == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("canceled synthesis returned a partial report: %+v", rep)
+	}
+
+	// Pre-canceled context: rejected before any work.
+	sys2, _ := workloads.PQSolo()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if rep, err := SynthesizeCtx(ctx2, sys2, Options{Verify: true}); err == nil || rep != nil {
+		t.Fatalf("pre-canceled synthesis: rep=%v err=%v", rep, err)
+	}
+}

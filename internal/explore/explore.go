@@ -9,6 +9,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -98,6 +99,15 @@ type Config struct {
 // caches statement-tree walks, and protogen.Generate rewrites behavior
 // bodies in place (see estimate.Estimator).
 func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Space, error) {
+	return SweepCtx(context.Background(), channels, est, cfg)
+}
+
+// SweepCtx is Sweep with cooperative cancellation: once ctx is done no
+// further grid point is evaluated and SweepCtx returns ctx.Err() with a
+// nil space — a partially evaluated grid is never returned, since
+// downstream consumers (Pareto, Best, the serve cache) assume every
+// slot is filled.
+func SweepCtx(ctx context.Context, channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Space, error) {
 	if len(channels) == 0 {
 		return nil, errors.New("explore: empty channel group")
 	}
@@ -141,7 +151,7 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 	accessors := distinctAccessors(channels)
 	widths := hi - lo + 1
 	sp := &Space{Channels: channels, Points: make([]Point, len(variants)*widths)}
-	par.For(len(sp.Points), cfg.Workers, func(i int) {
+	err := par.ForCtx(ctx, len(sp.Points), cfg.Workers, func(i int) {
 		v := variants[i/widths]
 		p := v.proto
 		w := lo + i%widths
@@ -165,6 +175,9 @@ func Sweep(channels []*spec.Channel, est *estimate.Estimator, cfg Config) (*Spac
 			estimate.HardeningArea(channels, w, p, v.robust, v.parity, area)
 		sp.Points[i] = pt
 	})
+	if err != nil {
+		return nil, err
+	}
 	return sp, nil
 }
 
@@ -194,11 +207,19 @@ func groupName(channels []*spec.Channel) string {
 // 1) unless Annotate itself is serial — the outer fan-out already
 // saturates the CPUs, and nested exploration pools would oversubscribe.
 func Annotate(points []Point, workers int, build func(Point) (*spec.System, []string, error), cfg verify.Config) error {
+	return AnnotateCtx(context.Background(), points, workers, build, cfg)
+}
+
+// AnnotateCtx is Annotate with cooperative cancellation: ctx done stops
+// launching new point checks and cancels the in-flight ones (the ctx
+// reaches each verify.CheckCtx), and the joined error includes
+// ctx.Err(). Points whose check was canceled keep a nil Verdict.
+func AnnotateCtx(ctx context.Context, points []Point, workers int, build func(Point) (*spec.System, []string, error), cfg verify.Config) error {
 	if workers != 1 {
 		cfg.Workers = 1
 	}
-	errs := make([]error, len(points))
-	par.For(len(points), workers, func(i int) {
+	errs := make([]error, len(points)+1)
+	errs[len(points)] = par.ForCtx(ctx, len(points), workers, func(i int) {
 		sys, aborts, err := build(points[i])
 		if err != nil {
 			errs[i] = fmt.Errorf("explore: point (width %d, %s): build: %w", points[i].Width, points[i].Protocol, err)
@@ -206,7 +227,7 @@ func Annotate(points []Point, workers int, build func(Point) (*spec.System, []st
 		}
 		c := cfg
 		c.AbortVars = append(append([]string(nil), c.AbortVars...), aborts...)
-		rep, err := verify.Check(sys, c)
+		rep, err := verify.CheckCtx(ctx, sys, c)
 		if err != nil {
 			errs[i] = fmt.Errorf("explore: point (width %d, %s): %w", points[i].Width, points[i].Protocol, err)
 			return
@@ -237,11 +258,18 @@ func Annotate(points []Point, workers int, build func(Point) (*spec.System, []st
 // Like Annotate, each point's checks run serially unless AnnotateRepair
 // itself is serial — the outer fan-out already saturates the CPUs.
 func AnnotateRepair(points []Point, workers int, build func(Point) (repair.Builder, protogen.Config), rcfg repair.Config) error {
+	return AnnotateRepairCtx(context.Background(), points, workers, build, rcfg)
+}
+
+// AnnotateRepairCtx is AnnotateRepair with cooperative cancellation,
+// with the same contract as AnnotateCtx: canceled points keep a nil
+// Verdict and the joined error includes ctx.Err().
+func AnnotateRepairCtx(ctx context.Context, points []Point, workers int, build func(Point) (repair.Builder, protogen.Config), rcfg repair.Config) error {
 	if workers != 1 {
 		rcfg.Verify.Workers = 1
 	}
-	errs := make([]error, len(points))
-	par.For(len(points), workers, func(i int) {
+	errs := make([]error, len(points)+1)
+	errs[len(points)] = par.ForCtx(ctx, len(points), workers, func(i int) {
 		builder, base := build(points[i])
 		c := rcfg
 		if c.Cost != nil {
@@ -249,7 +277,7 @@ func AnnotateRepair(points []Point, workers int, build func(Point) (repair.Build
 			cm.Width = points[i].Width
 			c.Cost = &cm
 		}
-		res, err := repair.Run(builder, base, c)
+		res, err := repair.RunCtx(ctx, builder, base, c)
 		if err != nil {
 			errs[i] = fmt.Errorf("explore: point (width %d, %s): repair: %w", points[i].Width, points[i].Protocol, err)
 			return

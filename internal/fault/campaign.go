@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -186,6 +187,14 @@ type chunkAgg struct {
 // reports. Everything is derived from cfg.Seed, so a campaign is
 // reproducible byte for byte at any worker count.
 func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
+	return CampaignCtx(context.Background(), sys, bus, cfg)
+}
+
+// CampaignCtx is Campaign with cooperative cancellation: once ctx is
+// done no further seed chunk starts and CampaignCtx returns ctx.Err()
+// with a nil report. A canceled campaign never yields partial counts —
+// the per-class probabilities it feeds would silently change meaning.
+func CampaignCtx(ctx context.Context, sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
 	if bus == nil || bus.Signal == nil {
 		return nil, fmt.Errorf("fault: bus is not refined (no bus signal; run protocol generation first)")
 	}
@@ -228,7 +237,7 @@ func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
 	partials := make([]chunkAgg, (cfg.Runs+chunk-1)/chunk)
 	golds := goldenFinals(golden, cfg.AbortVars)
 
-	par.ForChunks(cfg.Runs, cfg.Workers, chunk, func(lo, hi int) {
+	cerr := par.ForChunksCtx(ctx, cfg.Runs, cfg.Workers, chunk, func(lo, hi int) {
 		agg := &partials[lo/chunk]
 		// One injector, RNG and fault buffer serve the whole chunk:
 		// Reset rearms them per run without allocating, and the
@@ -280,6 +289,9 @@ func Campaign(sys *spec.System, bus *spec.Bus, cfg Config) (*Report, error) {
 			}
 		}
 	})
+	if cerr != nil {
+		return nil, cerr
+	}
 
 	rep := &Report{
 		Golden:    golden,

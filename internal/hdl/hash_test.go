@@ -1,0 +1,31 @@
+package hdl
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestParsedSpecHashesStably pins the serve-layer cache key on a real
+// input: parsing testdata/pqsolo.sys twice yields two structurally
+// independent systems with identical content digests, and cloning the
+// parsed system preserves the digest too. A regression here silently
+// turns every daemon cache lookup into a miss.
+func TestParsedSpecHashesStably(t *testing.T) {
+	const path = "../../testdata/pqsolo.sys"
+	a, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	b, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("re-parse %s: %v", path, err)
+	}
+	ha, hb := spec.Hash(a), spec.Hash(b)
+	if ha != hb {
+		t.Fatalf("two parses of the same file hash differently:\n  %s\n  %s", ha, hb)
+	}
+	if hc := spec.Hash(spec.Clone(a)); hc != ha {
+		t.Fatalf("clone of parsed system hashes differently: %s vs %s", hc, ha)
+	}
+}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,7 +26,27 @@ import (
 // GOMAXPROCS substitution clamps to 1 so the loop always makes
 // progress instead of spawning zero goroutines and hanging the wait.
 func For(n, workers int, fn func(i int)) {
-	forRange(n, workers, fn)
+	forRange(nil, n, workers, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, no
+// further iteration starts (iterations already running complete) and
+// ForCtx returns ctx.Err() instead of draining the remaining slots. An
+// already-canceled context returns immediately without calling fn at
+// all. A nil ctx behaves like For. The error is the context's error at
+// return time, so callers must treat any non-nil result as "output
+// slots may be unwritten" — a cancellation that races the final
+// iteration still reports the cancel.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		forRange(nil, n, workers, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forRange(ctx.Done(), n, workers, fn)
+	return ctx.Err()
 }
 
 // ForChunks runs fn(lo, hi) over consecutive index blocks covering
@@ -43,8 +64,16 @@ func For(n, workers int, fn func(i int)) {
 // slots indexed by lo/chunk get deterministic output at any worker
 // count.
 func ForChunks(n, workers, chunk int, fn func(lo, hi int)) {
+	ForChunksCtx(nil, n, workers, chunk, fn) //nolint:errcheck // nil ctx never errors
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation, with the
+// same contract as ForCtx: once ctx is done no further chunk starts,
+// and the ctx error is returned instead of draining the remaining
+// chunks. A nil ctx behaves like ForChunks and returns nil.
+func ForChunksCtx(ctx context.Context, n, workers, chunk int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if chunk <= 0 {
 		w := workers
@@ -60,7 +89,7 @@ func ForChunks(n, workers, chunk int, fn func(lo, hi int)) {
 		}
 	}
 	nchunks := (n + chunk - 1) / chunk
-	forRange(nchunks, workers, func(c int) {
+	return ForCtx(ctx, nchunks, workers, func(c int) {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -80,7 +109,11 @@ func DefaultWorkers() int {
 	return 1
 }
 
-func forRange(n, workers int, fn func(i int)) {
+// forRange claims indices from a shared counter until the range is
+// exhausted or done (which may be nil) is closed. The done check
+// happens before each claim, so cancellation stops new work promptly
+// without interrupting iterations already in flight.
+func forRange(done <-chan struct{}, n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -95,6 +128,13 @@ func forRange(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			fn(i)
 		}
 		return
@@ -106,6 +146,13 @@ func forRange(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

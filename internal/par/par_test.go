@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -162,5 +163,94 @@ func TestForGuards(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestForCtxPreCanceled pins the already-canceled contract: fn must
+// never run and the context's error comes back immediately, at any
+// worker count.
+func TestForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 1, 4} {
+		err := ForCtx(ctx, 1000, workers, func(int) {
+			t.Errorf("workers=%d: fn ran under a canceled context", workers)
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	err := ForChunksCtx(ctx, 1000, 4, 16, func(lo, hi int) {
+		t.Error("chunk fn ran under a canceled context")
+	})
+	if err != context.Canceled {
+		t.Fatalf("ForChunksCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestForCtxMidRunCancel cancels from inside an early iteration: the
+// loop must stop claiming new indices instead of draining all n slots,
+// and report the cancellation.
+func TestForCtxMidRunCancel(t *testing.T) {
+	const n = 100_000
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var ran atomic.Int32
+			err := ForCtx(ctx, n, tc.workers, func(i int) {
+				if ran.Add(1) == 10 {
+					cancel()
+				}
+			})
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// In-flight iterations may finish after the cancel, but the
+			// vast majority of the range must never start.
+			if got := ran.Load(); int(got) >= n/2 {
+				t.Fatalf("ran %d of %d iterations after mid-run cancel", got, n)
+			}
+		})
+	}
+}
+
+// TestForChunksCtxMidRunCancel is the chunked analogue: cancellation
+// between chunks stops the sweep early.
+func TestForChunksCtxMidRunCancel(t *testing.T) {
+	const n, chunk = 100_000, 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var covered atomic.Int32
+	err := ForChunksCtx(ctx, n, 4, chunk, func(lo, hi int) {
+		if covered.Add(int32(hi-lo)) >= 100 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := covered.Load(); int(got) >= n/2 {
+		t.Fatalf("covered %d of %d indices after mid-run cancel", got, n)
+	}
+}
+
+// TestForCtxNilAndUncanceled: a nil context is For, and an uncanceled
+// context covers the whole range and returns nil.
+func TestForCtxNilAndUncanceled(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForCtx(nil, 100, 4, func(int) { ran.Add(1) }); err != nil || ran.Load() != 100 {
+		t.Fatalf("nil ctx: err=%v ran=%d", err, ran.Load())
+	}
+	ran.Store(0)
+	if err := ForCtx(context.Background(), 100, 4, func(int) { ran.Add(1) }); err != nil || ran.Load() != 100 {
+		t.Fatalf("background ctx: err=%v ran=%d", err, ran.Load())
 	}
 }

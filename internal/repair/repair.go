@@ -50,6 +50,7 @@
 package repair
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -523,6 +524,15 @@ func (r *Result) Verified() bool { return r.Repaired && r.Exhaustive }
 
 // Run executes the CEGIS loop from the base generation config.
 func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), build, base, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the ctx reaches every
+// verify call, so a canceled loop aborts mid-BFS rather than finishing
+// the current iteration's search. A canceled run returns ctx.Err()
+// (wrapped with the iteration that was cut short) and no Result — a
+// partial repair trace must never be mistaken for an exhausted grammar.
+func RunCtx(ctx context.Context, build Builder, base protogen.Config, cfg Config) (*Result, error) {
 	budget := cfg.Budget
 	if budget <= 0 {
 		budget = DefaultBudget
@@ -541,7 +551,7 @@ func Run(build Builder, base protogen.Config, cfg Config) (*Result, error) {
 		}
 		vcfg := cfg.Verify
 		vcfg.AbortVars = abortVars
-		rep, err := verify.Check(sys, vcfg)
+		rep, err := verify.CheckCtx(ctx, sys, vcfg)
 		if err != nil {
 			return nil, fmt.Errorf("repair: iteration %d: verify: %w", iter, err)
 		}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: completed response
+// bodies keyed by request Key, bounded by an LRU policy on entry count
+// and total body bytes. Bodies are immutable once inserted — readers
+// get the stored slice, never a copy, and must not mutate it.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	byKey      map[Key]*list.Element
+	bytes      int64
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  Key
+	body []byte
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      make(map[Key]*list.Element),
+	}
+}
+
+// get returns the cached body for the key, refreshing its recency.
+func (c *resultCache) get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).body, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a completed body, evicting least-recently-used entries
+// past either bound. A body larger than the byte bound is simply not
+// cached — it would evict everything for one entry.
+func (c *resultCache) put(k Key, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		// Idempotent by construction: the body is a pure function of the
+		// key, so a racing duplicate insert carries identical bytes.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, body: body})
+	c.byKey[k] = el
+	c.bytes += int64(len(body))
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		last := c.ll.Back()
+		if last == nil {
+			break
+		}
+		ent := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.byKey, ent.key)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() (entries int, bytes, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/explore"
+	"repro/internal/partition"
+	"repro/internal/spec"
+)
+
+// executeFn is the job execution entry point; a var so tests can
+// substitute a controlled executor to pin down queue/dedup/cancel
+// interleavings without timing assumptions.
+var executeFn = execute
+
+// execute runs one request to completion and renders the response
+// body. The body is a pure function of (spec, op, options minus
+// Workers): no timestamps, no durations, no worker counts — that is
+// what licenses the cache to replay it byte for byte.
+//
+// defaultWorkers replaces a zero Options.Workers so concurrent jobs
+// split the CPUs instead of each claiming all of them; results are
+// worker-invariant, so this affects latency only.
+func execute(ctx context.Context, req *Request, key Key, specHash spec.Digest, defaultWorkers int, progress func(states, depth int)) ([]byte, error) {
+	sys, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	res := &ResultJSON{
+		Op:       req.Op,
+		SpecHash: specHash.String(),
+		Key:      key.String(),
+		System:   sys.Name,
+	}
+
+	if req.Op == OpSweep {
+		if err := sweepInto(ctx, res, sys, req.Options, defaultWorkers); err != nil {
+			return nil, err
+		}
+		return encodeBody(res)
+	}
+
+	opts, err := req.Options.coreOptions(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers == 0 {
+		opts.Workers = defaultWorkers
+	}
+	opts.VerifyProgress = progress
+	rep, err := core.SynthesizeCtx(ctx, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Buses = busesJSON(rep)
+	res.Verify = NewVerifyJSON(rep.Verify)
+	res.Repair = NewRepairJSON(rep.Repair)
+	vhdlDigest(res, emitVHDL(sys))
+	return encodeBody(res)
+}
+
+// sweepInto runs the design-space exploration op: derive channels if
+// the spec declared none, sweep the first bus group (or the whole
+// channel set), and report the grid plus its Pareto frontier.
+func sweepInto(ctx context.Context, res *ResultJSON, sys *spec.System, o Options, defaultWorkers int) error {
+	if len(sys.Channels) == 0 {
+		if _, err := partition.DeriveChannels(sys); err != nil {
+			return err
+		}
+	}
+	if len(sys.Channels) == 0 {
+		return fmt.Errorf("system %s has no inter-module communication to sweep", sys.Name)
+	}
+	channels := sys.Channels
+	if len(sys.Buses) > 0 && len(sys.Buses[0].Channels) > 0 {
+		channels = sys.Buses[0].Channels
+	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = defaultWorkers
+	}
+	sp, err := explore.SweepCtx(ctx, channels, estimate.New(sys.Channels), explore.Config{
+		MinWidth:      o.MinWidth,
+		MaxWidth:      o.MaxWidth,
+		IncludeRobust: o.IncludeRobust,
+		Workers:       workers,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range sp.Points {
+		res.Points = append(res.Points, newPointJSON(p))
+	}
+	for _, p := range sp.Pareto() {
+		res.Pareto = append(res.Pareto, newPointJSON(p))
+	}
+	return nil
+}
+
+// encodeBody renders the response body: compact JSON plus a trailing
+// newline. encoding/json emits struct fields in declaration order and
+// ResultJSON contains no maps, so the encoding is deterministic.
+func encodeBody(res *ResultJSON) ([]byte, error) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes a load run against a running daemon.
+type LoadConfig struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8047".
+	BaseURL string
+	// Requests is the total query count; Concurrency the parallel
+	// client goroutines issuing them.
+	Requests    int
+	Concurrency int
+	// Mix is the request set, cycled round-robin; nil uses DefaultMix.
+	Mix []Request
+	// CancelProbes adds requests that are abandoned mid-flight after
+	// CancelAfter, exercising end-to-end cancellation; each probe uses
+	// unique options so it never dedups onto a real request.
+	CancelProbes int
+	CancelAfter  time.Duration
+	// Timeout bounds each request (0 = 120s).
+	Timeout time.Duration
+}
+
+// LoadReport is the harness's measurement — the numbers BENCH_serve.json
+// tracks across PRs.
+type LoadReport struct {
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Concurrency int     `json:"concurrency"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	ReqsPerSec  float64 `json:"reqs_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheDedups  int     `json:"cache_dedups"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	CancelProbes int `json:"cancel_probes,omitempty"`
+	// CancelClientMs: client-observed time from cancel() to the request
+	// returning (p50). CancelServerMaxMs: server-measured worst case
+	// from last-waiter-gone to the job's work actually stopping, scraped
+	// from /metrics — the end-to-end abort latency of a mid-BFS cancel.
+	CancelClientP50Ms float64 `json:"cancel_client_p50_ms,omitempty"`
+	CancelServerAvgMs float64 `json:"cancel_server_avg_ms,omitempty"`
+	CancelServerMaxMs float64 `json:"cancel_server_max_ms,omitempty"`
+	ServerCancels     int     `json:"server_cancels,omitempty"`
+}
+
+// DefaultMix is the mixed workload the ISSUE names: Mesh, FLC,
+// Ethernet and PQ variants across synthesize, sweep and bounded verify
+// ops. Verify bounds are kept small enough that a single request stays
+// interactive; distinct option sets create distinct cache keys, so the
+// mix exercises hits, misses and dedup together.
+func DefaultMix() []Request {
+	return []Request{
+		{Op: OpSynthesize, Workload: "pq"},
+		{Op: OpSynthesize, Workload: "mesh-3", Options: Options{Protocol: "half"}},
+		{Op: OpSynthesize, Workload: "flc", Options: Options{ForceWidth: 8}},
+		{Op: OpSynthesize, Workload: "ethernet-2", Options: Options{Robust: true}},
+		{Op: OpSweep, Workload: "pq", Options: Options{IncludeRobust: true}},
+		{Op: OpSweep, Workload: "flc"},
+		{Op: OpSweep, Workload: "mesh-4"},
+		{Op: OpVerify, Workload: "pq-solo", Options: Options{VerifyStates: 20000}},
+		{Op: OpVerify, Workload: "pq", Options: Options{VerifyStates: 10000}},
+		{Op: OpSynthesize, Workload: "pq", Options: Options{Robust: true, Parity: true}},
+	}
+}
+
+// RunLoad fires cfg.Requests mixed queries at the daemon from
+// cfg.Concurrency workers, plus cancel probes, and aggregates
+// latencies, cache dispositions and cancellation measurements.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.CancelAfter <= 0 {
+		cfg.CancelAfter = 30 * time.Millisecond
+	}
+	bodies := make([][]byte, len(cfg.Mix))
+	for i := range cfg.Mix {
+		b, err := json.Marshal(&cfg.Mix[i])
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	rep := &LoadReport{Requests: cfg.Requests, Concurrency: cfg.Concurrency}
+	lat := make([]time.Duration, cfg.Requests)
+	status := make([]string, cfg.Requests)
+	errs := make([]bool, cfg.Requests)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				st, err := postQuery(ctx, client, cfg.BaseURL, bodies[i%len(bodies)])
+				lat[i] = time.Since(t0)
+				status[i] = st
+				errs[i] = err != nil
+			}
+		}()
+	}
+
+	// Cancel probes run alongside the load: each issues a uniquely-keyed
+	// expensive verify, abandons it after CancelAfter, and records how
+	// long the abandoned request took to return client-side.
+	cancelLat := make([]time.Duration, cfg.CancelProbes)
+	var cwg sync.WaitGroup
+	for p := 0; p < cfg.CancelProbes; p++ {
+		cwg.Add(1)
+		go func(p int) {
+			defer cwg.Done()
+			probe := Request{
+				Op:       OpVerify,
+				Workload: "pq",
+				// Unique state bound per probe: never a cache hit, never
+				// deduped onto a real request or another probe.
+				Options: Options{VerifyStates: 2_000_000 + p, VerifyDrops: 1},
+			}
+			b, _ := json.Marshal(&probe)
+			pctx, cancel := context.WithCancel(ctx)
+			timer := time.AfterFunc(cfg.CancelAfter, cancel)
+			t0 := time.Now()
+			postQuery(pctx, client, cfg.BaseURL, b) //nolint:errcheck // abandonment is the point
+			cancelLat[p] = time.Since(t0)
+			timer.Stop()
+			cancel()
+		}(p)
+	}
+	wg.Wait()
+	cwg.Wait()
+	rep.ElapsedSec = time.Since(start).Seconds()
+
+	for i := range lat {
+		if errs[i] {
+			rep.Errors++
+		}
+		switch status[i] {
+		case "hit":
+			rep.CacheHits++
+		case "miss":
+			rep.CacheMisses++
+		case "dedup":
+			rep.CacheDedups++
+		}
+	}
+	if rep.ElapsedSec > 0 {
+		rep.ReqsPerSec = float64(cfg.Requests) / rep.ElapsedSec
+	}
+	if n := rep.CacheHits + rep.CacheMisses + rep.CacheDedups; n > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rep.P50Ms = ms(percentile(sorted, 50))
+	rep.P99Ms = ms(percentile(sorted, 99))
+	if len(sorted) > 0 {
+		rep.MaxMs = ms(sorted[len(sorted)-1])
+	}
+
+	if cfg.CancelProbes > 0 {
+		rep.CancelProbes = cfg.CancelProbes
+		// The probe's client latency includes CancelAfter itself; report
+		// the abort portion.
+		for i := range cancelLat {
+			if cancelLat[i] > cfg.CancelAfter {
+				cancelLat[i] -= cfg.CancelAfter
+			} else {
+				cancelLat[i] = 0
+			}
+		}
+		sort.Slice(cancelLat, func(i, j int) bool { return cancelLat[i] < cancelLat[j] })
+		rep.CancelClientP50Ms = ms(percentile(cancelLat, 50))
+	}
+
+	// Server-side cancel latency: the authoritative "work actually
+	// stopped" measurement.
+	if m, err := scrapeMetrics(ctx, client, cfg.BaseURL); err == nil {
+		if n := m["ifsynd_jobs_canceled_total"]; n > 0 {
+			rep.ServerCancels = int(n)
+			if sum := m["ifsynd_cancel_latency_ns_total"]; sum > 0 {
+				rep.CancelServerAvgMs = float64(sum) / float64(n) / 1e6
+			}
+			rep.CancelServerMaxMs = float64(m["ifsynd_cancel_latency_ns_max"]) / 1e6
+		}
+	}
+	return rep, nil
+}
+
+// postQuery issues one synchronous query, returning the X-Cache
+// disposition.
+func postQuery(ctx context.Context, client *http.Client, baseURL string, body []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var sink [4096]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Cache"), nil
+}
+
+// scrapeMetrics fetches and parses the daemon's text metrics.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, val, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+			out[name] = n
+		}
+	}
+	return out, sc.Err()
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)-1)*p + 50
+	return sorted[i/100]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/busgen"
+	"repro/internal/core"
+	"repro/internal/flc"
+	"repro/internal/hdl"
+	"repro/internal/spec"
+	"repro/internal/workloads"
+)
+
+// Ops accepted by the daemon.
+const (
+	OpSynthesize = "synthesize"
+	OpVerify     = "verify"
+	OpRepair     = "repair"
+	OpSweep      = "sweep"
+)
+
+// Options is the request-level view of core.Options: the scalar knobs a
+// client may set, in one fixed JSON shape. Workers is the only field
+// excluded from the cache key — the engine's results are
+// worker-invariant, so two requests differing only in Workers must
+// share one cache entry.
+type Options struct {
+	// Protocol selects the bus protocol: "" or "full" | "half".
+	Protocol string `json:"protocol,omitempty"`
+	// ForceWidth skips bus generation and forces every bus to this
+	// width (0 = run bus generation).
+	ForceWidth int  `json:"force_width,omitempty"`
+	Arbitrate  bool `json:"arbitrate,omitempty"`
+	Robust     bool `json:"robust,omitempty"`
+	Parity     bool `json:"parity,omitempty"`
+	// TimeoutClocks and MaxRetries tune hardened protocols (0 =
+	// protogen defaults).
+	TimeoutClocks int64 `json:"timeout_clocks,omitempty"`
+	MaxRetries    int   `json:"max_retries,omitempty"`
+	// Verify bounds (ops verify and repair always verify; synthesize
+	// verifies when Verify is set).
+	Verify       bool `json:"verify,omitempty"`
+	VerifyDepth  int  `json:"verify_depth,omitempty"`
+	VerifyDrops  int  `json:"verify_drops,omitempty"`
+	VerifyStates int  `json:"verify_states,omitempty"`
+	// Repair bounds (op repair).
+	RepairBudget int `json:"repair_budget,omitempty"`
+	RepairTiers  int `json:"repair_tiers,omitempty"`
+	// Sweep bounds (op sweep).
+	MinWidth      int  `json:"min_width,omitempty"`
+	MaxWidth      int  `json:"max_width,omitempty"`
+	IncludeRobust bool `json:"include_robust,omitempty"`
+	// Workers bounds each stage's goroutines (0 = GOMAXPROCS). Results
+	// are byte-identical at any value; excluded from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// protocol resolves the Protocol name.
+func (o Options) protocol() (spec.Protocol, error) {
+	switch o.Protocol {
+	case "", "full":
+		return spec.FullHandshake, nil
+	case "half":
+		return spec.HalfHandshake, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q (want full | half)", o.Protocol)
+	}
+}
+
+// coreOptions lowers the request options for one op. Verify/repair ops
+// force their flag so the op alone fixes what runs.
+func (o Options) coreOptions(op string) (core.Options, error) {
+	p, err := o.protocol()
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{
+		Bus:           busgen.Config{Protocol: p},
+		ForceWidth:    o.ForceWidth,
+		Arbitrate:     o.Arbitrate,
+		Robust:        o.Robust,
+		Parity:        o.Parity,
+		TimeoutClocks: o.TimeoutClocks,
+		MaxRetries:    o.MaxRetries,
+		Workers:       o.Workers,
+		Verify:        o.Verify,
+		VerifyDepth:   o.VerifyDepth,
+		VerifyDrops:   o.VerifyDrops,
+		VerifyStates:  o.VerifyStates,
+		RepairBudget:  o.RepairBudget,
+		RepairTiers:   o.RepairTiers,
+	}
+	switch op {
+	case OpVerify:
+		opts.Verify = true
+	case OpRepair:
+		opts.Repair = true
+	}
+	return opts, nil
+}
+
+// canonical renders the options for hashing: Workers zeroed (results
+// are worker-invariant), fixed field order via the struct encoding.
+func (o Options) canonical() []byte {
+	o.Workers = 0
+	b, err := json.Marshal(o)
+	if err != nil {
+		// Options is a closed struct of scalars; Marshal cannot fail.
+		panic("serve: canonical options: " + err.Error())
+	}
+	return b
+}
+
+// Request is one query: a spec (inline text or named workload) plus an
+// op and options.
+type Request struct {
+	Op string `json:"op"`
+	// Workload names a built-in system: pq | pq-solo | mesh[-N] |
+	// flc | ethernet[-N] | answering[-N].
+	Workload string `json:"workload,omitempty"`
+	// Spec is inline .sys source; exactly one of Workload and Spec
+	// must be set.
+	Spec    string  `json:"spec,omitempty"`
+	Options Options `json:"options"`
+}
+
+func (r *Request) validate() error {
+	switch r.Op {
+	case OpSynthesize, OpVerify, OpRepair, OpSweep:
+	default:
+		return fmt.Errorf("unknown op %q (want synthesize | verify | repair | sweep)", r.Op)
+	}
+	if (r.Workload == "") == (r.Spec == "") {
+		return fmt.Errorf("exactly one of workload and spec must be set")
+	}
+	if _, err := r.Options.protocol(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// resolve builds a fresh system for the request. Every call returns a
+// newly constructed (or newly parsed) system: synthesis mutates its
+// input, so resolved systems are single-use.
+func (r *Request) resolve() (sys *spec.System, err error) {
+	if r.Spec != "" {
+		sys, err = hdl.Parse(r.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("parse spec: %w", err)
+		}
+		return sys, nil
+	}
+	// Workload constructors panic on out-of-range sizes; surface those
+	// as request errors, not daemon crashes.
+	defer func() {
+		if p := recover(); p != nil {
+			sys, err = nil, fmt.Errorf("workload %q: %v", r.Workload, p)
+		}
+	}()
+	name, n := splitWorkload(r.Workload)
+	switch name {
+	case "pq":
+		sys, _ = workloads.PQ()
+	case "pq-solo", "pqsolo":
+		sys, _ = workloads.PQSolo()
+	case "mesh":
+		sys = workloads.Mesh(defaultN(n, 3))
+	case "flc":
+		sys = flc.New(flc.DefaultConfig()).Sys
+	case "ethernet":
+		sys = workloads.Ethernet(defaultN(n, 2))
+	case "answering":
+		sys = workloads.AnsweringMachine(defaultN(n, 2))
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want pq | pq-solo | mesh[-N] | flc | ethernet[-N] | answering[-N])", r.Workload)
+	}
+	return sys, nil
+}
+
+// splitWorkload parses an optional -N size suffix: "mesh-4" → ("mesh", 4).
+func splitWorkload(w string) (string, int) {
+	if i := strings.LastIndexByte(w, '-'); i > 0 {
+		if n, err := strconv.Atoi(w[i+1:]); err == nil {
+			return w[:i], n
+		}
+	}
+	return w, 0
+}
+
+func defaultN(n, def int) int {
+	if n > 0 {
+		return n
+	}
+	return def
+}
+
+// Key is the content address of a request: sha256 over a framed
+// encoding of the canonical spec digest, the op, and the canonical
+// options. Requests that resolve to hash-identical systems with the
+// same op and options share one key — and therefore one cached result
+// and one in-flight job.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// key computes the request's content address plus the spec's own
+// digest. It resolves a throwaway system: the hash must cover what the
+// request means, not how it was spelled (workload name vs identical
+// inline text).
+func (r *Request) key() (Key, spec.Digest, error) {
+	sys, err := r.resolve()
+	if err != nil {
+		return Key{}, spec.Digest{}, err
+	}
+	sh := spec.Hash(sys)
+	h := sha256.New()
+	h.Write([]byte("ifsynd/v1\x00"))
+	h.Write(sh[:])
+	h.Write([]byte{0})
+	h.Write([]byte(r.Op))
+	h.Write([]byte{0})
+	h.Write(r.Options.canonical())
+	var k Key
+	h.Sum(k[:0])
+	return k, sh, nil
+}

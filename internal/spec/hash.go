@@ -1,0 +1,462 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// Digest is a canonical content hash of a System — the cache key of the
+// synthesis service (internal/serve): two systems with equal digests
+// describe the same specification, so a synthesize/verify/repair result
+// computed for one answers a query about the other.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Hash computes the system's canonical content digest. The digest is
+// stable across processes (no pointer values, no map iteration) and
+// invariant under spec.Clone.
+//
+// Declaration order is folded out exactly where it carries no
+// semantics: the module list, each module's variable list and the
+// global-signal list are sets keyed by name (every lookup is by name
+// and the declared objects are concurrent storage), so they hash as
+// sorted sub-digest sets. Everything with execution or addressing
+// semantics stays order-sensitive: behaviors within a module (process
+// creation order), statements and procedure bodies, a bus's channel
+// list (protocol generation assigns channel IDs by position) and the
+// bus list itself.
+//
+// Identity of referenced objects never uses addresses: module-owned
+// variables hash as module.name, globals as their (unique) name, and
+// behavior-local storage — including procedure parameters, locals and
+// ad-hoc loop counters — by a first-encounter sequence number in the
+// module's deterministic walk, which distinguishes same-named locals
+// in different scopes while staying clone- and process-invariant.
+func Hash(sys *System) Digest {
+	hs := newHasher(sys)
+	top := sha256.New()
+	w := writer{top}
+	w.str(sys.Name)
+
+	mds := make([]Digest, len(sys.Modules))
+	for i, m := range sys.Modules {
+		mds[i] = hs.module(m)
+	}
+	w.digestSet(mds)
+
+	gds := make([]Digest, len(sys.Globals))
+	for i, g := range sys.Globals {
+		gds[i] = hs.subDigest(func(sw *scopeWriter) { sw.variableDecl(g) })
+	}
+	w.digestSet(gds)
+
+	sw := &scopeWriter{writer: w, hs: hs, local: map[*Variable]int{}}
+	sw.tag('C')
+	sw.num(int64(len(sys.Channels)))
+	for _, ch := range sys.Channels {
+		sw.channel(ch)
+	}
+	sw.tag('B')
+	sw.num(int64(len(sys.Buses)))
+	for _, b := range sys.Buses {
+		sw.bus(b)
+	}
+
+	var d Digest
+	top.Sum(d[:0])
+	return d
+}
+
+// hasher carries the system-wide identity tables shared by every scope.
+type hasher struct {
+	globals  map[*Variable]bool
+	behOwner map[*Behavior]string
+}
+
+func newHasher(sys *System) *hasher {
+	hs := &hasher{
+		globals:  make(map[*Variable]bool, len(sys.Globals)),
+		behOwner: make(map[*Behavior]string),
+	}
+	for _, g := range sys.Globals {
+		hs.globals[g] = true
+	}
+	for _, m := range sys.Modules {
+		for _, b := range m.Behaviors {
+			hs.behOwner[b] = m.Name
+		}
+	}
+	return hs
+}
+
+// module hashes one module into its own digest; the module set combines
+// these order-independently. Locals are numbered within the module's
+// walk: behaviors, their declarations and bodies hash in declaration
+// order, so the numbering is deterministic.
+func (hs *hasher) module(m *Module) Digest {
+	return hs.subDigest(func(sw *scopeWriter) {
+		sw.str(m.Name)
+		vds := make([]Digest, len(m.Variables))
+		for i, v := range m.Variables {
+			vds[i] = hs.subDigestShared(sw, func(inner *scopeWriter) { inner.variableDecl(v) })
+		}
+		sw.digestSet(vds)
+		sw.num(int64(len(m.Behaviors)))
+		for _, b := range m.Behaviors {
+			sw.behavior(b)
+		}
+	})
+}
+
+// subDigest runs fn against a fresh hash sink with a fresh local scope.
+func (hs *hasher) subDigest(fn func(*scopeWriter)) Digest {
+	h := sha256.New()
+	sw := &scopeWriter{writer: writer{h}, hs: hs, local: map[*Variable]int{}}
+	fn(sw)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// subDigestShared runs fn against a fresh sink but the caller's local
+// numbering, so sibling declarations keep one consistent namespace.
+func (hs *hasher) subDigestShared(outer *scopeWriter, fn func(*scopeWriter)) Digest {
+	h := sha256.New()
+	sw := &scopeWriter{writer: writer{h}, hs: hs, local: outer.local, nextLocal: outer.nextLocal}
+	fn(sw)
+	outer.nextLocal = sw.nextLocal
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// writer frames primitive values unambiguously: strings are
+// length-prefixed, numbers fixed-width, every node starts with a tag
+// byte.
+type writer struct{ h hash.Hash }
+
+func (w writer) tag(b byte) { w.h.Write([]byte{b}) }
+
+func (w writer) num(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.h.Write(buf[:])
+}
+
+func (w writer) str(s string) {
+	w.num(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w writer) boolean(b bool) {
+	if b {
+		w.tag(1)
+	} else {
+		w.tag(0)
+	}
+}
+
+// digestSet writes a set of sub-digests order-independently: sorted,
+// with the count framing the set.
+func (w writer) digestSet(ds []Digest) {
+	sort.Slice(ds, func(i, j int) bool {
+		for k := range ds[i] {
+			if ds[i][k] != ds[j][k] {
+				return ds[i][k] < ds[j][k]
+			}
+		}
+		return false
+	})
+	w.num(int64(len(ds)))
+	for _, d := range ds {
+		w.h.Write(d[:])
+	}
+}
+
+// scopeWriter hashes nodes, resolving variable identity through the
+// enclosing scope's first-encounter numbering.
+type scopeWriter struct {
+	writer
+	hs        *hasher
+	local     map[*Variable]int
+	nextLocal int
+}
+
+// varRef writes a variable's identity: module-owned and global storage
+// by name, everything else by local sequence number.
+func (sw *scopeWriter) varRef(v *Variable) {
+	switch {
+	case v == nil:
+		sw.tag('0')
+	case v.Owner != nil:
+		sw.tag('M')
+		sw.str(v.Owner.Name)
+		sw.str(v.Name)
+	case sw.hs.globals[v]:
+		sw.tag('G')
+		sw.str(v.Name)
+	default:
+		id, ok := sw.local[v]
+		if !ok {
+			id = sw.nextLocal
+			sw.nextLocal++
+			sw.local[v] = id
+		}
+		sw.tag('L')
+		sw.num(int64(id))
+	}
+}
+
+// variableDecl writes a variable's full declaration: identity, kind,
+// type and initializers.
+func (sw *scopeWriter) variableDecl(v *Variable) {
+	sw.tag('v')
+	sw.varRef(v)
+	sw.str(v.Name) // locals carry their name only at the declaration
+	sw.num(int64(v.Kind))
+	sw.typ(v.Type)
+	sw.expr(v.Init)
+	sw.num(int64(len(v.InitArray)))
+	for _, b := range v.InitArray {
+		sw.vec(b)
+	}
+}
+
+func (sw *scopeWriter) vec(v interface {
+	Width() int
+	AppendBytes([]byte) []byte
+}) {
+	sw.num(int64(v.Width()))
+	sw.h.Write(v.AppendBytes(nil))
+}
+
+func (sw *scopeWriter) typ(t Type) {
+	switch t := t.(type) {
+	case nil:
+		sw.tag('0')
+	case BitType:
+		sw.tag('b')
+	case BoolType:
+		sw.tag('o')
+	case IntegerType:
+		sw.tag('i')
+		sw.num(int64(t.Width))
+	case BitVectorType:
+		sw.tag('V')
+		sw.num(int64(t.Width))
+	case ArrayType:
+		sw.tag('a')
+		sw.num(int64(t.Length))
+		sw.num(int64(t.Lo))
+		sw.typ(t.Elem)
+	case RecordType:
+		sw.tag('r')
+		sw.str(t.Name)
+		sw.num(int64(len(t.Fields)))
+		for _, f := range t.Fields {
+			sw.str(f.Name)
+			sw.typ(f.Type)
+		}
+	default:
+		panic("spec.Hash: unknown type " + t.String())
+	}
+}
+
+func (sw *scopeWriter) behavior(b *Behavior) {
+	sw.tag('h')
+	sw.str(b.Name)
+	sw.boolean(b.Server)
+	sw.num(int64(len(b.Variables)))
+	for _, v := range b.Variables {
+		sw.variableDecl(v)
+	}
+	// Procedures are looked up by name; hash the list as a named set so
+	// attachment order cannot perturb the digest.
+	pds := make([]Digest, len(b.Procedures))
+	for i, p := range b.Procedures {
+		pds[i] = sw.hs.subDigestShared(sw, func(inner *scopeWriter) { inner.procedure(p) })
+	}
+	sw.digestSet(pds)
+	sw.stmts(b.Body)
+}
+
+func (sw *scopeWriter) procedure(p *Procedure) {
+	sw.tag('p')
+	sw.str(p.Name)
+	sw.num(int64(len(p.Params)))
+	for _, prm := range p.Params {
+		sw.variableDecl(prm.Var)
+		sw.num(int64(prm.Mode))
+	}
+	sw.num(int64(len(p.Locals)))
+	for _, l := range p.Locals {
+		sw.variableDecl(l)
+	}
+	if p.Channel != nil {
+		sw.str(p.Channel.Name)
+	} else {
+		sw.tag('0')
+	}
+	sw.stmts(p.Body)
+}
+
+func (sw *scopeWriter) channel(c *Channel) {
+	sw.tag('c')
+	sw.str(c.Name)
+	if c.Accessor != nil {
+		sw.str(sw.hs.behOwner[c.Accessor])
+		sw.str(c.Accessor.Name)
+	} else {
+		sw.tag('0')
+	}
+	sw.varRef(c.Var)
+	sw.num(int64(c.Dir))
+	sw.vec(c.ID)
+	sw.num(int64(c.IDBits))
+	sw.num(int64(c.Accesses))
+	sw.num(c.LifetimeClocks)
+}
+
+func (sw *scopeWriter) bus(b *Bus) {
+	sw.tag('u')
+	sw.str(b.Name)
+	sw.num(int64(len(b.Channels)))
+	for _, c := range b.Channels {
+		sw.str(c.Name) // bus channel order assigns IDs: order-sensitive
+	}
+	sw.num(int64(b.Width))
+	sw.num(int64(b.Protocol))
+	sw.typ(b.Record)
+	sw.varRef(b.Signal)
+	sw.boolean(b.Arbitrated)
+	sw.boolean(b.Robust)
+	sw.boolean(b.Parity)
+	sw.boolean(b.AckSeq)
+	sw.boolean(b.EpochResync)
+}
+
+func (sw *scopeWriter) stmts(list []Stmt) {
+	sw.num(int64(len(list)))
+	for _, s := range list {
+		sw.stmt(s)
+	}
+}
+
+func (sw *scopeWriter) stmt(s Stmt) {
+	switch s := s.(type) {
+	case nil:
+		sw.tag('0')
+	case *Assign:
+		sw.tag('=')
+		sw.num(int64(s.Kind))
+		sw.expr(s.LHS)
+		sw.expr(s.RHS)
+	case *If:
+		sw.tag('?')
+		sw.expr(s.Cond)
+		sw.stmts(s.Then)
+		sw.num(int64(len(s.Elifs)))
+		for _, e := range s.Elifs {
+			sw.expr(e.Cond)
+			sw.stmts(e.Body)
+		}
+		sw.stmts(s.Else)
+	case *For:
+		sw.tag('F')
+		sw.varRef(s.Var)
+		sw.expr(s.From)
+		sw.expr(s.To)
+		sw.stmts(s.Body)
+	case *While:
+		sw.tag('W')
+		sw.expr(s.Cond)
+		sw.stmts(s.Body)
+	case *Loop:
+		sw.tag('O')
+		sw.stmts(s.Body)
+	case *Exit:
+		sw.tag('X')
+	case *Wait:
+		sw.tag('w')
+		sw.num(int64(len(s.On)))
+		for _, v := range s.On {
+			sw.varRef(v)
+		}
+		sw.expr(s.Until)
+		sw.boolean(s.HasFor)
+		sw.num(s.For)
+		sw.varRef(s.TimedOut)
+	case *Call:
+		sw.tag('(')
+		if s.Proc != nil {
+			sw.str(s.Proc.Name)
+		} else {
+			sw.tag('0')
+		}
+		sw.num(int64(len(s.Args)))
+		for _, a := range s.Args {
+			sw.expr(a)
+		}
+	case *Return:
+		sw.tag('R')
+	case *Null:
+		sw.tag('N')
+	default:
+		panic("spec.Hash: unknown statement type " + s.String())
+	}
+}
+
+func (sw *scopeWriter) expr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+		sw.tag('0')
+	case *IntLit:
+		sw.tag('n')
+		sw.num(e.Value)
+		sw.typ(e.Typ)
+	case *VecLit:
+		sw.tag('l')
+		sw.vec(e.Value)
+	case *BoolLit:
+		sw.tag('t')
+		sw.boolean(e.Value)
+	case *VarRef:
+		sw.tag('x')
+		sw.varRef(e.Var)
+	case *Index:
+		sw.tag('[')
+		sw.expr(e.Arr)
+		sw.expr(e.Index)
+	case *SliceExpr:
+		sw.tag('s')
+		sw.expr(e.X)
+		sw.expr(e.Hi)
+		sw.expr(e.Lo)
+		sw.num(int64(e.Width))
+	case *FieldRef:
+		sw.tag('.')
+		sw.expr(e.X)
+		sw.str(e.Field)
+	case *Binary:
+		sw.tag('+')
+		sw.num(int64(e.Op))
+		sw.expr(e.X)
+		sw.expr(e.Y)
+	case *Unary:
+		sw.tag('-')
+		sw.num(int64(e.Op))
+		sw.expr(e.X)
+	case *Conv:
+		sw.tag('>')
+		sw.expr(e.X)
+		sw.typ(e.To)
+		sw.boolean(e.Signed)
+	default:
+		panic("spec.Hash: unknown expression type " + e.String())
+	}
+}

@@ -1,0 +1,232 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// richSystem builds a system exercising every hashed node family:
+// modules with variables and behaviors, procedures with params and
+// locals, channels with IDs, a protocol-annotated bus, globals, and a
+// body covering the statement and expression grammars.
+func richSystem() *System {
+	sys := NewSystem("rich")
+
+	mem := sys.AddModule("MEM")
+	arr := mem.AddVariable(NewVar("X", Array(8, BitVector(16))))
+	flag := mem.AddVariable(NewVar("F", Bool))
+	flag.Init = &BoolLit{Value: true}
+
+	cpu := sys.AddModule("CPU")
+	b := NewBehavior("A")
+	cpu.AddBehavior(b)
+	i := b.AddVar("i", Integer)
+	i.Init = Int(3)
+	tmp := b.AddVar("tmp", BitVector(16))
+
+	send := &Procedure{Name: "SendCH0"}
+	pv := NewVar("d", BitVector(16))
+	send.Params = []Param{{Var: pv, Mode: ModeIn}}
+	lv := NewVar("scratch", Bit)
+	send.Locals = []*Variable{lv}
+	send.Body = []Stmt{
+		AssignVar(Ref(lv), &Unary{Op: OpNot, X: Ref(lv)}),
+		&Return{},
+	}
+	b.AddProc(send)
+
+	g := NewSignal("B", BitVector(19))
+	sys.AddGlobal(g)
+
+	b.Body = []Stmt{
+		&For{Var: i, From: Int(0), To: Int(7), Body: []Stmt{
+			AssignVar(Ref(tmp), At(Ref(arr), Ref(i))),
+			&If{
+				Cond:  Eq(Ref(i), Int(4)),
+				Then:  []Stmt{CallProc(send, Ref(tmp))},
+				Elifs: []ElseIf{{Cond: Ref(flag), Body: []Stmt{&Null{}}}},
+				Else:  []Stmt{&While{Cond: Ref(flag), Body: []Stmt{&Exit{}}}},
+			},
+			AssignSig(Ref(g), &Conv{X: Ref(tmp), To: BitVector(19)}),
+			WaitUntilFor(Not(Ref(flag)), 12, lv),
+			AssignVar(Ref(tmp), SliceBits(Ref(g), 15, 0)),
+		}},
+		&Loop{Body: []Stmt{WaitOn(g), &Exit{}}},
+	}
+
+	ch := &Channel{
+		Name: "CH0", Accessor: b, Var: arr, Dir: Read,
+		ID: bits.FromUint(1, 1), IDBits: 1, Accesses: 8, LifetimeClocks: 64,
+	}
+	sys.AddChannel(ch)
+	ch2 := &Channel{Name: "CH1", Accessor: b, Var: flag, Dir: Write, ID: bits.FromUint(0, 1), IDBits: 1}
+	sys.AddChannel(ch2)
+
+	sys.Buses = append(sys.Buses, &Bus{
+		Name: "BUS0", Channels: []*Channel{ch, ch2}, Width: 16,
+		Protocol: FullHandshake, Signal: g, Robust: true,
+	})
+	return sys
+}
+
+func TestHashStableAcrossCalls(t *testing.T) {
+	sys := richSystem()
+	if a, b := Hash(sys), Hash(sys); a != b {
+		t.Fatalf("same system hashed twice: %s vs %s", a, b)
+	}
+}
+
+// TestHashCloneIdentical pins the cache-key contract the serve layer
+// relies on: Clone produces a semantically identical system, so its
+// digest must match byte for byte even though every pointer differs.
+func TestHashCloneIdentical(t *testing.T) {
+	sys := richSystem()
+	cl := Clone(sys)
+	if a, b := Hash(sys), Hash(cl); a != b {
+		t.Fatalf("clone digest differs:\n  orig  %s\n  clone %s", a, b)
+	}
+	// Hashing must not perturb either system: repeat after the clone.
+	if a, b := Hash(sys), Hash(cl); a != b {
+		t.Fatalf("re-hash after clone differs: %s vs %s", a, b)
+	}
+}
+
+// TestHashOrderIndependence: permuting name-keyed sets — module list,
+// module variables, globals, behavior procedures — leaves the digest
+// unchanged, because declaration order carries no semantics there.
+func TestHashOrderIndependence(t *testing.T) {
+	base := Hash(richSystem())
+
+	t.Run("modules", func(t *testing.T) {
+		sys := richSystem()
+		sys.Modules[0], sys.Modules[1] = sys.Modules[1], sys.Modules[0]
+		if got := Hash(sys); got != base {
+			t.Fatalf("module order changed the digest: %s vs %s", got, base)
+		}
+	})
+	t.Run("module-variables", func(t *testing.T) {
+		sys := richSystem()
+		vs := sys.Modules[0].Variables
+		vs[0], vs[1] = vs[1], vs[0]
+		if got := Hash(sys); got != base {
+			t.Fatalf("module variable order changed the digest: %s vs %s", got, base)
+		}
+	})
+	t.Run("globals", func(t *testing.T) {
+		sys := richSystem()
+		sys.AddGlobal(NewSignal("Z", Bit))
+		a := Hash(sys)
+		sys2 := richSystem()
+		sys2.Globals = append([]*Variable{NewSignal("Z", Bit)}, sys2.Globals...)
+		if b := Hash(sys2); a != b {
+			t.Fatalf("global order changed the digest: %s vs %s", a, b)
+		}
+	})
+	t.Run("procedures", func(t *testing.T) {
+		mk := func(order []string) Digest {
+			sys := richSystem()
+			b := sys.Modules[1].Behaviors[0]
+			extra := &Procedure{Name: "ReceiveCH1", Body: []Stmt{&Null{}}}
+			if order[0] == "extra" {
+				b.Procedures = append([]*Procedure{extra}, b.Procedures...)
+			} else {
+				b.AddProc(extra)
+			}
+			return Hash(sys)
+		}
+		if a, b := mk([]string{"extra"}), mk([]string{"send"}); a != b {
+			t.Fatalf("procedure order changed the digest: %s vs %s", a, b)
+		}
+	})
+}
+
+// TestHashSensitivity: every semantically meaningful edit must move the
+// digest — literals, names, types, flags, and the orders that DO carry
+// semantics (bus channel order assigns IDs; behavior order schedules
+// processes).
+func TestHashSensitivity(t *testing.T) {
+	base := Hash(richSystem())
+	mutate := func(name string, fn func(*System)) {
+		t.Run(name, func(t *testing.T) {
+			sys := richSystem()
+			fn(sys)
+			if got := Hash(sys); got == base {
+				t.Fatalf("%s: digest unchanged (%s)", name, got)
+			}
+		})
+	}
+
+	mutate("int-literal", func(s *System) {
+		s.Modules[1].Behaviors[0].Variables[0].Init = Int(4)
+	})
+	mutate("rename-module-variable", func(s *System) {
+		s.Modules[0].Variables[0].Name = "Y"
+	})
+	mutate("rename-module", func(s *System) { s.Modules[0].Name = "MEM2" })
+	mutate("variable-type", func(s *System) {
+		s.Modules[0].Variables[1].Type = Bit
+	})
+	mutate("bus-channel-order", func(s *System) {
+		cs := s.Buses[0].Channels
+		cs[0], cs[1] = cs[1], cs[0]
+	})
+	mutate("bus-protocol", func(s *System) { s.Buses[0].Protocol = HalfHandshake })
+	mutate("bus-flag", func(s *System) { s.Buses[0].Parity = true })
+	mutate("channel-direction", func(s *System) { s.Channels[0].Dir = Write })
+	mutate("channel-id", func(s *System) { s.Channels[0].ID = bits.FromUint(0, 1) })
+	mutate("statement-order", func(s *System) {
+		b := s.Modules[1].Behaviors[0]
+		b.Body[0], b.Body[1] = b.Body[1], b.Body[0]
+	})
+	mutate("server-flag", func(s *System) {
+		s.Modules[1].Behaviors[0].Server = true
+	})
+	mutate("wait-timeout", func(s *System) {
+		body := s.Modules[1].Behaviors[0].Body[0].(*For).Body
+		body[3].(*Wait).For = 13
+	})
+}
+
+// TestHashBehaviorOrderSignificant: behaviors schedule as concurrent
+// processes in declaration order, so unlike module order their order
+// must move the digest.
+func TestHashBehaviorOrderSignificant(t *testing.T) {
+	mk := func(prepend bool) Digest {
+		sys := richSystem()
+		m := sys.Modules[1]
+		b := NewBehavior("B")
+		b.Body = []Stmt{&Null{}}
+		b.Owner = m
+		if prepend {
+			m.Behaviors = append([]*Behavior{b}, m.Behaviors...)
+		} else {
+			m.Behaviors = append(m.Behaviors, b)
+		}
+		return Hash(sys)
+	}
+	if a, b := mk(true), mk(false); a == b {
+		t.Fatalf("behavior order must be order-significant, both hash %s", a)
+	}
+}
+
+// TestHashLocalIdentity: two references to one local must hash
+// differently from references to two distinct same-named locals —
+// identity, not name, is what the digest encodes.
+func TestHashLocalIdentity(t *testing.T) {
+	mk := func(alias bool) Digest {
+		sys := richSystem()
+		b := sys.Modules[1].Behaviors[0]
+		dup := NewVar("tmp", BitVector(16))
+		b.Variables = append(b.Variables, dup)
+		target := dup
+		if alias {
+			target = b.Variables[1] // the original tmp
+		}
+		b.Body = append(b.Body, AssignVar(Ref(target), Ref(target)))
+		return Hash(sys)
+	}
+	if a, b := mk(false), mk(true); a == b {
+		t.Fatalf("aliasing two same-named locals must change the digest, both hash %s", a)
+	}
+}

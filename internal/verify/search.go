@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -62,6 +63,7 @@ type vioKey struct {
 
 type searcher struct {
 	m           *machine
+	ctx         context.Context
 	nodes       []*node
 	store       *store
 	edges       []edge // transitions between open states (liveness graph)
@@ -156,9 +158,14 @@ func (s *searcher) run() error {
 		layer := s.frontier
 		s.frontier = nil
 		results := make([]expandOut, len(layer))
-		par.For(len(layer), s.m.cfg.Workers, func(i int) {
+		if err := par.ForCtx(s.ctx, len(layer), s.m.cfg.Workers, func(i int) {
 			results[i] = s.expand(layer[i])
-		})
+		}); err != nil {
+			// Canceled mid-layer: unexpanded slots hold zero expandOuts
+			// (nil wctx, no successors) — nothing to merge, nothing leaks
+			// beyond pooled buffers the GC reclaims.
+			return err
+		}
 		for i, idx := range layer {
 			if err := s.merge(idx, results[i]); err != nil {
 				return err
@@ -166,6 +173,9 @@ func (s *searcher) run() error {
 			if s.incomplete != "" {
 				break
 			}
+		}
+		if p := s.m.cfg.Progress; p != nil {
+			p(len(s.nodes), int(s.depth))
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -45,6 +46,13 @@ type Config struct {
 	// MaxClocks bounds the golden simulation and counterexample
 	// replays; 0 means 1000000.
 	MaxClocks int64
+	// Progress, when non-nil, is called after each merged BFS layer with
+	// the stored-state count and current depth. It runs on the sequential
+	// merge path (never concurrently) and must return quickly — the
+	// search blocks on it. It observes progress only; it cannot alter
+	// the verdict, so two runs differing only in Progress stay
+	// byte-identical.
+	Progress func(states, depth int) `json:"-"`
 }
 
 // Kind classifies a violation.
@@ -152,6 +160,17 @@ func withDefaults(cfg Config) Config {
 // replays. If the golden run itself fails, the delivery check is
 // skipped — the search will find the underlying defect directly.
 func Check(sys *spec.System, cfg Config) (*Report, error) {
+	return CheckCtx(context.Background(), sys, cfg)
+}
+
+// CheckCtx is Check with cooperative cancellation: once ctx is done the
+// search stops between expansions and CheckCtx returns ctx.Err() with a
+// nil report. A canceled run never yields a partial Report — callers
+// (the serve layer's result cache in particular) must not see, let
+// alone store, a verdict whose bounds were "whenever the client hung
+// up". Cancellation reaches mid-layer via par.ForCtx, so even one huge
+// BFS layer aborts promptly.
+func CheckCtx(ctx context.Context, sys *spec.System, cfg Config) (*Report, error) {
 	cfg = withDefaults(cfg)
 	start := time.Now()
 	m, err := newMachine(sys, cfg)
@@ -189,7 +208,11 @@ func Check(sys *spec.System, cfg Config) (*Report, error) {
 	}
 
 	sr := newSearcher(m)
+	sr.ctx = ctx
 	if err := sr.run(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if !cfg.SkipLiveness {

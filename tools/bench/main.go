@@ -17,6 +17,11 @@
 //     tier, states verified across all iterations and wall time, for
 //     both the tier-1 lost-ack repair and the escalating half-handshake
 //     run that reselects the protocol.
+//   - suite "serve": the ifsynd daemon under concurrent mixed load
+//     (internal/serve's harness against an in-process instance),
+//     appended to BENCH_serve.json: reqs/s, p50/p99 latency, cache hit
+//     rate and cancel latency for a cold pass (misses, dedups, cancel
+//     probes) and a warm pass (cache replay throughput).
 //
 // By default a run is appended to an existing file; -fresh overwrites.
 //
@@ -25,20 +30,26 @@
 //	go run ./tools/bench -label pr5-binary-codec [-o BENCH_verify.json]
 //	go run ./tools/bench -suite fault -label pr6-batch -runs 100000
 //	go run ./tools/bench -suite repair -label pr8-escalation
+//	go run ./tools/bench -suite serve -label pr9-daemon -reqs 2000
 //
 //	-label L    run label recorded in the file (default "dev")
-//	-suite S    verify | fault | repair (default verify)
+//	-suite S    verify | fault | repair | serve (default verify)
 //	-o FILE     output file (default BENCH_<suite>.json)
 //	-fresh      overwrite the file instead of appending
 //	-reps N     repetitions per scenario; best wall time wins (default 3)
 //	-j N        worker goroutines (0 = all CPUs); -workers is an alias
 //	-runs N     faulty runs per fault-suite scenario (default 100000)
+//	-reqs N     requests per serve-suite pass (default 2000)
+//	-conc N     concurrent clients in the serve suite (default 64)
+//	-cancels N  cancel probes in the serve suite's cold pass (default 8)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -49,6 +60,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/protogen"
 	"repro/internal/repair"
+	"repro/internal/serve"
 	"repro/internal/spec"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -95,11 +107,18 @@ type RepairMeasurement struct {
 	// StatesTotal sums the model checker's stored states across every
 	// iteration — the loop's whole verification workload; StatesFinal is
 	// the final (clean) iteration alone.
-	StatesTotal int `json:"statesTotal"`
-	StatesFinal int `json:"statesFinal"`
+	StatesTotal int     `json:"statesTotal"`
+	StatesFinal int     `json:"statesFinal"`
 	WallMS      float64 `json:"wallMs"`
 	// Exhaustive reports whether the final verdict completed its search.
 	Exhaustive bool `json:"exhaustive"`
+}
+
+// ServeMeasurement is one serve-suite scenario's record: the load
+// harness's aggregate over an in-process ifsynd instance.
+type ServeMeasurement struct {
+	Scenario string `json:"scenario"`
+	serve.LoadReport
 }
 
 // Run is one invocation of this tool: a labelled set of measurements.
@@ -111,6 +130,7 @@ type Run struct {
 	Scenarios []Measurement       `json:"scenarios,omitempty"`
 	Fault     []FaultMeasurement  `json:"fault,omitempty"`
 	Repair    []RepairMeasurement `json:"repair,omitempty"`
+	Serve     []ServeMeasurement  `json:"serve,omitempty"`
 }
 
 // File is the committed BENCH_verify.json / BENCH_fault.json shape.
@@ -124,6 +144,43 @@ const fileComment = "Model-checker performance trajectory; append a run with: go
 const faultFileComment = "Fault-campaign performance trajectory; append a run with: go run ./tools/bench -suite fault -label <pr-label>"
 
 const repairFileComment = "CEGIS repair trajectory; append a run with: go run ./tools/bench -suite repair -label <pr-label>"
+
+const serveFileComment = "ifsynd daemon load trajectory; append a run with: go run ./tools/bench -suite serve -label <pr-label>"
+
+// measureServe load-tests an in-process ifsynd: a cold pass over the
+// mixed workload (misses, dedups and cancel probes dominate) followed
+// by a warm pass against the now-populated cache (replay throughput).
+func measureServe(workers, reqs, conc, cancels int) ([]ServeMeasurement, error) {
+	srv := serve.New(serve.Config{Workers: workers})
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	cold, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:      hs.URL,
+		Requests:     reqs,
+		Concurrency:  conc,
+		CancelProbes: cancels,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve cold: %w", err)
+	}
+	warm, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:     hs.URL,
+		Requests:    reqs,
+		Concurrency: conc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve warm: %w", err)
+	}
+	if cold.Errors > 0 || warm.Errors > 0 {
+		return nil, fmt.Errorf("serve load errors: cold %d, warm %d", cold.Errors, warm.Errors)
+	}
+	return []ServeMeasurement{
+		{Scenario: "mixed-cold", LoadReport: *cold},
+		{Scenario: "mixed-warm", LoadReport: *warm},
+	}, nil
+}
 
 // scenario builds a fresh refined system (protogen mutates the input
 // spec, so each measurement synthesizes from scratch) plus the checker
@@ -364,7 +421,7 @@ func measure(sc scenario, workers, reps int) (Measurement, error) {
 
 func main() {
 	label := flag.String("label", "dev", "run label recorded in the output file")
-	suite := flag.String("suite", "verify", "benchmark suite: verify | fault | repair")
+	suite := flag.String("suite", "verify", "benchmark suite: verify | fault | repair | serve")
 	out := flag.String("o", "", "output file (default BENCH_<suite>.json)")
 	fresh := flag.Bool("fresh", false, "overwrite the output file instead of appending")
 	reps := flag.Int("reps", 3, "repetitions per scenario (best wall time wins)")
@@ -372,6 +429,9 @@ func main() {
 	flag.IntVar(&workers, "j", 0, "worker goroutines (0 = all CPUs)")
 	flag.IntVar(&workers, "workers", 0, "alias for -j")
 	runs := flag.Int("runs", 100_000, "faulty runs per fault-suite scenario")
+	serveReqs := flag.Int("reqs", 2000, "requests per serve-suite pass")
+	serveConc := flag.Int("conc", 64, "concurrent clients in the serve suite")
+	serveCancels := flag.Int("cancels", 8, "cancel probes in the serve suite's cold pass")
 	flag.Parse()
 
 	run := Run{
@@ -429,8 +489,24 @@ func main() {
 				strings.Join(m.Mutations, "+"))
 			run.Repair = append(run.Repair, m)
 		}
+	case "serve":
+		if file == "" {
+			file = "BENCH_serve.json"
+		}
+		comment = serveFileComment
+		ms, err := measureServe(workers, *serveReqs, *serveConc, *serveCancels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		for _, m := range ms {
+			fmt.Printf("%-12s %6d reqs %8.0f reqs/s  p50 %7.2f ms  p99 %8.2f ms  hit %4.0f%%  cancel(avg/max) %.1f/%.1f ms\n",
+				m.Scenario, m.Requests, m.ReqsPerSec, m.P50Ms, m.P99Ms,
+				m.CacheHitRate*100, m.CancelServerAvgMs, m.CancelServerMaxMs)
+			run.Serve = append(run.Serve, m)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want verify, fault or repair)\n", *suite)
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want verify, fault, repair or serve)\n", *suite)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,61 @@
+// Command loadgen load-tests a running ifsynd daemon: it fires
+// thousands of concurrent mixed requests (Mesh, FLC, Ethernet and PQ
+// variants across synthesize / sweep / bounded verify) plus cancel
+// probes that abandon uniquely-keyed requests mid-flight, then prints
+// the aggregate as JSON: reqs/s, p50/p99 latency, cache hit rate, and
+// client- plus server-side cancel latency.
+//
+// Usage:
+//
+//	go run ./cmd/ifsynd &
+//	go run ./tools/loadgen -n 2000 -c 64 -cancels 16
+//
+//	-url U      daemon base URL (default http://127.0.0.1:8047)
+//	-n N        total requests (default 2000)
+//	-c N        concurrent client goroutines (default 64)
+//	-cancels N  cancel probes abandoned mid-flight (default 8)
+//	-after D    abandon delay per probe (default 30ms)
+//	-timeout D  per-request timeout (default 120s)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"flag"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8047", "daemon base URL")
+	n := flag.Int("n", 2000, "total requests")
+	c := flag.Int("c", 64, "concurrent clients")
+	cancels := flag.Int("cancels", 8, "cancel probes")
+	after := flag.Duration("after", 30*time.Millisecond, "probe abandon delay")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request timeout")
+	flag.Parse()
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:      *url,
+		Requests:     *n,
+		Concurrency:  *c,
+		CancelProbes: *cancels,
+		CancelAfter:  *after,
+		Timeout:      *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep) //nolint:errcheck
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+}
