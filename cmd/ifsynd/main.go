@@ -15,13 +15,15 @@
 // Usage:
 //
 //	go run ./cmd/ifsynd [-addr :8047] [-jobs N] [-queue N]
-//	                    [-cache-entries N] [-cache-mb N]
+//	                    [-cache-entries N] [-cache-mb N] [-cache-dir D]
 //
 //	-addr A           listen address (default 127.0.0.1:8047)
 //	-jobs N           concurrent jobs (0 = all CPUs)
 //	-queue N          queued-job bound before 503 (default 256)
 //	-cache-entries N  result-cache entry bound (default 1024)
 //	-cache-mb N       result-cache byte bound in MiB (default 64)
+//	-cache-dir D      persistent result store; repeat queries are
+//	                  answered from it across daemon restarts
 package main
 
 import (
@@ -44,14 +46,20 @@ func main() {
 	queue := flag.Int("queue", 0, "queued-job bound (0 = 256)")
 	cacheEntries := flag.Int("cache-entries", 0, "result cache entry bound (0 = 1024)")
 	cacheMB := flag.Int64("cache-mb", 0, "result cache byte bound in MiB (0 = 64)")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = RAM cache only)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:      *jobs,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   *cacheMB << 20,
+		CacheDir:     *cacheDir,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ifsynd: %v\n", err)
+		os.Exit(1)
+	}
 	defer srv.Close()
 
 	hs := &http.Server{

@@ -24,6 +24,14 @@
 //	              dropped along any one explored path (default 0)
 //	-depth N      search depth bound (0 = states bound only)
 //	-states N     stored-states bound (0 = checker default)
+//	-mem-budget N resident state-memory budget in MiB: past it, sealed
+//	              BFS layers spill to a disk store and the search is
+//	              disk-bound instead of RAM-bound (0 = all in RAM;
+//	              verdict and state count identical either way)
+//	-spill DIR    spill scratch directory (default system temp)
+//	-bloom        lossy hash-compaction dedup (SPIN bitstate style):
+//	              hash hits are accepted without byte confirmation and
+//	              the report carries the omission probability
 //	-j N          exploration workers (0 = all CPUs; verdict identical)
 //	-repair       on violations, run the counterexample-guided repair
 //	              loop (internal/repair): classify each counterexample,
@@ -106,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drops := fs.Int("drops", 0, "dropped-transition budget per explored path")
 	depth := fs.Int("depth", 0, "search depth bound (0 = states bound only)")
 	states := fs.Int("states", 0, "stored-states bound (0 = checker default)")
+	memBudget := fs.Int64("mem-budget", 0, "resident state-memory budget in MiB; past it sealed BFS layers spill to disk (0 = all in RAM; verdict identical)")
+	spillDir := fs.String("spill", "", "spill scratch directory (default system temp; only used with -mem-budget)")
+	bloomMode := fs.Bool("bloom", false, "lossy hash-compaction dedup: skip byte confirmation of hash hits and report the omission probability")
 	workers := fs.Int("j", 0, "exploration workers (0 = all CPUs, 1 = serial; verdict identical)")
 	repairFlag := fs.Bool("repair", false, "on violations, run the counterexample-guided repair loop")
 	repairBudget := fs.Int("repair-budget", 0, "bound repair iterations (0 = grammar size + 1)")
@@ -185,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.VerifyDepth = *depth
 		opts.VerifyStates = *states
 		opts.VerifyDrops = *drops
+		opts.VerifyMemBudget = *memBudget << 20
+		opts.VerifySpillDir = *spillDir
+		opts.VerifyLossy = *bloomMode
 	}
 
 	if *cpuProfile != "" {
@@ -224,6 +238,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxStates: *states,
 			MaxDrops:  *drops,
 			Workers:   *workers,
+			MemBudget: *memBudget << 20,
+			SpillDir:  *spillDir,
+			Lossy:     *bloomMode,
 			AbortVars: abortVars,
 		})
 		if err != nil {

@@ -73,6 +73,19 @@ type Options struct {
 	// VerifyStates bounds the model checker's stored states (0 = the
 	// checker's default).
 	VerifyStates int
+	// VerifyMemBudget bounds the checker's resident state bytes; past
+	// it, sealed BFS layers spill to disk under VerifySpillDir (0 =
+	// fully in RAM). Verdicts and counts are identical at any budget,
+	// so this knob is excluded from the serve layer's cache key.
+	VerifyMemBudget int64
+	// VerifySpillDir hosts the checker's spill scratch ("" = system
+	// temp directory); only consulted when VerifyMemBudget > 0.
+	VerifySpillDir string
+	// VerifyLossy switches the checker's dedup store to hash-compaction
+	// mode: hash matches are accepted unconfirmed and the verdict
+	// reports an omission probability. Result-affecting — it IS part of
+	// the serve layer's cache key.
+	VerifyLossy bool
 	// Repair runs the counterexample-guided repair loop (internal/repair)
 	// when verification finds violations: the flow re-generates the
 	// protocols with targeted hardening knobs until the properties hold
@@ -223,6 +236,9 @@ func SynthesizeCtx(ctx context.Context, sys *spec.System, opts Options) (*Report
 		MaxStates: opts.VerifyStates,
 		MaxDrops:  opts.VerifyDrops,
 		Workers:   opts.Workers,
+		MemBudget: opts.VerifyMemBudget,
+		SpillDir:  opts.VerifySpillDir,
+		Lossy:     opts.VerifyLossy,
 		Progress:  opts.VerifyProgress,
 	}
 

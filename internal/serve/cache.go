@@ -7,8 +7,11 @@ import (
 
 // resultCache is the content-addressed result store: completed response
 // bodies keyed by request Key, bounded by an LRU policy on entry count
-// and total body bytes. Bodies are immutable once inserted — readers
-// get the stored slice, never a copy, and must not mutate it.
+// and total body bytes, optionally backed by a persistent disk tier
+// (diskCache). A RAM miss falls through to disk and promotes the body
+// back into the LRU, so repeat queries survive both eviction and
+// daemon restarts. Bodies are immutable once inserted — readers get
+// the stored slice, never a copy, and must not mutate it.
 type resultCache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -16,6 +19,7 @@ type resultCache struct {
 	ll         *list.List // front = most recently used
 	byKey      map[Key]*list.Element
 	bytes      int64
+	disk       *diskCache // nil when no CacheDir is configured
 
 	hits, misses, evictions int64
 }
@@ -25,7 +29,7 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+func newResultCache(maxEntries int, maxBytes int64, disk *diskCache) *resultCache {
 	if maxEntries <= 0 {
 		maxEntries = 1024
 	}
@@ -37,29 +41,46 @@ func newResultCache(maxEntries int, maxBytes int64) *resultCache {
 		maxBytes:   maxBytes,
 		ll:         list.New(),
 		byKey:      make(map[Key]*list.Element),
+		disk:       disk,
 	}
 }
 
-// get returns the cached body for the key, refreshing its recency.
+// get returns the cached body for the key, refreshing its recency. On
+// a RAM miss it consults the disk tier, promoting a hit into the LRU.
 func (c *resultCache) get(k Key) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.mu.Unlock()
 		return el.Value.(*cacheEntry).body, true
 	}
 	c.misses++
+	c.mu.Unlock()
+	if c.disk != nil {
+		if body, ok := c.disk.get(k); ok {
+			c.insert(k, body)
+			return body, true
+		}
+	}
 	return nil, false
 }
 
-// put inserts a completed body, evicting least-recently-used entries
-// past either bound. A body larger than the byte bound is simply not
-// cached — it would evict everything for one entry.
+// put inserts a completed body, writing through to the disk tier. A
+// body larger than the RAM byte bound skips the LRU (it would evict
+// everything for one entry) but still persists.
 func (c *resultCache) put(k Key, body []byte) {
-	if int64(len(body)) > c.maxBytes {
-		return
+	if int64(len(body)) <= c.maxBytes {
+		c.insert(k, body)
 	}
+	if c.disk != nil {
+		c.disk.put(k, body)
+	}
+}
+
+// insert adds a body to the RAM tier only, evicting least-recently-
+// used entries past either bound.
+func (c *resultCache) insert(k Key, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {

@@ -38,7 +38,15 @@ type VerifyJSON struct {
 	Incomplete       bool            `json:"incomplete,omitempty"`
 	IncompleteReason string          `json:"incomplete_reason,omitempty"`
 	GoldenClocks     int64           `json:"golden_clocks"`
-	Violations       []ViolationJSON `json:"violations,omitempty"`
+	// Fingerprint is the order-independent digest of the reachable set —
+	// identical across worker counts and memory budgets, so it both
+	// witnesses determinism and keys incremental re-verification.
+	// Spill statistics are deliberately absent: they vary with the
+	// budget, and the body must not.
+	Fingerprint  string          `json:"fingerprint,omitempty"`
+	Lossy        bool            `json:"lossy,omitempty"`
+	OmissionProb float64         `json:"omission_probability,omitempty"`
+	Violations   []ViolationJSON `json:"violations,omitempty"`
 }
 
 // ViolationJSON is one property violation, without the replayable
@@ -63,6 +71,9 @@ func NewVerifyJSON(r *verify.Report) *VerifyJSON {
 		Incomplete:       r.Incomplete,
 		IncompleteReason: r.IncompleteReason,
 		GoldenClocks:     r.GoldenClocks,
+		Fingerprint:      r.Fingerprint,
+		Lossy:            r.Lossy,
+		OmissionProb:     r.OmissionProb,
 	}
 	for _, vio := range r.Violations {
 		v.Violations = append(v.Violations, ViolationJSON{

@@ -48,6 +48,14 @@ type Options struct {
 	VerifyDepth  int  `json:"verify_depth,omitempty"`
 	VerifyDrops  int  `json:"verify_drops,omitempty"`
 	VerifyStates int  `json:"verify_states,omitempty"`
+	// VerifyMemBudgetMB bounds the checker's resident state memory in
+	// MiB; past it, sealed BFS layers spill to disk. Verdicts are
+	// byte-identical at any budget, so — like Workers — it is excluded
+	// from the cache key.
+	VerifyMemBudgetMB int `json:"verify_mem_budget_mb,omitempty"`
+	// VerifyLossy runs the checker's hash-compaction (bitstate) mode.
+	// Result-affecting, hence part of the cache key.
+	VerifyLossy bool `json:"verify_lossy,omitempty"`
 	// Repair bounds (op repair).
 	RepairBudget int `json:"repair_budget,omitempty"`
 	RepairTiers  int `json:"repair_tiers,omitempty"`
@@ -95,6 +103,8 @@ func (o Options) coreOptions(op string) (core.Options, error) {
 		RepairBudget:  o.RepairBudget,
 		RepairTiers:   o.RepairTiers,
 	}
+	opts.VerifyMemBudget = int64(o.VerifyMemBudgetMB) << 20
+	opts.VerifyLossy = o.VerifyLossy
 	switch op {
 	case OpVerify:
 		opts.Verify = true
@@ -104,10 +114,12 @@ func (o Options) coreOptions(op string) (core.Options, error) {
 	return opts, nil
 }
 
-// canonical renders the options for hashing: Workers zeroed (results
-// are worker-invariant), fixed field order via the struct encoding.
+// canonical renders the options for hashing: Workers and the memory
+// budget zeroed (results are worker- and budget-invariant), fixed
+// field order via the struct encoding.
 func (o Options) canonical() []byte {
 	o.Workers = 0
+	o.VerifyMemBudgetMB = 0
 	b, err := json.Marshal(o)
 	if err != nil {
 		// Options is a closed struct of scalars; Marshal cannot fail.
@@ -220,7 +232,10 @@ func (r *Request) key() (Key, spec.Digest, error) {
 	}
 	sh := spec.Hash(sys)
 	h := sha256.New()
-	h.Write([]byte("ifsynd/v1\x00"))
+	// v2: verify bodies gained the reachable-set fingerprint, and keys
+	// now address a persistent store — the frame must change whenever
+	// body shapes do, so a daemon upgrade can never serve a stale shape.
+	h.Write([]byte("ifsynd/v2\x00"))
 	h.Write(sh[:])
 	h.Write([]byte{0})
 	h.Write([]byte(r.Op))

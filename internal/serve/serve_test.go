@@ -20,7 +20,10 @@ import (
 // both.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -563,7 +566,7 @@ func TestMetricsAndHealthz(t *testing.T) {
 
 // TestCacheLRU exercises the store's bounds directly.
 func TestCacheLRU(t *testing.T) {
-	c := newResultCache(2, 1<<20)
+	c := newResultCache(2, 1<<20, nil)
 	k := func(i byte) Key { return Key{i} }
 	c.put(k(1), []byte("one"))
 	c.put(k(2), []byte("two"))
@@ -583,7 +586,7 @@ func TestCacheLRU(t *testing.T) {
 	}
 
 	// Byte bound: an oversized body is skipped, not cached.
-	small := newResultCache(16, 8)
+	small := newResultCache(16, 8, nil)
 	small.put(k(9), []byte("far too large for the bound"))
 	if _, ok := small.get(k(9)); ok {
 		t.Fatal("oversized body should not be cached")

@@ -26,6 +26,12 @@ type Config struct {
 	// (0 = 1024 entries / 64 MiB).
 	CacheEntries int
 	CacheBytes   int64
+	// CacheDir, when set, persists completed result bodies to disk
+	// (one checksummed file per content-addressed key), so repeat
+	// queries — a re-verify of an already-checked spec in particular —
+	// are served across daemon restarts without recomputation. "" keeps
+	// the cache memory-only.
+	CacheDir string
 }
 
 // Server is the synthesis service: a bounded job pool, a
@@ -64,18 +70,26 @@ type Server struct {
 const maxRetainedJobs = 1024
 
 // New starts a server: cfg.Workers goroutines draining the job queue.
-// Callers must Close it to stop them.
-func New(cfg Config) *Server {
+// Callers must Close it to stop them. An unusable CacheDir is the only
+// construction failure.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	var disk *diskCache
+	if cfg.CacheDir != "" {
+		var err error
+		if disk, err = newDiskCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		cache:      newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		cache:      newResultCache(cfg.CacheEntries, cfg.CacheBytes, disk),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -86,7 +100,7 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Close cancels every in-flight job and stops the workers. Safe to
@@ -449,6 +463,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ifsynd_cache_entries %d\n", entries)
 	fmt.Fprintf(w, "ifsynd_cache_bytes %d\n", bytes)
 	fmt.Fprintf(w, "ifsynd_cache_evictions_total %d\n", evictions)
+	var dHits, dMisses, dWrites, dErrs int64
+	if s.cache.disk != nil {
+		dHits, dMisses, dWrites, dErrs = s.cache.disk.stats()
+	}
+	fmt.Fprintf(w, "ifsynd_cache_disk_hits_total %d\n", dHits)
+	fmt.Fprintf(w, "ifsynd_cache_disk_misses_total %d\n", dMisses)
+	fmt.Fprintf(w, "ifsynd_cache_disk_writes_total %d\n", dWrites)
+	fmt.Fprintf(w, "ifsynd_cache_disk_errors_total %d\n", dErrs)
 	fmt.Fprintf(w, "ifsynd_inflight_dedup_total %d\n", s.dedups.Load())
 	fmt.Fprintf(w, "ifsynd_queue_rejects_total %d\n", s.queueRejects.Load())
 	fmt.Fprintf(w, "ifsynd_jobs_started_total %d\n", s.jobsStarted.Load())

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package verify
+
+import (
+	"io"
+	"os"
+)
+
+// mmapRegion fallback for platforms without syscall.Mmap: the index
+// generation is read into memory. Correctness is identical; only the
+// page-cache-backed eviction of the unix build is lost.
+type mmapRegion struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(f *os.File, size int64) (mmapRegion, error) {
+	if size == 0 {
+		return mmapRegion{}, nil
+	}
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil && err != io.EOF {
+		return mmapRegion{}, err
+	}
+	return mmapRegion{data: b}, nil
+}
+
+func (r *mmapRegion) unmap() { r.data, r.mapped = nil, false }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package verify
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapRegion is a read-only view of a finished index file. On unix it
+// is a real memory mapping — index generations are immutable once
+// written, so the kernel's page cache backs lookups with no user-space
+// copy and evicts cold index pages under memory pressure, which is the
+// point of spilling in the first place.
+type mmapRegion struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(f *os.File, size int64) (mmapRegion, error) {
+	if size == 0 {
+		return mmapRegion{}, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mmapRegion{}, err
+	}
+	return mmapRegion{data: b, mapped: true}, nil
+}
+
+func (r *mmapRegion) unmap() {
+	if r.mapped {
+		syscall.Munmap(r.data)
+	}
+	r.data, r.mapped = nil, false
+}

@@ -79,6 +79,24 @@ type searcher struct {
 	// nodeArena chunk-allocates node storage: one allocation per 4096
 	// admissions instead of one per node.
 	nodeArena []node
+	// Spill bookkeeping (Config.MemBudget > 0). hotBytes tracks the
+	// estimated resident bytes of unsealed states; it is a pure function
+	// of the admitted states (stateEst + key length, both deterministic),
+	// so sealing decisions — and therefore everything — stay worker-
+	// invariant. Sealed nodes are the prefix [0, sealed) of the node
+	// array, whole BFS layers at a time (layerEnds records layer
+	// boundaries as cumulative node counts).
+	memBudget   int64
+	hotBytes    int64
+	stateEst    int64
+	layerEnds   []int32
+	sealed      int32
+	sealedLayer int
+	sealBuf     []byte
+	// Reachable-set fingerprint: order-independent (xor + sum of mixed
+	// state hashes), so it is identical at any worker count and any
+	// memory budget — the invariant the persistent verify cache leans on.
+	fpXor, fpSum uint64
 }
 
 func (s *searcher) newNode() *node {
@@ -125,11 +143,90 @@ type expandOut struct {
 }
 
 func newSearcher(m *machine) *searcher {
-	return &searcher{
-		m:       m,
-		store:   newStore(),
-		vioKeys: make(map[vioKey]bool),
+	s := &searcher{
+		m:         m,
+		store:     newStore(),
+		vioKeys:   make(map[vioKey]bool),
+		memBudget: m.cfg.MemBudget,
 	}
+	s.store.lossy = m.cfg.Lossy
+	// stateEst approximates one hot state's resident bytes beyond its
+	// key: the shell's slice headers and backing arrays plus an interface
+	// word pair per value. It only steers when layers seal; being an
+	// estimate costs accuracy of the budget, never correctness — but it
+	// must be deterministic, so it is derived from the machine's fixed
+	// layout, never from runtime measurement.
+	est := int64(160 + 16*len(m.globals) + m.nTrack)
+	for _, prog := range m.progs {
+		est += 48 + 16*int64(len(prog.locals))
+	}
+	s.stateEst = est
+	return s
+}
+
+// stateOf returns node idx's state: the resident pointer for hot
+// nodes, a freshly decoded copy (decoded=true) for sealed ones — the
+// caller releases decoded shells back to the machine pool when done.
+// Safe for concurrent use during expansion: sealed records are
+// immutable and the spill read path is lock-free.
+func (s *searcher) stateOf(idx int32) (st *state, decoded bool, err error) {
+	if st := s.nodes[idx].st; st != nil {
+		return st, false, nil
+	}
+	st, err = s.store.spill.readState(s.m, idx)
+	if err != nil {
+		return nil, false, err
+	}
+	return st, true, nil
+}
+
+// maybeSpill seals whole BFS layers, oldest first, whenever hot states
+// exceed the memory budget, stopping at half the budget so seals are
+// batched rather than per-layer. The newest completed layer always
+// stays hot — it is (most of) the next frontier. Runs on the
+// sequential path between layers.
+func (s *searcher) maybeSpill() error {
+	if s.store.spill == nil || s.hotBytes <= s.memBudget {
+		return nil
+	}
+	target := s.memBudget / 2
+	sealedAny := false
+	for s.sealedLayer < len(s.layerEnds)-1 && s.hotBytes > target {
+		end := s.layerEnds[s.sealedLayer]
+		for idx := s.sealed; idx < end; idx++ {
+			if err := s.sealNode(idx, s.sealedLayer); err != nil {
+				return err
+			}
+		}
+		s.sealed = end
+		s.sealedLayer++
+		sealedAny = true
+	}
+	if sealedAny {
+		return s.store.spill.finishBatch()
+	}
+	return nil
+}
+
+// sealNode moves one node's state to the spill tier: re-encode
+// (deterministically identical to the admission-time key), append the
+// record, drop the hot index entry and recycle the shell. The node
+// keeps all its search bookkeeping — only the state bytes leave RAM.
+func (s *searcher) sealNode(idx int32, layer int) error {
+	n := s.nodes[idx]
+	st := n.st
+	s.sealBuf = st.encodeInto(s.sealBuf[:0])
+	keyLen := len(s.sealBuf)
+	s.sealBuf = st.encodeTailsInto(s.sealBuf)
+	h := hashKey(s.sealBuf[:keyLen])
+	s.store.removeHot(h, idx)
+	if err := s.store.spill.add(h, idx, layer, s.sealBuf, keyLen); err != nil {
+		return err
+	}
+	n.st = nil
+	s.hotBytes -= s.stateEst + int64(keyLen)
+	s.m.release(st)
+	return nil
 }
 
 // run explores the product state space breadth-first. Each layer is
@@ -143,11 +240,14 @@ func (s *searcher) run() error {
 		return err
 	}
 	w0 := &wctx{arena: init.encodeInto(nil)}
-	s.admit(&succOut{
+	if _, err := s.admit(&succOut{
 		via: step{proc: -1, drop: -1}, hash: hashKey(w0.arena), existing: -1,
 		st: init, keyOff: 0, keyEnd: int32(len(w0.arena)),
 		enabled: en, open: s.m.open(init),
-	}, -1, w0)
+	}, -1, w0); err != nil {
+		return err
+	}
+	s.layerEnds = append(s.layerEnds, int32(len(s.nodes)))
 
 	for len(s.frontier) > 0 && s.incomplete == "" {
 		s.depth++
@@ -174,6 +274,12 @@ func (s *searcher) run() error {
 				break
 			}
 		}
+		if s.incomplete == "" {
+			s.layerEnds = append(s.layerEnds, int32(len(s.nodes)))
+			if err := s.maybeSpill(); err != nil {
+				return err
+			}
+		}
 		if p := s.m.cfg.Progress; p != nil {
 			p(len(s.nodes), int(s.depth))
 		}
@@ -197,6 +303,16 @@ func (s *searcher) expand(idx int32) expandOut {
 		w.ec = s.m.newExecCtx()
 	}
 	out := expandOut{maskUsed: n.pendingMask, tickUsed: n.needsTick, w: w}
+	// A sealed node re-opened by fold is decoded from its spill record;
+	// hot nodes expand from the resident state as before.
+	nst, decoded, err := s.stateOf(idx)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	if decoded {
+		defer s.m.release(nst)
+	}
 	// disallowed = the node's effective sleep set relative to enabled.
 	disallowed := n.enabled &^ (n.pendingMask | n.explored)
 	var earlier uint32
@@ -205,7 +321,7 @@ func (s *searcher) expand(idx int32) expandOut {
 		if n.pendingMask&bit == 0 {
 			continue
 		}
-		res, err := s.m.exec(w.ec, n.st, p)
+		res, err := s.m.exec(w.ec, nst, p)
 		if err != nil {
 			out.err = err
 			return out
@@ -217,12 +333,12 @@ func (s *searcher) expand(idx int32) expandOut {
 			out.err = err
 			return out
 		}
-		if n.st.budget > 0 {
+		if nst.budget > 0 {
 			for di, d := range s.m.drops {
 				if !dropApplies(d, res.commits) {
 					continue
 				}
-				ds := s.m.dropVariant(n.st, res.st, di)
+				ds := s.m.dropVariant(nst, res.st, di)
 				// Conflicts belong to the shared segment and are already
 				// reported on the normal successor.
 				hit, err := s.emit(w, step{proc: int8(p), drop: int16(di)}, ds, sleep, nil)
@@ -242,7 +358,7 @@ func (s *searcher) expand(idx int32) expandOut {
 		}
 	}
 	if n.needsTick {
-		ts, clocks, ok := s.m.tick(n.st)
+		ts, clocks, ok := s.m.tick(nst)
 		if ok {
 			// Time advance interacts with every timer: no sleep carries over.
 			hit, err := s.emit(w, step{proc: -1, drop: -1, tick: clocks}, ts, 0, nil)
@@ -277,15 +393,17 @@ func (s *searcher) emit(w *wctx, via step, st *state, sleep uint32, conflicts []
 	w.arena = st.encodeInto(w.arena)
 	key := w.arena[off:]
 	h := hashKey(key)
-	if j, scratch, ok := s.store.lookup(h, key, s.nodes, w.scratch); ok {
-		w.scratch = scratch
+	j, scratch, ok, lerr := s.store.lookup(h, key, s.nodes, w.scratch)
+	w.scratch = scratch
+	if lerr != nil {
+		return false, lerr
+	}
+	if ok {
 		w.arena = w.arena[:off]
 		w.succs = append(w.succs, succOut{
 			via: via, hash: h, existing: j, sleep: sleep, conflicts: conflicts,
 		})
 		return true, nil
-	} else {
-		w.scratch = scratch
 	}
 	en, err := s.m.enabledMask(w.ec, st)
 	if err != nil {
@@ -317,7 +435,10 @@ func (s *searcher) merge(idx int32, out expandOut) error {
 	for i := range out.w.succs {
 		sc := &out.w.succs[i]
 		s.transitions++
-		j := s.admit(sc, idx, out.w)
+		j, err := s.admit(sc, idx, out.w)
+		if err != nil {
+			return err
+		}
 		if s.incomplete != "" {
 			return nil
 		}
@@ -356,19 +477,21 @@ func (s *searcher) recycle(w *wctx) {
 // re-checked against the store because an earlier merge slot of the
 // same layer may have admitted the state already — in that case the
 // duplicate's shell goes back to the pool.
-func (s *searcher) admit(sc *succOut, parent int32, w *wctx) int32 {
+func (s *searcher) admit(sc *succOut, parent int32, w *wctx) (int32, error) {
 	if sc.existing >= 0 {
 		s.fold(sc.existing, sc.sleep)
-		return sc.existing
+		return sc.existing, nil
 	}
 	key := w.arena[sc.keyOff:sc.keyEnd]
-	if j, scratch, ok := s.store.lookup(sc.hash, key, s.nodes, w.scratch); ok {
-		w.scratch = scratch
-		s.fold(j, sc.sleep)
+	ex, scratch, ok, err := s.store.lookup(sc.hash, key, s.nodes, w.scratch)
+	w.scratch = scratch
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		s.fold(ex, sc.sleep)
 		s.m.release(sc.st)
-		return j
-	} else {
-		w.scratch = scratch
+		return ex, nil
 	}
 	j := int32(len(s.nodes))
 	depth := int32(0)
@@ -383,9 +506,13 @@ func (s *searcher) admit(sc *succOut, parent int32, w *wctx) int32 {
 	}
 	s.nodes = append(s.nodes, nn)
 	s.store.insert(sc.hash, j)
+	s.hotBytes += s.stateEst + int64(sc.keyEnd-sc.keyOff)
+	mixed := bloomMix(sc.hash)
+	s.fpXor ^= mixed
+	s.fpSum += mixed
 	if s.m.cfg.MaxStates > 0 && len(s.nodes) > s.m.cfg.MaxStates {
 		s.incomplete = fmt.Sprintf("state bound %d reached", s.m.cfg.MaxStates)
-		return j
+		return j, nil
 	}
 	if sc.enabled == 0 {
 		hasTimer := false
@@ -402,7 +529,7 @@ func (s *searcher) admit(sc *succOut, parent int32, w *wctx) int32 {
 		nn.queued = true
 		s.frontier = append(s.frontier, j)
 	}
-	return j
+	return j, nil
 }
 
 // fold merges a re-arrival into an existing node: an arrival with a
@@ -492,9 +619,9 @@ func (s *searcher) addViolation(kind Kind, msg string, node int32, loop []edge) 
 // along which some transaction strobe never returns to idle, i.e. a
 // START that is never answered by a completed handshake or a clean
 // abort. Runs after the search on the recorded edges.
-func (s *searcher) checkLiveness() {
+func (s *searcher) checkLiveness() error {
 	if len(s.edges) == 0 {
-		return
+		return nil
 	}
 	adj := make(map[int32][]int)
 	for i, e := range s.edges {
@@ -548,13 +675,22 @@ func (s *searcher) checkLiveness() {
 					loop = append(loop, s.edges[fr.in])
 				}
 				loop = append(loop, s.edges[ei])
+				st, decoded, err := s.stateOf(to)
+				if err != nil {
+					return err
+				}
+				desc := s.m.describeState(st)
+				if decoded {
+					s.m.release(st)
+				}
 				s.addViolation(Livelock, fmt.Sprintf(
 					"bounded-response violated: a transaction stays open around a %d-transition cycle (%s)",
-					len(loop), s.m.describeState(s.nodes[to].st)), to, loop)
-				return
+					len(loop), desc), to, loop)
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // pathTo reconstructs the BFS-shortest step sequence from the initial

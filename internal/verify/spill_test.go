@@ -1,0 +1,330 @@
+package verify
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/protogen"
+	"repro/internal/spec"
+)
+
+// checkDigest flattens everything a verdict asserts — counts, depth,
+// fingerprint and the full violation list — into one comparable value.
+type checkDigest struct {
+	states, depth int
+	transitions   int64
+	fingerprint   string
+	incomplete    string
+	violations    string
+}
+
+func digestOf(rep *Report) checkDigest {
+	var vs []string
+	for _, v := range rep.Violations {
+		vs = append(vs, v.Kind.String()+": "+v.Message)
+	}
+	return checkDigest{
+		states: rep.States, depth: rep.Depth, transitions: rep.Transitions,
+		fingerprint: rep.Fingerprint, incomplete: rep.IncompleteReason,
+		violations: strings.Join(vs, "\n"),
+	}
+}
+
+// TestSpillInvariance is the tentpole's acceptance pin: verdicts,
+// state counts and the reachable-set fingerprint must be identical
+// whether the store lives in RAM or spills under a budget far smaller
+// than the state space, at every worker count.
+func TestSpillInvariance(t *testing.T) {
+	run := func(budget int64, workers int) (checkDigest, *Report) {
+		sys, _ := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake})
+		rep := mustCheck(t, sys, Config{
+			MaxDrops: 1, Workers: workers,
+			MemBudget: budget, SpillDir: t.TempDir(),
+		})
+		return digestOf(rep), rep
+	}
+	ref, _ := run(0, 1)
+	if ref.fingerprint == "" {
+		t.Fatal("no fingerprint in the in-RAM report")
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if got, _ := run(0, workers); got != ref {
+			t.Fatalf("in-RAM workers=%d diverged:\n%+v\nwant:\n%+v", workers, got, ref)
+		}
+		// A 4 KiB budget forces every sealed layer to disk.
+		got, rep := run(4096, workers)
+		if got != ref {
+			t.Fatalf("spill workers=%d diverged:\n%+v\nwant:\n%+v", workers, got, ref)
+		}
+		if rep.SpilledStates == 0 || rep.SpillBytes == 0 {
+			t.Fatalf("spill workers=%d: budget 4096 spilled nothing (%d states, %d bytes)",
+				workers, rep.SpilledStates, rep.SpillBytes)
+		}
+		if rep.SpilledStates >= rep.States {
+			t.Fatalf("spilled %d of %d states: the newest layer must stay hot", rep.SpilledStates, rep.States)
+		}
+	}
+}
+
+// TestSpillMatchesInRAMRobust runs the hardened protocol's exhaustive
+// fault-free space (~62k states) under a 1 MiB budget: a realistically
+// deep exploration where nearly every layer seals, re-expands sealed
+// parents through the decode path, and still proves the same verdict.
+func TestSpillMatchesInRAMRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exploration")
+	}
+	run := func(budget int64) *Report {
+		sys, _ := refinePQ(t, robustCfg(false))
+		return mustCheck(t, sys, Config{MemBudget: budget, SpillDir: t.TempDir()})
+	}
+	ram, spill := run(0), run(1<<20)
+	if d1, d2 := digestOf(ram), digestOf(spill); d1 != d2 {
+		t.Fatalf("spill diverged:\n%+v\nwant:\n%+v", d2, d1)
+	}
+	if spill.IncompleteReason != "" {
+		t.Fatalf("spill run did not complete: %s", spill.IncompleteReason)
+	}
+	if spill.SpilledStates < spill.States/2 {
+		t.Fatalf("1 MiB budget spilled only %d of %d states", spill.SpilledStates, spill.States)
+	}
+}
+
+// TestLossyMode: hash-compaction must report its omission probability,
+// stay deterministic, and — on a space this small, where a 64-bit
+// collision is astronomically unlikely — agree with the exact run.
+func TestLossyMode(t *testing.T) {
+	run := func(lossy bool) *Report {
+		sys, _ := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake})
+		return mustCheck(t, sys, Config{
+			MaxDrops: 1, MemBudget: 4096, SpillDir: t.TempDir(), Lossy: lossy,
+		})
+	}
+	exact, lossy := run(false), run(true)
+	if !lossy.Lossy || lossy.OmissionProb <= 0 || lossy.OmissionProb > 1 {
+		t.Fatalf("lossy run reported Lossy=%v OmissionProb=%g", lossy.Lossy, lossy.OmissionProb)
+	}
+	if exact.Lossy || exact.OmissionProb != 0 {
+		t.Fatalf("exact run reported Lossy=%v OmissionProb=%g", exact.Lossy, exact.OmissionProb)
+	}
+	if d1, d2 := digestOf(exact), digestOf(lossy); d1 != d2 {
+		t.Fatalf("lossy diverged from exact on a collision-free space:\n%+v\nwant:\n%+v", d2, d1)
+	}
+	again := run(true)
+	if digestOf(lossy) != digestOf(again) {
+		t.Fatal("lossy mode is not deterministic across runs")
+	}
+}
+
+// TestDecodeRoundTrip: every state of a real exploration must survive
+// encode → decode → re-encode byte-identically — the property that
+// makes sealed states re-expandable at all.
+func TestDecodeRoundTrip(t *testing.T) {
+	sys, _ := refinePQ(t, protogen.Config{Protocol: spec.FullHandshake})
+	m, err := newMachine(sys, withDefaults(Config{MaxDrops: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := newSearcher(m)
+	if err := sr.run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range sr.nodes {
+		key := n.st.encodeInto(nil)
+		extras := n.st.encodeTailsInto(nil)
+		dec, err := decodeState(m, key, extras)
+		if err != nil {
+			t.Fatalf("state %d: decode: %v", i, err)
+		}
+		if got := dec.encodeInto(nil); !bytes.Equal(got, key) {
+			t.Fatalf("state %d: re-encoded key differs\ngot:  %x\nwant: %x", i, got, key)
+		}
+		if got := dec.encodeTailsInto(nil); !bytes.Equal(got, extras) {
+			t.Fatalf("state %d: re-encoded extras differ", i)
+		}
+	}
+}
+
+// newTestSpill builds a spillStore in a throwaway subdirectory (close
+// removes the directory, so it must own it).
+func newTestSpill(t *testing.T) *spillStore {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "spill")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpillStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sp.close)
+	return sp
+}
+
+// spillAdd seals one payload, failing the test on error.
+func spillAdd(t *testing.T, sp *spillStore, h uint64, node int32, layer int, payload []byte, keyLen int) {
+	t.Helper()
+	if err := sp.add(h, node, layer, payload, keyLen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillCrashRecovery: a torn or bit-flipped spill file must surface
+// as an error, never as a silently wrong membership answer.
+func TestSpillCrashRecovery(t *testing.T) {
+	keyA := []byte("key-aaaaaaaaaaaaaaaaaaaaaaaa")
+	keyB := []byte("key-bbbbbbbbbbbbbbbbbbbbbbbb")
+	// Same low 4 hash bits → same shard; B is layer 0's delta against A.
+	const hA, hB = uint64(0x10), uint64(0x20)
+
+	build := func(t *testing.T) *spillStore {
+		sp := newTestSpill(t)
+		spillAdd(t, sp, hA, 0, 0, append(keyA, "-extras"...), len(keyA))
+		spillAdd(t, sp, hB, 1, 0, append(keyB, "-extras"...), len(keyB))
+		if err := sp.finishBatch(); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+
+	t.Run("intact", func(t *testing.T) {
+		sp := build(t)
+		for _, tc := range []struct {
+			h    uint64
+			key  []byte
+			node int32
+		}{{hA, keyA, 0}, {hB, keyB, 1}} {
+			node, ok, err := sp.lookup(tc.h, tc.key, false)
+			if err != nil || !ok || node != tc.node {
+				t.Fatalf("lookup(%x) = (%d, %v, %v), want (%d, true, nil)", tc.h, node, ok, err, tc.node)
+			}
+		}
+		if _, ok, err := sp.lookup(hA, keyB, false); err != nil || ok {
+			t.Fatalf("same-hash different-key probe = (%v, %v), want miss", ok, err)
+		}
+	})
+
+	t.Run("bit-flip", func(t *testing.T) {
+		sp := build(t)
+		// Flip one byte inside the second record's body: its checksum
+		// must catch it.
+		path := filepath.Join(sp.dir, "shard00.dat")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-3] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sp.lookup(hB, keyB, false); err == nil ||
+			!strings.Contains(err.Error(), "corrupt") {
+			t.Fatalf("corrupted record lookup err = %v, want checksum failure", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		sp := build(t)
+		// Tear the file mid-record, as a crashed writer would.
+		path := filepath.Join(sp.dir, "shard00.dat")
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sp.lookup(hB, keyB, false); err == nil {
+			t.Fatal("truncated record lookup succeeded, want error")
+		}
+	})
+}
+
+// TestBloomNoFalseNegatives: the pre-filter may only suppress probes
+// that would miss — everything added must report present.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000)
+	for i := uint64(0); i < 1000; i++ {
+		b.add(bloomMix(i))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !b.has(bloomMix(i)) {
+			t.Fatalf("false negative for entry %d", i)
+		}
+	}
+	// And it must actually filter: absent keys should mostly miss.
+	misses := 0
+	for i := uint64(10_000); i < 11_000; i++ {
+		if !b.has(bloomMix(i)) {
+			misses++
+		}
+	}
+	if misses < 900 {
+		t.Fatalf("bloom filtered only %d/1000 absent keys", misses)
+	}
+}
+
+// FuzzSpillRecord drives generated payloads through the on-disk record
+// format — full records, delta compression against per-layer bases,
+// index merge, Bloom filter and checksummed read-back — and asserts
+// the payload round-trips byte-identically and lookups confirm exactly.
+func FuzzSpillRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("several states sharing a long common middle section"))
+	f.Add([]byte{0x01, 0x02, 0x45, 0x01, 0x02, 0x02, 0x11, 0x02, 0x22, 0xff, 0x00, 0x10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &gsrc{data: data}
+		lay := genLayout(g)
+		sp := newTestSpill(t)
+		n := 1 + int(g.byte()%6)
+		type rec struct {
+			h       uint64
+			payload []byte
+			keyLen  int
+		}
+		var recs []rec
+		for i := 0; i < n; i++ {
+			st := genState(g, lay)
+			key := st.encodeInto(nil)
+			payload := st.encodeTailsInto(key)
+			h := hashKey(payload[:len(key)])
+			layer := int(g.byte() % 3)
+			if err := sp.add(h, int32(i), layer, payload, len(key)); err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, rec{h, payload, len(key)})
+			if g.byte()%4 == 0 {
+				if err := sp.finishBatch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := sp.finishBatch(); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range recs {
+			loc := sp.locs[i]
+			payload, keyLen, err := sp.shards[loc.shard()].readRecord(loc.off(), 0)
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if keyLen != r.keyLen || !bytes.Equal(payload, r.payload) {
+				t.Fatalf("record %d: round-trip mismatch\ngot:  %d %x\nwant: %d %x",
+					i, keyLen, payload, r.keyLen, r.payload)
+			}
+			node, ok, err := sp.lookup(r.h, r.payload[:r.keyLen], false)
+			if err != nil {
+				t.Fatalf("record %d: lookup: %v", i, err)
+			}
+			// Duplicate generated states may legitimately resolve to an
+			// earlier node with the same key.
+			if !ok || !bytes.Equal(recs[node].payload[:recs[node].keyLen], r.payload[:r.keyLen]) {
+				t.Fatalf("record %d: lookup = (%d, %v), want a node with the same key", i, node, ok)
+			}
+		}
+	})
+}

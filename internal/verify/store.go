@@ -15,20 +15,32 @@ const storeShards = 64
 // state into a scratch buffer and confirms byte equality — unlike
 // SPIN's probabilistic bitstate mode, a collision here costs one
 // re-encode, never a soundness hole. The rare confirmed-distinct
-// same-hash states chain through the overflow map.
+// same-hash states chain through the overflow map, allocated lazily on
+// the first confirmed collision.
 //
-// Concurrency contract: insert only runs in the sequential merge phase.
-// During parallel expansion the store is frozen, so workers may call
-// lookup concurrently to pre-dedup successors (a miss must be re-checked
-// at merge time — an earlier merge slot may have inserted the state —
-// but a hit is final, states are never removed).
+// With a memory budget (Config.MemBudget) the store is tiered: the
+// shard maps index only the hot (resident) nodes, and sealed nodes
+// move to the spill tier — lookup falls through to it on a hot miss,
+// with identical confirm semantics (spill.go). In lossy mode
+// (Config.Lossy) the confirm is skipped in both tiers and a hash match
+// is final, which trades a quantified omission probability for never
+// touching state bytes on a hit.
+//
+// Concurrency contract: insert and removeHot only run in sequential
+// phases (merge, seal). During parallel expansion the store is frozen,
+// so workers may call lookup concurrently to pre-dedup successors (a
+// miss must be re-checked at merge time — an earlier merge slot may
+// have inserted the state — but a hit is final, states are never
+// removed from the store, only moved between tiers).
 type store struct {
 	shards   [storeShards]map[uint64]int32
 	overflow map[uint64][]int32
+	lossy    bool
+	spill    *spillStore // nil when no memory budget is set
 }
 
 func newStore() *store {
-	st := &store{overflow: make(map[uint64][]int32)}
+	st := &store{}
 	for i := range st.shards {
 		st.shards[i] = make(map[uint64]int32)
 	}
@@ -37,24 +49,38 @@ func newStore() *store {
 
 // lookup finds the node whose state encodes to key, confirming every
 // same-hash candidate by re-encoding it into scratch and comparing
-// bytes. It returns the node index, the (possibly grown) scratch buffer
-// for reuse, and whether a confirmed match exists.
-func (st *store) lookup(h uint64, key []byte, nodes []*node, scratch []byte) (int32, []byte, bool) {
-	j, ok := st.shards[h&(storeShards-1)][h]
-	if !ok {
-		return 0, scratch, false
-	}
-	scratch = nodes[j].st.encodeInto(scratch[:0])
-	if bytes.Equal(scratch, key) {
-		return j, scratch, true
-	}
-	for _, k := range st.overflow[h] {
-		scratch = nodes[k].st.encodeInto(scratch[:0])
+// bytes (hot tier) or reading its record back (spill tier). It returns
+// the node index, the (possibly grown) scratch buffer for reuse, and
+// whether a confirmed match exists. The error is always nil without a
+// spill tier; with one, it surfaces torn or corrupt spill files.
+func (st *store) lookup(h uint64, key []byte, nodes []*node, scratch []byte) (int32, []byte, bool, error) {
+	if j, ok := st.shards[h&(storeShards-1)][h]; ok {
+		if st.lossy {
+			return j, scratch, true, nil
+		}
+		scratch = nodes[j].st.encodeInto(scratch[:0])
 		if bytes.Equal(scratch, key) {
-			return k, scratch, true
+			return j, scratch, true, nil
+		}
+		for _, k := range st.overflow[h] {
+			scratch = nodes[k].st.encodeInto(scratch[:0])
+			if bytes.Equal(scratch, key) {
+				return k, scratch, true, nil
+			}
 		}
 	}
-	return 0, scratch, false
+	// A hash living in the hot tier does not preclude a same-hash
+	// sealed state: the tiers split by node age, not by hash.
+	if st.spill != nil {
+		j, ok, err := st.spill.lookup(h, key, st.lossy)
+		if err != nil {
+			return 0, scratch, false, err
+		}
+		if ok {
+			return j, scratch, true, nil
+		}
+	}
+	return 0, scratch, false, nil
 }
 
 // insert records node j as (another) state hashing to h. The caller has
@@ -62,8 +88,45 @@ func (st *store) lookup(h uint64, key []byte, nodes []*node, scratch []byte) (in
 func (st *store) insert(h uint64, j int32) {
 	sh := st.shards[h&(storeShards-1)]
 	if _, exists := sh[h]; exists {
+		if st.overflow == nil {
+			st.overflow = make(map[uint64][]int32)
+		}
 		st.overflow[h] = append(st.overflow[h], j)
 		return
 	}
 	sh[h] = j
+}
+
+// removeHot drops node j from the hot tier ahead of sealing it into
+// the spill tier, promoting the next overflow entry if j headed a
+// collision chain. Only called from the sequential seal phase; nodes
+// seal in insertion order, so j heads its chain whenever one exists.
+func (st *store) removeHot(h uint64, j int32) {
+	sh := st.shards[h&(storeShards-1)]
+	cur, ok := sh[h]
+	if !ok {
+		return
+	}
+	if cur == j {
+		if ov := st.overflow[h]; len(ov) > 0 {
+			sh[h] = ov[0]
+			if len(ov) == 1 {
+				delete(st.overflow, h)
+			} else {
+				st.overflow[h] = ov[1:]
+			}
+		} else {
+			delete(sh, h)
+		}
+		return
+	}
+	for i, k := range st.overflow[h] {
+		if k == j {
+			st.overflow[h] = append(st.overflow[h][:i], st.overflow[h][i+1:]...)
+			if len(st.overflow[h]) == 0 {
+				delete(st.overflow, h)
+			}
+			return
+		}
+	}
 }

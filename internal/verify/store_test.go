@@ -32,7 +32,7 @@ func TestStoreConfirmsOnCollision(t *testing.T) {
 	var scratch []byte
 	for i := int64(0); i < 3; i++ {
 		key := intState(i).encodeInto(nil)
-		j, sc, ok := st.lookup(h, key, nodes, scratch)
+		j, sc, ok, _ := st.lookup(h, key, nodes, scratch)
 		scratch = sc
 		if !ok || j != int32(i) {
 			t.Fatalf("state %d: lookup = (%d, %v), want (%d, true)", i, j, ok, i)
@@ -41,11 +41,11 @@ func TestStoreConfirmsOnCollision(t *testing.T) {
 	// A fourth state with the same hash but different bytes must miss:
 	// hash equality alone never admits a state.
 	key := intState(99).encodeInto(nil)
-	if j, _, ok := st.lookup(h, key, nodes, scratch); ok {
+	if j, _, ok, _ := st.lookup(h, key, nodes, scratch); ok {
 		t.Fatalf("stranger with colliding hash matched node %d", j)
 	}
 	// And a hash nobody inserted misses without touching candidates.
-	if _, _, ok := st.lookup(h+1, key, nodes, nil); ok {
+	if _, _, ok, _ := st.lookup(h+1, key, nodes, nil); ok {
 		t.Fatal("lookup hit on an absent hash")
 	}
 }
@@ -82,11 +82,32 @@ func TestStoreShardsByHash(t *testing.T) {
 	var scratch []byte
 	for i := int64(0); i < 200; i++ {
 		key := intState(i).encodeInto(nil)
-		j, sc, ok := st.lookup(hashKey(key), key, nodes, scratch)
+		j, sc, ok, _ := st.lookup(hashKey(key), key, nodes, scratch)
 		scratch = sc
 		if !ok || j != int32(i) {
 			t.Fatalf("state %d: lookup = (%d, %v)", i, j, ok)
 		}
+	}
+}
+
+// TestOverflowLazyAllocation pins the satellite fix: the overflow map
+// exists only after a real 64-bit hash collision, so the common
+// collision-free run carries no empty map.
+func TestOverflowLazyAllocation(t *testing.T) {
+	st := newStore()
+	if st.overflow != nil {
+		t.Fatal("overflow map allocated before any insert")
+	}
+	for i := int64(0); i < 100; i++ {
+		s := intState(i)
+		st.insert(hashKey(s.encodeInto(nil)), int32(i))
+	}
+	if st.overflow != nil {
+		t.Fatalf("overflow map allocated without a collision (%d entries)", len(st.overflow))
+	}
+	st.insert(hashKey(intState(0).encodeInto(nil)), 100)
+	if len(st.overflow) != 1 {
+		t.Fatalf("collision did not populate overflow: %d entries", len(st.overflow))
 	}
 }
 

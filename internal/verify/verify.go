@@ -3,6 +3,8 @@ package verify
 import (
 	"context"
 	"fmt"
+	"math"
+	"os"
 	"strings"
 	"time"
 
@@ -46,6 +48,23 @@ type Config struct {
 	// MaxClocks bounds the golden simulation and counterexample
 	// replays; 0 means 1000000.
 	MaxClocks int64
+	// MemBudget bounds the resident bytes of stored states; 0 keeps
+	// every state in RAM (the classic mode). With a budget, whole BFS
+	// layers beyond it seal to a disk spill store under SpillDir and the
+	// search becomes disk-bound instead of RAM-bound. The verdict, state
+	// count and transition count are byte-identical at any budget: the
+	// spill tier confirms candidates exactly like the hot tier.
+	MemBudget int64
+	// SpillDir is where spill scratch files live (a fresh subdirectory
+	// is created per run and removed afterwards); "" uses the system
+	// temp directory. Only consulted when MemBudget > 0.
+	SpillDir string
+	// Lossy switches the dedup store to hash-compaction mode: a 64-bit
+	// hash match is accepted without byte confirmation (SPIN bitstate
+	// style). Two distinct states per ~2^64 pairs may merge, silently
+	// omitting part of the space — the Report quantifies that as
+	// OmissionProb. Never enabled implicitly.
+	Lossy bool
 	// Progress, when non-nil, is called after each merged BFS layer with
 	// the stored-state count and current depth. It runs on the sequential
 	// merge path (never concurrently) and must return quickly — the
@@ -109,6 +128,21 @@ type Report struct {
 	// delivery-check reference), -1 if the golden run itself failed.
 	GoldenClocks int64
 	Elapsed      time.Duration
+	// Fingerprint is an order-independent digest of the reachable
+	// hash set: identical across worker counts and memory budgets, it
+	// is the checkable witness behind the persistent verify cache.
+	Fingerprint string
+	// SpilledStates/SpillBytes report the cold tier's share when a
+	// MemBudget was set (both zero otherwise). They describe resource
+	// use only — never the verdict — so the serve layer excludes them
+	// from cached result bodies.
+	SpilledStates int
+	SpillBytes    int64
+	// Lossy echoes Config.Lossy; OmissionProb then bounds the chance
+	// that any distinct reachable states were merged by a 64-bit hash
+	// collision (n(n-1)/2^65 for n stored states).
+	Lossy        bool
+	OmissionProb float64
 }
 
 // Clean reports a complete run with no violations.
@@ -121,6 +155,13 @@ func (r *Report) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "explored %d states, %d transitions (depth %d, %d procs, %s)\n",
 		r.States, r.Transitions, r.Depth, r.Procs, r.Elapsed.Round(time.Millisecond))
+	if r.SpilledStates > 0 {
+		fmt.Fprintf(&b, "spilled %d states to disk (%.1f MiB)\n",
+			r.SpilledStates, float64(r.SpillBytes)/(1<<20))
+	}
+	if r.Lossy {
+		fmt.Fprintf(&b, "lossy hash-compaction mode: omission probability <= %.3g\n", r.OmissionProb)
+	}
 	if r.Incomplete {
 		fmt.Fprintf(&b, "INCOMPLETE: %s\n", r.IncompleteReason)
 	}
@@ -209,6 +250,24 @@ func CheckCtx(ctx context.Context, sys *spec.System, cfg Config) (*Report, error
 
 	sr := newSearcher(m)
 	sr.ctx = ctx
+	if cfg.MemBudget > 0 {
+		dir := cfg.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("verify: spill dir: %w", err)
+		}
+		sub, err := os.MkdirTemp(dir, "ifverify-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("verify: spill dir: %w", err)
+		}
+		sp, err := newSpillStore(sub)
+		if err != nil {
+			return nil, err
+		}
+		defer sp.close()
+		sr.store.spill = sp
+	}
 	if err := sr.run(); err != nil {
 		return nil, err
 	}
@@ -216,7 +275,9 @@ func CheckCtx(ctx context.Context, sys *spec.System, cfg Config) (*Report, error
 		return nil, err
 	}
 	if !cfg.SkipLiveness {
-		sr.checkLiveness()
+		if err := sr.checkLiveness(); err != nil {
+			return nil, err
+		}
 	}
 
 	rep := &Report{
@@ -225,6 +286,20 @@ func CheckCtx(ctx context.Context, sys *spec.System, cfg Config) (*Report, error
 		Transitions:  sr.transitions,
 		Depth:        int(sr.depth),
 		GoldenClocks: goldenClocks,
+		Fingerprint:  fmt.Sprintf("%016x-%016x", sr.fpXor, sr.fpSum),
+		Lossy:        cfg.Lossy,
+	}
+	if sp := sr.store.spill; sp != nil {
+		rep.SpilledStates = sp.states()
+		rep.SpillBytes = sp.bytes
+	}
+	if cfg.Lossy {
+		n := float64(len(sr.nodes))
+		p := n * (n - 1) / math.Pow(2, 65)
+		if p > 1 {
+			p = 1
+		}
+		rep.OmissionProb = p
 	}
 	if sr.incomplete != "" {
 		rep.Incomplete = true

@@ -77,6 +77,11 @@ type Measurement struct {
 	AllocsPerState float64 `json:"allocsPerState"`
 	Violations     int     `json:"violations"`
 	Incomplete     string  `json:"incomplete,omitempty"`
+	// Spill telemetry for memory-budgeted scenarios (absent when the
+	// run stayed in RAM).
+	MemBudgetMB   int64 `json:"memBudgetMB,omitempty"`
+	SpilledStates int   `json:"spilledStates,omitempty"`
+	SpillMB       int64 `json:"spillMB,omitempty"`
 }
 
 // FaultMeasurement is one fault-suite scenario's record.
@@ -151,7 +156,10 @@ const serveFileComment = "ifsynd daemon load trajectory; append a run with: go r
 // mixed workload (misses, dedups and cancel probes dominate) followed
 // by a warm pass against the now-populated cache (replay throughput).
 func measureServe(workers, reqs, conc, cancels int) ([]ServeMeasurement, error) {
-	srv := serve.New(serve.Config{Workers: workers})
+	srv, err := serve.New(serve.Config{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	defer srv.Close()
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
@@ -217,6 +225,21 @@ func scenarios() []scenario {
 		}},
 		{"robust-drop1-100k", func(w int) (*spec.System, verify.Config, error) {
 			return refinedPQ(true, w, verify.Config{MaxDrops: 1, MaxStates: 100_000})
+		}},
+		// The exhaustive drop-1 space (~679k states) under a 64 MiB
+		// budget: most of the frontier's history lives on disk, so this
+		// is the spill path's headline number.
+		{"robust-drop1-full", func(w int) (*spec.System, verify.Config, error) {
+			return refinedPQ(true, w, verify.Config{
+				MaxDrops: 1, MaxStates: 1_500_000, MemBudget: 64 << 20,
+			})
+		}},
+		// The exhaustive drop-2 space (~3.9M states) under 256 MiB —
+		// beyond what the in-RAM store could previously hold comfortably.
+		{"robust-drop2", func(w int) (*spec.System, verify.Config, error) {
+			return refinedPQ(true, w, verify.Config{
+				MaxDrops: 2, MaxStates: 4_000_000, MemBudget: 256 << 20,
+			})
 		}},
 	}
 }
@@ -411,6 +434,9 @@ func measure(sc scenario, workers, reps int) (Measurement, error) {
 			AllocsPerState: float64(m1.Mallocs-m0.Mallocs) / float64(rep.States),
 			Violations:     len(rep.Violations),
 			Incomplete:     rep.IncompleteReason,
+			MemBudgetMB:    vcfg.MemBudget >> 20,
+			SpilledStates:  rep.SpilledStates,
+			SpillMB:        rep.SpillBytes >> 20,
 		}
 		if r == 0 || m.WallMS < best.WallMS {
 			best = m
